@@ -1,0 +1,30 @@
+//! Ablation: the combined single-window k-CIFP (this repo's default)
+//! against the paper-faithful two-query Algorithm 1 — quantifies how much
+//! of the Rust k-CIFP's strength comes from merging the IA and NIB range
+//! queries.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::core::algorithms::kcifp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_kcifp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, dataset) in [("C", common::dataset_c()), ("N", common::dataset_n())] {
+        let problem = common::problem(&dataset, 0.7);
+        group.bench_with_input(BenchmarkId::new("combined", name), &problem, |b, p| {
+            b.iter(|| kcifp::influence_sets(p))
+        });
+        group.bench_with_input(BenchmarkId::new("two-query", name), &problem, |b, p| {
+            b.iter(|| kcifp::influence_sets_faithful(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+// Not a bench target: shared helpers included by the bench files via
+// `#[path = "common.rs"] mod common;`. Each bench uses a subset, hence
+// the dead_code allowance.
+#![allow(dead_code)]
+
+use mc2ls::prelude::*;
+use std::sync::Arc;
+
+/// Reduced dataset scales so `cargo bench` completes quickly while keeping
+/// both datasets' behavioural character.
+pub const SCALE_C: f64 = 0.05;
+pub const SCALE_N: f64 = 0.2;
+
+pub fn dataset_c() -> Arc<Dataset> {
+    mc2ls_bench::california(SCALE_C)
+}
+
+pub fn dataset_n() -> Arc<Dataset> {
+    mc2ls_bench::new_york(SCALE_N)
+}
+
+/// Default-parameter problem over a dataset at bench scale.
+pub fn problem(dataset: &Dataset, tau: f64) -> Problem {
+    mc2ls_bench::problem_with(dataset, 100, 200, 10, tau)
+}

@@ -1,0 +1,30 @@
+//! Fig. 7 bench: the pruning pipeline of the three IQT variants.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_pruning_rules");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, dataset) in [("C", common::dataset_c()), ("N", common::dataset_n())] {
+        let problem = common::problem(&dataset, 0.7);
+        for (label, cfg) in [
+            ("IQT-C", IqtConfig::iqt_c(2.0)),
+            ("IQT", IqtConfig::iqt(2.0)),
+            ("IQT-PINO", IqtConfig::iqt_pino(2.0)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), &problem, |b, p| {
+                b.iter(|| solve(p, Method::Iqt(cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

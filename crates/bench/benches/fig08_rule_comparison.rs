@@ -1,0 +1,32 @@
+//! Fig. 8 bench: user-pruning (IQT-C) vs facility-pruning (k-CIFP) across τ.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_rule_comparison");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dataset = common::dataset_c();
+    for tau in [0.3, 0.7] {
+        let problem = common::problem(&dataset, tau);
+        group.bench_with_input(
+            BenchmarkId::new("IQT-C", format!("tau={tau}")),
+            &problem,
+            |b, p| b.iter(|| solve(p, Method::Iqt(IqtConfig::iqt_c(2.0)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("k-CIFP", format!("tau={tau}")),
+            &problem,
+            |b, p| b.iter(|| solve(p, Method::KCifp)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 10 bench: running time vs |Ω| for all four algorithms.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_users");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dataset = common::dataset_c();
+    let (candidates, facilities) = dataset.sample_sites_disjoint(100, 200, 1);
+    for frac in [0.5f64, 1.0] {
+        let n = (dataset.users.len() as f64 * frac) as usize;
+        let users = sampler::subset_users(&dataset.users, n, 7);
+        let problem = Problem::new(
+            users,
+            facilities.clone(),
+            candidates.clone(),
+            10,
+            0.7,
+            Sigmoid::paper_default(),
+        );
+        for (method, label) in mc2ls_bench::paper_methods() {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("users={n}")),
+                &problem,
+                |b, p| b.iter(|| solve(p, method)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 11 bench: running time vs |C|.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_candidates");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dataset = common::dataset_c();
+    for n_c in [100usize, 300, 500] {
+        let problem = mc2ls_bench::problem_with(&dataset, n_c, 200, 10, 0.7);
+        for (method, label) in [
+            (Method::KCifp, "k-CIFP"),
+            (Method::Iqt(IqtConfig::iqt(2.0)), "IQT"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("C={n_c}")),
+                &problem,
+                |b, p| b.iter(|| solve(p, method)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

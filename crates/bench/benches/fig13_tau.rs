@@ -1,0 +1,32 @@
+//! Fig. 13 bench: running time vs τ.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_tau");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dataset = common::dataset_c();
+    for tau in [0.1, 0.5, 0.9] {
+        let problem = common::problem(&dataset, tau);
+        for (method, label) in [
+            (Method::KCifp, "k-CIFP"),
+            (Method::Iqt(IqtConfig::iqt(2.0)), "IQT"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("tau={tau}")),
+                &problem,
+                |b, p| b.iter(|| solve(p, method)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

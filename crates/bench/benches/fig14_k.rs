@@ -1,0 +1,32 @@
+//! Fig. 14 bench: running time vs k, plus the greedy-vs-CELF ablation.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dataset = common::dataset_c();
+    for k in [5usize, 15, 25] {
+        let problem = mc2ls_bench::problem_with(&dataset, 100, 200, k, 0.7);
+        group.bench_with_input(
+            BenchmarkId::new("IQT-greedy", format!("k={k}")),
+            &problem,
+            |b, p| b.iter(|| solve_with(p, Method::Iqt(IqtConfig::iqt(2.0)), Selector::Greedy)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("IQT-celf", format!("k={k}")),
+            &problem,
+            |b, p| b.iter(|| solve_with(p, Method::Iqt(IqtConfig::iqt(2.0)), Selector::LazyGreedy)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

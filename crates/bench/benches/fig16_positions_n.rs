@@ -1,0 +1,46 @@
+//! Fig. 15 bench: effect of the per-user position count r (dataset N).
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::prelude::*;
+
+const MIN_AVAILABLE: usize = 30;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_positions_n");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dataset = common::dataset_n();
+    let (candidates, facilities) = dataset.sample_sites_disjoint(100, 200, 1);
+    for r in [10usize, 20, 30] {
+        let users = sampler::resample_positions(&dataset.users, MIN_AVAILABLE, r, 31);
+        if users.is_empty() {
+            continue;
+        }
+        let problem = Problem::new(
+            users,
+            facilities.clone(),
+            candidates.clone(),
+            10,
+            0.7,
+            Sigmoid::paper_default(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("IQT", format!("r={r}")),
+            &problem,
+            |b, p| b.iter(|| solve(p, Method::Iqt(IqtConfig::iqt(2.0)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("Baseline", format!("r={r}")),
+            &problem,
+            |b, p| b.iter(|| solve(p, Method::Baseline)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Index-operation micro-benchmarks beyond Table II: range-query and
+//! nearest-query throughput of every index, IQuad-tree traversal, and the
+//! streaming insert path.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::index::{GridIndex, IQuadTree, KdTree, QuadTree, RTree};
+use mc2ls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_ops");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let dataset = common::dataset_c();
+    let positions: Vec<(u32, Point)> = dataset
+        .users
+        .iter()
+        .flat_map(|u| u.positions().iter().copied())
+        .enumerate()
+        .map(|(i, p)| (i as u32, p))
+        .collect();
+    let extent = dataset.extent();
+    let window = Rect::new(
+        extent.center(),
+        Point::new(extent.center().x + 20.0, extent.center().y + 20.0),
+    );
+
+    // Range-query throughput over the full position set.
+    let rtree = RTree::bulk_load(positions.clone());
+    let quad = QuadTree::build(positions.clone());
+    let grid = GridIndex::build(positions.clone(), 2.0);
+    let kd = KdTree::build(positions.clone());
+    group.bench_function(BenchmarkId::new("range", "RTree"), |b| {
+        b.iter(|| rtree.range_rect(&window))
+    });
+    group.bench_function(BenchmarkId::new("range", "QuadTree"), |b| {
+        b.iter(|| quad.range_rect(&window))
+    });
+    group.bench_function(BenchmarkId::new("range", "Grid"), |b| {
+        b.iter(|| grid.range_rect(&window))
+    });
+    group.bench_function(BenchmarkId::new("range", "KdTree"), |b| {
+        b.iter(|| kd.range_rect(&window))
+    });
+
+    // Nearest-query throughput.
+    let probe = extent.center();
+    group.bench_function(BenchmarkId::new("nearest", "RTree"), |b| {
+        b.iter(|| rtree.nearest(&probe))
+    });
+    group.bench_function(BenchmarkId::new("nearest", "KdTree"), |b| {
+        b.iter(|| kd.nearest(&probe))
+    });
+
+    // IQuad-tree traverse (cold cache each iteration: rebuild is too slow,
+    // so probe rotating leaves to defeat the per-leaf cache).
+    let pf = Sigmoid::paper_default();
+    let mut iqt = IQuadTree::build(&dataset.users, &pf, 0.7, 2.0);
+    let probes: Vec<Point> = (0..64)
+        .map(|i| {
+            Point::new(
+                extent.min.x + extent.width() * ((i * 37) % 64) as f64 / 64.0,
+                extent.min.y + extent.height() * ((i * 23) % 64) as f64 / 64.0,
+            )
+        })
+        .collect();
+    let mut cursor = 0usize;
+    group.bench_function("iqt_traverse", |b| {
+        b.iter(|| {
+            cursor = (cursor + 1) % probes.len();
+            iqt.traverse(&probes[cursor])
+        })
+    });
+
+    // Streaming insert of one median-size user.
+    let template = dataset
+        .users
+        .iter()
+        .min_by_key(|u| u.len().abs_diff(20))
+        .expect("non-empty dataset")
+        .clone();
+    group.bench_function("iqt_insert_user", |b| {
+        b.iter(|| iqt.insert_user(&template, &pf, 0.7).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table I bench: IQT vs IQT-PINO as abstract facilities grow (τ = 0.9).
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_ia_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dataset = common::dataset_n();
+    for total in [300usize, 700, 1100] {
+        let problem = mc2ls_bench::problem_with(&dataset, 100, total - 100, 10, 0.9);
+        group.bench_with_input(
+            BenchmarkId::new("IQT", format!("vF={total}")),
+            &problem,
+            |b, p| b.iter(|| solve(p, Method::Iqt(IqtConfig::iqt(2.0)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("IQT-PINO", format!("vF={total}")),
+            &problem,
+            |b, p| b.iter(|| solve(p, Method::Iqt(IqtConfig::iqt_pino(2.0)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

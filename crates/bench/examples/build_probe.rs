@@ -1,0 +1,21 @@
+//! Dev probe: IQuad-tree build phases at full scale.
+
+use mc2ls::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let d = mc2ls_bench::california(1.0);
+    for _ in 0..3 {
+        let t = Instant::now();
+        let tree = IQuadTree::build(&d.users, &Sigmoid::paper_default(), 0.7, 2.0);
+        let s = tree.stats();
+        println!(
+            "build {:?}  nodes={} leaves={} depth={} positions={}",
+            t.elapsed(),
+            s.nodes,
+            s.leaves,
+            s.depth,
+            s.positions
+        );
+    }
+}

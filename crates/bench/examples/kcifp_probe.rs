@@ -1,0 +1,25 @@
+//! Dev probe: combined vs faithful two-query k-CIFP at full scale.
+
+use mc2ls::core::algorithms::kcifp;
+use std::time::Instant;
+
+fn main() {
+    for (name, dataset) in [
+        ("C", mc2ls_bench::california(1.0)),
+        ("N", mc2ls_bench::new_york(1.0)),
+    ] {
+        let problem = mc2ls_bench::default_problem(&dataset);
+        for _ in 0..2 {
+            let t = Instant::now();
+            let (_, s1, _) = kcifp::influence_sets(&problem);
+            let combined = t.elapsed();
+            let t = Instant::now();
+            let (_, s2, _) = kcifp::influence_sets_faithful(&problem);
+            let faithful = t.elapsed();
+            println!(
+                "{name}: combined={combined:?} (verified {}) faithful={faithful:?} (verified {})",
+                s1.verified, s2.verified
+            );
+        }
+    }
+}

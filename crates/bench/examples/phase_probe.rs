@@ -1,0 +1,21 @@
+//! Dev probe: phase-time breakdown of each method at full scale.
+
+use mc2ls::prelude::*;
+
+fn main() {
+    for (name, dataset) in [
+        ("C", mc2ls_bench::california(1.0)),
+        ("N", mc2ls_bench::new_york(1.0)),
+    ] {
+        let problem = mc2ls_bench::default_problem(&dataset);
+        for (method, label) in mc2ls_bench::paper_methods() {
+            if matches!(method, Method::Baseline) {
+                continue;
+            }
+            let r = solve(&problem, method);
+            println!("{name} {label:<7} total={:>9.1?} idx={:>9.1?} prune={:>9.1?} verify={:>9.1?} select={:>9.1?} verified={} evals={}",
+                r.times.total(), r.times.indexing, r.times.pruning, r.times.verification, r.times.selection,
+                r.stats.verified, r.stats.prob_evals);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Regenerates every table and figure of the MC²LS evaluation.
+//!
+//! ```sh
+//! # everything, paper-scale datasets (takes a few minutes):
+//! cargo run --release -p mc2ls-bench --bin experiments -- all
+//!
+//! # one experiment at reduced scale:
+//! cargo run --release -p mc2ls-bench --bin experiments -- fig10 --scale 0.2
+//!
+//! # list experiments:
+//! cargo run --release -p mc2ls-bench --bin experiments -- --list
+//! ```
+//!
+//! Results are printed as aligned tables and written as JSON under
+//! `target/experiment-results/` (override with `--out DIR`).
+
+use mc2ls_bench::{experiments, Ctx};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = Ctx::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (id, _) in experiments::all() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--scale" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s <= 1.0 => {
+                    ctx.scale_c = s;
+                    ctx.scale_n = s;
+                }
+                _ => return usage("--scale takes a number in (0, 1]"),
+            },
+            "--scale-c" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s <= 1.0 => ctx.scale_c = s,
+                _ => return usage("--scale-c takes a number in (0, 1]"),
+            },
+            "--scale-n" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s <= 1.0 => ctx.scale_n = s,
+                _ => return usage("--scale-n takes a number in (0, 1]"),
+            },
+            "--reps" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => ctx.reps = n,
+                _ => return usage("--reps takes a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(dir) => ctx.out_dir = dir.into(),
+                None => return usage("--out takes a directory"),
+            },
+            "all" => wanted.clear(),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+
+    let registry = experiments::all();
+    let selected: Vec<_> = if wanted.is_empty() {
+        registry
+    } else {
+        let mut sel = Vec::new();
+        for w in &wanted {
+            match registry.iter().find(|(id, _)| id == w) {
+                Some(entry) => sel.push(*entry),
+                None => return usage(&format!("unknown experiment '{w}' (try --list)")),
+            }
+        }
+        sel
+    };
+
+    println!(
+        "MC2LS experiment harness — dataset scales: C x{}, N x{}; results -> {}",
+        ctx.scale_c,
+        ctx.scale_n,
+        ctx.out_dir.display()
+    );
+    let started = std::time::Instant::now();
+    for (id, run) in selected {
+        let t = std::time::Instant::now();
+        let result = run(&ctx);
+        result.emit(&ctx);
+        println!("[{id} done in {:.1?}]", t.elapsed());
+    }
+    println!(
+        "\nall requested experiments finished in {:.1?}",
+        started.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: experiments [all|fig7|fig8|fig9|fig10..fig16|table1|table2|figd|quality]... \
+         [--scale S] [--scale-c S] [--scale-n S] [--reps N] [--out DIR] [--list]"
+    );
+    ExitCode::FAILURE
+}

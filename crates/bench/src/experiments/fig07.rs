@@ -1,0 +1,74 @@
+//! Fig. 7 — effect of the proposed pruning rules.
+//!
+//! (a) the fraction of user–facility pairs decided by the IS and NIR rules
+//! as τ varies, per dataset; (b) the pruning effect and runtime of IQT-C
+//! vs IQT (+NIB) vs IQT-PINO (+NIB+IA).
+//!
+//! Paper expectations: NIR dominates IS; IS weakens and NIR strengthens as
+//! τ grows; NIR prunes > 90% in the uniform dataset C but far less in the
+//! skewed dataset N; NIB adds a little on N and almost nothing on C; IA
+//! adds nearly nothing on top.
+
+use super::{ms, TAUS};
+use crate::{default_problem, percent, problem_with, row, Ctx, ExperimentResult};
+use mc2ls::prelude::*;
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig7(ctx: &Ctx) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        for tau in TAUS {
+            let problem = problem_with(
+                &dataset,
+                crate::defaults::N_CANDIDATES,
+                crate::defaults::N_FACILITIES,
+                crate::defaults::K,
+                tau,
+            );
+            for (variant, config) in [
+                ("IQT-C", IqtConfig::iqt_c(crate::defaults::D_HAT)),
+                ("IQT", IqtConfig::iqt(crate::defaults::D_HAT)),
+                ("IQT-PINO", IqtConfig::iqt_pino(crate::defaults::D_HAT)),
+            ] {
+                let report = solve(&problem, Method::Iqt(config));
+                rows.push(row(&[
+                    ("dataset", json!(name)),
+                    ("tau", json!(tau)),
+                    ("variant", json!(variant)),
+                    ("IS%", percent(report.stats.is_fraction())),
+                    ("NIR%", percent(report.stats.nir_fraction())),
+                    ("NIB%", percent(report.stats.nib_fraction())),
+                    ("IA%", percent(report.stats.ia_fraction())),
+                    ("pruned%", percent(report.stats.pruned_fraction())),
+                    ("time_ms", ms(report.times.total())),
+                ]));
+            }
+        }
+        // Anchor row at the defaults for quick eyeballing.
+        let report = solve(
+            &default_problem(&dataset),
+            Method::Iqt(IqtConfig::default()),
+        );
+        rows.push(row(&[
+            ("dataset", json!(name)),
+            ("tau", json!(crate::defaults::TAU)),
+            ("variant", json!("IQT(default)")),
+            ("IS%", percent(report.stats.is_fraction())),
+            ("NIR%", percent(report.stats.nir_fraction())),
+            ("NIB%", percent(report.stats.nib_fraction())),
+            ("IA%", percent(report.stats.ia_fraction())),
+            ("pruned%", percent(report.stats.pruned_fraction())),
+            ("time_ms", ms(report.times.total())),
+        ]));
+    }
+    ExperimentResult {
+        id: "fig7",
+        title: "Effect of the IS/NIR pruning rules and the NIB/IA add-ons",
+        rows,
+    }
+}

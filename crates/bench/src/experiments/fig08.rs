@@ -1,0 +1,52 @@
+//! Fig. 8 — the new user-pruning rules (IS, NIR) against the classical
+//! facility-pruning rules (IA, NIB), measured as the fraction of pairs each
+//! rule family decides.
+//!
+//! IS/NIR fractions come from an `IQT-C` run (they act alone there); IA/NIB
+//! fractions come from an Adapted k-CIFP run (its only rules). Paper
+//! expectations: IS beats IA everywhere; NIR beats NIB by >20 points on the
+//! uniform dataset C, while NIB is slightly ahead (<10 points) on the
+//! skewed dataset N.
+
+use super::TAUS;
+use crate::{percent, problem_with, row, Ctx, ExperimentResult};
+use mc2ls::prelude::*;
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig8(ctx: &Ctx) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        for tau in TAUS {
+            let problem = problem_with(
+                &dataset,
+                crate::defaults::N_CANDIDATES,
+                crate::defaults::N_FACILITIES,
+                crate::defaults::K,
+                tau,
+            );
+            let iqt = solve(
+                &problem,
+                Method::Iqt(IqtConfig::iqt_c(crate::defaults::D_HAT)),
+            );
+            let kcifp = solve(&problem, Method::KCifp);
+            rows.push(row(&[
+                ("dataset", json!(name)),
+                ("tau", json!(tau)),
+                ("IS%", percent(iqt.stats.is_fraction())),
+                ("IA%", percent(kcifp.stats.ia_fraction())),
+                ("NIR%", percent(iqt.stats.nir_fraction())),
+                ("NIB%", percent(kcifp.stats.nib_fraction())),
+            ]));
+        }
+    }
+    ExperimentResult {
+        id: "fig8",
+        title: "User-pruning (IS/NIR) vs classical facility-pruning (IA/NIB)",
+        rows,
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 9 — the distribution of the two datasets. The paper shows scatter
+//! plots; we report the distribution statistics that drive every pruning
+//! effect (uniform vs skewed, MBR ratios, densities) and export a
+//! down-sampled scatter to JSON for external plotting.
+
+use crate::{row, Ctx, ExperimentResult};
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig9(ctx: &Ctx) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        let s = dataset.stats();
+        let extent = dataset.extent();
+        // Down-sampled position scatter (≤ 2000 points) for plotting.
+        let mut scatter = Vec::new();
+        let all: Vec<_> = dataset
+            .users
+            .iter()
+            .flat_map(|u| u.positions().iter().copied())
+            .collect();
+        let step = (all.len() / 2000).max(1);
+        for p in all.iter().step_by(step) {
+            scatter.push(json!([
+                (p.x * 100.0).round() / 100.0,
+                (p.y * 100.0).round() / 100.0
+            ]));
+        }
+        rows.push(row(&[
+            ("dataset", json!(name)),
+            ("users", json!(s.n_users)),
+            ("positions", json!(s.n_positions)),
+            ("mean_r", json!((s.mean_positions * 100.0).round() / 100.0)),
+            ("r_max", json!(s.r_max)),
+            (
+                "mbr_area_ratio",
+                json!((s.mean_mbr_area_ratio * 10_000.0).round() / 10_000.0),
+            ),
+            (
+                "hotspot_share",
+                json!((s.hotspot_share * 1_000.0).round() / 1_000.0),
+            ),
+            (
+                "region_km",
+                json!((extent.width().max(extent.height()) * 10.0).round() / 10.0),
+            ),
+            ("scatter_points", json!(scatter.len())),
+            ("_scatter", json!(scatter)),
+        ]));
+    }
+    ExperimentResult {
+        id: "fig9",
+        title: "Dataset distributions (uniform C vs skewed N)",
+        rows,
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 10 — scalability in the number of users `|Ω|` (20%…100% of each
+//! dataset), total running time per algorithm.
+//!
+//! Paper expectations: every algorithm grows with `|Ω|`; Baseline is worst;
+//! IQT is best by ≥ an order of magnitude over Baseline on C and 30–37%
+//! faster than k-CIFP on N.
+
+use crate::{Ctx, ExperimentResult};
+use mc2ls::prelude::*;
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig10(ctx: &Ctx) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        let (candidates, facilities) = dataset.sample_sites_disjoint(
+            crate::defaults::N_CANDIDATES,
+            crate::defaults::N_FACILITIES,
+            crate::defaults::SITE_SEED,
+        );
+        for frac in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let n = ((dataset.users.len() as f64) * frac).round() as usize;
+            let users = sampler::subset_users(&dataset.users, n, 7);
+            let problem = Problem::new(
+                users,
+                facilities.clone(),
+                candidates.clone(),
+                crate::defaults::K,
+                crate::defaults::TAU,
+                Sigmoid::paper_default(),
+            );
+            let base = crate::RowBuilder::new()
+                .set("dataset", json!(name))
+                .set("|Omega|", json!(n));
+            rows.push(super::method_times_row(base, &problem, ctx.reps));
+        }
+    }
+    ExperimentResult {
+        id: "fig10",
+        title: "Running time vs number of users |Omega|",
+        rows,
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 11 — running time vs the number of candidate locations
+//! `|C| ∈ {100..500}`.
+//!
+//! Paper expectations: IQT widens its lead as |C| grows (batch-wise IS gets
+//! stronger); k-CIFP degrades (IA/NIB cannot batch).
+
+use crate::{Ctx, ExperimentResult};
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig11(ctx: &Ctx) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        for n_c in [100usize, 200, 300, 400, 500] {
+            let problem = crate::problem_with(
+                &dataset,
+                n_c,
+                crate::defaults::N_FACILITIES,
+                crate::defaults::K,
+                crate::defaults::TAU,
+            );
+            let base = crate::RowBuilder::new()
+                .set("dataset", json!(name))
+                .set("|C|", json!(n_c));
+            rows.push(super::method_times_row(base, &problem, ctx.reps));
+        }
+    }
+    ExperimentResult {
+        id: "fig11",
+        title: "Running time vs number of candidates |C|",
+        rows,
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 12 — running time vs the number of existing facilities
+//! `|F| ∈ {100..500}`.
+//!
+//! Paper expectations: trends mirror Fig. 11 but smoother: facility distribution is
+//! similar across counts, so the curves change gently.
+
+use crate::{Ctx, ExperimentResult};
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig12(ctx: &Ctx) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        for n_f in [100usize, 200, 300, 400, 500] {
+            let problem = crate::problem_with(
+                &dataset,
+                crate::defaults::N_CANDIDATES,
+                n_f,
+                crate::defaults::K,
+                crate::defaults::TAU,
+            );
+            let base = crate::RowBuilder::new()
+                .set("dataset", json!(name))
+                .set("|F|", json!(n_f));
+            rows.push(super::method_times_row(base, &problem, ctx.reps));
+        }
+    }
+    ExperimentResult {
+        id: "fig12",
+        title: "Running time vs number of facilities |F|",
+        rows,
+    }
+}

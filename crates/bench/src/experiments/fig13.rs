@@ -1,0 +1,40 @@
+//! Fig. 13 — running time vs the probability threshold
+//! `τ ∈ {0.1, 0.3, 0.5, 0.7, 0.9}`.
+//!
+//! Paper expectations: Baseline is flat in τ; k-CIFP *drops* sharply as τ
+//! grows (mMR shrinks, IA/NIB windows tighten); IQT's behaviour depends on
+//! the data distribution (NIR strengthens with τ on uniform C; skewed N
+//! weakens both IS and NIR) but it stays the fastest.
+
+use super::TAUS;
+use crate::{Ctx, ExperimentResult};
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig13(ctx: &Ctx) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        for tau in TAUS {
+            let problem = crate::problem_with(
+                &dataset,
+                crate::defaults::N_CANDIDATES,
+                crate::defaults::N_FACILITIES,
+                crate::defaults::K,
+                tau,
+            );
+            let base = crate::RowBuilder::new()
+                .set("dataset", json!(name))
+                .set("tau", json!(tau));
+            rows.push(super::method_times_row(base, &problem, ctx.reps));
+        }
+    }
+    ExperimentResult {
+        id: "fig13",
+        title: "Running time vs probability threshold tau",
+        rows,
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig. 14 — running time vs the selection budget `k ∈ {5..25}`.
+//!
+//! Paper expectations: every algorithm's cost is nearly flat in k (the
+//! influence-overlap bookkeeping is negligible next to influence
+//! evaluation), and all algorithms return identical result sets — the
+//! shared `method_times_row` helper asserts exactly that.
+
+use crate::{Ctx, ExperimentResult};
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig14(ctx: &Ctx) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        for k in [5usize, 10, 15, 20, 25] {
+            let problem = crate::problem_with(
+                &dataset,
+                crate::defaults::N_CANDIDATES,
+                crate::defaults::N_FACILITIES,
+                k,
+                crate::defaults::TAU,
+            );
+            let base = crate::RowBuilder::new()
+                .set("dataset", json!(name))
+                .set("k", json!(k));
+            rows.push(super::method_times_row(base, &problem, ctx.reps));
+        }
+    }
+    ExperimentResult {
+        id: "fig14",
+        title: "Running time vs selection budget k (identical results asserted)",
+        rows,
+    }
+}

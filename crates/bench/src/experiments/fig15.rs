@@ -1,0 +1,75 @@
+//! Fig. 15 — effect of the per-user position count `r` on dataset C.
+//!
+//! Protocol (paper §VII-B): keep users with more than 30 positions and
+//! randomly sample r ∈ {10, 15, 20, 25, 30} positions from each. Reported:
+//! (a) running time per algorithm, (b) verification computation cost
+//! (per-position probability evaluations) for IQT.
+//!
+//! Paper expectations: time and verification cost rise with r; IS improves
+//! with position density while NIR drops but stays dominant; IQT leads
+//! throughout.
+
+use super::ms;
+use crate::{Ctx, ExperimentResult};
+use mc2ls::prelude::*;
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig15(ctx: &Ctx) -> ExperimentResult {
+    position_count_experiment(
+        "fig15",
+        "Effect of r (dataset C): time and verification cost",
+        crate::california(ctx.scale_c),
+    )
+}
+
+/// Shared protocol for Fig. 15/16.
+pub(super) fn position_count_experiment(
+    id: &'static str,
+    title: &'static str,
+    dataset: std::sync::Arc<Dataset>,
+) -> ExperimentResult {
+    const MIN_AVAILABLE: usize = 30;
+    let mut rows = Vec::new();
+    let (candidates, facilities) = dataset.sample_sites_disjoint(
+        crate::defaults::N_CANDIDATES,
+        crate::defaults::N_FACILITIES,
+        crate::defaults::SITE_SEED,
+    );
+    let eligible = dataset
+        .users
+        .iter()
+        .filter(|u| u.len() > MIN_AVAILABLE)
+        .count();
+    for r in [10usize, 15, 20, 25, 30] {
+        let users = sampler::resample_positions(&dataset.users, MIN_AVAILABLE, r, 31);
+        if users.is_empty() {
+            continue;
+        }
+        let problem = Problem::new(
+            users,
+            facilities.clone(),
+            candidates.clone(),
+            crate::defaults::K,
+            crate::defaults::TAU,
+            Sigmoid::paper_default(),
+        );
+        let mut row = crate::RowBuilder::new()
+            .set("r", json!(r))
+            .set("eligible_users", json!(eligible));
+        let mut reference: Option<Solution> = None;
+        for (method, label) in crate::paper_methods() {
+            let report = solve(&problem, method);
+            row = row
+                .set(format!("{label}_ms"), ms(report.times.total()))
+                .set(format!("{label}_evals"), json!(report.stats.prob_evals));
+            match &reference {
+                None => reference = Some(report.solution),
+                Some(rf) => assert!(rf.equivalent(&report.solution)),
+            }
+        }
+        rows.push(row.build());
+    }
+    ExperimentResult { id, title, rows }
+}

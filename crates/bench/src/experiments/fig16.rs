@@ -1,0 +1,18 @@
+//! Fig. 16 — effect of the per-user position count `r` on dataset N; same
+//! protocol as Fig. 15. The paper notes only 233 users qualify in N, which
+//! blunts the pruning rules' effect — the small `eligible_users` column
+//! makes that visible here too.
+
+use crate::{Ctx, ExperimentResult};
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn fig16(ctx: &Ctx) -> ExperimentResult {
+    let mut result = super::fig15::position_count_experiment(
+        "fig16",
+        "Effect of r (dataset N): time and verification cost",
+        crate::new_york(ctx.scale_n),
+    );
+    result.id = "fig16";
+    result
+}

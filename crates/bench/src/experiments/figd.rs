@@ -1,0 +1,45 @@
+//! The paper's text-only d̂ ablation (§VII-B "Effect of d̂"): the leaf
+//! diagonal barely moves pruning effectiveness, and the IQuad-tree build is
+//! a negligible share of Baseline's total cost.
+
+use super::ms;
+use crate::{percent, Ctx, ExperimentResult};
+use mc2ls::prelude::*;
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn figd(ctx: &Ctx) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        let baseline_ms = {
+            let problem = crate::default_problem(&dataset);
+            solve(&problem, Method::Baseline).times.total()
+        };
+        for d_hat in [1.0f64, 1.5, 2.0, 2.5] {
+            let problem = crate::default_problem(&dataset);
+            let report = solve(&problem, Method::Iqt(IqtConfig::iqt(d_hat)));
+            rows.push(
+                crate::RowBuilder::new()
+                    .set("dataset", json!(name))
+                    .set("d_hat_km", json!(d_hat))
+                    .set("pruned%", percent(report.stats.pruned_fraction()))
+                    .set("IQT_ms", ms(report.times.total()))
+                    .set("build_ms", ms(report.times.indexing))
+                    .set(
+                        "build_vs_baseline%",
+                        percent(report.times.indexing.as_secs_f64() / baseline_ms.as_secs_f64()),
+                    )
+                    .build(),
+            );
+        }
+    }
+    ExperimentResult {
+        id: "figd",
+        title: "Ablation: leaf diagonal d_hat (pruning stable, build cost tiny)",
+        rows,
+    }
+}

@@ -1,0 +1,47 @@
+//! Table I — execution time of IQT vs IQT-PINO when the IA rule is added,
+//! varying the number of abstract facilities `|C ∪ F|` from 300 to 1,100 at
+//! τ = 0.9 (the only setting where IA showed any pruning gain in Fig. 7b).
+//!
+//! Paper expectation: IQT-PINO is *slower* at every size — the IA range
+//! queries cost more than the verification they save.
+
+use super::ms;
+use crate::{Ctx, ExperimentResult};
+use mc2ls::prelude::*;
+use serde_json::json;
+
+/// Runs the experiment; see the module docs for the protocol and the
+/// paper expectations it checks.
+pub fn table1(ctx: &Ctx) -> ExperimentResult {
+    let dataset = crate::new_york(ctx.scale_n);
+    let mut rows = Vec::new();
+    for total in [300usize, 500, 700, 900, 1100] {
+        let n_c = crate::defaults::N_CANDIDATES;
+        let n_f = total - n_c;
+        let problem = crate::problem_with(&dataset, n_c, n_f, crate::defaults::K, 0.9);
+        let iqt = solve(
+            &problem,
+            Method::Iqt(IqtConfig::iqt(crate::defaults::D_HAT)),
+        );
+        let pino = solve(
+            &problem,
+            Method::Iqt(IqtConfig::iqt_pino(crate::defaults::D_HAT)),
+        );
+        assert!(iqt.solution.equivalent(&pino.solution));
+        rows.push(
+            crate::RowBuilder::new()
+                .set("abstract_facilities", json!(total))
+                .set("IQT_ms", ms(iqt.times.total()))
+                .set("IQT-PINO_ms", ms(pino.times.total()))
+                .set("IQT_verified", json!(iqt.stats.verified))
+                .set("IQT-PINO_verified", json!(pino.stats.verified))
+                .set("IA_decided", json!(pino.stats.ia_decided))
+                .build(),
+        );
+    }
+    ExperimentResult {
+        id: "table1",
+        title: "IQT vs IQT-PINO as abstract facilities grow (tau = 0.9)",
+        rows,
+    }
+}

@@ -1,0 +1,152 @@
+//! Console/JSON reporting plumbing shared by all experiments.
+
+use serde_json::{json, Value};
+use std::path::PathBuf;
+
+/// Execution context of an experiment run: dataset scales and output dir.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Scale factor for the California-like dataset (1.0 = paper size).
+    pub scale_c: f64,
+    /// Scale factor for the New-York-like dataset (1.0 = paper size).
+    pub scale_n: f64,
+    /// Where JSON result files are written.
+    pub out_dir: PathBuf,
+    /// Timing repetitions per configuration; the median is reported.
+    pub reps: usize,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            scale_c: 1.0,
+            scale_n: 1.0,
+            out_dir: PathBuf::from("target/experiment-results"),
+            reps: 1,
+        }
+    }
+}
+
+/// The output of one experiment: an id (`fig7`, `table1`, …), a title, and
+/// JSON rows that are both printed and persisted.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Short id, e.g. `"fig10"`.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// One JSON object per printed row.
+    pub rows: Vec<Value>,
+}
+
+impl ExperimentResult {
+    /// Prints the rows as an aligned table (keys of the first row define
+    /// the columns) and writes `<out_dir>/<id>.json`.
+    pub fn emit(&self, ctx: &Ctx) {
+        println!("\n=== {} — {} ===", self.id, self.title);
+        if self.rows.is_empty() {
+            println!("(no rows)");
+            return;
+        }
+        // Keys starting with '_' are persisted to JSON but not printed
+        // (used for bulky payloads like scatter samples).
+        let keys: Vec<String> = self.rows[0]
+            .as_object()
+            .map(|o| o.keys().filter(|k| !k.starts_with('_')).cloned().collect())
+            .unwrap_or_default();
+        // Column widths.
+        let mut width: Vec<usize> = keys.iter().map(|k| k.len()).collect();
+        let fmt = |v: &Value| -> String {
+            match v {
+                Value::Number(n) => {
+                    if let Some(f) = n.as_f64() {
+                        if n.is_f64() {
+                            format!("{f:.4}")
+                        } else {
+                            n.to_string()
+                        }
+                    } else {
+                        n.to_string()
+                    }
+                }
+                Value::String(s) => s.clone(),
+                other => other.to_string(),
+            }
+        };
+        for r in &self.rows {
+            for (i, k) in keys.iter().enumerate() {
+                width[i] = width[i].max(fmt(&r[k]).len());
+            }
+        }
+        let header: Vec<String> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| format!("{:>w$}", k, w = width[i]))
+            .collect();
+        println!("{}", header.join("  "));
+        for r in &self.rows {
+            let line: Vec<String> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| format!("{:>w$}", fmt(&r[k]), w = width[i]))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+
+        if let Err(e) = std::fs::create_dir_all(&ctx.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", ctx.out_dir.display());
+            return;
+        }
+        let path = ctx.out_dir.join(format!("{}.json", self.id));
+        match serde_json::to_string_pretty(&json!({
+            "id": self.id,
+            "title": self.title,
+            "scale_c": ctx.scale_c,
+            "scale_n": ctx.scale_n,
+            "rows": self.rows,
+        })) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialise {}: {e}", self.id),
+        }
+    }
+}
+
+/// Builds a JSON row from key/value pairs — tiny sugar over `json!`.
+pub fn row(pairs: &[(&str, Value)]) -> Value {
+    let mut map = serde_json::Map::new();
+    for (k, v) in pairs {
+        map.insert((*k).to_string(), v.clone());
+    }
+    Value::Object(map)
+}
+
+/// Incremental row builder for rows with computed column names.
+#[derive(Debug, Default)]
+pub struct RowBuilder(serde_json::Map<String, Value>);
+
+impl RowBuilder {
+    /// An empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one cell (insertion order defines column order).
+    pub fn set(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.0.insert(key.into(), value);
+        self
+    }
+
+    /// Finishes the row.
+    pub fn build(self) -> Value {
+        Value::Object(self.0)
+    }
+}
+
+/// Formats a fraction as a percentage number rounded to 2 decimals.
+pub fn percent(f: f64) -> Value {
+    serde_json::json!((f * 10_000.0).round() / 100.0)
+}

@@ -1,0 +1,113 @@
+//! Benchmark harness for the MC²LS evaluation (paper §VII).
+//!
+//! Every table and figure of the paper has a corresponding experiment in
+//! [`experiments`]; the `experiments` binary runs them and prints the same
+//! rows/series the paper reports, plus machine-readable JSON next to the
+//! console output. The Criterion benches in `benches/` time one
+//! representative configuration per figure at reduced scale.
+//!
+//! Dataset instances are cached per `(preset, scale)` so sweeps over τ, k,
+//! |C|, |F| re-use one generation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod harness;
+
+pub use harness::{percent, row, Ctx, ExperimentResult, RowBuilder};
+
+use mc2ls::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Paper defaults (§VII-A): `|C| = 100`, `|F| = 200`, `k = 10`, `τ = 0.7`,
+/// `d̂ = 2 km`, sigmoid PF with `ρ = 1`.
+pub mod defaults {
+    /// Default number of candidate locations.
+    pub const N_CANDIDATES: usize = 100;
+    /// Default number of existing facilities.
+    pub const N_FACILITIES: usize = 200;
+    /// Default number of selected sites.
+    pub const K: usize = 10;
+    /// Default probability threshold.
+    pub const TAU: f64 = 0.7;
+    /// Default IQuad-tree leaf diagonal (km).
+    pub const D_HAT: f64 = 2.0;
+    /// Seed for site sampling.
+    pub const SITE_SEED: u64 = 20_240_129;
+}
+
+type DatasetCache = Mutex<HashMap<(char, u64), Arc<Dataset>>>;
+
+fn cache() -> &'static DatasetCache {
+    static CACHE: OnceLock<DatasetCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn cached(which: char, scale: f64) -> Arc<Dataset> {
+    let key = (which, scale.to_bits());
+    if let Some(d) = cache().lock().unwrap().get(&key) {
+        return d.clone();
+    }
+    let cfg = match which {
+        'C' => presets::california_scaled(scale),
+        'N' => presets::new_york_scaled(scale),
+        _ => unreachable!("dataset key must be C or N"),
+    };
+    let d = Arc::new(cfg.generate());
+    cache().lock().unwrap().insert(key, d.clone());
+    d
+}
+
+/// The California-like dataset at the given scale, cached per process.
+pub fn california(scale: f64) -> Arc<Dataset> {
+    cached('C', scale)
+}
+
+/// The New-York-like dataset at the given scale, cached per process.
+pub fn new_york(scale: f64) -> Arc<Dataset> {
+    cached('N', scale)
+}
+
+/// Builds the default-parameter problem over a dataset: paper-default site
+/// counts (clamped to the POI pool), `k`, `τ`.
+pub fn default_problem(dataset: &Dataset) -> Problem {
+    problem_with(
+        dataset,
+        defaults::N_CANDIDATES,
+        defaults::N_FACILITIES,
+        defaults::K,
+        defaults::TAU,
+    )
+}
+
+/// Builds a problem with explicit `|C|`, `|F|`, `k`, `τ` over a dataset.
+pub fn problem_with(
+    dataset: &Dataset,
+    n_candidates: usize,
+    n_facilities: usize,
+    k: usize,
+    tau: f64,
+) -> Problem {
+    let (candidates, facilities) =
+        dataset.sample_sites_disjoint(n_candidates, n_facilities, defaults::SITE_SEED);
+    Problem::new(
+        dataset.users.clone(),
+        facilities,
+        candidates,
+        k,
+        tau,
+        Sigmoid::paper_default(),
+    )
+}
+
+/// The methods the paper compares, in its plot-legend order.
+pub fn paper_methods() -> [(Method, &'static str); 4] {
+    [
+        (Method::Baseline, "Baseline"),
+        (Method::KCifp, "k-CIFP"),
+        (Method::Iqt(IqtConfig::iqt(defaults::D_HAT)), "IQT"),
+        (Method::Iqt(IqtConfig::iqt_c(defaults::D_HAT)), "IQT-C"),
+    ]
+}

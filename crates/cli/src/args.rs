@@ -1,0 +1,179 @@
+//! Flag parsing for the `mc2ls` tool (plain `std`, no dependencies).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Usage text printed on parse errors and `mc2ls help`.
+pub const USAGE: &str = "\
+usage: mc2ls <command> [flags]
+
+commands:
+  generate   --preset california|new-york [--scale S] [--seed N] --out FILE
+  stats      --data FILE | --preset P [--scale S]
+  solve      --data FILE | --preset P [--scale S]
+             [--candidates N] [--facilities M] [-k K] [--tau T]
+             [--method baseline|kcifp|iqt|iqt-c|iqt-pino] [--svg FILE] [--json]
+  analyze    --data FILE | --preset P [--scale S]
+             [--candidates N] [--facilities M] [-k K] [--tau T]
+  convert    --checkins FILE --out FILE [--bounds ny|ca] [--min-positions N]
+  help";
+
+/// A parsed command line: the subcommand plus flag key/value pairs.
+#[derive(Debug, Clone)]
+pub struct Parsed {
+    /// The subcommand name.
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug)]
+pub enum ArgError {
+    /// No subcommand given.
+    Missing,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A flag without its value, or a stray positional.
+    Malformed(String),
+    /// A flag value failed to parse.
+    BadValue(String, String),
+    /// A mandatory flag is absent.
+    Required(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::Missing => write!(f, "missing command"),
+            ArgError::UnknownCommand(c) => write!(f, "unknown command '{c}'"),
+            ArgError::Malformed(a) => write!(f, "malformed argument '{a}'"),
+            ArgError::BadValue(k, v) => write!(f, "bad value '{v}' for --{k}"),
+            ArgError::Required(k) => write!(f, "missing required flag --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+const COMMANDS: &[&str] = &["generate", "stats", "solve", "analyze", "convert", "help"];
+/// Boolean flags that take no value.
+const SWITCHES: &[&str] = &["json"];
+
+impl Parsed {
+    /// Parses `args` (without the program name).
+    pub fn parse(args: &[String]) -> Result<Parsed, ArgError> {
+        let (command, rest) = args.split_first().ok_or(ArgError::Missing)?;
+        if !COMMANDS.contains(&command.as_str()) {
+            return Err(ArgError::UnknownCommand(command.clone()));
+        }
+        let mut flags = BTreeMap::new();
+        let mut it = rest.iter();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .or_else(|| arg.strip_prefix('-'))
+                .ok_or_else(|| ArgError::Malformed(arg.clone()))?;
+            if key.is_empty() {
+                return Err(ArgError::Malformed(arg.clone()));
+            }
+            if SWITCHES.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::Malformed(format!("--{key} needs a value")))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Parsed {
+            command: command.clone(),
+            flags,
+        })
+    }
+
+    /// The raw string value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A mandatory string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError::Required(key.into()))
+    }
+
+    /// An optional typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue(key.into(), v.into())),
+        }
+    }
+
+    /// A boolean switch.
+    pub fn switch(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let p = Parsed::parse(&to_args("solve --data x.json -k 5 --json")).unwrap();
+        assert_eq!(p.command, "solve");
+        assert_eq!(p.get("data"), Some("x.json"));
+        assert_eq!(p.get_or("k", 1usize).unwrap(), 5);
+        assert!(p.switch("json"));
+        assert!(!p.switch("svg"));
+    }
+
+    #[test]
+    fn rejects_unknown_command() {
+        assert!(matches!(
+            Parsed::parse(&to_args("frobnicate --x 1")),
+            Err(ArgError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(matches!(
+            Parsed::parse(&to_args("solve --data")),
+            Err(ArgError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(matches!(
+            Parsed::parse(&to_args("solve stray")),
+            Err(ArgError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let p = Parsed::parse(&to_args("solve --tau 0.7")).unwrap();
+        assert_eq!(p.get_or("tau", 0.5f64).unwrap(), 0.7);
+        assert_eq!(p.get_or("k", 10usize).unwrap(), 10);
+        let bad = Parsed::parse(&to_args("solve --tau seven")).unwrap();
+        assert!(matches!(
+            bad.get_or("tau", 0.5f64),
+            Err(ArgError::BadValue(_, _))
+        ));
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let p = Parsed::parse(&to_args("generate")).unwrap();
+        assert!(matches!(p.require("out"), Err(ArgError::Required(_))));
+    }
+}

@@ -1,0 +1,317 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Parsed, USAGE};
+use mc2ls::prelude::*;
+use mc2ls_viz::{render_scene, RenderOptions};
+use std::error::Error;
+use std::io::Write;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Routes a parsed command line to its implementation.
+pub fn dispatch<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    match parsed.command.as_str() {
+        "generate" => generate(parsed, out),
+        "stats" => stats(parsed, out),
+        "solve" => solve_cmd(parsed, out),
+        "analyze" => analyze(parsed, out),
+        "convert" => convert(parsed, out),
+        "help" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => unreachable!("parser admitted unknown command {other}"),
+    }
+}
+
+fn preset_config(parsed: &Parsed) -> Result<DatasetConfig, Box<dyn Error>> {
+    let name = parsed.require("preset")?;
+    let scale: f64 = parsed.get_or("scale", 1.0)?;
+    let mut cfg = match name {
+        "california" | "ca" => presets::california_scaled(scale),
+        "new-york" | "new_york" | "ny" => presets::new_york_scaled(scale),
+        other => return Err(Box::new(ArgError::BadValue("preset".into(), other.into()))),
+    };
+    cfg.seed = parsed.get_or("seed", cfg.seed)?;
+    Ok(cfg)
+}
+
+/// Loads the dataset from `--data FILE` or generates it from `--preset`.
+fn obtain_dataset(parsed: &Parsed) -> Result<Dataset, Box<dyn Error>> {
+    if let Some(path) = parsed.get("data") {
+        let file = std::fs::File::open(path)?;
+        return Ok(mc2ls::data::serialize::load_json(file)?);
+    }
+    Ok(preset_config(parsed)?.generate())
+}
+
+fn generate<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let cfg = preset_config(parsed)?;
+    let path = parsed.require("out")?;
+    let dataset = cfg.generate();
+    let file = std::fs::File::create(path)?;
+    mc2ls::data::serialize::save_json(&dataset, std::io::BufWriter::new(file))?;
+    let s = dataset.stats();
+    writeln!(
+        out,
+        "wrote {} ({} users, {} positions) to {path}",
+        dataset.name, s.n_users, s.n_positions
+    )?;
+    Ok(())
+}
+
+fn stats<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let dataset = obtain_dataset(parsed)?;
+    let s = dataset.stats();
+    writeln!(out, "dataset:           {}", dataset.name)?;
+    writeln!(out, "users:             {}", s.n_users)?;
+    writeln!(out, "positions:         {}", s.n_positions)?;
+    writeln!(out, "mean r:            {:.2}", s.mean_positions)?;
+    writeln!(out, "r_max:             {}", s.r_max)?;
+    writeln!(out, "MBR area ratio:    {:.4}", s.mean_mbr_area_ratio)?;
+    writeln!(out, "hotspot share:     {:.3}", s.hotspot_share)?;
+    writeln!(out, "POIs:              {}", dataset.pois.len())?;
+    Ok(())
+}
+
+fn parse_method(name: &str) -> Result<Method, ArgError> {
+    Ok(match name {
+        "baseline" => Method::Baseline,
+        "kcifp" | "k-cifp" => Method::KCifp,
+        "iqt" => Method::Iqt(IqtConfig::iqt(2.0)),
+        "iqt-c" => Method::Iqt(IqtConfig::iqt_c(2.0)),
+        "iqt-pino" => Method::Iqt(IqtConfig::iqt_pino(2.0)),
+        other => return Err(ArgError::BadValue("method".into(), other.into())),
+    })
+}
+
+fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let dataset = obtain_dataset(parsed)?;
+    let n_c: usize = parsed.get_or("candidates", 100)?;
+    let n_f: usize = parsed.get_or("facilities", 200)?;
+    let k: usize = parsed.get_or("k", 10)?;
+    let tau: f64 = parsed.get_or("tau", 0.7)?;
+    let seed: u64 = parsed.get_or("site-seed", 42)?;
+    let method = parse_method(parsed.get("method").unwrap_or("iqt"))?;
+
+    let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
+    let problem = Problem::new(
+        dataset.users,
+        facilities,
+        candidates,
+        k,
+        tau,
+        Sigmoid::paper_default(),
+    );
+    let report = solve(&problem, method);
+
+    if let Some(path) = parsed.get("svg") {
+        let svg = render_scene(&problem, Some(&report.solution), &RenderOptions::default());
+        std::fs::write(path, svg)?;
+        writeln!(out, "map written to {path}")?;
+    }
+
+    if parsed.switch("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&report)?)?;
+        return Ok(());
+    }
+
+    writeln!(out, "method:   {}", method.name())?;
+    writeln!(out, "selected: {:?}", report.solution.selected)?;
+    writeln!(out, "cinf(G):  {:.4}", report.solution.cinf)?;
+    writeln!(
+        out,
+        "pruned:   {:.1}% of pairs (IS {:.1}%, NIR {:.1}%, NIB {:.1}%, IA {:.1}%)",
+        report.stats.pruned_fraction() * 100.0,
+        report.stats.is_fraction() * 100.0,
+        report.stats.nir_fraction() * 100.0,
+        report.stats.nib_fraction() * 100.0,
+        report.stats.ia_fraction() * 100.0,
+    )?;
+    writeln!(out, "time:     {:.1?}", report.times.total())?;
+    Ok(())
+}
+
+fn analyze<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    use mc2ls::core::analysis;
+    let dataset = obtain_dataset(parsed)?;
+    let n_c: usize = parsed.get_or("candidates", 100)?;
+    let n_f: usize = parsed.get_or("facilities", 200)?;
+    let k: usize = parsed.get_or("k", 10)?;
+    let tau: f64 = parsed.get_or("tau", 0.7)?;
+    let seed: u64 = parsed.get_or("site-seed", 42)?;
+
+    let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
+    let problem = Problem::new(
+        dataset.users,
+        facilities,
+        candidates,
+        k,
+        tau,
+        Sigmoid::paper_default(),
+    );
+    let (sets, _, _) =
+        mc2ls::core::algorithms::influence_sets(&problem, Method::Iqt(IqtConfig::default()));
+    let solution = mc2ls::core::greedy::select(&sets, k);
+
+    let demand = analysis::demand_summary(&sets);
+    writeln!(out, "demand landscape")?;
+    writeln!(out, "  addressable users:   {}", demand.addressable_users)?;
+    writeln!(
+        out,
+        "  addressable weight:  {:.2}",
+        demand.total_addressable_weight
+    )?;
+    writeln!(out, "  contested users:     {}", demand.contested_users)?;
+    writeln!(out, "  mean competitors:    {:.2}", demand.mean_competitors)?;
+
+    writeln!(out, "\ncoverage curve (cinf by budget k)")?;
+    for (i, v) in analysis::coverage_curve(&sets, k).iter().enumerate() {
+        writeln!(out, "  k={:<3} {:.3}", i + 1, v)?;
+    }
+
+    writeln!(out, "\nselected sites")?;
+    writeln!(
+        out,
+        "  {:>5}  {:>9}  {:>6}  {:>10}",
+        "site", "exclusive", "shared", "at-risk-w"
+    )?;
+    for r in analysis::site_reports(&sets, &solution) {
+        writeln!(
+            out,
+            "  {:>5}  {:>9}  {:>6}  {:>10.3}",
+            r.candidate, r.exclusive_users, r.shared_users, r.exclusive_weight
+        )?;
+    }
+    Ok(())
+}
+
+fn convert<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let input = parsed.require("checkins")?;
+    let output = parsed.require("out")?;
+    let min_positions: usize = parsed.get_or("min-positions", 2)?;
+    let bounds = match parsed.get("bounds") {
+        None => None,
+        Some("ny") => Some(loader::GeoBounds::new_york()),
+        Some("ca") => Some(loader::GeoBounds::california()),
+        Some(other) => return Err(Box::new(ArgError::BadValue("bounds".into(), other.into()))),
+    };
+    let dataset = loader::load_checkin_file(input, "converted", bounds, min_positions)?;
+    let file = std::fs::File::create(output)?;
+    mc2ls::data::serialize::save_json(&dataset, std::io::BufWriter::new(file))?;
+    writeln!(
+        out,
+        "converted {} users / {} positions to {output}",
+        dataset.users.len(),
+        dataset.stats().n_positions
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+
+    fn call(line: &str) -> (i32, String) {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        let code = run(&args, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mc2ls-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = call("help");
+        assert_eq!(code, 0);
+        assert!(out.contains("usage: mc2ls"));
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        let (code, out) = call("bogus");
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown command"));
+        assert!(out.contains("usage"));
+    }
+
+    #[test]
+    fn generate_stats_solve_pipeline() {
+        let data = tmp("pipeline.json");
+        let (code, out) = call(&format!(
+            "generate --preset new-york --scale 0.05 --out {data}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("users"));
+
+        let (code, out) = call(&format!("stats --data {data}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("hotspot share"));
+
+        let svg = tmp("pipeline.svg");
+        let (code, out) = call(&format!(
+            "solve --data {data} --candidates 20 --facilities 30 -k 3 --tau 0.6 --method iqt --svg {svg}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("cinf(G)"));
+        assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+    }
+
+    #[test]
+    fn analyze_prints_reports() {
+        let (code, out) =
+            call("analyze --preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("demand landscape"));
+        assert!(out.contains("coverage curve"));
+        assert!(out.contains("selected sites"));
+        assert_eq!(out.matches("k=").count(), 3);
+    }
+
+    #[test]
+    fn solve_json_output_is_machine_readable() {
+        let (code, out) = call(
+            "solve --preset new-york --scale 0.05 --candidates 10 --facilities 10 -k 2 --json",
+        );
+        assert_eq!(code, 0, "{out}");
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["solution"]["selected"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn solve_rejects_bad_method() {
+        let (code, out) = call("solve --preset new-york --scale 0.05 --method quantum");
+        assert_eq!(code, 1);
+        assert!(out.contains("bad value"));
+    }
+
+    #[test]
+    fn convert_roundtrip() {
+        // Export a synthetic dataset as check-ins, then convert it back.
+        let d = mc2ls::prelude::presets::new_york_scaled(0.02).generate();
+        let tsv = tmp("checkins.tsv");
+        let mut buf = Vec::new();
+        mc2ls::data::serialize::export_checkins(&d, (40.7, -74.0), &mut buf).unwrap();
+        std::fs::write(&tsv, buf).unwrap();
+
+        let out_json = tmp("converted.json");
+        let (code, out) = call(&format!("convert --checkins {tsv} --out {out_json}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("converted"));
+        let back =
+            mc2ls::data::serialize::load_json(std::fs::File::open(&out_json).unwrap()).unwrap();
+        assert_eq!(back.users.len(), d.users.len());
+    }
+
+    #[test]
+    fn missing_required_flag_reports_cleanly() {
+        let (code, out) = call("generate --preset california");
+        assert_eq!(code, 1);
+        assert!(out.contains("--out") || out.contains("required"));
+    }
+}

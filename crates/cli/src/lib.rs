@@ -1,0 +1,45 @@
+//! Implementation of the `mc2ls` command-line tool.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! mc2ls generate --preset california --scale 0.1 --out data.json
+//! mc2ls stats    --data data.json
+//! mc2ls solve    --data data.json --candidates 100 --facilities 200 \
+//!                -k 10 --tau 0.7 [--method iqt] [--svg map.svg]
+//! mc2ls convert  --checkins checkins.tsv --out data.json [--bounds ny|ca]
+//! ```
+//!
+//! All work happens in [`run`], which takes the argument list and an output
+//! writer — the binary is a thin wrapper, and the test suite drives `run`
+//! directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Parsed};
+
+use std::io::Write;
+
+/// Entry point shared by the binary and the tests. Returns the process
+/// exit code.
+pub fn run<W: Write>(args: &[String], out: &mut W) -> i32 {
+    let parsed = match args::Parsed::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            let _ = writeln!(out, "{}", args::USAGE);
+            return 2;
+        }
+    };
+    match commands::dispatch(&parsed, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}

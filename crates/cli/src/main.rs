@@ -1,0 +1,7 @@
+//! The `mc2ls` binary: see `mc2ls help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    std::process::exit(mc2ls_cli::run(&args, &mut stdout));
+}

@@ -1,0 +1,348 @@
+//! The IQuad-tree-based solution (paper Algorithm 2) in its three flavours:
+//!
+//! * `IQT-C` — IS + NIR pruning only (the pure contribution of the paper).
+//! * `IQT`   — additionally intersects the undecided sets with the NIB
+//!   regions (Algorithm 2 lines 5–12); the paper's recommended variant.
+//! * `IQT-PINO` — further layers the IA rule; Table I shows the extra range
+//!   queries cost more than they save, and this implementation reproduces
+//!   that by actually doing the work.
+//!
+//! The four phases: (1) index-based pruning via `Traverse` (Algorithm 3),
+//! (2) exact verification with early stopping of the undecided pairs,
+//! (3) competitive-influence computation, (4) greedy updating — phase 3/4
+//! live in [`crate::greedy`]; this module produces the influence sets.
+
+use crate::algorithms::IqtConfig;
+use crate::pruning::{ia_contains, nib_contains, nib_query_rect, MmrTable};
+use crate::{InfluenceSets, PhaseTimes, Problem, PruneStats};
+use mc2ls_geo::Point;
+use mc2ls_index::{setops, IQuadTree, RTree};
+use mc2ls_influence::{influences_counted, EvalCounter, ProbabilityFunction};
+use std::time::Instant;
+
+/// Computes influence relationships with the IQuad-tree pruning pipeline.
+pub fn influence_sets<PF: ProbabilityFunction>(
+    problem: &Problem<PF>,
+    config: &IqtConfig,
+) -> (InfluenceSets, PruneStats, PhaseTimes) {
+    let mut stats = PruneStats::default();
+    let mut times = PhaseTimes::default();
+    let counter = EvalCounter::new();
+
+    let n_users = problem.n_users();
+    let n_cands = problem.n_candidates();
+    let n_facs = problem.n_facilities();
+    let n_abstract = n_cands + n_facs;
+    stats.pairs_total = (n_abstract * n_users) as u64;
+
+    // Abstract facilities: candidates first, then facilities (paper's
+    // `v ∈ C ∪ F`).
+    let abstract_points = || {
+        problem
+            .candidates
+            .iter()
+            .chain(problem.facilities.iter())
+            .copied()
+    };
+
+    // Lines 1–2: build the IQuad-tree, record NIR.
+    let t = Instant::now();
+    let mut iqt = IQuadTree::build(
+        &problem.users,
+        &problem.pf,
+        problem.tau,
+        config.leaf_diagonal,
+    );
+    times.indexing = t.elapsed();
+
+    // Lines 3–4: Traverse per abstract facility (IS + NIR rules).
+    let t = Instant::now();
+    let mut influenced: Vec<Vec<u32>> = Vec::with_capacity(n_abstract);
+    let mut to_verify: Vec<Vec<u32>> = Vec::with_capacity(n_abstract);
+    for v in abstract_points() {
+        let outcome = iqt.traverse(&v);
+        stats.is_decided += outcome.influenced.len() as u64;
+        stats.nir_decided += (n_users - outcome.influenced.len() - outcome.to_verify.len()) as u64;
+        influenced.push(outcome.influenced);
+        to_verify.push(outcome.to_verify);
+    }
+    times.pruning = t.elapsed();
+
+    // Lines 5–12: optional NIB (and IA) integration over R-trees of C and F.
+    if config.use_nib || config.use_ia {
+        let t = Instant::now();
+        let rt_c = RTree::bulk_load(
+            problem
+                .candidates
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, *p))
+                .collect(),
+        );
+        let rt_f = RTree::bulk_load(
+            problem
+                .facilities
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32 + n_cands as u32, *p))
+                .collect(),
+        );
+        let mmr = MmrTable::build(&problem.pf, problem.tau, problem.r_max());
+        times.indexing += t.elapsed();
+
+        let t = Instant::now();
+        // Conservative relevance: a user in no candidate's influenced or
+        // to-verify set can never be candidate-influenced (pruning is
+        // sound), so its facility relationships never enter the objective —
+        // skip its facility-side NIB queries outright.
+        let mut maybe_relevant = vec![false; n_users];
+        for v in 0..n_cands {
+            for &o in influenced[v].iter().chain(to_verify[v].iter()) {
+                maybe_relevant[o as usize] = true;
+            }
+        }
+        let mut nib_possible: Vec<Vec<u32>> = vec![Vec::new(); n_abstract];
+        let mut ia_certain: Vec<Vec<u32>> = vec![Vec::new(); n_abstract];
+        for (o, user) in problem.users.iter().enumerate() {
+            let Some(radius) = mmr.get(user.len()) else {
+                continue; // never appears in any NIB set ⇒ dropped below
+            };
+            let window = nib_query_rect(user.mbr(), radius);
+            let mut handle = |v: u32, p: Point| {
+                if config.use_ia && ia_contains(user.mbr(), &p, radius) {
+                    ia_certain[v as usize].push(o as u32);
+                } else if nib_contains(user.mbr(), &p, radius) {
+                    nib_possible[v as usize].push(o as u32);
+                }
+            };
+            rt_c.for_each_in_rect(&window, &mut handle);
+            if maybe_relevant[o] {
+                rt_f.for_each_in_rect(&window, &mut handle);
+            }
+        }
+
+        for v in 0..n_abstract {
+            if config.use_ia && !ia_certain[v].is_empty() {
+                setops::normalize(&mut ia_certain[v]);
+                // Users certain by IA skip verification entirely.
+                let moved = setops::intersect(&to_verify[v], &ia_certain[v]);
+                stats.ia_decided += moved.len() as u64;
+                to_verify[v] = setops::difference(&to_verify[v], &moved);
+                setops::union_into(&mut influenced[v], &moved);
+            }
+            if config.use_nib {
+                setops::normalize(&mut nib_possible[v]);
+                // Line 12: Ω′_v := Ω′_v ∩ Ω_v^NIB — users outside the NIB
+                // region of v cannot be influenced. IA-certain users are
+                // deliberately absent from nib_possible; they were already
+                // moved out of Ω′_v above.
+                let keep = if config.use_ia {
+                    setops::union(&nib_possible[v], &ia_certain[v])
+                } else {
+                    std::mem::take(&mut nib_possible[v])
+                };
+                let before = to_verify[v].len();
+                to_verify[v] = setops::intersect(&to_verify[v], &keep);
+                stats.nib_decided += (before - to_verify[v].len()) as u64;
+            }
+        }
+        times.pruning += t.elapsed();
+    }
+
+    // Lines 13–17: exact verification with early stopping. Candidates are
+    // verified first; facility pairs are then restricted to users at least
+    // one candidate influences (the Ω′ optimisation of Algorithm 1 line 10,
+    // applied symmetrically) — other users' `F_o` never enters the
+    // objective, so skipping them cannot change the solution.
+    let t = Instant::now();
+    fn verify_list<PF: ProbabilityFunction>(
+        problem: &Problem<PF>,
+        counter: &EvalCounter,
+        point: &Point,
+        list: Vec<u32>,
+        influenced_v: &mut Vec<u32>,
+        stats: &mut PruneStats,
+    ) {
+        stats.verified += list.len() as u64;
+        let mut hits: Vec<u32> = Vec::new();
+        for o in list {
+            if influences_counted(
+                &problem.pf,
+                point,
+                problem.users[o as usize].positions(),
+                problem.tau,
+                counter,
+            ) {
+                hits.push(o);
+            }
+        }
+        setops::union_into(influenced_v, &hits);
+    }
+    for (v, point) in problem.candidates.iter().enumerate() {
+        let list = std::mem::take(&mut to_verify[v]);
+        verify_list(
+            problem,
+            &counter,
+            point,
+            list,
+            &mut influenced[v],
+            &mut stats,
+        );
+    }
+    let mut relevant = vec![false; n_users];
+    for list in &influenced[..n_cands] {
+        for &o in list {
+            relevant[o as usize] = true;
+        }
+    }
+    for (f, point) in problem.facilities.iter().enumerate() {
+        let v = n_cands + f;
+        let list = std::mem::take(&mut to_verify[v]);
+        let before = list.len();
+        let kept: Vec<u32> = list.into_iter().filter(|&o| relevant[o as usize]).collect();
+        stats.irrelevant += (before - kept.len()) as u64;
+        verify_list(
+            problem,
+            &counter,
+            point,
+            kept,
+            &mut influenced[v],
+            &mut stats,
+        );
+    }
+    times.verification = t.elapsed();
+    stats.prob_evals = counter.get();
+
+    // Assemble Ω_c and |F_o|.
+    let omega_c: Vec<Vec<u32>> = influenced[..n_cands].to_vec();
+    let mut f_count = vec![0u32; n_users];
+    for list in &influenced[n_cands..] {
+        for &o in list {
+            f_count[o as usize] += 1;
+        }
+    }
+
+    (InfluenceSets::new(omega_c, f_count), stats, times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::baseline;
+    use mc2ls_influence::{MovingUser, Sigmoid};
+
+    fn random_problem(seed: u64, n_users: usize, n_f: usize, n_c: usize, tau: f64) -> Problem {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let users: Vec<MovingUser> = (0..n_users)
+            .map(|_| {
+                let cx = next() * 25.0;
+                let cy = next() * 25.0;
+                let r = 1 + (next() * 10.0) as usize;
+                MovingUser::new(
+                    (0..r)
+                        .map(|_| Point::new(cx + next() * 3.0, cy + next() * 3.0))
+                        .collect(),
+                )
+            })
+            .collect();
+        let facilities = (0..n_f)
+            .map(|_| Point::new(next() * 25.0, next() * 25.0))
+            .collect();
+        let candidates = (0..n_c)
+            .map(|_| Point::new(next() * 25.0, next() * 25.0))
+            .collect();
+        Problem::new(
+            users,
+            facilities,
+            candidates,
+            2.min(n_c),
+            tau,
+            Sigmoid::paper_default(),
+        )
+    }
+
+    fn assert_equivalent_sets(a: &InfluenceSets, b: &InfluenceSets, label: &str) {
+        assert_eq!(a.omega_c, b.omega_c, "{label}: omega_c diverged");
+        for list in &a.omega_c {
+            for &o in list {
+                assert_eq!(
+                    a.f_count[o as usize], b.f_count[o as usize],
+                    "{label}: f_count diverged for user {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_match_baseline() {
+        for seed in 1..10u64 {
+            for tau in [0.3, 0.6, 0.8] {
+                let p = random_problem(seed, 50, 10, 12, tau);
+                let (base, _, _) = baseline::influence_sets(&p);
+                for config in [
+                    IqtConfig::iqt_c(2.0),
+                    IqtConfig::iqt(2.0),
+                    IqtConfig::iqt_pino(2.0),
+                ] {
+                    let (got, stats, _) = influence_sets(&p, &config);
+                    assert_equivalent_sets(&base, &got, &format!("seed={seed} tau={tau}"));
+                    assert_eq!(
+                        stats.is_decided
+                            + stats.nir_decided
+                            + stats.ia_decided
+                            + stats.nib_decided
+                            + stats.irrelevant
+                            + stats.verified,
+                        stats.pairs_total,
+                        "pair accounting broken (seed={seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn facility_influence_is_complete_where_it_matters() {
+        // IQT skips facility verification for users no candidate influences
+        // (their weight is never read); for every user some candidate does
+        // influence, f_count must match baseline exactly.
+        let p = random_problem(3, 60, 15, 10, 0.5);
+        let (base, _, _) = baseline::influence_sets(&p);
+        let (got, _, _) = influence_sets(&p, &IqtConfig::iqt_c(2.0));
+        let mut relevant = vec![false; p.n_users()];
+        for list in &base.omega_c {
+            for &o in list {
+                relevant[o as usize] = true;
+            }
+        }
+        for (o, &rel) in relevant.iter().enumerate() {
+            if rel {
+                assert_eq!(base.f_count[o], got.f_count[o], "user {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_diagonal_does_not_change_results() {
+        let p = random_problem(11, 40, 8, 8, 0.6);
+        let (a, _, _) = influence_sets(&p, &IqtConfig::iqt(1.0));
+        let (b, _, _) = influence_sets(&p, &IqtConfig::iqt(2.5));
+        assert_eq!(a.omega_c, b.omega_c);
+        assert_eq!(a.f_count, b.f_count);
+    }
+
+    #[test]
+    fn pruning_reduces_verification_versus_baseline() {
+        let p = random_problem(5, 120, 20, 20, 0.6);
+        let (_, base_stats, _) = baseline::influence_sets(&p);
+        let (_, iqt_stats, _) = influence_sets(&p, &IqtConfig::iqt(2.0));
+        assert!(iqt_stats.verified < base_stats.verified);
+        assert!(iqt_stats.prob_evals <= base_stats.prob_evals);
+    }
+}

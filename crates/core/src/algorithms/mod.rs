@@ -1,0 +1,136 @@
+//! The MC²LS solution algorithms and the common driver.
+
+pub mod baseline;
+pub mod budgeted;
+pub mod exact;
+pub mod iqt;
+pub mod kcifp;
+pub mod topk;
+
+use crate::{greedy, InfluenceSets, PhaseTimes, Problem, PruneStats, RunReport};
+use mc2ls_influence::ProbabilityFunction;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of the IQuad-tree solution (Algorithm 2).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IqtConfig {
+    /// Leaf-square diagonal `d̂` in km (paper default: 2 km).
+    pub leaf_diagonal: f64,
+    /// Layer the classical NIB rule on top of IS/NIR (the paper's `IQT`).
+    pub use_nib: bool,
+    /// Additionally layer the IA rule (the paper's `IQT-PINO`).
+    pub use_ia: bool,
+}
+
+impl IqtConfig {
+    /// `IQT-C`: IS + NIR only.
+    pub fn iqt_c(leaf_diagonal: f64) -> Self {
+        IqtConfig {
+            leaf_diagonal,
+            use_nib: false,
+            use_ia: false,
+        }
+    }
+
+    /// `IQT`: IS + NIR + NIB (the paper's recommended configuration).
+    pub fn iqt(leaf_diagonal: f64) -> Self {
+        IqtConfig {
+            leaf_diagonal,
+            use_nib: true,
+            use_ia: false,
+        }
+    }
+
+    /// `IQT-PINO`: IS + NIR + NIB + IA (shown by Table I to be unprofitable).
+    pub fn iqt_pino(leaf_diagonal: f64) -> Self {
+        IqtConfig {
+            leaf_diagonal,
+            use_nib: true,
+            use_ia: true,
+        }
+    }
+}
+
+impl Default for IqtConfig {
+    fn default() -> Self {
+        IqtConfig::iqt(2.0)
+    }
+}
+
+/// Which algorithm computes the influence relationships.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum Method {
+    /// §IV-A: exhaustive influence computation (no pruning).
+    Baseline,
+    /// Algorithm 1: R-trees over C/F with IA + NIB pruning.
+    KCifp,
+    /// Algorithm 2: IQuad-tree with IS + NIR (+ optional NIB/IA).
+    Iqt(IqtConfig),
+}
+
+impl Method {
+    /// Human-readable name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Baseline => "Baseline",
+            Method::KCifp => "k-CIFP",
+            Method::Iqt(c) => match (c.use_nib, c.use_ia) {
+                (false, false) => "IQT-C",
+                (true, false) => "IQT",
+                (true, true) => "IQT-PINO",
+                (false, true) => "IQT+IA",
+            },
+        }
+    }
+}
+
+/// How the `k` candidates are selected from the influence sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Selector {
+    /// The paper's greedy: re-evaluate every candidate per round.
+    Greedy,
+    /// CELF lazy greedy (identical result, fewer evaluations).
+    LazyGreedy,
+}
+
+/// Computes the influence relationships with `method`, then selects `k`
+/// candidates with the standard greedy. This is the main entry point.
+pub fn solve<PF: ProbabilityFunction>(problem: &Problem<PF>, method: Method) -> RunReport {
+    solve_with(problem, method, Selector::Greedy)
+}
+
+/// [`solve`] with an explicit selection strategy.
+pub fn solve_with<PF: ProbabilityFunction>(
+    problem: &Problem<PF>,
+    method: Method,
+    selector: Selector,
+) -> RunReport {
+    let (sets, stats, mut times) = influence_sets(problem, method);
+    let t = Instant::now();
+    let solution = match selector {
+        Selector::Greedy => greedy::select(&sets, problem.k),
+        Selector::LazyGreedy => greedy::select_lazy(&sets, problem.k),
+    };
+    times.selection = t.elapsed();
+    RunReport {
+        solution,
+        stats,
+        times,
+    }
+}
+
+/// Runs only the influence-relationship phases of `method`, returning the
+/// resulting sets plus pruning counters and phase timings. Exposed so the
+/// benchmarks can measure phases separately and so the exact solver can
+/// reuse any method's sets.
+pub fn influence_sets<PF: ProbabilityFunction>(
+    problem: &Problem<PF>,
+    method: Method,
+) -> (InfluenceSets, PruneStats, PhaseTimes) {
+    match method {
+        Method::Baseline => baseline::influence_sets(problem),
+        Method::KCifp => kcifp::influence_sets(problem),
+        Method::Iqt(config) => iqt::influence_sets(problem, &config),
+    }
+}

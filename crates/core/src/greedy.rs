@@ -1,0 +1,312 @@
+//! Greedy selection of `k` candidates maximising the submodular objective
+//! `cinf(G)` (paper §IV-A step 2–3 and Theorem 2).
+//!
+//! Two implementations with identical output:
+//!
+//! * [`select`] — the paper's procedure: each round re-evaluates `cinf(c)`
+//!   over uncovered users for every remaining candidate and picks the
+//!   maximum (ties broken toward the smaller candidate id, which makes all
+//!   algorithms in this crate byte-for-byte comparable).
+//! * [`select_lazy`] — CELF lazy evaluation exploiting the submodularity
+//!   proven in Theorem 2: a candidate whose cached marginal gain (always an
+//!   upper bound) cannot beat the current best is not re-evaluated. This is
+//!   this repository's implementation of the "candidate-pruning strategy to
+//!   further accelerate the computation" the paper's abstract highlights.
+
+use crate::{InfluenceSets, Solution};
+
+/// The paper's greedy: re-evaluate every remaining candidate each round.
+///
+/// # Examples
+/// ```
+/// use mc2ls_core::{greedy, InfluenceSets};
+///
+/// // Two candidates over three users; user 2 is contested by one competitor.
+/// let sets = InfluenceSets::new(vec![vec![0, 1], vec![1, 2]], vec![0, 0, 1]);
+/// let sol = greedy::select(&sets, 1);
+/// assert_eq!(sol.selected, vec![0]); // two uncontested users beat 1 + ½
+/// assert!((sol.cinf - 2.0).abs() < 1e-12);
+/// ```
+pub fn select(sets: &InfluenceSets, k: usize) -> Solution {
+    let n = sets.n_candidates();
+    assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
+    let mut covered = vec![false; sets.n_users()];
+    let mut taken = vec![false; n];
+    let mut selected = Vec::with_capacity(k);
+    let mut gains = Vec::with_capacity(k);
+    let mut total = 0.0;
+
+    for _round in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)] // c indexes three parallel arrays
+        for c in 0..n {
+            if taken[c] {
+                continue;
+            }
+            let gain = marginal_gain(sets, c, &covered);
+            match best {
+                // Strict `>` keeps the smallest id on ties.
+                Some((_, g)) if gain <= g => {}
+                _ => best = Some((c, gain)),
+            }
+        }
+        let (c, gain) = best.expect("k <= n guarantees a candidate remains");
+        taken[c] = true;
+        selected.push(c as u32);
+        gains.push(gain);
+        total += gain;
+        for &o in &sets.omega_c[c] {
+            covered[o as usize] = true;
+        }
+    }
+
+    Solution {
+        selected,
+        marginal_gains: gains,
+        cinf: total,
+    }
+}
+
+/// CELF lazy greedy: identical output to [`select`], fewer re-evaluations.
+pub fn select_lazy(sets: &InfluenceSets, k: usize) -> Solution {
+    let n = sets.n_candidates();
+    assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
+    let mut covered = vec![false; sets.n_users()];
+    // (cached_gain, candidate, round_of_cache); BinaryHeap orders by gain,
+    // then by *smaller* id via Reverse-style key on ties.
+    use std::cmp::Ordering;
+    #[derive(PartialEq)]
+    struct Entry {
+        gain: f64,
+        cand: usize,
+        round: usize,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Max-heap by gain; on equal gains prefer the smaller id (so it
+            // must compare as "greater").
+            self.gain
+                .total_cmp(&other.gain)
+                .then_with(|| other.cand.cmp(&self.cand))
+        }
+    }
+
+    let mut heap: std::collections::BinaryHeap<Entry> = (0..n)
+        .map(|c| Entry {
+            gain: sets.cinf_candidate(c),
+            cand: c,
+            round: 0,
+        })
+        .collect();
+
+    let mut selected = Vec::with_capacity(k);
+    let mut gains = Vec::with_capacity(k);
+    let mut total = 0.0;
+
+    for round in 1..=k {
+        loop {
+            let top = heap.pop().expect("heap cannot be empty while k <= n");
+            if top.round == round - 1 {
+                // Fresh enough: by submodularity no stale entry below can
+                // exceed it, and any equal-gain fresh entry with a smaller
+                // id would have sorted above it.
+                selected.push(top.cand as u32);
+                gains.push(top.gain);
+                total += top.gain;
+                for &o in &sets.omega_c[top.cand] {
+                    covered[o as usize] = true;
+                }
+                break;
+            }
+            let fresh = marginal_gain(sets, top.cand, &covered);
+            heap.push(Entry {
+                gain: fresh,
+                cand: top.cand,
+                round: round - 1,
+            });
+        }
+    }
+
+    Solution {
+        selected,
+        marginal_gains: gains,
+        cinf: total,
+    }
+}
+
+/// Greedy selection under per-user **demand weights**: user `o` is worth
+/// `demand[o] / (|F_o| + 1)` (spending power, visit frequency, or any other
+/// business prior scaling the evenly-split competition weight). With unit
+/// demands this is exactly [`select`].
+pub fn select_with_demand(sets: &InfluenceSets, demand: &[f64], k: usize) -> Solution {
+    let n = sets.n_candidates();
+    assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
+    assert_eq!(demand.len(), sets.n_users(), "one demand weight per user");
+    assert!(
+        demand.iter().all(|&d| d >= 0.0),
+        "demands must be non-negative"
+    );
+    let mut covered = vec![false; sets.n_users()];
+    let mut taken = vec![false; n];
+    let mut selected = Vec::with_capacity(k);
+    let mut gains = Vec::with_capacity(k);
+    let mut total = 0.0;
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)] // c indexes parallel arrays
+        for c in 0..n {
+            if taken[c] {
+                continue;
+            }
+            let gain: f64 = sets.omega_c[c]
+                .iter()
+                .filter(|&&o| !covered[o as usize])
+                .map(|&o| demand[o as usize] * sets.weight(o))
+                .sum();
+            match best {
+                Some((_, g)) if gain <= g => {}
+                _ => best = Some((c, gain)),
+            }
+        }
+        let (c, gain) = best.expect("k <= n");
+        taken[c] = true;
+        selected.push(c as u32);
+        gains.push(gain);
+        total += gain;
+        for &o in &sets.omega_c[c] {
+            covered[o as usize] = true;
+        }
+    }
+    Solution {
+        selected,
+        marginal_gains: gains,
+        cinf: total,
+    }
+}
+
+/// The marginal competitive influence of candidate `c` given covered users.
+#[inline]
+fn marginal_gain(sets: &InfluenceSets, c: usize, covered: &[bool]) -> f64 {
+    sets.omega_c[c]
+        .iter()
+        .filter(|&&o| !covered[o as usize])
+        .map(|&o| sets.weight(o))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (Examples 1/3/4).
+    fn paper_sets() -> InfluenceSets {
+        InfluenceSets::new(vec![vec![0, 1], vec![1, 3], vec![0, 2]], vec![1, 2, 0, 1])
+    }
+
+    #[test]
+    fn example4_greedy_trace() {
+        // Paper Example 4: first pick c₃ (cinf 3/2) and remove {o₁, o₃};
+        // in round two c₂ retains o₂, o₄ (1/3 + 1/2 = 5/6) and beats c₁,
+        // so the final result is {c₃, c₂}.
+        let s = paper_sets();
+        let sol = select(&s, 2);
+        assert_eq!(sol.selected, vec![2, 1]);
+        assert!((sol.marginal_gains[0] - 1.5).abs() < 1e-12);
+        assert!((sol.marginal_gains[1] - 5.0 / 6.0).abs() < 1e-12);
+        assert!((sol.cinf - (1.5 + 5.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_matches_standard_on_paper_example() {
+        let s = paper_sets();
+        let a = select(&s, 2);
+        let b = select_lazy(&s, 2);
+        assert_eq!(a.selected, b.selected);
+        assert!((a.cinf - b.cinf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_matches_standard_on_many_random_instances() {
+        // Deterministic pseudo-random instances exercising tie cases.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..50 {
+            let n_users = 1 + (next() % 30) as usize;
+            let n_cands = 1 + (next() % 12) as usize;
+            let f_count: Vec<u32> = (0..n_users).map(|_| (next() % 4) as u32).collect();
+            let omega_c: Vec<Vec<u32>> = (0..n_cands)
+                .map(|_| {
+                    let mut v: Vec<u32> = (0..n_users as u32).filter(|_| next() % 3 == 0).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let sets = InfluenceSets::new(omega_c, f_count);
+            let k = 1 + (next() as usize % n_cands);
+            let a = select(&sets, k);
+            let b = select_lazy(&sets, k);
+            assert_eq!(a.selected, b.selected, "k={k}");
+            assert!((a.cinf - b.cinf).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gains_are_non_increasing() {
+        let s = paper_sets();
+        let sol = select(&s, 3);
+        for w in sol.marginal_gains.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "greedy gains must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn covers_empty_candidates_gracefully() {
+        let s = InfluenceSets::new(vec![vec![], vec![0]], vec![0]);
+        let sol = select(&s, 2);
+        assert_eq!(sol.selected_sorted(), vec![0, 1]);
+        assert!((sol.cinf - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_demand_matches_plain_greedy() {
+        let s = paper_sets();
+        let a = select(&s, 2);
+        let b = select_with_demand(&s, &[1.0; 4], 2);
+        assert_eq!(a.selected, b.selected);
+        assert!((a.cinf - b.cinf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_steers_the_pick() {
+        // Make user 3 (covered only by c1) enormously valuable.
+        let s = paper_sets();
+        let sol = select_with_demand(&s, &[1.0, 1.0, 1.0, 100.0], 1);
+        assert_eq!(sol.selected, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one demand weight per user")]
+    fn demand_length_mismatch_panics() {
+        select_with_demand(&paper_sets(), &[1.0, 1.0], 1);
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_id() {
+        // Two identical candidates: both implementations must pick id 0.
+        let s = InfluenceSets::new(vec![vec![0], vec![0]], vec![0]);
+        assert_eq!(select(&s, 1).selected, vec![0]);
+        assert_eq!(select_lazy(&s, 1).selected, vec![0]);
+    }
+}

@@ -1,0 +1,130 @@
+use mc2ls_index::setops;
+
+/// The influence relationships an algorithm's pruning + verification phases
+/// produce, and everything the greedy selection phase needs:
+///
+/// * `omega_c[c]` — the sorted users influenced by candidate `c`
+///   (Definition 2's `Ω_c`).
+/// * `f_count[o]` — `|F_o|`, the number of existing facilities influencing
+///   user `o` (Definition 3). The competitive weight of a user is
+///   `1/(|F_o|+1)` (Equation 1).
+///
+/// All MC²LS algorithms in this crate reduce to this structure; since the
+/// pruning rules are lossless, every algorithm must produce the same
+/// `InfluenceSets` for the same instance — the integration tests rely on
+/// exactly that to cross-validate the implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfluenceSets {
+    /// Sorted user ids per candidate.
+    pub omega_c: Vec<Vec<u32>>,
+    /// `|F_o|` per user.
+    pub f_count: Vec<u32>,
+}
+
+impl InfluenceSets {
+    /// Creates the structure, asserting each `omega_c` list is sorted and
+    /// in range (debug builds only).
+    pub fn new(omega_c: Vec<Vec<u32>>, f_count: Vec<u32>) -> Self {
+        #[cfg(debug_assertions)]
+        for list in &omega_c {
+            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "omega_c not sorted");
+            debug_assert!(
+                list.iter().all(|&u| (u as usize) < f_count.len()),
+                "user id out of range"
+            );
+        }
+        InfluenceSets { omega_c, f_count }
+    }
+
+    /// Number of candidates.
+    pub fn n_candidates(&self) -> usize {
+        self.omega_c.len()
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.f_count.len()
+    }
+
+    /// Competitive weight `1/(|F_o|+1)` of user `o`.
+    #[inline]
+    pub fn weight(&self, o: u32) -> f64 {
+        1.0 / (self.f_count[o as usize] as f64 + 1.0)
+    }
+
+    /// `cinf(c)` against the full user set (Definition 4).
+    pub fn cinf_candidate(&self, c: usize) -> f64 {
+        self.omega_c[c].iter().map(|&o| self.weight(o)).sum()
+    }
+
+    /// The union `Ω_G` of influenced users over a candidate set (sorted).
+    pub fn omega_of_set(&self, set: &[u32]) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for &c in set {
+            setops::union_into(&mut out, &self.omega_c[c as usize]);
+        }
+        out
+    }
+
+    /// `cinf(G)` for a candidate set (Definition 6): overlapping influence
+    /// counts once.
+    pub fn cinf_set(&self, set: &[u32]) -> f64 {
+        self.omega_of_set(set).iter().map(|&o| self.weight(o)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of the paper (Examples 1, 3, 4):
+    /// c₁ → {o₁, o₂}, c₂ → {o₂, o₄}, c₃ → {o₁, o₃};
+    /// f₁ → {o₁, o₂}, f₂ → {o₂, o₄}, so |F| counts are
+    /// o₁: 1, o₂: 2, o₃: 0, o₄: 1.
+    pub(crate) fn paper_example() -> InfluenceSets {
+        InfluenceSets::new(vec![vec![0, 1], vec![1, 3], vec![0, 2]], vec![1, 2, 0, 1])
+    }
+
+    #[test]
+    fn weights_follow_evenly_split_model() {
+        let s = paper_example();
+        assert!((s.weight(0) - 0.5).abs() < 1e-12);
+        assert!((s.weight(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.weight(2) - 1.0).abs() < 1e-12);
+        assert!((s.weight(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example4_candidate_cinf_values() {
+        // Paper Example 4: cinf(c₁) = 5/6, cinf(c₂) = 5/6, cinf(c₃) = 3/2.
+        let s = paper_example();
+        assert!((s.cinf_candidate(0) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((s.cinf_candidate(1) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((s.cinf_candidate(2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example3_set_cinf_values() {
+        // Paper Example 3: cinf({c₁,c₂}) = 4/3, cinf({c₁,c₃}) = 11/6.
+        let s = paper_example();
+        assert!((s.cinf_set(&[0, 1]) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.cinf_set(&[0, 2]) - 11.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omega_of_set_unions_without_duplicates() {
+        let s = paper_example();
+        assert_eq!(s.omega_of_set(&[0, 1]), vec![0, 1, 3]);
+        assert_eq!(s.omega_of_set(&[0, 2]), vec![0, 1, 2]);
+        assert_eq!(s.omega_of_set(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn cinf_is_monotone_and_subadditive() {
+        let s = paper_example();
+        let single = s.cinf_set(&[0]);
+        let pair = s.cinf_set(&[0, 1]);
+        assert!(pair >= single);
+        assert!(pair <= s.cinf_candidate(0) + s.cinf_candidate(1) + 1e-12);
+    }
+}

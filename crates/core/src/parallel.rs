@@ -1,0 +1,158 @@
+//! Multi-threaded influence computation (crossbeam scoped threads).
+//!
+//! The influence relationships of distinct abstract facilities are
+//! independent, so the exhaustive evaluation parallelises embarrassingly:
+//! candidates and facilities are chunked across worker threads, each worker
+//! fills its slice of `Ω_c`/`|F_o|` privately, and results are stitched
+//! without locks. Output is bit-identical to [`crate::algorithms::baseline`]
+//! (assertion-tested), making this a drop-in accelerator for the unpruned
+//! path — useful when validating pruned algorithms against ground truth on
+//! large instances.
+
+use crate::{InfluenceSets, Problem};
+use mc2ls_influence::{influences, ProbabilityFunction};
+
+/// Exhaustive influence computation across `threads` workers. Equivalent to
+/// the Baseline's sets (same `omega_c`, same `f_count`), just faster on
+/// multi-core machines.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn baseline_influence_sets_parallel<PF: ProbabilityFunction>(
+    problem: &Problem<PF>,
+    threads: usize,
+) -> InfluenceSets {
+    assert!(threads >= 1, "need at least one worker thread");
+    let n_users = problem.n_users();
+    let n_cands = problem.n_candidates();
+    let n_facs = problem.n_facilities();
+
+    // Candidates: each worker owns a disjoint chunk of candidate indices.
+    let chunk = n_cands.div_ceil(threads).max(1);
+    let mut omega_c: Vec<Vec<u32>> = Vec::with_capacity(n_cands);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = problem
+            .candidates
+            .chunks(chunk)
+            .map(|cands| {
+                scope.spawn(move |_| {
+                    cands
+                        .iter()
+                        .map(|c| {
+                            (0..n_users as u32)
+                                .filter(|&o| {
+                                    influences(
+                                        &problem.pf,
+                                        c,
+                                        problem.users[o as usize].positions(),
+                                        problem.tau,
+                                    )
+                                })
+                                .collect::<Vec<u32>>()
+                        })
+                        .collect::<Vec<Vec<u32>>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            omega_c.extend(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("thread scope failed");
+
+    // Facilities: workers produce partial |F_o| vectors, summed afterwards.
+    let fchunk = n_facs.div_ceil(threads).max(1);
+    let mut f_count = vec![0u32; n_users];
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = problem
+            .facilities
+            .chunks(fchunk)
+            .map(|facs| {
+                scope.spawn(move |_| {
+                    let mut local = vec![0u32; n_users];
+                    for f in facs {
+                        for (o, cnt) in local.iter_mut().enumerate() {
+                            if influences(&problem.pf, f, problem.users[o].positions(), problem.tau)
+                            {
+                                *cnt += 1;
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            let local = h.join().expect("worker panicked");
+            for (total, part) in f_count.iter_mut().zip(local) {
+                *total += part;
+            }
+        }
+    })
+    .expect("thread scope failed");
+
+    InfluenceSets::new(omega_c, f_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::baseline;
+    use mc2ls_geo::Point;
+    use mc2ls_influence::{MovingUser, Sigmoid};
+
+    fn problem(seed: u64) -> Problem {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let users: Vec<MovingUser> = (0..80)
+            .map(|_| {
+                let cx = next() * 20.0;
+                let cy = next() * 20.0;
+                MovingUser::new(
+                    (0..1 + (next() * 6.0) as usize)
+                        .map(|_| Point::new(cx + next(), cy + next()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let f = (0..15)
+            .map(|_| Point::new(next() * 20.0, next() * 20.0))
+            .collect();
+        let c = (0..12)
+            .map(|_| Point::new(next() * 20.0, next() * 20.0))
+            .collect();
+        Problem::new(users, f, c, 3, 0.5, Sigmoid::paper_default())
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        for seed in [1u64, 2, 3] {
+            let p = problem(seed);
+            let (serial, _, _) = baseline::influence_sets(&p);
+            for threads in [1usize, 2, 4, 7] {
+                let par = baseline_influence_sets_parallel(&p, threads);
+                assert_eq!(serial.omega_c, par.omega_c, "threads={threads}");
+                assert_eq!(serial.f_count, par.f_count, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        let p = problem(9);
+        let par = baseline_influence_sets_parallel(&p, 64);
+        assert_eq!(par.n_candidates(), p.n_candidates());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let p = problem(4);
+        baseline_influence_sets_parallel(&p, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Flajolet–Martin (FM) sketches for approximate coverage counting.
+//!
+//! The k-CIFP study ([15], the paper's closest prior work) accelerates its
+//! greedy selection with FM sketches: each candidate's influenced-user set
+//! is summarised as a small bit-sketch, unions become bitwise ORs, and the
+//! marginal coverage of a candidate is estimated without materialising set
+//! unions. This module reproduces that machinery and layers a
+//! sketch-driven greedy on top ([`select_sketched`]); it trades exactness
+//! for speed, so it is offered as an *approximate* alternative — the exact
+//! greedy in [`crate::greedy`] remains the default.
+//!
+//! Estimation follows the classic FM analysis: with `m` bitmaps, the
+//! estimator is `m/φ · 2^(ΣR/m)` where `R` is the index of the lowest
+//! unset bit and `φ ≈ 0.77351`.
+
+use crate::{InfluenceSets, Solution};
+
+/// The FM magic constant `φ`.
+const PHI: f64 = 0.77351;
+
+/// Number of bits per bitmap (supports cardinalities far beyond any
+/// realistic user count).
+const BITS: usize = 64;
+
+/// A multi-bitmap FM sketch of a set of `u32` ids.
+///
+/// # Examples
+/// ```
+/// use mc2ls_core::sketch::FmSketch;
+///
+/// let ids: Vec<u32> = (0..1000).collect();
+/// let sketch = FmSketch::of(&ids, 64);
+/// let estimate = sketch.estimate();
+/// assert!((estimate - 1000.0).abs() / 1000.0 < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FmSketch {
+    bitmaps: Vec<u64>,
+}
+
+impl FmSketch {
+    /// An empty sketch with `m` bitmaps (more bitmaps → lower variance;
+    /// 16–64 are typical).
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "an FM sketch needs at least one bitmap");
+        FmSketch {
+            bitmaps: vec![0; m],
+        }
+    }
+
+    /// Number of bitmaps.
+    pub fn m(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// Inserts an id.
+    pub fn insert(&mut self, id: u32) {
+        for (j, bm) in self.bitmaps.iter_mut().enumerate() {
+            let h = hash64(id as u64 ^ ((j as u64) << 32).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let bit = (h.trailing_zeros() as usize).min(BITS - 1);
+            *bm |= 1u64 << bit;
+        }
+    }
+
+    /// Builds a sketch of a whole id slice.
+    pub fn of(ids: &[u32], m: usize) -> Self {
+        let mut s = FmSketch::new(m);
+        for &id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// In-place union (bitwise OR). Sketches must have equal `m`.
+    pub fn union_with(&mut self, other: &FmSketch) {
+        assert_eq!(self.m(), other.m(), "sketch sizes must match");
+        for (a, b) in self.bitmaps.iter_mut().zip(&other.bitmaps) {
+            *a |= b;
+        }
+    }
+
+    /// The union of two sketches.
+    pub fn union(&self, other: &FmSketch) -> FmSketch {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Estimated cardinality of the sketched set.
+    pub fn estimate(&self) -> f64 {
+        let sum_r: usize = self
+            .bitmaps
+            .iter()
+            .map(|&bm| (!bm).trailing_zeros() as usize)
+            .sum();
+        let mean_r = sum_r as f64 / self.bitmaps.len() as f64;
+        2f64.powf(mean_r) / PHI * corrective(self.bitmaps.len())
+    }
+
+    /// True when no id has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.bitmaps.iter().all(|&b| b == 0)
+    }
+}
+
+/// Small-`m` corrective factor (the classic analysis assumes large `m`;
+/// for the sizes used here a unit factor is adequate).
+fn corrective(_m: usize) -> f64 {
+    1.0
+}
+
+/// SplitMix64 — a strong, cheap 64-bit mixer.
+fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Sketch-driven greedy (the k-CIFP acceleration): pick `k` candidates by
+/// estimated *marginal user coverage*. Returns an approximate solution —
+/// `cinf` is recomputed exactly for the chosen set so the reported value is
+/// trustworthy even though the picks are estimate-driven.
+///
+/// Note: FM sketches count users, so this selector optimises coverage
+/// cardinality rather than the competition-weighted `cinf`; on instances
+/// where weights vary wildly the exact greedy can choose better sets.
+pub fn select_sketched(sets: &InfluenceSets, k: usize, m: usize) -> Solution {
+    let n = sets.n_candidates();
+    assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
+    let sketches: Vec<FmSketch> = (0..n).map(|c| FmSketch::of(&sets.omega_c[c], m)).collect();
+
+    let mut covered = FmSketch::new(m);
+    let mut taken = vec![false; n];
+    let mut selected: Vec<u32> = Vec::with_capacity(k);
+
+    for _ in 0..k {
+        let covered_est = covered.estimate();
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..n {
+            if taken[c] {
+                continue;
+            }
+            let gain = (covered.union(&sketches[c]).estimate() - covered_est).max(0.0);
+            match best {
+                Some((_, g)) if gain <= g => {}
+                _ => best = Some((c, gain)),
+            }
+        }
+        let (c, _) = best.expect("k <= n");
+        taken[c] = true;
+        selected.push(c as u32);
+        covered.union_with(&sketches[c]);
+    }
+
+    // Report the exact value of the (approximately chosen) set.
+    let cinf = sets.cinf_set(&selected);
+    let mut gains = Vec::with_capacity(selected.len());
+    let mut prev = 0.0;
+    for i in 0..selected.len() {
+        let v = sets.cinf_set(&selected[..=i]);
+        gains.push(v - prev);
+        prev = v;
+    }
+    Solution {
+        selected,
+        marginal_gains: gains,
+        cinf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_tracks_cardinality() {
+        for n in [10u32, 100, 1000, 10_000] {
+            let ids: Vec<u32> = (0..n).collect();
+            let s = FmSketch::of(&ids, 64);
+            let est = s.estimate();
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.5, "n={n}: estimate {est} off by {rel}");
+        }
+    }
+
+    #[test]
+    fn empty_sketch_estimates_near_zero() {
+        let s = FmSketch::new(32);
+        assert!(s.is_empty());
+        assert!(s.estimate() < 3.0);
+    }
+
+    #[test]
+    fn union_equals_sketch_of_union() {
+        let a: Vec<u32> = (0..500).collect();
+        let b: Vec<u32> = (250..750).collect();
+        let sa = FmSketch::of(&a, 32);
+        let sb = FmSketch::of(&b, 32);
+        let all: Vec<u32> = (0..750).collect();
+        assert_eq!(sa.union(&sb), FmSketch::of(&all, 32));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut a = FmSketch::new(16);
+        a.insert(42);
+        let once = a.clone();
+        a.insert(42);
+        assert_eq!(a, once);
+    }
+
+    #[test]
+    fn union_is_monotone_in_estimate() {
+        let sa = FmSketch::of(&(0..100).collect::<Vec<_>>(), 32);
+        let sb = FmSketch::of(&(100..300).collect::<Vec<_>>(), 32);
+        assert!(sa.union(&sb).estimate() >= sa.estimate() - 1e-9);
+    }
+
+    #[test]
+    fn sketched_greedy_is_competitive_with_exact() {
+        // Unit-weight instances: sketched greedy should land within 25% of
+        // the exact greedy's coverage on average-size instances.
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..10 {
+            let n_users = 200 + (next() % 300) as usize;
+            let n_cands = 10 + (next() % 10) as usize;
+            let omega_c: Vec<Vec<u32>> = (0..n_cands)
+                .map(|_| {
+                    let mut v: Vec<u32> = (0..n_users as u32).filter(|_| next() % 4 == 0).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let sets = InfluenceSets::new(omega_c, vec![0; n_users]);
+            let exact = crate::greedy::select(&sets, 4);
+            let approx = select_sketched(&sets, 4, 48);
+            assert!(
+                approx.cinf >= 0.75 * exact.cinf,
+                "sketched greedy too weak: {} vs {}",
+                approx.cinf,
+                exact.cinf
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch sizes must match")]
+    fn union_rejects_mismatched_sizes() {
+        let a = FmSketch::new(8);
+        let mut b = FmSketch::new(16);
+        b.union_with(&a);
+    }
+}

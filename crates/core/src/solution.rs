@@ -1,0 +1,57 @@
+use serde::{Deserialize, Serialize};
+
+/// The result of an MC²LS algorithm: the `k` selected candidates in pick
+/// order with their marginal gains, and the achieved competitive collective
+/// influence `cinf(G)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// Selected candidate ids, in greedy pick order.
+    pub selected: Vec<u32>,
+    /// Marginal competitive influence gained by each pick (same order).
+    pub marginal_gains: Vec<f64>,
+    /// Total `cinf(G)` (equals the sum of marginal gains).
+    pub cinf: f64,
+}
+
+impl Solution {
+    /// The selected set in canonical (sorted) order, for comparing results
+    /// across algorithms independently of pick order.
+    pub fn selected_sorted(&self) -> Vec<u32> {
+        let mut v = self.selected.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// True when two solutions select the same candidate set and achieve the
+    /// same influence (within `1e-9` absolute tolerance).
+    pub fn equivalent(&self, other: &Solution) -> bool {
+        self.selected_sorted() == other.selected_sorted() && (self.cinf - other.cinf).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_view_and_equivalence() {
+        let a = Solution {
+            selected: vec![3, 1],
+            marginal_gains: vec![2.0, 1.0],
+            cinf: 3.0,
+        };
+        let b = Solution {
+            selected: vec![1, 3],
+            marginal_gains: vec![1.5, 1.5],
+            cinf: 3.0,
+        };
+        assert_eq!(a.selected_sorted(), vec![1, 3]);
+        assert!(a.equivalent(&b));
+        let c = Solution {
+            selected: vec![1, 2],
+            marginal_gains: vec![1.5, 1.5],
+            cinf: 3.0,
+        };
+        assert!(!a.equivalent(&c));
+    }
+}

@@ -1,0 +1,27 @@
+//! Prints the calibration statistics of the two dataset presets next to
+//! the targets the paper reports (`cargo run -p mc2ls-data --example
+//! calibration --release`). Scaled-down instances are used so the check
+//! runs in seconds; the behavioural statistics are scale-invariant.
+
+fn main() {
+    println!(
+        "{:<7} {:>6} {:>8} {:>7} {:>6} {:>10} {:>9}   target-ratio",
+        "preset", "users", "pos", "mean_r", "r_max", "mbr_ratio", "skew"
+    );
+    for (name, cfg, target) in [
+        ("C@0.2", mc2ls_data::presets::california_scaled(0.2), 0.085),
+        ("N@0.5", mc2ls_data::presets::new_york_scaled(0.5), 0.029),
+    ] {
+        let d = cfg.generate();
+        let s = d.stats();
+        println!(
+            "{name:<7} {:>6} {:>8} {:>7.1} {:>6} {:>10.4} {:>9.3}   {target}",
+            s.n_users,
+            s.n_positions,
+            s.mean_positions,
+            s.r_max,
+            s.mean_mbr_area_ratio,
+            s.hotspot_share
+        );
+    }
+}

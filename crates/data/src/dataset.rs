@@ -1,0 +1,185 @@
+use mc2ls_geo::{Extent, Point, Rect};
+use mc2ls_influence::MovingUser;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A loaded or generated dataset: moving users plus a pool of POI sites from
+/// which experiments sample candidate and facility locations (the paper
+/// chooses both "from real points of interest").
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset label used in reports.
+    pub name: String,
+    /// The moving users `Ω`.
+    pub users: Vec<MovingUser>,
+    /// POI pool for site sampling.
+    pub pois: Vec<Point>,
+    /// Nominal side length of the study region in km.
+    pub region_km: f64,
+}
+
+/// Summary statistics mirroring the ones the paper reports in §VII-A.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// `|Ω|`.
+    pub n_users: usize,
+    /// Total recorded positions.
+    pub n_positions: usize,
+    /// Mean positions per user.
+    pub mean_positions: f64,
+    /// Max positions over users (`r_max`).
+    pub r_max: usize,
+    /// Mean of (user-MBR area / region area) — the paper's ≈0.085 (C) and
+    /// ≈0.029 (N).
+    pub mean_mbr_area_ratio: f64,
+    /// Share of all positions falling in the busiest 4% of grid cells
+    /// (5×5 grid within a 25-cell partition): a skewness proxy.
+    pub hotspot_share: f64,
+}
+
+impl Dataset {
+    /// Assembles a dataset; `region_km` may exceed the data extent.
+    pub fn new(name: String, users: Vec<MovingUser>, pois: Vec<Point>, region_km: f64) -> Self {
+        assert!(!users.is_empty(), "a dataset must contain users");
+        Dataset {
+            name,
+            users,
+            pois,
+            region_km,
+        }
+    }
+
+    /// The bounding rectangle of all user positions.
+    pub fn extent(&self) -> Rect {
+        let mut e = Extent::new();
+        for u in &self.users {
+            e.add_all(u.positions());
+        }
+        e.rect().expect("non-empty dataset")
+    }
+
+    /// Samples `n` distinct POI sites (deterministic in `seed`).
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` POIs exist.
+    pub fn sample_sites(&self, n: usize, seed: u64) -> Vec<Point> {
+        assert!(
+            n <= self.pois.len(),
+            "asked for {n} sites, pool has {}",
+            self.pois.len()
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.pois.len()).collect();
+        idx.shuffle(&mut rng);
+        idx[..n].iter().map(|&i| self.pois[i]).collect()
+    }
+
+    /// Samples disjoint candidate and facility site sets in one shot, the
+    /// way the experiments need them.
+    pub fn sample_sites_disjoint(
+        &self,
+        n_candidates: usize,
+        n_facilities: usize,
+        seed: u64,
+    ) -> (Vec<Point>, Vec<Point>) {
+        let all = self.sample_sites(n_candidates + n_facilities, seed);
+        let (c, f) = all.split_at(n_candidates);
+        (c.to_vec(), f.to_vec())
+    }
+
+    /// Computes the summary statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let extent = self.extent();
+        let region_area = extent.area().max(f64::MIN_POSITIVE);
+        let n_users = self.users.len();
+        let n_positions: usize = self.users.iter().map(MovingUser::len).sum();
+        let mean_ratio = self
+            .users
+            .iter()
+            .map(|u| u.mbr().area() / region_area)
+            .sum::<f64>()
+            / n_users as f64;
+
+        // Skewness proxy: share of positions in the busiest cell of a 5×5
+        // partition of the extent.
+        let mut counts = [0usize; 25];
+        for u in &self.users {
+            for p in u.positions() {
+                let cx = (((p.x - extent.min.x) / extent.width().max(1e-12)) * 5.0)
+                    .floor()
+                    .clamp(0.0, 4.0) as usize;
+                let cy = (((p.y - extent.min.y) / extent.height().max(1e-12)) * 5.0)
+                    .floor()
+                    .clamp(0.0, 4.0) as usize;
+                counts[cy * 5 + cx] += 1;
+            }
+        }
+        let hotspot_share = *counts.iter().max().unwrap() as f64 / n_positions as f64;
+
+        DatasetStats {
+            n_users,
+            n_positions,
+            mean_positions: n_positions as f64 / n_users as f64,
+            r_max: self.users.iter().map(MovingUser::len).max().unwrap_or(0),
+            mean_mbr_area_ratio: mean_ratio,
+            hotspot_share,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let users = vec![
+            MovingUser::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)]),
+            MovingUser::new(vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)]),
+        ];
+        let pois = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        Dataset::new("tiny".into(), users, pois, 10.0)
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let s = tiny().stats();
+        assert_eq!(s.n_users, 2);
+        assert_eq!(s.n_positions, 4);
+        assert_eq!(s.r_max, 2);
+        assert!((s.mean_positions - 2.0).abs() < 1e-12);
+        assert!(s.mean_mbr_area_ratio > 0.0 && s.mean_mbr_area_ratio <= 1.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let d = tiny();
+        let a = d.sample_sites(5, 7);
+        let b = d.sample_sites(5, 7);
+        assert_eq!(a, b);
+        let c = d.sample_sites(5, 8);
+        assert_ne!(a, c);
+        // All sampled sites are distinct pool entries.
+        let mut xs: Vec<f64> = a.iter().map(|p| p.x).collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        assert_eq!(xs.len(), 5);
+    }
+
+    #[test]
+    fn disjoint_sampling_splits_pool() {
+        let d = tiny();
+        let (c, f) = d.sample_sites_disjoint(3, 4, 1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(f.len(), 4);
+        for p in &c {
+            assert!(!f.contains(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pool has")]
+    fn oversampling_panics() {
+        tiny().sample_sites(11, 0);
+    }
+}

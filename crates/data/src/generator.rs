@@ -1,0 +1,279 @@
+//! The synthetic moving-user generator.
+//!
+//! The model mirrors how check-in datasets arise: a city/region has a set of
+//! **hotspots** (commercial centres, campuses, transit hubs) whose
+//! popularity follows a Zipf-like law; each user frequents a handful of
+//! hotspots within their personal **travel span** and records positions
+//! scattered around those anchor hotspots. Skew, density and MBR size —
+//! the three properties the paper's pruning behaviour depends on — are all
+//! directly controlled.
+
+use crate::dataset::Dataset;
+use mc2ls_geo::Point;
+use mc2ls_influence::MovingUser;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a synthetic dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Dataset label used in reports.
+    pub name: String,
+    /// Number of moving users `|Ω|`.
+    pub n_users: usize,
+    /// Target total position count (the generator lands within a few
+    /// percent; per-user counts are heavy-tailed like real check-ins).
+    pub target_positions: usize,
+    /// Side length of the square study region, km.
+    pub region_km: f64,
+    /// Number of activity hotspots.
+    pub hotspots: usize,
+    /// Zipf exponent of hotspot popularity: `0` = uniform mass (the paper's
+    /// California), `≳1` = heavily skewed (the paper's New York).
+    pub hotspot_skew: f64,
+    /// Std-dev (km) of positions around a visited hotspot.
+    pub local_spread_km: f64,
+    /// Fraction of the region side within which one user's hotspots lie;
+    /// directly controls the user-MBR/region area ratio the paper reports
+    /// (≈0.085 for California, ≈0.029 for New York).
+    pub travel_span: f64,
+    /// Hotspots a user visits (inclusive range).
+    pub hotspots_per_user: (usize, usize),
+    /// Minimum positions per user (the paper trims single-position users).
+    pub min_positions: usize,
+    /// Number of POI sites generated for candidate/facility sampling.
+    pub n_pois: usize,
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.n_users > 0, "need at least one user");
+        assert!(self.min_positions >= 1);
+        assert!(self.hotspots >= 1);
+        assert!(
+            self.hotspots_per_user.0 >= 1 && self.hotspots_per_user.0 <= self.hotspots_per_user.1
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Hotspot centres, uniform over the region; popularity ∝ 1/rank^s.
+        let centers: Vec<Point> = (0..self.hotspots)
+            .map(|_| {
+                Point::new(
+                    rng.gen::<f64>() * self.region_km,
+                    rng.gen::<f64>() * self.region_km,
+                )
+            })
+            .collect();
+        let weights: Vec<f64> = (1..=self.hotspots)
+            .map(|rank| 1.0 / (rank as f64).powf(self.hotspot_skew))
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        let cumulative: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w / total_w;
+                Some(*acc)
+            })
+            .collect();
+        let pick_hotspot = |rng: &mut StdRng| -> usize {
+            let x: f64 = rng.gen();
+            cumulative
+                .partition_point(|&c| c < x)
+                .min(self.hotspots - 1)
+        };
+
+        // Heavy-tailed per-user position counts (lognormal-ish via the
+        // product of uniforms trick), normalised to the target total.
+        let avg = self.target_positions as f64 / self.n_users as f64;
+        let raw: Vec<f64> = (0..self.n_users)
+            .map(|_| {
+                let a: f64 = rng.gen::<f64>().max(1e-9);
+                let b: f64 = rng.gen::<f64>().max(1e-9);
+                // exp of a symmetric sum → lognormal-like multiplier.
+                (-(a.ln() + b.ln()) / 2.0).exp()
+            })
+            .collect();
+        let raw_sum: f64 = raw.iter().sum();
+        let scale = avg * self.n_users as f64 / raw_sum;
+        let counts: Vec<usize> = raw
+            .iter()
+            .map(|&x| ((x * scale).round() as usize).max(self.min_positions))
+            .collect();
+
+        let users: Vec<MovingUser> = counts
+            .iter()
+            .map(|&r| {
+                // Personal hotspots: the first is popularity-weighted; the
+                // rest lie within the travel span of it.
+                let span = self.travel_span * self.region_km;
+                let n_home = rng.gen_range(self.hotspots_per_user.0..=self.hotspots_per_user.1);
+                let first = pick_hotspot(&mut rng);
+                let mut homes = vec![centers[first]];
+                let mut tries = 0;
+                while homes.len() < n_home && tries < 64 {
+                    tries += 1;
+                    let h = centers[pick_hotspot(&mut rng)];
+                    if h.distance(&homes[0]) <= span {
+                        homes.push(h);
+                    }
+                }
+                // If the skew leaves no nearby hotspot, synthesise one
+                // inside the span so every user still has n_home anchors.
+                while homes.len() < n_home {
+                    let dx = (rng.gen::<f64>() - 0.5) * 2.0 * span;
+                    let dy = (rng.gen::<f64>() - 0.5) * 2.0 * span;
+                    homes.push(clamp_to(homes[0].translated(dx, dy), self.region_km));
+                }
+                let positions: Vec<Point> = (0..r)
+                    .map(|_| {
+                        let home = homes[rng.gen_range(0..homes.len())];
+                        let p = Point::new(
+                            home.x + gaussian(&mut rng) * self.local_spread_km,
+                            home.y + gaussian(&mut rng) * self.local_spread_km,
+                        );
+                        clamp_to(p, self.region_km)
+                    })
+                    .collect();
+                MovingUser::new(positions)
+            })
+            .collect();
+
+        // POIs follow the position density: jittered copies of random user
+        // positions (facilities open where customers are, the effect the
+        // paper observes in Fig. 9(b)).
+        let all_positions: Vec<Point> = users
+            .iter()
+            .flat_map(|u| u.positions().iter().copied())
+            .collect();
+        let pois: Vec<Point> = (0..self.n_pois)
+            .map(|_| {
+                let p = all_positions[rng.gen_range(0..all_positions.len())];
+                clamp_to(
+                    Point::new(
+                        p.x + gaussian(&mut rng) * self.local_spread_km * 0.5,
+                        p.y + gaussian(&mut rng) * self.local_spread_km * 0.5,
+                    ),
+                    self.region_km,
+                )
+            })
+            .collect();
+
+        Dataset::new(self.name.clone(), users, pois, self.region_km)
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn clamp_to(p: Point, side: f64) -> Point {
+    Point::new(p.x.clamp(0.0, side), p.y.clamp(0.0, side))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DatasetConfig {
+        DatasetConfig {
+            name: "test".into(),
+            n_users: 200,
+            target_positions: 3000,
+            region_km: 50.0,
+            hotspots: 20,
+            hotspot_skew: 0.0,
+            local_spread_km: 1.0,
+            travel_span: 0.3,
+            hotspots_per_user: (1, 3),
+            min_positions: 2,
+            n_pois: 300,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn respects_counts_and_bounds() {
+        let cfg = small_cfg();
+        let d = cfg.generate();
+        assert_eq!(d.users.len(), 200);
+        assert_eq!(d.pois.len(), 300);
+        let total: usize = d.users.iter().map(|u| u.len()).sum();
+        let err = (total as f64 - 3000.0).abs() / 3000.0;
+        assert!(err < 0.25, "total positions {total} too far from target");
+        for u in &d.users {
+            assert!(u.len() >= 2);
+            for p in u.positions() {
+                assert!(p.x >= 0.0 && p.x <= 50.0 && p.y >= 0.0 && p.y <= 50.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = small_cfg();
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.users.len(), b.users.len());
+        for (ua, ub) in a.users.iter().zip(&b.users) {
+            assert_eq!(ua.positions(), ub.positions());
+        }
+        assert_eq!(a.pois, b.pois);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small_cfg();
+        let a = cfg.generate();
+        cfg.seed = 43;
+        let b = cfg.generate();
+        assert_ne!(a.users[0].positions(), b.users[0].positions());
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        // With heavy skew, the busiest cell should hold a much larger share
+        // of positions than under uniform weights.
+        let mut cfg = small_cfg();
+        cfg.hotspot_skew = 0.0;
+        let uniform = cfg.generate();
+        cfg.hotspot_skew = 1.4;
+        cfg.name = "skewed".into();
+        let skewed = cfg.generate();
+        let share = |d: &Dataset| {
+            let mut counts = [0usize; 25];
+            for u in &d.users {
+                for p in u.positions() {
+                    let cx = ((p.x / 10.0) as usize).min(4);
+                    let cy = ((p.y / 10.0) as usize).min(4);
+                    counts[cy * 5 + cx] += 1;
+                }
+            }
+            let total: usize = counts.iter().sum();
+            *counts.iter().max().unwrap() as f64 / total as f64
+        };
+        assert!(
+            share(&skewed) > share(&uniform),
+            "skewed={} uniform={}",
+            share(&skewed),
+            share(&uniform)
+        );
+    }
+
+    #[test]
+    fn travel_span_controls_mbr_ratio() {
+        let mut cfg = small_cfg();
+        cfg.travel_span = 0.05;
+        let tight = cfg.generate().stats();
+        cfg.travel_span = 0.6;
+        cfg.name = "wide".into();
+        let wide = cfg.generate().stats();
+        assert!(wide.mean_mbr_area_ratio > tight.mean_mbr_area_ratio);
+    }
+}

@@ -1,0 +1,128 @@
+//! Subsampling utilities behind the paper's scaling experiments.
+//!
+//! * Fig. 10 varies `|Ω|` — [`subset_users`] takes a deterministic random
+//!   subset of users.
+//! * Fig. 15/16 vary `r` — [`resample_positions`] keeps only users with more
+//!   than `min_available` positions and randomly samples exactly `r` of each
+//!   user's positions, matching the paper's protocol ("we choose users with
+//!   over 30 positions … and randomly sample 10, 15, 20, 25, and 30").
+
+use mc2ls_influence::MovingUser;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A deterministic random subset of `n` users (all users when `n` exceeds
+/// the population).
+pub fn subset_users(users: &[MovingUser], n: usize, seed: u64) -> Vec<MovingUser> {
+    if n >= users.len() {
+        return users.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..users.len()).collect();
+    idx.shuffle(&mut rng);
+    let mut chosen: Vec<usize> = idx[..n].to_vec();
+    chosen.sort_unstable(); // stable user ordering keeps runs comparable
+    chosen.into_iter().map(|i| users[i].clone()).collect()
+}
+
+/// Keeps users with **more than** `min_available` positions and resamples
+/// exactly `r` positions from each (`r ≤ min_available`).
+///
+/// # Panics
+/// Panics when `r` is zero or exceeds `min_available`.
+pub fn resample_positions(
+    users: &[MovingUser],
+    min_available: usize,
+    r: usize,
+    seed: u64,
+) -> Vec<MovingUser> {
+    assert!(r >= 1, "r must be positive");
+    assert!(
+        r <= min_available,
+        "cannot sample {r} positions from users filtered at > {min_available}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    users
+        .iter()
+        .filter(|u| u.len() > min_available)
+        .map(|u| {
+            let mut idx: Vec<usize> = (0..u.len()).collect();
+            idx.shuffle(&mut rng);
+            let mut pick: Vec<usize> = idx[..r].to_vec();
+            pick.sort_unstable();
+            u.subsample(&pick)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc2ls_geo::Point;
+
+    fn make_users(counts: &[usize]) -> Vec<MovingUser> {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                MovingUser::new(
+                    (0..r)
+                        .map(|j| Point::new(i as f64, j as f64 * 0.1))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn subset_is_deterministic_and_sized() {
+        let users = make_users(&[2, 3, 4, 5, 6, 7]);
+        let a = subset_users(&users, 3, 9);
+        let b = subset_users(&users, 3, 9);
+        assert_eq!(a.len(), 3);
+        assert_eq!(
+            a.iter().map(|u| u.positions()[0]).collect::<Vec<_>>(),
+            b.iter().map(|u| u.positions()[0]).collect::<Vec<_>>()
+        );
+        assert_eq!(subset_users(&users, 100, 9).len(), users.len());
+    }
+
+    #[test]
+    fn resample_filters_and_sizes() {
+        let users = make_users(&[5, 31, 40, 30, 45]);
+        let out = resample_positions(&users, 30, 10, 1);
+        // Only the users with > 30 positions survive (31, 40, 45).
+        assert_eq!(out.len(), 3);
+        for u in &out {
+            assert_eq!(u.len(), 10);
+        }
+    }
+
+    #[test]
+    fn resampled_positions_come_from_the_user() {
+        let users = make_users(&[35]);
+        let out = resample_positions(&users, 30, 20, 2);
+        let orig = users[0].positions();
+        for p in out[0].positions() {
+            assert!(orig.contains(p));
+        }
+    }
+
+    #[test]
+    fn resample_is_deterministic() {
+        let users = make_users(&[35, 40]);
+        let a = resample_positions(&users, 30, 15, 3);
+        let b = resample_positions(&users, 30, 15, 3);
+        for (ua, ub) in a.iter().zip(&b) {
+            assert_eq!(ua.positions(), ub.positions());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn rejects_oversampling() {
+        let users = make_users(&[35]);
+        resample_positions(&users, 30, 31, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Robustness: the check-in loader must never panic, whatever bytes it is
+//! fed — SNAP dumps in the wild contain malformed rows, and a loader that
+//! panics on them is useless.
+
+use mc2ls_data::loader::{load_checkins, GeoBounds, LoadError};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary text: parse must return Ok or a clean error, never panic.
+    #[test]
+    fn arbitrary_text_never_panics(input in ".{0,2000}") {
+        let _ = load_checkins(input.as_bytes(), "fuzz", None, 2);
+    }
+
+    /// Arbitrary bytes (not even UTF-8): same contract.
+    #[test]
+    fn arbitrary_bytes_never_panic(input in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let _ = load_checkins(input.as_slice(), "fuzz", Some(GeoBounds::new_york()), 1);
+    }
+
+    /// Structured-ish rows with random fields: rows with parseable numeric
+    /// fields either contribute or are skipped; the result is consistent.
+    #[test]
+    fn semi_structured_rows(rows in prop::collection::vec(
+        (any::<u16>(), -95.0f64..95.0, -190.0f64..190.0, any::<u32>()), 0..60)) {
+        let mut text = String::new();
+        for (user, lat, lon, loc) in &rows {
+            text.push_str(&format!("{user}\t2010-01-01T00:00:00Z\t{lat}\t{lon}\t{loc}\n"));
+        }
+        match load_checkins(text.as_bytes(), "fuzz", None, 1) {
+            Ok(d) => {
+                // Every surviving user has at least one position and all
+                // positions are finite.
+                for u in &d.users {
+                    prop_assert!(!u.is_empty());
+                    for p in u.positions() {
+                        prop_assert!(p.is_finite());
+                    }
+                }
+            }
+            Err(LoadError::Empty) => {
+                // Legitimate when every row was the 0,0 sentinel or the
+                // input was empty.
+            }
+            Err(LoadError::Io(e)) => return Err(TestCaseError::fail(format!("io: {e}"))),
+        }
+    }
+
+    /// min_positions filtering is monotone: raising the threshold never
+    /// increases the user count.
+    #[test]
+    fn min_positions_is_monotone(rows in prop::collection::vec(
+        (0u16..20, 30.0f64..50.0, -80.0f64..-60.0), 1..80)) {
+        let mut text = String::new();
+        for (i, (user, lat, lon)) in rows.iter().enumerate() {
+            text.push_str(&format!("{user}\t2010-01-01T00:00:00Z\t{lat}\t{lon}\t{i}\n"));
+        }
+        let count = |m: usize| load_checkins(text.as_bytes(), "fuzz", None, m)
+            .map(|d| d.users.len())
+            .unwrap_or(0);
+        let (c1, c2, c3) = (count(1), count(2), count(3));
+        prop_assert!(c1 >= c2 && c2 >= c3, "{c1} {c2} {c3}");
+    }
+}

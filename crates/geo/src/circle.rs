@@ -1,0 +1,123 @@
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// An influence circle `φ(v, d_radius)` (paper §V-A): the disk centred on an
+/// abstract facility within which a position contributes at least
+/// `PF(d_radius)` influence probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Centre of the circle (facility/candidate position).
+    pub center: Point,
+    /// Radius in km; non-negative.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle; a zero radius yields a degenerate single-point disk.
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "circle radius must be non-negative");
+        Circle { center, radius }
+    }
+
+    /// True when `p` lies inside or on the circle.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// The tight axis-aligned bounding box of the circle; used to turn
+    /// circular range queries into rectangle queries plus an exact filter.
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::point(self.center).inflate(self.radius)
+    }
+
+    /// True when the circle and the closed rectangle share at least one
+    /// point (exact test via point–rect minimum distance).
+    #[inline]
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        rect.min_distance_sq(&self.center) <= self.radius * self.radius
+    }
+
+    /// True when the whole rectangle lies inside the circle, i.e. the
+    /// farthest rectangle corner is within the radius. This is exactly the
+    /// covering argument of Lemma 2 (a circle of radius `d̂` centred anywhere
+    /// in a square with diagonal `d̂` covers the square).
+    #[inline]
+    pub fn covers_rect(&self, rect: &Rect) -> bool {
+        rect.max_distance_sq(&self.center) <= self.radius * self.radius
+    }
+
+    /// Counts positions of `points` inside the circle.
+    pub fn count_contained(&self, points: &[Point]) -> usize {
+        let r2 = self.radius * self.radius;
+        points
+            .iter()
+            .filter(|p| self.center.distance_sq(p) <= r2)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        assert!(c.contains(&Point::new(1.0, 0.0)));
+        assert!(c.contains(&Point::new(0.5, 0.5)));
+        assert!(!c.contains(&Point::new(1.0, 0.1)));
+    }
+
+    #[test]
+    fn bounding_rect_is_tight() {
+        let c = Circle::new(Point::new(1.0, 2.0), 3.0);
+        let b = c.bounding_rect();
+        assert_eq!(b, Rect::new(Point::new(-2.0, -1.0), Point::new(4.0, 5.0)));
+    }
+
+    #[test]
+    fn intersects_rect_edge_cases() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        // Rectangle touching the circle at (1, 0).
+        assert!(c.intersects_rect(&Rect::new(Point::new(1.0, -1.0), Point::new(2.0, 1.0))));
+        // Rectangle fully inside.
+        assert!(c.intersects_rect(&Rect::new(Point::new(-0.1, -0.1), Point::new(0.1, 0.1))));
+        // Corner just out of reach: nearest corner at (0.8, 0.8), distance ~1.13.
+        assert!(!c.intersects_rect(&Rect::new(Point::new(0.8, 0.8), Point::new(2.0, 2.0))));
+    }
+
+    #[test]
+    fn covers_rect_requires_farthest_corner() {
+        let c = Circle::new(Point::new(0.0, 0.0), 2f64.sqrt());
+        let unit = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert!(c.covers_rect(&unit));
+        let shifted = Rect::new(Point::new(0.5, 0.5), Point::new(1.5, 1.5));
+        assert!(!c.covers_rect(&shifted));
+    }
+
+    #[test]
+    fn lemma2_covering_argument() {
+        // A circle of radius d (the diagonal) centred at ANY corner of a
+        // square with diagonal d covers the square.
+        let square = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let d = square.diagonal();
+        for corner in square.corners() {
+            assert!(Circle::new(corner, d).covers_rect(&square));
+        }
+        // And centred anywhere inside as well.
+        assert!(Circle::new(Point::new(0.3, 0.7), d).covers_rect(&square));
+    }
+
+    #[test]
+    fn count_contained() {
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, -1.0),
+            Point::new(1.0, 1.0),
+        ];
+        assert_eq!(c.count_contained(&pts), 3);
+    }
+}

@@ -1,0 +1,107 @@
+use crate::{Point, Rect};
+
+/// Incremental bounding-box accumulator over streams of points.
+///
+/// Dataset loaders and generators use this to compute the study region (the
+/// paper's "entire spatial region" with area `S` in the complexity analysis)
+/// without materialising all points first.
+#[derive(Debug, Clone, Default)]
+pub struct Extent {
+    rect: Option<Rect>,
+    count: usize,
+}
+
+impl Extent {
+    /// An empty extent.
+    pub fn new() -> Self {
+        Extent::default()
+    }
+
+    /// Folds one point into the extent.
+    pub fn add(&mut self, p: Point) {
+        match &mut self.rect {
+            Some(r) => r.expand_to(&p),
+            None => self.rect = Some(Rect::point(p)),
+        }
+        self.count += 1;
+    }
+
+    /// Folds every point of a slice into the extent.
+    pub fn add_all(&mut self, points: &[Point]) {
+        for p in points {
+            self.add(*p);
+        }
+    }
+
+    /// The accumulated bounding rectangle; `None` when no point was added.
+    pub fn rect(&self) -> Option<Rect> {
+        self.rect
+    }
+
+    /// Number of points folded in so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The bounding rectangle inflated by `pad` km on every side; `None`
+    /// when empty. Index roots use a small pad so boundary points never sit
+    /// exactly on the root border.
+    pub fn padded_rect(&self, pad: f64) -> Option<Rect> {
+        self.rect.map(|r| r.inflate(pad))
+    }
+}
+
+impl FromIterator<Point> for Extent {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        let mut e = Extent::new();
+        for p in iter {
+            e.add(p);
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_extent_has_no_rect() {
+        let e = Extent::new();
+        assert!(e.rect().is_none());
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn accumulates_points() {
+        let mut e = Extent::new();
+        e.add(Point::new(1.0, 1.0));
+        e.add(Point::new(-1.0, 3.0));
+        e.add(Point::new(0.0, 0.0));
+        assert_eq!(e.count(), 3);
+        assert_eq!(
+            e.rect().unwrap(),
+            Rect::new(Point::new(-1.0, 0.0), Point::new(1.0, 3.0))
+        );
+    }
+
+    #[test]
+    fn from_iterator() {
+        let e: Extent = (0..4).map(|i| Point::new(i as f64, -(i as f64))).collect();
+        assert_eq!(e.count(), 4);
+        assert_eq!(
+            e.rect().unwrap(),
+            Rect::new(Point::new(0.0, -3.0), Point::new(3.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn padded_rect() {
+        let mut e = Extent::new();
+        e.add(Point::ORIGIN);
+        assert_eq!(
+            e.padded_rect(1.0).unwrap(),
+            Rect::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0))
+        );
+    }
+}

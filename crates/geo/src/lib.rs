@@ -1,0 +1,40 @@
+//! Planar geometry substrate for the MC²LS reproduction.
+//!
+//! Every spatial structure in this workspace (R-tree, quad-tree, IQuad-tree,
+//! the IA/NIB/IS/NIR pruning regions) is built on the small set of primitives
+//! defined here:
+//!
+//! * [`Point`] — a position in a planar coordinate system measured in
+//!   kilometres. Real latitude/longitude data is projected into this system
+//!   with [`project::Equirectangular`].
+//! * [`Rect`] — an axis-aligned rectangle (the paper's MBRs), with exact
+//!   point–rectangle minimum/maximum distances, inflation, and containment.
+//! * [`Circle`] — influence circles `φ(v, d)` from the paper.
+//! * [`Square`] — axis-aligned squares addressed by their *diagonal* length,
+//!   matching how the paper parameterises IQuad-tree nodes (`d̂` is always a
+//!   diagonal).
+//! * [`Extent`] — incremental bounding-box accumulation for datasets.
+//!
+//! All distances are Euclidean in km. The substrate is `f64` throughout; the
+//! algorithms never require exact arithmetic because every pruning rule is
+//! paired with an exact verification phase.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circle;
+mod extent;
+mod point;
+pub mod project;
+mod rect;
+mod square;
+
+pub use circle::Circle;
+pub use extent::Extent;
+pub use point::Point;
+pub use rect::Rect;
+pub use square::Square;
+
+/// Relative tolerance used by approximate float comparisons in tests and by
+/// degenerate-geometry guards (e.g. zero-area MBRs).
+pub const EPSILON: f64 = 1e-9;

@@ -1,0 +1,169 @@
+//! A uniform grid index over points.
+//!
+//! The simplest batch-wise spatial structure: cells of fixed side length,
+//! each holding its entries. Used as an indexing-cost baseline next to the
+//! R-tree/quad-tree in the Table II-style experiments, and by the dataset
+//! generators for density estimation when sampling POI-like candidate and
+//! facility sites.
+
+use mc2ls_geo::{Point, Rect};
+
+/// A fixed-resolution grid of point buckets.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    origin: Point,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<(u32, Point)>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Builds a grid over `region` with cells of side `cell_size` km.
+    pub fn new(region: Rect, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let cols = (region.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (region.height() / cell_size).ceil().max(1.0) as usize;
+        GridIndex {
+            origin: region.min,
+            cell: cell_size,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+            len: 0,
+        }
+    }
+
+    /// Builds a grid sized to a point set.
+    pub fn build(items: Vec<(u32, Point)>, cell_size: f64) -> Self {
+        let mut extent = mc2ls_geo::Extent::new();
+        for (_, p) in &items {
+            extent.add(*p);
+        }
+        let region = extent
+            .padded_rect(1e-9)
+            .unwrap_or_else(|| Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)));
+        let mut g = GridIndex::new(region, cell_size);
+        for (id, p) in items {
+            g.insert(id, p);
+        }
+        g
+    }
+
+    fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let cx = ((p.x - self.origin.x) / self.cell).floor();
+        let cy = ((p.y - self.origin.y) / self.cell).floor();
+        (
+            (cx.max(0.0) as usize).min(self.cols - 1),
+            (cy.max(0.0) as usize).min(self.rows - 1),
+        )
+    }
+
+    /// Inserts a point (clamped to the grid region).
+    pub fn insert(&mut self, id: u32, p: Point) {
+        let (cx, cy) = self.cell_of(&p);
+        self.buckets[cy * self.cols + cx].push((id, p));
+        self.len += 1;
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no point is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// Number of points per cell, row-major — the density histogram the
+    /// data generators use for POI sampling.
+    pub fn cell_counts(&self) -> Vec<usize> {
+        self.buckets.iter().map(|b| b.len()).collect()
+    }
+
+    /// Calls `f(id, point)` for every entry inside `rect`.
+    pub fn for_each_in_rect<F: FnMut(u32, Point)>(&self, rect: &Rect, mut f: F) {
+        if self.len == 0 {
+            return;
+        }
+        let (cx0, cy0) = self.cell_of(&rect.min);
+        let (cx1, cy1) = self.cell_of(&rect.max);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for (id, p) in &self.buckets[cy * self.cols + cx] {
+                    if rect.contains(p) {
+                        f(*id, *p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ids of entries inside `rect`, sorted.
+    pub fn range_rect(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_in_rect(rect, |id, _| out.push(id));
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize) -> Vec<(u32, Point)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 48271) % 997) as f64 / 10.0;
+                let y = ((i * 16807) % 997) as f64 / 10.0;
+                (i as u32, Point::new(x, y))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let items = scatter(800);
+        let g = GridIndex::build(items.clone(), 5.0);
+        let rect = Rect::new(Point::new(12.0, 30.0), Point::new(55.0, 71.0));
+        let mut want: Vec<u32> = items
+            .iter()
+            .filter(|(_, p)| rect.contains(p))
+            .map(|(id, _)| *id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(g.range_rect(&rect), want);
+    }
+
+    #[test]
+    fn query_outside_region_is_empty_or_clamped() {
+        let g = GridIndex::build(scatter(100), 10.0);
+        let far = Rect::new(Point::new(1000.0, 1000.0), Point::new(1001.0, 1001.0));
+        assert!(g.range_rect(&far).is_empty());
+    }
+
+    #[test]
+    fn cell_counts_sum_to_len() {
+        let g = GridIndex::build(scatter(321), 7.0);
+        assert_eq!(g.cell_counts().iter().sum::<usize>(), 321);
+        assert_eq!(g.len(), 321);
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let g = GridIndex::build(vec![(1, Point::new(0.5, 0.5))], 100.0);
+        assert_eq!(g.dims(), (1, 1));
+        assert_eq!(
+            g.range_rect(&Rect::new(Point::ORIGIN, Point::new(1.0, 1.0))),
+            vec![1]
+        );
+    }
+}

@@ -1,0 +1,47 @@
+use mc2ls_geo::{Point, Square};
+
+/// One IQuad-tree node (paper §V-C).
+///
+/// The paper's entry forms are `⟨rect, 𝒫, Ω_inf, Ω_vrf⟩` for leaves and
+/// `⟨rect, 𝒫, Ω_inf, visited⟩` for non-leaves. We keep one struct:
+///
+/// * `𝒫` is represented as [`IqtNode::counts`] — per-user **position
+///   counts** inside the node square, sorted by user id. The IS rule
+///   (Lemma 2) only ever needs counts, so non-leaf nodes do not replicate
+///   point coordinates up the tree (the paper stores position sets at every
+///   level; counts preserve the exact semantics at a fraction of the
+///   memory).
+/// * Leaves additionally keep the exact positions ([`IqtNode::points`]) so
+///   the NIR rounded-square query can test partial leaf overlap exactly.
+/// * `Ω_inf`/`Ω_vrf` are lazily computed on first traversal; `Option` doubles
+///   as the paper's `visited` flag, which is what makes the index
+///   batch-wise: every other abstract facility in the same node reuses them.
+#[derive(Debug, Clone)]
+pub(super) struct IqtNode {
+    /// The node's square region.
+    pub square: Square,
+    /// Level in the tree: 0 = root, `depth` = leaf.
+    pub level: usize,
+    /// Sparse children (quadrant order SW, SE, NW, NE); `None` when the
+    /// quadrant holds no position or the node is a leaf.
+    pub children: [Option<u32>; 4],
+    /// `𝒫`: `(user, #positions inside square)`, sorted by user id.
+    pub counts: Vec<(u32, u32)>,
+    /// Leaf only: the exact positions inside the square, grouped arbitrarily.
+    pub points: Vec<(u32, Point)>,
+    /// `Ω_inf`, computed on first visit (`None` = not yet visited).
+    pub omega_inf: Option<Vec<u32>>,
+    /// `Ω_vrf` (leaf only), computed on first visit.
+    pub omega_vrf: Option<Vec<u32>>,
+}
+
+impl IqtNode {
+    pub(super) fn is_leaf(&self) -> bool {
+        self.children.iter().all(Option::is_none)
+    }
+
+    /// User ids present in this node (sorted, from `counts`).
+    pub(super) fn user_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.counts.iter().map(|&(u, _)| u)
+    }
+}

@@ -1,0 +1,34 @@
+//! Spatial index substrates for the MC²LS reproduction.
+//!
+//! * [`RTree`] — a from-scratch point R-tree (Guttman insert with quadratic
+//!   split + STR bulk loading). The paper's Adapted k-CIFP baseline
+//!   (Algorithm 1) indexes candidates and facilities in two R-trees `RT_C`
+//!   and `RT_F` and runs IA/NIB range queries against them.
+//! * [`QuadTree`] — a classic region point quad-tree (Finkel & Bentley),
+//!   used as a structural comparator for the IQuad-tree ablation and for
+//!   Table II-style indexing-cost experiments.
+//! * [`GridIndex`] — a uniform grid, the simplest batch-wise baseline.
+//! * [`KdTree`] — a balanced median-split kd-tree, a further comparator
+//!   for the indexing-cost experiments.
+//! * [`IQuadTree`] — the paper's contribution (§V-C): a user-MBR-free index
+//!   whose nodes carry per-user position counts, with the `⟨diagonal, η⟩`
+//!   hash and the batch-wise `Traverse` procedure (Algorithm 3) implementing
+//!   the IS (Lemma 2) and NIR (Lemma 3) pruning rules.
+//! * [`setops`] — merge-based operations on sorted id vectors, shared by the
+//!   traversal and the algorithm layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+pub mod iquadtree;
+mod kdtree;
+mod quadtree;
+pub mod rtree;
+pub mod setops;
+
+pub use grid::GridIndex;
+pub use iquadtree::{IQuadTree, IqtStats, TraverseOutcome};
+pub use kdtree::KdTree;
+pub use quadtree::QuadTree;
+pub use rtree::RTree;

@@ -1,0 +1,217 @@
+//! A classic region point quad-tree (Finkel & Bentley 1974).
+//!
+//! This is the structural ancestor of the paper's IQuad-tree: the same
+//! four-way square subdivision, but storing raw points with a bucket
+//! capacity instead of per-user count summaries. It serves as the indexing
+//! comparator in the Table II-style experiments and as an ablation: what the
+//! hierarchy alone buys without the η/NIR machinery.
+
+use mc2ls_geo::{Point, Rect, Square};
+
+/// Bucket capacity: a leaf holding more than this many points subdivides
+/// (unless it has reached `MAX_DEPTH`).
+pub const BUCKET_CAPACITY: usize = 32;
+/// Hard depth cap to keep degenerate (duplicate-heavy) data from recursing
+/// forever.
+pub const MAX_DEPTH: usize = 24;
+
+#[derive(Debug, Clone)]
+struct QNode {
+    square: Square,
+    /// Indices of the four children in the arena, when subdivided.
+    children: Option<[usize; 4]>,
+    /// `(id, point)` entries; non-empty only in leaves.
+    entries: Vec<(u32, Point)>,
+}
+
+/// A bucketed point quad-tree over a square region.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    nodes: Vec<QNode>,
+    len: usize,
+}
+
+impl QuadTree {
+    /// Creates an empty tree covering `region` (grown to a square).
+    pub fn new(region: Rect) -> Self {
+        let side = region.width().max(region.height()).max(f64::MIN_POSITIVE);
+        let square = Square::new(region.min, side);
+        QuadTree {
+            nodes: vec![QNode {
+                square,
+                children: None,
+                entries: Vec::new(),
+            }],
+            len: 0,
+        }
+    }
+
+    /// Builds a tree from a point set, sizing the region automatically.
+    pub fn build(items: Vec<(u32, Point)>) -> Self {
+        let mut extent = mc2ls_geo::Extent::new();
+        for (_, p) in &items {
+            extent.add(*p);
+        }
+        let region = extent
+            .padded_rect(1e-9)
+            .unwrap_or_else(|| Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)));
+        let mut tree = QuadTree::new(region);
+        for (id, p) in items {
+            tree.insert(id, p);
+        }
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no point is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point. Points outside the region are clamped into it (the
+    /// MC²LS loaders always size the region first, so this is a safety net,
+    /// not a code path relied upon).
+    pub fn insert(&mut self, id: u32, p: Point) {
+        let sq = self.nodes[0].square;
+        let rect = sq.rect();
+        let clamped = Point::new(
+            p.x.clamp(rect.min.x, rect.max.x),
+            p.y.clamp(rect.min.y, rect.max.y),
+        );
+        self.len += 1;
+        self.insert_rec(0, id, clamped, 0);
+    }
+
+    fn insert_rec(&mut self, idx: usize, id: u32, p: Point, depth: usize) {
+        if let Some(children) = self.nodes[idx].children {
+            let q = self.nodes[idx].square.quadrant_of(&p);
+            self.insert_rec(children[q], id, p, depth + 1);
+            return;
+        }
+        self.nodes[idx].entries.push((id, p));
+        if self.nodes[idx].entries.len() > BUCKET_CAPACITY && depth < MAX_DEPTH {
+            self.subdivide(idx, depth);
+        }
+    }
+
+    fn subdivide(&mut self, idx: usize, depth: usize) {
+        let quadrants = self.nodes[idx].square.quadrants();
+        let first_child = self.nodes.len();
+        for q in quadrants {
+            self.nodes.push(QNode {
+                square: q,
+                children: None,
+                entries: Vec::new(),
+            });
+        }
+        let children = [
+            first_child,
+            first_child + 1,
+            first_child + 2,
+            first_child + 3,
+        ];
+        let entries = std::mem::take(&mut self.nodes[idx].entries);
+        self.nodes[idx].children = Some(children);
+        for (id, p) in entries {
+            let q = self.nodes[idx].square.quadrant_of(&p);
+            self.insert_rec(children[q], id, p, depth + 1);
+        }
+    }
+
+    /// Calls `f(id, point)` for every entry inside `rect`.
+    pub fn for_each_in_rect<F: FnMut(u32, Point)>(&self, rect: &Rect, mut f: F) {
+        self.query_rec(0, rect, &mut f);
+    }
+
+    fn query_rec<F: FnMut(u32, Point)>(&self, idx: usize, rect: &Rect, f: &mut F) {
+        let node = &self.nodes[idx];
+        if !node.square.rect().intersects(rect) {
+            return;
+        }
+        for (id, p) in &node.entries {
+            if rect.contains(p) {
+                f(*id, *p);
+            }
+        }
+        if let Some(children) = node.children {
+            for c in children {
+                self.query_rec(c, rect, f);
+            }
+        }
+    }
+
+    /// Ids of entries inside `rect`, sorted.
+    pub fn range_rect(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_in_rect(rect, |id, _| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    /// Total node count (for index-size statistics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize) -> Vec<(u32, Point)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 2654435761) % 1000) as f64 / 10.0;
+                let y = ((i * 40503) % 1000) as f64 / 10.0;
+                (i as u32, Point::new(x, y))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_query_matches_brute_force() {
+        let items = scatter(1000);
+        let t = QuadTree::build(items.clone());
+        assert_eq!(t.len(), 1000);
+        let rect = Rect::new(Point::new(10.0, 20.0), Point::new(60.0, 80.0));
+        let mut want: Vec<u32> = items
+            .iter()
+            .filter(|(_, p)| rect.contains(p))
+            .map(|(id, _)| *id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(t.range_rect(&rect), want);
+    }
+
+    #[test]
+    fn empty_and_small_queries() {
+        let t = QuadTree::build(vec![]);
+        assert!(t.is_empty());
+        let t = QuadTree::build(vec![(7, Point::new(1.0, 1.0))]);
+        let hit = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let miss = Rect::new(Point::new(3.0, 3.0), Point::new(4.0, 4.0));
+        assert_eq!(t.range_rect(&hit), vec![7]);
+        assert!(t.range_rect(&miss).is_empty());
+    }
+
+    #[test]
+    fn subdivides_past_bucket_capacity() {
+        let t = QuadTree::build(scatter(500));
+        assert!(t.node_count() > 1, "expected subdivision");
+    }
+
+    #[test]
+    fn duplicate_points_capped_by_depth() {
+        // 100 identical points cannot be separated; the depth cap must stop
+        // the recursion.
+        let items: Vec<(u32, Point)> = (0..100).map(|i| (i, Point::new(5.0, 5.0))).collect();
+        let t = QuadTree::build(items);
+        assert_eq!(t.len(), 100);
+        let rect = Rect::new(Point::new(4.0, 4.0), Point::new(6.0, 6.0));
+        assert_eq!(t.range_rect(&rect).len(), 100);
+    }
+}

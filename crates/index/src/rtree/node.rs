@@ -1,0 +1,18 @@
+use mc2ls_geo::{Point, Rect};
+
+/// An R-tree node: the covering MBR plus either child node indices or point
+/// entries. Nodes live in the tree's arena vector; children are indices into
+/// it, which keeps the structure allocation-friendly and clone-cheap.
+#[derive(Debug, Clone)]
+pub(super) struct Node {
+    pub mbr: Rect,
+    pub kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+pub(super) enum NodeKind {
+    /// Child node indices in the arena.
+    Internal(Vec<usize>),
+    /// `(id, position)` point entries.
+    Leaf(Vec<(u32, Point)>),
+}

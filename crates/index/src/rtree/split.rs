@@ -1,0 +1,154 @@
+//! Guttman's quadratic split for leaf entries and internal children.
+
+use super::node::Node;
+use super::MIN_ENTRIES;
+use mc2ls_geo::{Point, Rect};
+
+/// One split half: the covering MBR plus the leaf entries assigned to it.
+type LeafGroup = (Rect, Vec<(u32, Point)>);
+
+/// Splits an overflowing leaf entry list into two groups by quadratic split.
+/// Returns `((mbr_a, entries_a), (mbr_b, entries_b))`.
+pub(super) fn split_leaf(entries: Vec<(u32, Point)>) -> (LeafGroup, LeafGroup) {
+    let rects: Vec<Rect> = entries.iter().map(|(_, p)| Rect::point(*p)).collect();
+    let (ga, gb) = quadratic_partition(&rects);
+    let pick = |idxs: &[usize]| -> LeafGroup {
+        let picked: Vec<(u32, Point)> = idxs.iter().map(|&i| entries[i]).collect();
+        let mut mbr = Rect::point(picked[0].1);
+        for (_, p) in &picked {
+            mbr.expand_to(p);
+        }
+        (mbr, picked)
+    };
+    (pick(&ga), pick(&gb))
+}
+
+/// Splits an overflowing internal child list into two groups.
+pub(super) fn split_internal(
+    nodes: &[Node],
+    children: Vec<usize>,
+) -> ((Rect, Vec<usize>), (Rect, Vec<usize>)) {
+    let rects: Vec<Rect> = children.iter().map(|&c| nodes[c].mbr).collect();
+    let (ga, gb) = quadratic_partition(&rects);
+    let pick = |idxs: &[usize]| -> (Rect, Vec<usize>) {
+        let picked: Vec<usize> = idxs.iter().map(|&i| children[i]).collect();
+        let mut mbr = rects[idxs[0]];
+        for &i in idxs {
+            mbr = mbr.union(&rects[i]);
+        }
+        (mbr, picked)
+    };
+    (pick(&ga), pick(&gb))
+}
+
+/// Guttman's quadratic partition over item rectangles: pick the seed pair
+/// wasting the most area, then repeatedly assign the item with the largest
+/// preference difference to the group whose MBR grows least.
+fn quadratic_partition(rects: &[Rect]) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+
+    // Seed selection: maximise dead space of the pair MBR.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+    let mut mbr_a = rects[seed_a];
+    let mut mbr_b = rects[seed_b];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+
+    while !remaining.is_empty() {
+        // If one group must absorb the rest to reach the minimum, do so.
+        if group_a.len() + remaining.len() == MIN_ENTRIES {
+            for &i in &remaining {
+                group_a.push(i);
+            }
+            break;
+        }
+        if group_b.len() + remaining.len() == MIN_ENTRIES {
+            for &i in &remaining {
+                group_b.push(i);
+            }
+            break;
+        }
+        // Pick the item with the greatest enlargement preference.
+        let (mut best_pos, mut best_diff) = (0, f64::NEG_INFINITY);
+        for (pos, &i) in remaining.iter().enumerate() {
+            let da = mbr_a.union(&rects[i]).area() - mbr_a.area();
+            let db = mbr_b.union(&rects[i]).area() - mbr_b.area();
+            let diff = (da - db).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                best_pos = pos;
+            }
+        }
+        let i = remaining.swap_remove(best_pos);
+        let da = mbr_a.union(&rects[i]).area() - mbr_a.area();
+        let db = mbr_b.union(&rects[i]).area() - mbr_b.area();
+        let to_a = match da.partial_cmp(&db) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => group_a.len() <= group_b.len(),
+        };
+        if to_a {
+            group_a.push(i);
+            mbr_a = mbr_a.union(&rects[i]);
+        } else {
+            group_b.push(i);
+            mbr_b = mbr_b.union(&rects[i]);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_items_once() {
+        let rects: Vec<Rect> = (0..20)
+            .map(|i| Rect::point(Point::new(i as f64, (i * 7 % 5) as f64)))
+            .collect();
+        let (a, b) = quadratic_partition(&rects);
+        assert_eq!(a.len() + b.len(), rects.len());
+        let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..rects.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_respects_minimum_fill() {
+        let rects: Vec<Rect> = (0..17)
+            .map(|i| Rect::point(Point::new(i as f64, 0.0)))
+            .collect();
+        let (a, b) = quadratic_partition(&rects);
+        assert!(a.len() >= MIN_ENTRIES || b.len() >= MIN_ENTRIES);
+        assert!(a.len().min(b.len()) >= MIN_ENTRIES.min(rects.len() / 2));
+    }
+
+    #[test]
+    fn split_leaf_mbrs_cover_groups() {
+        let entries: Vec<(u32, Point)> = (0..17)
+            .map(|i| (i, Point::new((i % 9) as f64, (i / 3) as f64)))
+            .collect();
+        let ((mbr_a, ea), (mbr_b, eb)) = split_leaf(entries.clone());
+        assert_eq!(ea.len() + eb.len(), entries.len());
+        for (_, p) in &ea {
+            assert!(mbr_a.contains(p));
+        }
+        for (_, p) in &eb {
+            assert!(mbr_b.contains(p));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests: every index must agree with brute force, and the
+//! IQuad-tree's IS/NIR classification must never contradict the exact
+//! influence model.
+
+use mc2ls_geo::{Point, Rect};
+use mc2ls_index::{setops, GridIndex, IQuadTree, KdTree, QuadTree, RTree};
+use mc2ls_influence::{influences, MovingUser, Sigmoid};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-30.0f64..30.0, -30.0f64..30.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn items() -> impl Strategy<Value = Vec<(u32, Point)>> {
+    prop::collection::vec(pt(), 0..300).prop_map(|ps| {
+        ps.into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p))
+            .collect()
+    })
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (pt(), pt()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+fn brute(items: &[(u32, Point)], r: &Rect) -> Vec<u32> {
+    let mut v: Vec<u32> = items
+        .iter()
+        .filter(|(_, p)| r.contains(p))
+        .map(|(id, _)| *id)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn users() -> impl Strategy<Value = Vec<MovingUser>> {
+    prop::collection::vec(prop::collection::vec(pt(), 1..15), 1..40)
+        .prop_map(|us| us.into_iter().map(MovingUser::new).collect())
+}
+
+proptest! {
+    #[test]
+    fn rtree_bulk_matches_brute(items in items(), r in rect()) {
+        let t = RTree::bulk_load(items.clone());
+        prop_assert_eq!(t.range_rect(&r), brute(&items, &r));
+    }
+
+    #[test]
+    fn rtree_insert_matches_brute(items in items(), r in rect()) {
+        let mut t = RTree::new();
+        for (id, p) in &items {
+            t.insert(*id, *p);
+        }
+        prop_assert_eq!(t.range_rect(&r), brute(&items, &r));
+    }
+
+    #[test]
+    fn rtree_nearest_matches_brute(items in items(), q in pt()) {
+        let t = RTree::bulk_load(items.clone());
+        match t.nearest(&q) {
+            None => prop_assert!(items.is_empty()),
+            Some((id, p)) => {
+                let best = items.iter()
+                    .map(|(i, pt)| (q.distance_sq(pt), *i))
+                    .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                    .unwrap();
+                prop_assert_eq!(q.distance_sq(&p), best.0);
+                prop_assert_eq!(id, best.1);
+            }
+        }
+    }
+
+    #[test]
+    fn quadtree_matches_brute(items in items(), r in rect()) {
+        let t = QuadTree::build(items.clone());
+        prop_assert_eq!(t.range_rect(&r), brute(&items, &r));
+    }
+
+    #[test]
+    fn grid_matches_brute(items in items(), r in rect(), cell in 0.5f64..20.0) {
+        let t = GridIndex::build(items.clone(), cell);
+        prop_assert_eq!(t.range_rect(&r), brute(&items, &r));
+    }
+
+    #[test]
+    fn kdtree_matches_brute(items in items(), r in rect(), q in pt()) {
+        let t = KdTree::build(items.clone());
+        prop_assert_eq!(t.range_rect(&r), brute(&items, &r));
+        match t.nearest(&q) {
+            None => prop_assert!(items.is_empty()),
+            Some((id, p)) => {
+                let best = items.iter()
+                    .map(|(i, pt)| (q.distance_sq(pt), *i))
+                    .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                    .unwrap();
+                prop_assert_eq!(q.distance_sq(&p), best.0);
+                prop_assert_eq!(id, best.1);
+            }
+        }
+    }
+
+    /// The IQuad-tree three-way classification is exact on both certain
+    /// sides: `influenced` ⇒ truly influenced; pruned ⇒ truly not.
+    #[test]
+    fn iquadtree_classification_sound(us in users(), v in pt(),
+                                      tau in 0.1f64..0.9, d_hat in 0.5f64..4.0) {
+        let pf = Sigmoid::paper_default();
+        let mut t = IQuadTree::build(&us, &pf, tau, d_hat);
+        let out = t.traverse(&v);
+        prop_assert!(setops::intersect(&out.influenced, &out.to_verify).is_empty());
+        for (uid, u) in us.iter().enumerate() {
+            let truth = influences(&pf, &v, u.positions(), tau);
+            let uid = uid as u32;
+            if setops::contains(&out.influenced, uid) {
+                prop_assert!(truth, "IS admitted user {} wrongly", uid);
+            } else if !setops::contains(&out.to_verify, uid) {
+                prop_assert!(!truth, "NIR pruned influenced user {}", uid);
+            }
+        }
+    }
+
+    /// Traversing twice (batch-wise cache) returns identical outcomes.
+    #[test]
+    fn iquadtree_traverse_idempotent(us in users(), v in pt(), tau in 0.1f64..0.9) {
+        let pf = Sigmoid::paper_default();
+        let mut t = IQuadTree::build(&us, &pf, tau, 2.0);
+        let a = t.traverse(&v);
+        let b = t.traverse(&v);
+        prop_assert_eq!(a.influenced, b.influenced);
+        prop_assert_eq!(a.to_verify, b.to_verify);
+    }
+
+    /// Streaming inserts are equivalent to batch construction: traversals
+    /// after interleaved inserts match a tree built with all users.
+    #[test]
+    fn iquadtree_incremental_matches_batch(us in users(), v in pt(),
+                                           split in 1usize..10, tau in 0.2f64..0.8) {
+        let pf = Sigmoid::paper_default();
+        let split = split.min(us.len());
+        let mut batch = IQuadTree::build(&us, &pf, tau, 2.0);
+        let mut inc = IQuadTree::build(&us[..split], &pf, tau, 2.0);
+        for u in &us[split..] {
+            let _ = inc.traverse(&v); // populate caches mid-stream
+            // The incremental tree's root region covers only the first
+            // chunk; instances whose later users roam outside it are not
+            // applicable to this property (the insert is a rejected no-op).
+            let region = inc.root_region();
+            if u.positions().iter().all(|p| region.contains(p)) {
+                inc.insert_user(u, &pf, tau).unwrap();
+            } else {
+                return Ok(());
+            }
+        }
+        let a = batch.traverse(&v);
+        let b = inc.traverse(&v);
+        prop_assert_eq!(a.influenced, b.influenced);
+        prop_assert_eq!(a.to_verify, b.to_verify);
+    }
+
+    /// After removing a user, traversal stays sound and complete for the
+    /// remaining users and never mentions the removed one — even with
+    /// caches warmed before the removal. (Comparing against a rebuilt tree
+    /// is NOT a valid oracle: removal can change the data extent, and a
+    /// differently-rooted tree partitions decisions differently while
+    /// remaining equally sound.)
+    #[test]
+    fn iquadtree_remove_stays_sound(us in users(), v in pt(),
+                                    victim in 0usize..40, tau in 0.2f64..0.8) {
+        let pf = Sigmoid::paper_default();
+        let victim = victim % us.len();
+        let mut t = IQuadTree::build(&us, &pf, tau, 2.0);
+        let _ = t.traverse(&v); // warm caches before removal
+        prop_assert_eq!(t.remove_user(victim as u32), us[victim].len());
+        let out = t.traverse(&v);
+        prop_assert!(!setops::contains(&out.influenced, victim as u32));
+        prop_assert!(!setops::contains(&out.to_verify, victim as u32));
+        for (uid, u) in us.iter().enumerate() {
+            if uid == victim {
+                continue;
+            }
+            let truth = influences(&pf, &v, u.positions(), tau);
+            let uid = uid as u32;
+            if setops::contains(&out.influenced, uid) {
+                prop_assert!(truth, "IS admitted user {} wrongly after removal", uid);
+            } else if !setops::contains(&out.to_verify, uid) {
+                prop_assert!(!truth, "pruned influenced user {} after removal", uid);
+            }
+        }
+    }
+
+    /// users_with_position_in agrees with a brute-force scan.
+    #[test]
+    fn iquadtree_user_query_matches_brute(us in users(), r in rect()) {
+        let pf = Sigmoid::paper_default();
+        let t = IQuadTree::build(&us, &pf, 0.5, 2.0);
+        let got = t.users_with_position_in(&r);
+        let mut want: Vec<u32> = us.iter().enumerate()
+            .filter(|(_, u)| u.positions().iter().any(|p| r.contains(p)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

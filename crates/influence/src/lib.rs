@@ -1,0 +1,30 @@
+//! The probability-based influence model over moving users (paper §III-A).
+//!
+//! This crate is the substrate every MC²LS algorithm builds on:
+//!
+//! * [`ProbabilityFunction`] — the distance-based utility `PF(d)` that maps
+//!   the distance between an abstract facility and one user position to an
+//!   influence probability. The paper's experiments use the sigmoid
+//!   `PF(d) = ρ/(1 + e^d)` ([`Sigmoid`]); [`Exponential`], [`Linear`] and
+//!   [`Step`] model the alternative influence-preference semantics the
+//!   related work discusses (range-based, linear-decay).
+//! * [`cumulative_probability`] / [`influences`] — Definitions 1–2: a user is
+//!   influenced when `Pr_v(o) = 1 − Π(1 − PF(d(v, pᵢ))) ≥ τ`, with the
+//!   early-stopping evaluation from PINOCCHIO.
+//! * [`min_max_radius`] (`mMR(τ,r)`), [`non_influence_radius`] (`NIR`) and
+//!   [`eta`] (`η(τ, PF, d̂)`, Definition 8) — the radius/count thresholds
+//!   behind the IA, NIB, IS and NIR pruning rules.
+//! * [`MovingUser`] — a multi-position user with its cached MBR.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cumulative;
+mod pf;
+mod radius;
+mod user;
+
+pub use cumulative::{cumulative_probability, influences, influences_counted, EvalCounter};
+pub use pf::{Exponential, Linear, ProbabilityFunction, Sigmoid, Step};
+pub use radius::{eta, eta_count, min_max_radius, non_influence_radius};
+pub use user::{MovingUser, UserId};

@@ -1,0 +1,242 @@
+//! Distance-based probability (utility) functions `PF(d)`.
+//!
+//! A `PF` maps the distance (km) between an abstract facility and one user
+//! position to the probability that the facility influences the user at that
+//! position (paper §III-A: `Pr_v(pᵢ) = PF(d(v, pᵢ))`). Every `PF` is
+//! monotonically non-increasing in distance; pruning correctness depends on
+//! exactly that property, so it is asserted by the property tests.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically non-increasing distance→probability mapping.
+///
+/// Implementations must guarantee, for all `0 ≤ d₁ ≤ d₂`:
+/// `prob(d₁) ≥ prob(d₂)` and `0 ≤ prob(d) ≤ 1`.
+pub trait ProbabilityFunction: Send + Sync {
+    /// Influence probability of one position at distance `d` km (`d ≥ 0`).
+    fn prob(&self, d: f64) -> f64;
+
+    /// The largest achievable single-position probability, `prob(0)`.
+    fn max_probability(&self) -> f64 {
+        self.prob(0.0)
+    }
+
+    /// The largest distance `d` with `prob(d) ≥ p`, i.e. the generalised
+    /// inverse `PF⁻¹(p)`.
+    ///
+    /// Returns `None` when `p > prob(0)` (no distance achieves `p`) or when
+    /// `p ≤ 0` would make every distance qualify (callers never need an
+    /// unbounded radius; they treat `None` from `p ≤ 0` as "cannot bound").
+    fn inverse(&self, p: f64) -> Option<f64>;
+}
+
+/// The paper's experimental utility function `PF(d) = ρ / (1 + e^d)`
+/// (§VII-A, following PINOCCHIO [13]), with `ρ ∈ (0, 1]` the maximum
+/// probability parameter (the paper sets `ρ = 1`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Sigmoid {
+    /// Maximum probability parameter `ρ`.
+    pub rho: f64,
+}
+
+impl Sigmoid {
+    /// Creates the sigmoid utility with parameter `ρ ∈ (0, 1]`.
+    pub fn new(rho: f64) -> Self {
+        assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1], got {rho}");
+        Sigmoid { rho }
+    }
+
+    /// The paper's default (`ρ = 1`).
+    pub fn paper_default() -> Self {
+        Sigmoid::new(1.0)
+    }
+}
+
+impl ProbabilityFunction for Sigmoid {
+    #[inline]
+    fn prob(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        self.rho / (1.0 + d.exp())
+    }
+
+    fn inverse(&self, p: f64) -> Option<f64> {
+        if p <= 0.0 || p > self.max_probability() {
+            return None;
+        }
+        // p = rho / (1 + e^d)  =>  d = ln(rho/p − 1); clamp the boundary
+        // p == rho/2 (d = 0) against rounding.
+        Some((self.rho / p - 1.0).ln().max(0.0))
+    }
+}
+
+/// Exponential decay `PF(d) = ρ·e^{−d/σ}` — a common alternative influence
+/// preference (steeper near the facility than the sigmoid).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Exponential {
+    /// Maximum probability at distance zero.
+    pub rho: f64,
+    /// Decay length-scale in km.
+    pub sigma: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential-decay utility.
+    pub fn new(rho: f64, sigma: f64) -> Self {
+        assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1], got {rho}");
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        Exponential { rho, sigma }
+    }
+}
+
+impl ProbabilityFunction for Exponential {
+    #[inline]
+    fn prob(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        self.rho * (-d / self.sigma).exp()
+    }
+
+    fn inverse(&self, p: f64) -> Option<f64> {
+        if p <= 0.0 || p > self.rho {
+            return None;
+        }
+        Some((-(p / self.rho).ln() * self.sigma).max(0.0))
+    }
+}
+
+/// Linear decay `PF(d) = ρ·max(0, 1 − d/R)` — zero beyond the cutoff `R`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Linear {
+    /// Maximum probability at distance zero.
+    pub rho: f64,
+    /// Cutoff radius in km beyond which the probability is zero.
+    pub cutoff: f64,
+}
+
+impl Linear {
+    /// Creates a linear-decay utility.
+    pub fn new(rho: f64, cutoff: f64) -> Self {
+        assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1], got {rho}");
+        assert!(cutoff > 0.0, "cutoff must be positive, got {cutoff}");
+        Linear { rho, cutoff }
+    }
+}
+
+impl ProbabilityFunction for Linear {
+    #[inline]
+    fn prob(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        self.rho * (1.0 - d / self.cutoff).max(0.0)
+    }
+
+    fn inverse(&self, p: f64) -> Option<f64> {
+        if p <= 0.0 || p > self.rho {
+            return None;
+        }
+        Some(((1.0 - p / self.rho) * self.cutoff).max(0.0))
+    }
+}
+
+/// Range (yes/no) semantics `PF(d) = ρ·[d ≤ R]` — the influence model used
+/// by range-coverage CLS work ([16] in the paper); included as a comparator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Step {
+    /// Probability inside the range.
+    pub rho: f64,
+    /// Range radius in km.
+    pub range: f64,
+}
+
+impl Step {
+    /// Creates a step utility.
+    pub fn new(rho: f64, range: f64) -> Self {
+        assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1], got {rho}");
+        assert!(range > 0.0, "range must be positive, got {range}");
+        Step { rho, range }
+    }
+}
+
+impl ProbabilityFunction for Step {
+    #[inline]
+    fn prob(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        if d <= self.range {
+            self.rho
+        } else {
+            0.0
+        }
+    }
+
+    fn inverse(&self, p: f64) -> Option<f64> {
+        if p <= 0.0 || p > self.rho {
+            return None;
+        }
+        Some(self.range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_matches_paper_values() {
+        let pf = Sigmoid::paper_default();
+        assert!((pf.prob(0.0) - 0.5).abs() < 1e-12);
+        // PF is strictly decreasing.
+        assert!(pf.prob(0.5) > pf.prob(1.0));
+        assert!(pf.prob(10.0) < 1e-4);
+    }
+
+    #[test]
+    fn sigmoid_inverse_roundtrip() {
+        let pf = Sigmoid::new(0.8);
+        for p in [0.05, 0.1, 0.2, 0.39] {
+            let d = pf.inverse(p).unwrap();
+            assert!((pf.prob(d) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_inverse_rejects_unreachable() {
+        let pf = Sigmoid::paper_default();
+        assert!(pf.inverse(0.6).is_none()); // > PF(0) = 0.5
+        assert!(pf.inverse(0.0).is_none());
+        assert!(pf.inverse(-0.1).is_none());
+        assert!((pf.inverse(0.5).unwrap() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_inverse_roundtrip() {
+        let pf = Exponential::new(1.0, 2.0);
+        for p in [0.1, 0.5, 0.9] {
+            let d = pf.inverse(p).unwrap();
+            assert!((pf.prob(d) - p).abs() < 1e-9);
+        }
+        assert!(pf.inverse(1.5).is_none());
+    }
+
+    #[test]
+    fn linear_cuts_off() {
+        let pf = Linear::new(1.0, 2.0);
+        assert_eq!(pf.prob(2.0), 0.0);
+        assert_eq!(pf.prob(5.0), 0.0);
+        assert!((pf.prob(1.0) - 0.5).abs() < 1e-12);
+        assert!((pf.inverse(0.5).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_is_flat_inside_range() {
+        let pf = Step::new(0.9, 1.5);
+        assert_eq!(pf.prob(0.0), 0.9);
+        assert_eq!(pf.prob(1.5), 0.9);
+        assert_eq!(pf.prob(1.500001), 0.0);
+        // Inverse of any achievable p is the full range.
+        assert_eq!(pf.inverse(0.5).unwrap(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in (0, 1]")]
+    fn sigmoid_rejects_bad_rho() {
+        Sigmoid::new(1.5);
+    }
+}

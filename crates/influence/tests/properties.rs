@@ -1,0 +1,112 @@
+//! Property-based tests for the influence model: the pruning thresholds
+//! must never contradict the exact cumulative probability.
+
+use mc2ls_geo::Point;
+use mc2ls_influence::{
+    cumulative_probability, eta_count, influences, min_max_radius, Exponential, MovingUser, Sigmoid,
+};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-20.0f64..20.0, -20.0f64..20.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn positions() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(pt(), 1..40)
+}
+
+fn tau() -> impl Strategy<Value = f64> {
+    0.05f64..0.95
+}
+
+proptest! {
+    /// Early stopping must agree with the exact Definition 2 decision.
+    #[test]
+    fn early_stopping_is_exact(v in pt(), ps in positions(), t in tau()) {
+        let pf = Sigmoid::paper_default();
+        let exact = cumulative_probability(&pf, &v, &ps) >= t;
+        prop_assert_eq!(influences(&pf, &v, &ps, t), exact);
+    }
+
+    /// Corollary 1: all r positions within mMR(τ, r) ⇒ influenced.
+    #[test]
+    fn corollary1_inside_mmr_influences(center in pt(), t in tau(), r in 1usize..30, seed in 0u64..1000) {
+        let pf = Sigmoid::paper_default();
+        if let Some(mmr) = min_max_radius(&pf, t, r) {
+            // Deterministic pseudo-random placement inside the circle.
+            let ps: Vec<Point> = (0..r).map(|i| {
+                let a = (seed as f64 * 0.618 + i as f64) % (2.0 * std::f64::consts::PI);
+                let rad = mmr * (((seed + i as u64) % 97) as f64 / 97.0);
+                Point::new(center.x + rad * a.cos(), center.y + rad * a.sin())
+            }).collect();
+            prop_assert!(influences(&pf, &center, &ps, t));
+        }
+    }
+
+    /// Corollary 2: no position within mMR(τ, r) ⇒ not influenced.
+    #[test]
+    fn corollary2_outside_mmr_never_influences(center in pt(), t in tau(), r in 1usize..30, seed in 0u64..1000) {
+        let pf = Sigmoid::paper_default();
+        let mmr = min_max_radius(&pf, t, r).unwrap_or(0.0);
+        let ps: Vec<Point> = (0..r).map(|i| {
+            let a = (seed as f64 * 0.37 + i as f64) % (2.0 * std::f64::consts::PI);
+            let rad = mmr + 1e-6 + ((seed + i as u64) % 13) as f64;
+            Point::new(center.x + rad * a.cos(), center.y + rad * a.sin())
+        }).collect();
+        prop_assert!(!influences(&pf, &center, &ps, t));
+    }
+
+    /// Lemma 1: ⌈η(τ, PF, d̂)⌉ positions within distance d̂ ⇒ influenced,
+    /// for any extra positions anywhere.
+    #[test]
+    fn lemma1_eta_count_influences(center in pt(), t in tau(), d_hat in 0.1f64..4.0,
+                                   extra in prop::collection::vec(pt(), 0..10), seed in 0u64..1000) {
+        let pf = Sigmoid::paper_default();
+        if let Some(n) = eta_count(&pf, t, d_hat) {
+            if n <= 200 {
+                let mut ps: Vec<Point> = (0..n).map(|i| {
+                    let a = (seed as f64 + i as f64 * 2.39996) % (2.0 * std::f64::consts::PI);
+                    let rad = d_hat * ((i as u64 + seed) % 101) as f64 / 101.0;
+                    Point::new(center.x + rad * a.cos(), center.y + rad * a.sin())
+                }).collect();
+                ps.extend(extra);
+                prop_assert!(influences(&pf, &center, &ps, t));
+            }
+        }
+    }
+
+    /// Monotonicity (Lemma 4 core): appending positions never lowers Pr.
+    #[test]
+    fn appending_positions_monotone(v in pt(), ps in positions(), extra in pt()) {
+        let pf = Exponential::new(0.9, 1.5);
+        let before = cumulative_probability(&pf, &v, &ps);
+        let mut more = ps.clone();
+        more.push(extra);
+        let after = cumulative_probability(&pf, &v, &more);
+        prop_assert!(after >= before - 1e-12);
+    }
+
+    /// Pr is monotone non-increasing when the facility moves directly away
+    /// from every position (PF monotone ⇒ cumulative monotone).
+    #[test]
+    fn probability_decreases_with_uniform_retreat(ps in positions(), shift in 0.0f64..10.0) {
+        let pf = Sigmoid::paper_default();
+        // Place v far east of the MBR, then move it farther east.
+        let u = MovingUser::new(ps.clone());
+        let base_x = u.mbr().max.x + 1.0;
+        let near = Point::new(base_x, u.mbr().center().y);
+        let far = Point::new(base_x + shift, u.mbr().center().y);
+        // Moving straight east increases the distance to every position.
+        let pr_near = cumulative_probability(&pf, &near, &ps);
+        let pr_far = cumulative_probability(&pf, &far, &ps);
+        prop_assert!(pr_far <= pr_near + 1e-12);
+    }
+
+    /// Probability is always in [0, 1].
+    #[test]
+    fn probability_in_unit_interval(v in pt(), ps in positions()) {
+        let pf = Sigmoid::new(0.8);
+        let pr = cumulative_probability(&pf, &v, &ps);
+        prop_assert!((0.0..=1.0).contains(&pr));
+    }
+}

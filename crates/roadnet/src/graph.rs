@@ -1,0 +1,238 @@
+//! The road graph: embedded nodes, weighted undirected edges.
+
+use mc2ls_geo::Point;
+use mc2ls_index::RTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Index of a road-network node.
+pub type NodeId = u32;
+
+/// An undirected road network with planar node coordinates (km) and edge
+/// lengths (km). Edge lengths must be at least the Euclidean distance of
+/// their endpoints (roads cannot be shorter than a straight line); the
+/// constructor enforces this, which in turn guarantees
+/// `network_distance ≥ euclidean_distance` everywhere.
+///
+/// # Examples
+/// ```
+/// use mc2ls_geo::Point;
+/// use mc2ls_roadnet::{dijkstra, RoadNetwork};
+///
+/// let net = RoadNetwork::new(
+///     vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+///     &[(0, 1, 1.2), (1, 2, 1.0)],
+/// );
+/// let dist = dijkstra(&net, 0);
+/// assert_eq!(dist[2], 2.2);
+/// assert_eq!(net.nearest_node(&Point::new(1.9, 0.1)), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    adj: Vec<Vec<(NodeId, f64)>>,
+    /// Spatial index over node positions, rebuilt on (de)serialisation.
+    #[serde(skip, default)]
+    node_index: Option<RTree>,
+}
+
+impl RoadNetwork {
+    /// Creates a network from node coordinates and undirected edges
+    /// `(a, b, length_km)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, self-loops, non-positive lengths,
+    /// or lengths below the straight-line distance.
+    pub fn new(nodes: Vec<Point>, edges: &[(NodeId, NodeId, f64)]) -> Self {
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for &(a, b, len) in edges {
+            assert!(a != b, "self-loop at node {a}");
+            assert!(
+                (a as usize) < nodes.len() && (b as usize) < nodes.len(),
+                "edge ({a},{b}) out of range"
+            );
+            assert!(len > 0.0, "edge length must be positive");
+            let straight = nodes[a as usize].distance(&nodes[b as usize]);
+            assert!(
+                len >= straight - 1e-9,
+                "edge ({a},{b}) shorter ({len}) than the straight line ({straight})"
+            );
+            adj[a as usize].push((b, len));
+            adj[b as usize].push((a, len));
+        }
+        let node_index = Some(RTree::bulk_load(
+            nodes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, *p))
+                .collect(),
+        ));
+        RoadNetwork {
+            nodes,
+            adj,
+            node_index,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Coordinates of a node.
+    pub fn position(&self, n: NodeId) -> Point {
+        self.nodes[n as usize]
+    }
+
+    /// Neighbours with edge lengths.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[n as usize]
+    }
+
+    /// The node nearest to `p` (best-first search on the node R-tree; a
+    /// linear scan fallback covers deserialised networks whose index was
+    /// skipped).
+    pub fn nearest_node(&self, p: &Point) -> NodeId {
+        assert!(!self.nodes.is_empty(), "empty network");
+        if let Some(index) = &self.node_index {
+            return index.nearest(p).expect("non-empty index").0;
+        }
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for (i, q) in self.nodes.iter().enumerate() {
+            let d = p.distance_sq(q);
+            if d < best_d {
+                best_d = d;
+                best = i as u32;
+            }
+        }
+        best
+    }
+
+    /// Synthetic Manhattan-style grid: `nx × ny` intersections spaced
+    /// `spacing` km apart with jittered coordinates, street edges between
+    /// neighbours (detour factor from the jitter), and a few random
+    /// expressway shortcuts. Deterministic in `seed`.
+    pub fn city_grid(nx: usize, ny: usize, spacing: f64, seed: u64) -> Self {
+        assert!(nx >= 2 && ny >= 2, "grid needs at least 2×2 intersections");
+        assert!(spacing > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jitter = spacing * 0.2;
+        let nodes: Vec<Point> = (0..nx * ny)
+            .map(|i| {
+                let gx = (i % nx) as f64 * spacing;
+                let gy = (i / nx) as f64 * spacing;
+                Point::new(
+                    gx + (rng.gen::<f64>() - 0.5) * jitter,
+                    gy + (rng.gen::<f64>() - 0.5) * jitter,
+                )
+            })
+            .collect();
+        let idx = |x: usize, y: usize| (y * nx + x) as NodeId;
+        let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        let push =
+            |edges: &mut Vec<(NodeId, NodeId, f64)>, a: NodeId, b: NodeId, rng: &mut StdRng| {
+                let straight = nodes[a as usize].distance(&nodes[b as usize]);
+                // Streets meander a little: 0–15% detour.
+                let len = straight * (1.0 + rng.gen::<f64>() * 0.15);
+                edges.push((a, b, len));
+            };
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    push(&mut edges, idx(x, y), idx(x + 1, y), &mut rng);
+                }
+                if y + 1 < ny {
+                    push(&mut edges, idx(x, y), idx(x, y + 1), &mut rng);
+                }
+            }
+        }
+        // Shortcuts: ~2% of node count, connecting random distinct nodes.
+        let shortcuts = (nx * ny / 50).max(1);
+        for _ in 0..shortcuts {
+            let a = rng.gen_range(0..nx * ny) as NodeId;
+            let b = rng.gen_range(0..nx * ny) as NodeId;
+            if a != b {
+                push(&mut edges, a, b, &mut rng);
+            }
+        }
+        RoadNetwork::new(nodes, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_net() -> RoadNetwork {
+        // 4 nodes in a unit square, edges around the perimeter.
+        RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(0.0, 1.0),
+            ],
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let net = square_net();
+        assert_eq!(net.n(), 4);
+        assert_eq!(net.edge_count(), 4);
+        assert_eq!(net.neighbors(0).len(), 2);
+        assert_eq!(net.position(2), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn rejects_too_short_edge() {
+        RoadNetwork::new(
+            vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)],
+            &[(0, 1, 4.0)], // straight line is 5
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        RoadNetwork::new(vec![Point::ORIGIN], &[(0, 0, 1.0)]);
+    }
+
+    #[test]
+    fn nearest_node_snaps() {
+        let net = square_net();
+        assert_eq!(net.nearest_node(&Point::new(0.1, 0.2)), 0);
+        assert_eq!(net.nearest_node(&Point::new(0.9, 0.95)), 2);
+    }
+
+    #[test]
+    fn city_grid_shape() {
+        let net = RoadNetwork::city_grid(10, 8, 0.5, 3);
+        assert_eq!(net.n(), 80);
+        // Grid edges: 9*8 + 10*7 = 142, plus ≥1 shortcut.
+        assert!(net.edge_count() >= 142);
+        // Deterministic in the seed.
+        let again = RoadNetwork::city_grid(10, 8, 0.5, 3);
+        assert_eq!(net.edge_count(), again.edge_count());
+        assert_eq!(net.position(37), again.position(37));
+    }
+
+    #[test]
+    fn city_grid_edges_respect_metric_lower_bound() {
+        let net = RoadNetwork::city_grid(6, 6, 1.0, 9);
+        for a in 0..net.n() as NodeId {
+            for &(b, len) in net.neighbors(a) {
+                assert!(len >= net.position(a).distance(&net.position(b)) - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Road-network substrate for MC²LS.
+//!
+//! The location-selection literature the paper builds on includes
+//! road-network variants ([11] optimal location queries on road networks,
+//! [27] k-facility relocation on road networks). This crate provides the
+//! substrate to run MC²LS under **network distances** instead of Euclidean
+//! ones:
+//!
+//! * [`RoadNetwork`] — an undirected weighted graph with embedded node
+//!   coordinates, plus a synthetic city-grid generator;
+//! * [`dijkstra`]/[`bounded_dijkstra`] — one-to-all and radius-bounded
+//!   shortest paths;
+//! * [`network_influence_sets`] — the MC²LS influence relationships when
+//!   `d(v, p)` is the shortest-path distance between snapped positions,
+//!   with the bounded search doing the pruning (positions farther than the
+//!   network NIR cannot matter; Corollary 2 applies verbatim because
+//!   network distance is still a metric).
+//!
+//! The Euclidean pruning rules (IA/NIB/IS/NIR squares) do not transfer to
+//! network space, so this module prunes by bounded graph search — the same
+//! role, played by the structure that fits the metric.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod influence;
+mod shortest_path;
+
+pub use graph::{NodeId, RoadNetwork};
+pub use influence::{network_influence_sets, snap_users, solve_network, NetworkProblem};
+pub use shortest_path::{bounded_dijkstra, dijkstra};

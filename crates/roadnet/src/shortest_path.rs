@@ -1,0 +1,181 @@
+//! Dijkstra shortest paths over the road network.
+
+use crate::{NodeId, RoadNetwork};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap entry (BinaryHeap is a max-heap, so order is reversed).
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// One-to-all Dijkstra. Unreachable nodes get `f64::INFINITY`.
+pub fn dijkstra(net: &RoadNetwork, source: NodeId) -> Vec<f64> {
+    bounded_dijkstra(net, source, f64::INFINITY)
+}
+
+/// Dijkstra truncated at `radius`: nodes farther than `radius` keep
+/// `f64::INFINITY`. This is the network-space analogue of the Euclidean
+/// pruning circles — everything beyond the radius provably cannot
+/// contribute influence, so the search never visits it.
+pub fn bounded_dijkstra(net: &RoadNetwork, source: NodeId, radius: f64) -> Vec<f64> {
+    assert!((source as usize) < net.n(), "source out of range");
+    let mut dist = vec![f64::INFINITY; net.n()];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > dist[node as usize] {
+            continue; // stale entry
+        }
+        for &(next, len) in net.neighbors(node) {
+            let nd = d + len;
+            if nd <= radius && nd < dist[next as usize] {
+                dist[next as usize] = nd;
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc2ls_geo::Point;
+
+    fn diamond() -> RoadNetwork {
+        //    1
+        //  /   \
+        // 0     3 --- 4
+        //  \   /
+        //    2
+        RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(1.0, -1.0),
+                Point::new(2.0, 0.0),
+                Point::new(4.0, 0.0),
+            ],
+            &[
+                (0, 1, 1.5),
+                (0, 2, 2.0),
+                (1, 3, 1.5),
+                (2, 3, 1.5),
+                (3, 4, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn shortest_paths_on_diamond() {
+        let d = dijkstra(&diamond(), 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.5);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[3], 3.0); // via node 1
+        assert_eq!(d[4], 5.0);
+    }
+
+    #[test]
+    fn bounded_search_stops_at_radius() {
+        let d = bounded_dijkstra(&diamond(), 0, 2.5);
+        assert_eq!(d[1], 1.5);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[3], f64::INFINITY);
+        assert_eq!(d[4], f64::INFINITY);
+    }
+
+    #[test]
+    fn disconnected_nodes_stay_infinite() {
+        let net = RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(9.0, 9.0),
+            ],
+            &[(0, 1, 1.0)],
+        );
+        let d = dijkstra(&net, 0);
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn matches_floyd_warshall_on_random_grid() {
+        let net = RoadNetwork::city_grid(5, 5, 1.0, 17);
+        let n = net.n();
+        // Floyd–Warshall reference.
+        let mut fw = vec![vec![f64::INFINITY; n]; n];
+        for (i, row) in fw.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        for a in 0..n as NodeId {
+            for &(b, len) in net.neighbors(a) {
+                let cur = fw[a as usize][b as usize];
+                if len < cur {
+                    fw[a as usize][b as usize] = len;
+                    fw[b as usize][a as usize] = len;
+                }
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = fw[i][k] + fw[k][j];
+                    if via < fw[i][j] {
+                        fw[i][j] = via;
+                    }
+                }
+            }
+        }
+        for s in [0usize, 7, 13, 24] {
+            let d = dijkstra(&net, s as NodeId);
+            for (t, &dt) in d.iter().enumerate() {
+                assert!(
+                    (dt - fw[s][t]).abs() < 1e-9,
+                    "s={s} t={t}: {dt} vs {}",
+                    fw[s][t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn network_distance_dominates_euclidean() {
+        let net = RoadNetwork::city_grid(6, 6, 1.0, 5);
+        let d = dijkstra(&net, 0);
+        let origin = net.position(0);
+        for (t, &dt) in d.iter().enumerate() {
+            if dt.is_finite() {
+                assert!(dt >= origin.distance(&net.position(t as NodeId)) - 1e-9);
+            }
+        }
+    }
+}

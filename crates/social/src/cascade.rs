@@ -1,0 +1,154 @@
+//! Influence propagation over the social graph.
+
+use crate::SocialGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One-hop deterministic activation: a user is activated when it is a seed
+/// or has a seed neighbour whose edge weight is at least `threshold`.
+/// Returns the sorted activated set.
+pub fn activate_one_hop(graph: &SocialGraph, seeds: &[u32], threshold: f32) -> Vec<u32> {
+    let mut active = vec![false; graph.n()];
+    for &s in seeds {
+        active[s as usize] = true;
+    }
+    let mut out: Vec<u32> = seeds.to_vec();
+    for &s in seeds {
+        for &(nb, w) in graph.neighbors(s) {
+            if w >= threshold && !active[nb as usize] {
+                active[nb as usize] = true;
+                out.push(nb);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// A live-edge sample for Independent-Cascade estimation: each edge is kept
+/// with its weight as probability. Activation under IC equals reachability
+/// over kept edges, which makes expected coverage an average over samples —
+/// a submodular function of the seed set (the classic Kempe et al. result).
+#[derive(Debug, Clone)]
+pub struct LiveEdgeSample {
+    /// Kept (undirected) adjacency per node, sorted.
+    adj: Vec<Vec<u32>>,
+}
+
+impl LiveEdgeSample {
+    /// Draws one live-edge subgraph with a seeded RNG.
+    pub fn draw(graph: &SocialGraph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); graph.n()];
+        for u in 0..graph.n() as u32 {
+            for &(v, w) in graph.neighbors(u) {
+                if v > u && rng.gen::<f32>() < w {
+                    adj[u as usize].push(v);
+                    adj[v as usize].push(u);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        LiveEdgeSample { adj }
+    }
+
+    /// Sorted set of nodes reachable from `seeds` through kept edges
+    /// (inclusive of the seeds).
+    pub fn reachable(&self, seeds: &[u32]) -> Vec<u32> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for &s in seeds {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        let mut out: Vec<u32> = stack.clone();
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                    out.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Kept-edge count (for tests and diagnostics).
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph(w: f32) -> SocialGraph {
+        SocialGraph::from_edges(5, &[(0, 1, w), (1, 2, w), (2, 3, w), (3, 4, w)])
+    }
+
+    #[test]
+    fn one_hop_activates_strong_neighbours_only() {
+        let g = SocialGraph::from_edges(4, &[(0, 1, 0.9), (0, 2, 0.2), (2, 3, 0.9)]);
+        let act = activate_one_hop(&g, &[0], 0.5);
+        assert_eq!(act, vec![0, 1]); // weak edge to 2 does not fire
+        let act = activate_one_hop(&g, &[0], 0.1);
+        assert_eq!(act, vec![0, 1, 2]); // one hop only: 3 not reached
+    }
+
+    #[test]
+    fn one_hop_with_empty_seeds() {
+        let g = line_graph(0.9);
+        assert!(activate_one_hop(&g, &[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn live_edges_all_kept_at_weight_one() {
+        let g = line_graph(1.0);
+        let s = LiveEdgeSample::draw(&g, 7);
+        assert_eq!(s.edge_count(), 4);
+        assert_eq!(s.reachable(&[0]), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reachability_is_monotone_in_seeds() {
+        let g = SocialGraph::small_world(60, 4, 0.2, (0.3, 0.9), 11);
+        let s = LiveEdgeSample::draw(&g, 5);
+        let small = s.reachable(&[3]);
+        let large = s.reachable(&[3, 17, 42]);
+        for u in &small {
+            assert!(large.binary_search(u).is_ok());
+        }
+    }
+
+    #[test]
+    fn draw_is_deterministic_in_seed() {
+        let g = SocialGraph::small_world(40, 4, 0.3, (0.2, 0.8), 2);
+        let a = LiveEdgeSample::draw(&g, 9);
+        let b = LiveEdgeSample::draw(&g, 9);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.reachable(&[0, 5]), b.reachable(&[0, 5]));
+        let c = LiveEdgeSample::draw(&g, 10);
+        // Different seeds generally keep different edge sets.
+        assert!(a.edge_count() != c.edge_count() || a.reachable(&[0]) != c.reachable(&[0]));
+    }
+
+    #[test]
+    fn mean_kept_edges_tracks_weights() {
+        let g = line_graph(0.5);
+        let kept: usize = (0..200)
+            .map(|s| LiveEdgeSample::draw(&g, s).edge_count())
+            .sum();
+        let mean = kept as f64 / 200.0;
+        assert!(
+            (mean - 2.0).abs() < 0.4,
+            "mean kept {mean} for p=0.5 on 4 edges"
+        );
+    }
+}

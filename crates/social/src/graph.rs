@@ -1,0 +1,232 @@
+//! Undirected weighted social graphs over user ids.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An undirected social graph: node `u` is the user with id `u`; each edge
+/// carries an influence probability/weight in `(0, 1]`.
+///
+/// Stored as symmetric adjacency lists sorted by neighbour id; parallel
+/// edges are rejected at construction.
+///
+/// # Examples
+/// ```
+/// use mc2ls_social::SocialGraph;
+///
+/// let g = SocialGraph::from_edges(3, &[(0, 1, 0.8), (1, 2, 0.4)]);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.neighbors(1), &[(0, 0.8), (2, 0.4)]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SocialGraph {
+    adj: Vec<Vec<(u32, f32)>>,
+}
+
+impl SocialGraph {
+    /// An edgeless graph over `n` users.
+    pub fn empty(n: usize) -> Self {
+        SocialGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a graph from undirected weighted edges.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range endpoints, weights outside
+    /// `(0, 1]`, or duplicate edges.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f32)]) -> Self {
+        let mut g = SocialGraph::empty(n);
+        for &(a, b, w) in edges {
+            g.add_edge(a, b, w);
+        }
+        g
+    }
+
+    /// Adds one undirected edge.
+    pub fn add_edge(&mut self, a: u32, b: u32, w: f32) {
+        assert!(a != b, "self-loops are not allowed ({a})");
+        assert!(
+            (a as usize) < self.adj.len() && (b as usize) < self.adj.len(),
+            "edge ({a},{b}) out of range"
+        );
+        assert!(w > 0.0 && w <= 1.0, "edge weight must be in (0,1], got {w}");
+        for &(nb, _) in &self.adj[a as usize] {
+            assert!(nb != b, "duplicate edge ({a},{b})");
+        }
+        let insert = |list: &mut Vec<(u32, f32)>, v: u32, w: f32| {
+            let pos = list.partition_point(|&(x, _)| x < v);
+            list.insert(pos, (v, w));
+        };
+        insert(&mut self.adj[a as usize], b, w);
+        insert(&mut self.adj[b as usize], a, w);
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Neighbours of `u` with edge weights, sorted by id.
+    pub fn neighbors(&self, u: u32) -> &[(u32, f32)] {
+        &self.adj[u as usize]
+    }
+
+    /// Watts–Strogatz small-world generator: ring lattice of degree `k`
+    /// (even), each edge rewired with probability `beta`; weights uniform
+    /// in `[w_lo, w_hi]`. A standard stand-in for friendship graphs.
+    pub fn small_world(n: usize, k: usize, beta: f64, weights: (f32, f32), seed: u64) -> Self {
+        assert!(n >= 4, "small-world graphs need at least 4 nodes");
+        assert!(
+            k >= 2 && k.is_multiple_of(2) && k < n,
+            "k must be even and < n"
+        );
+        assert!((0.0..=1.0).contains(&beta));
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Collect target pairs first, then weights.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let exists = |pairs: &[(u32, u32)], a: u32, b: u32| {
+            pairs
+                .iter()
+                .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+        };
+        for u in 0..n as u32 {
+            for j in 1..=(k / 2) as u32 {
+                let v = (u + j) % n as u32;
+                let (mut a, mut b) = (u, v);
+                if rng.gen::<f64>() < beta {
+                    // Rewire the far endpoint to a uniform non-duplicate.
+                    for _ in 0..16 {
+                        let cand = rng.gen_range(0..n) as u32;
+                        if cand != a && !exists(&pairs, a, cand) {
+                            b = cand;
+                            break;
+                        }
+                    }
+                }
+                if !exists(&pairs, a, b) && a != b {
+                    if a > b {
+                        std::mem::swap(&mut a, &mut b);
+                    }
+                    pairs.push((a, b));
+                }
+            }
+        }
+        let edges: Vec<(u32, u32, f32)> = pairs
+            .into_iter()
+            .map(|(a, b)| (a, b, rng.gen_range(weights.0..=weights.1)))
+            .collect();
+        SocialGraph::from_edges(n, &edges)
+    }
+
+    /// Barabási–Albert preferential attachment: each new node attaches to
+    /// `m` existing nodes with probability proportional to degree. Produces
+    /// the heavy-tailed degree distributions of real social networks.
+    pub fn preferential_attachment(n: usize, m: usize, weights: (f32, f32), seed: u64) -> Self {
+        assert!(m >= 1 && n > m, "need n > m >= 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = SocialGraph::empty(n);
+        // Degree-proportional sampling via the repeated-endpoints trick.
+        let mut endpoints: Vec<u32> = Vec::new();
+        // Seed clique over the first m+1 nodes.
+        for a in 0..=(m as u32) {
+            for b in (a + 1)..=(m as u32) {
+                g.add_edge(a, b, rng.gen_range(weights.0..=weights.1));
+                endpoints.push(a);
+                endpoints.push(b);
+            }
+        }
+        for u in (m as u32 + 1)..n as u32 {
+            let mut chosen: Vec<u32> = Vec::with_capacity(m);
+            let mut guard = 0;
+            while chosen.len() < m && guard < 1000 {
+                guard += 1;
+                let v = endpoints[rng.gen_range(0..endpoints.len())];
+                if v != u && !chosen.contains(&v) {
+                    chosen.push(v);
+                }
+            }
+            for v in chosen {
+                g.add_edge(u, v, rng.gen_range(weights.0..=weights.1));
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+        g
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.n() as f64
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_is_symmetric_and_sorted() {
+        let g = SocialGraph::from_edges(4, &[(0, 2, 0.5), (2, 1, 0.3), (0, 1, 0.9)]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(0), &[(1, 0.9), (2, 0.5)]);
+        assert_eq!(g.neighbors(2), &[(0, 0.5), (1, 0.3)]);
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        SocialGraph::from_edges(2, &[(1, 1, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        SocialGraph::from_edges(3, &[(0, 1, 0.5), (1, 0, 0.4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge weight")]
+    fn rejects_bad_weight() {
+        SocialGraph::from_edges(3, &[(0, 1, 1.5)]);
+    }
+
+    #[test]
+    fn small_world_shape() {
+        let g = SocialGraph::small_world(100, 6, 0.1, (0.2, 0.8), 1);
+        // Close to n*k/2 edges (rewiring may drop a few duplicates).
+        assert!(g.edge_count() > 250 && g.edge_count() <= 300);
+        assert!((g.mean_degree() - 6.0).abs() < 1.0);
+        // Deterministic in the seed.
+        let h = SocialGraph::small_world(100, 6, 0.1, (0.2, 0.8), 1);
+        assert_eq!(g.edge_count(), h.edge_count());
+        assert_eq!(g.neighbors(17), h.neighbors(17));
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed() {
+        let g = SocialGraph::preferential_attachment(500, 2, (0.1, 0.9), 3);
+        assert!(
+            g.max_degree() > 3 * g.mean_degree() as usize,
+            "max {} mean {}",
+            g.max_degree(),
+            g.mean_degree()
+        );
+        assert_eq!(g.n(), 500);
+    }
+}

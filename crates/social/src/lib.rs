@@ -1,0 +1,38 @@
+//! Geo-social extension of MC²LS (the paper's §VIII future work:
+//! "extended solution towards MC²LS in social network scenarios,
+//! incorporating social influence and users' interests").
+//!
+//! The extension follows the geo-social location-selection literature the
+//! paper cites ([19], [26], [33]): users form a **social graph**; a user
+//! *physically* influenced by a selected site may further *activate*
+//! friends through word-of-mouth. The extended objective counts both:
+//!
+//! ```text
+//! scinf(G) = E[ Σ_{o ∈ activated(Ω_G)} 1/(|F_o|+1) ]
+//! ```
+//!
+//! where `activated(·)` closes the physically influenced seed set under a
+//! propagation model:
+//!
+//! * [`PropagationModel::OneHop`] — a friend of an influenced user is
+//!   activated when the (deterministic) edge weight is at least the
+//!   activation threshold; cheap and deterministic.
+//! * [`PropagationModel::IndependentCascade`] — classic IC semantics
+//!   estimated over seeded Monte-Carlo live-edge samples; the expected
+//!   coverage is submodular, so the greedy retains its `(1 − 1/e)` bound
+//!   *with respect to the sampled objective*.
+//!
+//! Interests are modelled as per-user affinities in `[0, 1]` that scale a
+//! user's weight — a user uninterested in the business category
+//! contributes proportionally less market share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cascade;
+mod graph;
+mod problem;
+
+pub use cascade::{activate_one_hop, LiveEdgeSample};
+pub use graph::SocialGraph;
+pub use problem::{solve_social, PropagationModel, SocialProblem, SocialSolution};

@@ -1,0 +1,309 @@
+//! The MC²LS-S problem: MC²LS plus social propagation and interests.
+
+use crate::{activate_one_hop, LiveEdgeSample, SocialGraph};
+use mc2ls_core::{algorithms, InfluenceSets, Method, Problem};
+use mc2ls_influence::ProbabilityFunction;
+use serde::{Deserialize, Serialize};
+
+/// How physical influence propagates through the social graph.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum PropagationModel {
+    /// Deterministic single-hop activation across edges with weight at
+    /// least the threshold.
+    OneHop {
+        /// Minimum edge weight that transmits influence.
+        threshold: f32,
+    },
+    /// Kempe-style Independent Cascade estimated over Monte-Carlo
+    /// live-edge samples (deterministic in `seed`).
+    IndependentCascade {
+        /// Number of live-edge samples (more = lower variance).
+        samples: usize,
+        /// RNG seed for the samples.
+        seed: u64,
+    },
+}
+
+/// An MC²LS instance extended with a social graph and per-user interests.
+#[derive(Debug, Clone)]
+pub struct SocialProblem<PF: ProbabilityFunction = mc2ls_influence::Sigmoid> {
+    /// The underlying geo problem (users, facilities, candidates, k, τ, PF).
+    pub base: Problem<PF>,
+    /// Friendship graph over the same user ids.
+    pub graph: SocialGraph,
+    /// Per-user interest affinity in `[0, 1]`; scales the user's weight.
+    /// Empty means "everyone fully interested".
+    pub interests: Vec<f64>,
+    /// The propagation model.
+    pub model: PropagationModel,
+}
+
+/// The result of the geo-social greedy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SocialSolution {
+    /// Selected candidate ids in pick order.
+    pub selected: Vec<u32>,
+    /// Expected social competitive influence of the selected set.
+    pub scinf: f64,
+    /// The plain (non-social) `cinf` of the same set, for comparison.
+    pub geo_cinf: f64,
+}
+
+impl<PF: ProbabilityFunction> SocialProblem<PF> {
+    /// Validates the extension against the base problem.
+    pub fn new(
+        base: Problem<PF>,
+        graph: SocialGraph,
+        interests: Vec<f64>,
+        model: PropagationModel,
+    ) -> Self {
+        assert_eq!(
+            graph.n(),
+            base.n_users(),
+            "social graph must cover every user"
+        );
+        assert!(
+            interests.is_empty() || interests.len() == base.n_users(),
+            "interests must be empty or one per user"
+        );
+        assert!(
+            interests.iter().all(|&x| (0.0..=1.0).contains(&x)),
+            "interest affinities must be in [0, 1]"
+        );
+        if let PropagationModel::IndependentCascade { samples, .. } = model {
+            assert!(samples >= 1, "need at least one cascade sample");
+        }
+        SocialProblem {
+            base,
+            graph,
+            interests,
+            model,
+        }
+    }
+
+    fn weight(&self, sets: &InfluenceSets, o: u32) -> f64 {
+        let interest = if self.interests.is_empty() {
+            1.0
+        } else {
+            self.interests[o as usize]
+        };
+        sets.weight(o) * interest
+    }
+}
+
+/// Solves MC²LS-S greedily: physical influence sets are computed with the
+/// IQuad-tree pipeline, each candidate's seed set is closed under the
+/// propagation model, and the greedy maximises the expected interest- and
+/// competition-weighted activated mass. Expected coverage is submodular
+/// under both models, so the `(1 − 1/e)` guarantee carries over (w.r.t.
+/// the sampled objective for IC).
+pub fn solve_social<PF: ProbabilityFunction>(problem: &SocialProblem<PF>) -> SocialSolution {
+    let (sets, _, _) =
+        algorithms::influence_sets(&problem.base, Method::Iqt(mc2ls_core::IqtConfig::default()));
+    let n_cands = sets.n_candidates();
+    let k = problem.base.k;
+
+    // Per candidate (and per sample for IC): the activated user set.
+    // activated[c][s] is sorted.
+    let activated: Vec<Vec<Vec<u32>>> = match problem.model {
+        PropagationModel::OneHop { threshold } => (0..n_cands)
+            .map(|c| {
+                vec![activate_one_hop(
+                    &problem.graph,
+                    &sets.omega_c[c],
+                    threshold,
+                )]
+            })
+            .collect(),
+        PropagationModel::IndependentCascade { samples, seed } => {
+            let live: Vec<LiveEdgeSample> = (0..samples)
+                .map(|s| LiveEdgeSample::draw(&problem.graph, seed.wrapping_add(s as u64)))
+                .collect();
+            (0..n_cands)
+                .map(|c| {
+                    live.iter()
+                        .map(|sample| sample.reachable(&sets.omega_c[c]))
+                        .collect()
+                })
+                .collect()
+        }
+    };
+    let n_samples = activated.first().map_or(1, |a| a.len());
+
+    // Greedy over the expected weighted activated mass.
+    let mut covered: Vec<Vec<bool>> = vec![vec![false; sets.n_users()]; n_samples];
+    let mut taken = vec![false; n_cands];
+    let mut selected: Vec<u32> = Vec::with_capacity(k);
+    let mut scinf = 0.0;
+
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..n_cands {
+            if taken[c] {
+                continue;
+            }
+            let mut gain = 0.0;
+            for (s, cov) in covered.iter().enumerate() {
+                for &o in &activated[c][s] {
+                    if !cov[o as usize] {
+                        gain += problem.weight(&sets, o);
+                    }
+                }
+            }
+            let gain = gain / n_samples as f64;
+            match best {
+                Some((_, g)) if gain <= g => {}
+                _ => best = Some((c, gain)),
+            }
+        }
+        let (c, gain) = best.expect("k <= |C| is validated by the base problem");
+        taken[c] = true;
+        selected.push(c as u32);
+        scinf += gain;
+        for (s, cov) in covered.iter_mut().enumerate() {
+            for &o in &activated[c][s] {
+                cov[o as usize] = true;
+            }
+        }
+    }
+
+    let geo_cinf = sets.cinf_set(&selected);
+    SocialSolution {
+        selected,
+        scinf,
+        geo_cinf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc2ls_geo::Point;
+    use mc2ls_influence::{MovingUser, Sigmoid};
+
+    /// Three user clusters; candidates A and B physically reach one cluster
+    /// each; cluster A's user is friends with the (physically unreachable)
+    /// third user.
+    fn toy() -> (Problem, SocialGraph) {
+        let users = vec![
+            MovingUser::new(vec![Point::new(0.0, 0.0), Point::new(0.1, 0.1)]), // o0
+            MovingUser::new(vec![Point::new(8.0, 8.0), Point::new(8.1, 8.1)]), // o1
+            MovingUser::new(vec![Point::new(20.0, 0.0), Point::new(20.1, 0.1)]), // o2: remote
+        ];
+        let candidates = vec![Point::new(0.05, 0.05), Point::new(8.05, 8.05)];
+        let base = Problem::new(users, vec![], candidates, 1, 0.5, Sigmoid::paper_default());
+        let graph = SocialGraph::from_edges(3, &[(0, 2, 0.9)]);
+        (base, graph)
+    }
+
+    #[test]
+    fn social_boost_flips_the_pick() {
+        let (base, graph) = toy();
+        // Without the graph both candidates reach exactly one user; id
+        // tie-break picks candidate 0. With one-hop social activation,
+        // candidate 0 activates o2 through the friendship and must win
+        // with expected mass 2.
+        let p = SocialProblem::new(
+            base,
+            graph,
+            vec![],
+            PropagationModel::OneHop { threshold: 0.5 },
+        );
+        let sol = solve_social(&p);
+        assert_eq!(sol.selected, vec![0]);
+        assert!((sol.scinf - 2.0).abs() < 1e-9);
+        assert!((sol.geo_cinf - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_tie_does_not_propagate() {
+        let (base, _) = toy();
+        let graph = SocialGraph::from_edges(3, &[(0, 2, 0.3)]);
+        let p = SocialProblem::new(
+            base,
+            graph,
+            vec![],
+            PropagationModel::OneHop { threshold: 0.5 },
+        );
+        let sol = solve_social(&p);
+        // No boost: tie at mass 1; smaller id wins.
+        assert_eq!(sol.selected, vec![0]);
+        assert!((sol.scinf - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interests_scale_the_objective() {
+        let (base, graph) = toy();
+        // o0 and o2 are uninterested; candidate 1's o1 is fully interested.
+        let p = SocialProblem::new(
+            base,
+            graph,
+            vec![0.1, 1.0, 0.1],
+            PropagationModel::OneHop { threshold: 0.5 },
+        );
+        let sol = solve_social(&p);
+        assert_eq!(sol.selected, vec![1]);
+        assert!((sol.scinf - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cascade_with_certain_edges_equals_full_reachability() {
+        let (base, _) = toy();
+        let graph = SocialGraph::from_edges(3, &[(0, 2, 1.0), (2, 1, 1.0)]);
+        let p = SocialProblem::new(
+            base,
+            graph,
+            vec![],
+            PropagationModel::IndependentCascade {
+                samples: 4,
+                seed: 1,
+            },
+        );
+        let sol = solve_social(&p);
+        // Candidate 0 seeds o0 which reaches everyone: expected mass 3.
+        assert_eq!(sol.selected, vec![0]);
+        assert!((sol.scinf - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cascade_estimate_is_deterministic_in_seed() {
+        let (base, graph) = toy();
+        let make = |seed| {
+            let p = SocialProblem::new(
+                base.clone(),
+                graph.clone(),
+                vec![],
+                PropagationModel::IndependentCascade { samples: 8, seed },
+            );
+            solve_social(&p)
+        };
+        let a = make(5);
+        let b = make(5);
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.scinf, b.scinf);
+    }
+
+    #[test]
+    #[should_panic(expected = "social graph must cover")]
+    fn graph_size_mismatch_is_rejected() {
+        let (base, _) = toy();
+        SocialProblem::new(
+            base,
+            SocialGraph::empty(2),
+            vec![],
+            PropagationModel::OneHop { threshold: 0.5 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "interest affinities")]
+    fn bad_interest_is_rejected() {
+        let (base, graph) = toy();
+        SocialProblem::new(
+            base,
+            graph,
+            vec![0.5, 1.2, 0.0],
+            PropagationModel::OneHop { threshold: 0.5 },
+        );
+    }
+}

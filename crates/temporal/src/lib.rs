@@ -1,0 +1,343 @@
+//! Time-aware MC²LS.
+//!
+//! The CLS literature the paper surveys includes time-aware variants
+//! (TAILOR [3]: users and influence vary across time slots; [28]: facility
+//! sets change over time). This crate extends MC²LS accordingly:
+//!
+//! * every user position carries a **time slot** (e.g. morning / noon /
+//!   evening);
+//! * a user is influenced by a site *in slot t* when the cumulative
+//!   probability over its slot-`t` positions reaches `τ` — a commuter can
+//!   be reachable near the office at noon but not at night;
+//! * the objective is the slot-weighted competitive collective influence
+//!   `Σ_t w_t · cinf_t(G)` where each slot applies the evenly-split
+//!   competition model to its own influence relationships.
+//!
+//! The objective is a non-negative weighted sum of submodular functions,
+//! hence submodular: the greedy keeps its `(1 − 1/e)` guarantee, and every
+//! slot's influence relationships are computed with the same IQuad-tree
+//! pipeline as the static problem.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mc2ls_core::{algorithms, InfluenceSets, IqtConfig, Method, Problem, Solution};
+use mc2ls_geo::Point;
+use mc2ls_influence::{MovingUser, ProbabilityFunction};
+use serde::{Deserialize, Serialize};
+
+/// A user whose positions are tagged with time slots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimedUser {
+    positions: Vec<(Point, u32)>,
+}
+
+impl TimedUser {
+    /// Builds a timed user from `(position, slot)` records.
+    ///
+    /// # Panics
+    /// Panics when `positions` is empty.
+    pub fn new(positions: Vec<(Point, u32)>) -> Self {
+        assert!(!positions.is_empty(), "a timed user needs positions");
+        TimedUser { positions }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[(Point, u32)] {
+        &self.positions
+    }
+
+    /// The positions recorded in `slot`.
+    pub fn positions_in(&self, slot: u32) -> Vec<Point> {
+        self.positions
+            .iter()
+            .filter(|&&(_, s)| s == slot)
+            .map(|&(p, _)| p)
+            .collect()
+    }
+
+    /// Largest slot id used (`None` for no positions — impossible by
+    /// construction).
+    pub fn max_slot(&self) -> u32 {
+        self.positions.iter().map(|&(_, s)| s).max().unwrap_or(0)
+    }
+}
+
+/// A time-aware MC²LS instance.
+#[derive(Debug, Clone)]
+pub struct TemporalProblem<PF: ProbabilityFunction + Clone = mc2ls_influence::Sigmoid> {
+    /// Users with slot-tagged positions.
+    pub users: Vec<TimedUser>,
+    /// Competitor facilities (static across slots).
+    pub facilities: Vec<Point>,
+    /// Candidate sites.
+    pub candidates: Vec<Point>,
+    /// Number of sites to open.
+    pub k: usize,
+    /// Influence threshold.
+    pub tau: f64,
+    /// Distance-probability function.
+    pub pf: PF,
+    /// Number of time slots (slot ids are `0..n_slots`).
+    pub n_slots: u32,
+    /// Per-slot weights (e.g. footfall share); must sum to a positive
+    /// value; `empty` means uniform.
+    pub slot_weights: Vec<f64>,
+}
+
+/// Per-slot influence relationships plus the id mapping back to global
+/// users (slots only contain the users active in them).
+#[derive(Debug, Clone)]
+pub struct TemporalInfluence {
+    /// Influence sets per slot (user ids are *slot-local*).
+    pub per_slot: Vec<InfluenceSets>,
+    /// `global_ids[t][local] = global user id`.
+    pub global_ids: Vec<Vec<u32>>,
+    /// Normalised slot weights.
+    pub weights: Vec<f64>,
+}
+
+impl<PF: ProbabilityFunction + Clone> TemporalProblem<PF> {
+    /// Validates and computes the per-slot influence relationships.
+    pub fn influence(&self) -> TemporalInfluence {
+        assert!(self.n_slots >= 1, "need at least one slot");
+        assert!(
+            self.slot_weights.is_empty() || self.slot_weights.len() == self.n_slots as usize,
+            "slot weights must be empty or one per slot"
+        );
+        assert!(
+            self.users.iter().all(|u| u.max_slot() < self.n_slots),
+            "a position references a slot beyond n_slots"
+        );
+        let weights = if self.slot_weights.is_empty() {
+            vec![1.0 / self.n_slots as f64; self.n_slots as usize]
+        } else {
+            let sum: f64 = self.slot_weights.iter().sum();
+            assert!(sum > 0.0, "slot weights must sum to a positive value");
+            self.slot_weights.iter().map(|w| w / sum).collect()
+        };
+
+        let mut per_slot = Vec::with_capacity(self.n_slots as usize);
+        let mut global_ids = Vec::with_capacity(self.n_slots as usize);
+        for t in 0..self.n_slots {
+            let mut ids: Vec<u32> = Vec::new();
+            let mut slot_users: Vec<MovingUser> = Vec::new();
+            for (g, u) in self.users.iter().enumerate() {
+                let ps = u.positions_in(t);
+                if !ps.is_empty() {
+                    ids.push(g as u32);
+                    slot_users.push(MovingUser::new(ps));
+                }
+            }
+            if slot_users.is_empty() {
+                per_slot.push(InfluenceSets::new(
+                    vec![Vec::new(); self.candidates.len()],
+                    Vec::new(),
+                ));
+                global_ids.push(ids);
+                continue;
+            }
+            let problem = Problem::new(
+                slot_users,
+                self.facilities.clone(),
+                self.candidates.clone(),
+                self.k,
+                self.tau,
+                self.pf.clone(),
+            );
+            let (sets, _, _) =
+                algorithms::influence_sets(&problem, Method::Iqt(IqtConfig::default()));
+            per_slot.push(sets);
+            global_ids.push(ids);
+        }
+        TemporalInfluence {
+            per_slot,
+            global_ids,
+            weights,
+        }
+    }
+}
+
+/// The slot-weighted objective value of a candidate set.
+pub fn temporal_cinf(influence: &TemporalInfluence, set: &[u32]) -> f64 {
+    influence
+        .per_slot
+        .iter()
+        .zip(&influence.weights)
+        .map(|(sets, w)| w * sets.cinf_set(set))
+        .sum()
+}
+
+/// Greedy selection of `k` candidates maximising the slot-weighted
+/// competitive influence.
+pub fn solve_temporal<PF: ProbabilityFunction + Clone>(problem: &TemporalProblem<PF>) -> Solution {
+    let influence = problem.influence();
+    let n = problem.candidates.len();
+    let k = problem.k;
+    assert!(k <= n, "k exceeds the number of candidates");
+
+    // Coverage state per slot (slot-local indices).
+    let mut covered: Vec<Vec<bool>> = influence
+        .per_slot
+        .iter()
+        .map(|s| vec![false; s.n_users()])
+        .collect();
+    let mut taken = vec![false; n];
+    let mut selected = Vec::with_capacity(k);
+    let mut gains = Vec::with_capacity(k);
+    let mut total = 0.0;
+
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)] // c indexes parallel arrays
+        for c in 0..n {
+            if taken[c] {
+                continue;
+            }
+            let mut gain = 0.0;
+            for ((sets, cov), w) in influence
+                .per_slot
+                .iter()
+                .zip(&covered)
+                .zip(&influence.weights)
+            {
+                for &o in &sets.omega_c[c] {
+                    if !cov[o as usize] {
+                        gain += w * sets.weight(o);
+                    }
+                }
+            }
+            match best {
+                Some((_, g)) if gain <= g => {}
+                _ => best = Some((c, gain)),
+            }
+        }
+        let (c, gain) = best.expect("k <= n");
+        taken[c] = true;
+        selected.push(c as u32);
+        gains.push(gain);
+        total += gain;
+        for (sets, cov) in influence.per_slot.iter().zip(&mut covered) {
+            for &o in &sets.omega_c[c] {
+                cov[o as usize] = true;
+            }
+        }
+    }
+
+    Solution {
+        selected,
+        marginal_gains: gains,
+        cinf: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc2ls_influence::Sigmoid;
+
+    /// A commuter scenario: users near site A in slot 0 (work hours) and
+    /// near site B in slot 1 (home).
+    fn commuter_problem(slot_weights: Vec<f64>) -> TemporalProblem {
+        let work = Point::new(0.0, 0.0);
+        let home = Point::new(10.0, 10.0);
+        let users: Vec<TimedUser> = (0..6)
+            .map(|i| {
+                let dx = i as f64 * 0.05;
+                TimedUser::new(vec![
+                    (work.translated(dx, 0.0), 0),
+                    (work.translated(dx, 0.1), 0),
+                    (home.translated(dx, 0.0), 1),
+                    (home.translated(dx, 0.1), 1),
+                ])
+            })
+            .collect();
+        TemporalProblem {
+            users,
+            facilities: vec![],
+            candidates: vec![work.translated(0.1, 0.0), home.translated(0.1, 0.0)],
+            k: 1,
+            tau: 0.5,
+            pf: Sigmoid::paper_default(),
+            n_slots: 2,
+            slot_weights,
+        }
+    }
+
+    #[test]
+    fn slot_partition_is_correct() {
+        let u = TimedUser::new(vec![
+            (Point::new(0.0, 0.0), 0),
+            (Point::new(1.0, 0.0), 1),
+            (Point::new(2.0, 0.0), 0),
+        ]);
+        assert_eq!(u.positions_in(0).len(), 2);
+        assert_eq!(u.positions_in(1).len(), 1);
+        assert!(u.positions_in(2).is_empty());
+        assert_eq!(u.max_slot(), 1);
+    }
+
+    #[test]
+    fn uniform_weights_tie_break_on_id() {
+        let sol = solve_temporal(&commuter_problem(vec![]));
+        // Both sites capture everyone in their slot with weight 1/2 each:
+        // tie, so the smaller id (work site) wins.
+        assert_eq!(sol.selected, vec![0]);
+        assert!((sol.cinf - 3.0).abs() < 1e-9); // 6 users × weight ½
+    }
+
+    #[test]
+    fn slot_weights_steer_the_pick() {
+        // Evening traffic dominates: the home site must win.
+        let sol = solve_temporal(&commuter_problem(vec![0.2, 0.8]));
+        assert_eq!(sol.selected, vec![1]);
+        assert!((sol.cinf - 6.0 * 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_matches_temporal_cinf() {
+        let p = commuter_problem(vec![0.3, 0.7]);
+        let influence = p.influence();
+        let sol = solve_temporal(&p);
+        assert!((temporal_cinf(&influence, &sol.selected) - sol.cinf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k2_covers_both_slots() {
+        let mut p = commuter_problem(vec![]);
+        p.k = 2;
+        let sol = solve_temporal(&p);
+        assert_eq!(sol.selected.len(), 2);
+        assert!((sol.cinf - 6.0).abs() < 1e-9); // full coverage in both slots
+    }
+
+    #[test]
+    fn marginal_gains_non_increasing() {
+        let mut p = commuter_problem(vec![0.6, 0.4]);
+        p.k = 2;
+        let sol = solve_temporal(&p);
+        assert!(sol.marginal_gains[0] >= sol.marginal_gains[1] - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot beyond n_slots")]
+    fn rejects_out_of_range_slot() {
+        let mut p = commuter_problem(vec![]);
+        p.n_slots = 1;
+        p.influence();
+    }
+
+    #[test]
+    fn competition_is_per_slot() {
+        // A facility near the work cluster competes only in slot 0.
+        let mut p = commuter_problem(vec![]);
+        p.facilities = vec![Point::new(0.05, 0.05)];
+        let influence = p.influence();
+        // Slot 0: each user split with one facility → weight 1/2.
+        let w0 = influence.per_slot[0].cinf_candidate(0);
+        assert!((w0 - 3.0).abs() < 1e-9); // 6 users × ½
+                                          // Slot 1: home candidate uncontested.
+        let w1 = influence.per_slot[1].cinf_candidate(1);
+        assert!((w1 - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! A minimal SVG canvas with world-to-pixel projection.
+
+use mc2ls_geo::{Point, Rect};
+use std::fmt::Write as _;
+
+/// An SVG document under construction, mapping world km coordinates into a
+/// pixel viewport (y flipped so north is up).
+#[derive(Debug)]
+pub struct SvgCanvas {
+    world: Rect,
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas covering `world`, `width_px` pixels wide; the
+    /// height follows the world aspect ratio.
+    pub fn new(world: Rect, width_px: u32) -> Self {
+        assert!(
+            world.width() > 0.0 && world.height() > 0.0,
+            "empty world rect"
+        );
+        assert!(width_px >= 16, "canvas too small");
+        let height = ((width_px as f64) * world.height() / world.width()).round() as u32;
+        SvgCanvas {
+            world,
+            width: width_px,
+            height: height.max(16),
+            body: String::new(),
+        }
+    }
+
+    fn project(&self, p: Point) -> (f64, f64) {
+        let x = (p.x - self.world.min.x) / self.world.width() * self.width as f64;
+        let y = (1.0 - (p.y - self.world.min.y) / self.world.height()) * self.height as f64;
+        (x, y)
+    }
+
+    /// Draws a filled circle of radius `r_px` pixels at world point `p`.
+    pub fn circle(&mut self, p: Point, r_px: f64, fill: &str, opacity: f64) {
+        let (x, y) = self.project(p);
+        let _ = writeln!(
+            self.body,
+            r#"  <circle cx="{x:.1}" cy="{y:.1}" r="{r_px}" fill="{fill}" fill-opacity="{opacity}"/>"#
+        );
+    }
+
+    /// Draws a filled diamond with half-diagonal `r_px` pixels.
+    pub fn diamond(&mut self, p: Point, r_px: f64, fill: &str, opacity: f64) {
+        let (x, y) = self.project(p);
+        let _ = writeln!(
+            self.body,
+            r#"  <polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{fill}" fill-opacity="{opacity}"/>"#,
+            x,
+            y - r_px,
+            x + r_px,
+            y,
+            x,
+            y + r_px,
+            x - r_px,
+            y
+        );
+    }
+
+    /// Draws a text label anchored at world point `p`.
+    pub fn text(&mut self, p: Point, content: &str, size_px: u32, fill: &str) {
+        let (x, y) = self.project(p);
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"  <text x="{x:.1}" y="{y:.1}" font-size="{size_px}" font-family="sans-serif" fill="{fill}">{escaped}</text>"#
+        );
+    }
+
+    /// Finalises the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n\
+             <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas() -> SvgCanvas {
+        SvgCanvas::new(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0)), 200)
+    }
+
+    #[test]
+    fn projection_flips_y() {
+        let c = canvas();
+        let (x0, y0) = c.project(Point::new(0.0, 0.0));
+        let (x1, y1) = c.project(Point::new(10.0, 5.0));
+        assert_eq!((x0, y0), (0.0, 100.0)); // bottom-left → lower edge
+        assert_eq!((x1, y1), (200.0, 0.0)); // top-right → upper edge
+    }
+
+    #[test]
+    fn height_follows_aspect() {
+        let c = canvas();
+        assert_eq!(c.width, 200);
+        assert_eq!(c.height, 100);
+    }
+
+    #[test]
+    fn elements_are_emitted() {
+        let mut c = canvas();
+        c.circle(Point::new(5.0, 2.5), 2.0, "red", 1.0);
+        c.diamond(Point::new(1.0, 1.0), 3.0, "blue", 0.8);
+        c.text(Point::new(0.5, 4.5), "A & B", 12, "#333");
+        let svg = c.finish();
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains("A &amp; B"));
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty world")]
+    fn rejects_degenerate_world() {
+        SvgCanvas::new(Rect::point(Point::ORIGIN), 100);
+    }
+}

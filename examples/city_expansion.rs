@@ -1,0 +1,62 @@
+//! Chain-expansion planning at city scale: generate the calibrated
+//! New-York-like dataset, sweep the store budget `k`, and report the market
+//! share captured at each budget — the diminishing-returns curve that the
+//! submodularity of `cinf` (paper Theorem 2) guarantees.
+//!
+//! ```sh
+//! cargo run --release --example city_expansion
+//! ```
+
+use mc2ls::prelude::*;
+
+fn main() {
+    let dataset = presets::new_york_scaled(0.5).generate();
+    let stats = dataset.stats();
+    println!(
+        "dataset {}: {} users, {} positions, skew share {:.2}",
+        dataset.name, stats.n_users, stats.n_positions, stats.hotspot_share
+    );
+
+    let (candidates, facilities) = dataset.sample_sites_disjoint(100, 200, 4242);
+    let users = dataset.users;
+
+    // Total addressable demand: each user counts 1/(|F_o|+1) if we reach
+    // them; the ceiling is reached when every user is influenced by at
+    // least one selected candidate.
+    println!(
+        "\n{:>3}  {:>10}  {:>12}  {:>9}",
+        "k", "cinf(G)", "Δ last pick", "time"
+    );
+    let mut problem = Problem::new(
+        users,
+        facilities,
+        candidates,
+        1,
+        0.7,
+        Sigmoid::paper_default(),
+    );
+    for k in [1, 2, 5, 10, 15, 20, 25] {
+        problem.k = k;
+        let report = solve_with(
+            &problem,
+            Method::Iqt(IqtConfig::default()),
+            Selector::LazyGreedy,
+        );
+        println!(
+            "{k:>3}  {:>10.3}  {:>12.4}  {:>9.1?}",
+            report.solution.cinf,
+            report
+                .solution
+                .marginal_gains
+                .last()
+                .copied()
+                .unwrap_or(0.0),
+            report.times.total(),
+        );
+    }
+
+    println!(
+        "\nThe marginal gain of each additional store shrinks monotonically — \
+         the (1 - 1/e) guarantee of the greedy pick rests on exactly this."
+    );
+}

@@ -1,0 +1,67 @@
+//! Geo-social site selection (the paper's future-work scenario): physical
+//! influence seeds word-of-mouth propagation over a friendship graph, and
+//! the best sites change once social reach counts.
+//!
+//! ```sh
+//! cargo run --release --example geo_social
+//! ```
+
+use mc2ls::prelude::*;
+use mc2ls::social::{solve_social, PropagationModel, SocialGraph, SocialProblem};
+
+fn main() {
+    let dataset = presets::new_york_scaled(0.2).generate();
+    let n_users = dataset.users.len();
+    println!("dataset {}: {} users", dataset.name, n_users);
+
+    let (candidates, facilities) = dataset.sample_sites_disjoint(40, 80, 7);
+    let base = Problem::new(
+        dataset.users,
+        facilities,
+        candidates,
+        5,
+        0.7,
+        Sigmoid::paper_default(),
+    );
+
+    // A small-world friendship graph over the same users.
+    let graph = SocialGraph::small_world(n_users, 6, 0.1, (0.05, 0.4), 99);
+    println!(
+        "friendship graph: {} edges, mean degree {:.1}",
+        graph.edge_count(),
+        graph.mean_degree()
+    );
+
+    // Purely physical selection for comparison.
+    let physical = solve(&base, Method::Iqt(IqtConfig::default()));
+
+    // Geo-social selection under Independent Cascade.
+    let social_problem = SocialProblem::new(
+        base.clone(),
+        graph,
+        vec![],
+        PropagationModel::IndependentCascade {
+            samples: 16,
+            seed: 2024,
+        },
+    );
+    let social = solve_social(&social_problem);
+
+    println!(
+        "\nphysical-only pick : {:?}",
+        physical.solution.selected_sorted()
+    );
+    println!("  captures cinf(G) = {:.2}", physical.solution.cinf);
+    let mut s = social.selected.clone();
+    s.sort_unstable();
+    println!("geo-social pick    : {s:?}");
+    println!(
+        "  expected social influence = {:.2} (geo-only value of the same set: {:.2})",
+        social.scinf, social.geo_cinf
+    );
+    println!(
+        "\nWord-of-mouth multiplies the captured demand by ~{:.2}x for the \
+         social-aware set.",
+        social.scinf / social.geo_cinf.max(1e-9)
+    );
+}

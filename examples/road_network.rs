@@ -1,0 +1,90 @@
+//! MC²LS under road-network distances: a river-like barrier makes
+//! Euclidean proximity misleading, and the network-aware selection picks
+//! different sites than the planar one.
+//!
+//! ```sh
+//! cargo run --release --example road_network
+//! ```
+
+use mc2ls::prelude::*;
+use mc2ls::roadnet::{solve_network, NetworkProblem, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // A 20×20 city grid at 0.5 km spacing.
+    let network = RoadNetwork::city_grid(20, 20, 0.5, 11);
+    println!(
+        "road network: {} intersections, {} street segments",
+        network.n(),
+        network.edge_count()
+    );
+
+    // Users whose positions sit near intersections.
+    let mut rng = StdRng::seed_from_u64(5);
+    let users: Vec<MovingUser> = (0..300)
+        .map(|_| {
+            let anchor = network.position(rng.gen_range(0..network.n()) as u32);
+            MovingUser::new(
+                (0..4)
+                    .map(|_| {
+                        Point::new(
+                            anchor.x + rng.gen::<f64>() * 0.3,
+                            anchor.y + rng.gen::<f64>() * 0.3,
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let candidates: Vec<Point> = (0..25)
+        .map(|_| network.position(rng.gen_range(0..network.n()) as u32))
+        .collect();
+    let facilities: Vec<Point> = (0..40)
+        .map(|_| network.position(rng.gen_range(0..network.n()) as u32))
+        .collect();
+
+    // Euclidean solution.
+    let planar = Problem::new(
+        users.clone(),
+        facilities.clone(),
+        candidates.clone(),
+        4,
+        0.6,
+        Sigmoid::paper_default(),
+    );
+    let euclid = solve(&planar, Method::Iqt(IqtConfig::iqt(1.0)));
+
+    // Network solution over the same instance.
+    let net_problem = NetworkProblem::snap(
+        &network,
+        &users,
+        &facilities,
+        &candidates,
+        4,
+        0.6,
+        Sigmoid::paper_default(),
+    );
+    let net = solve_network(&network, &net_problem);
+
+    println!(
+        "\nEuclidean pick : {:?}  cinf = {:.2}",
+        euclid.solution.selected_sorted(),
+        euclid.solution.cinf
+    );
+    println!(
+        "network pick   : {:?}  cinf = {:.2}",
+        {
+            let mut v = net.selected.clone();
+            v.sort_unstable();
+            v
+        },
+        net.cinf
+    );
+    println!(
+        "\nRoad distances are never shorter than straight lines, so the \
+         network objective is more conservative; where streets detour, the \
+         chosen sites shift toward genuinely reachable corners."
+    );
+}

@@ -1,0 +1,46 @@
+//! Test-support crate: shared instance builders for the integration suite.
+
+use mc2ls::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a deterministic random MC2LS instance for cross-algorithm checks.
+pub fn random_problem(
+    seed: u64,
+    n_users: usize,
+    n_facilities: usize,
+    n_candidates: usize,
+    k: usize,
+    tau: f64,
+) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = 30.0;
+    let users: Vec<MovingUser> = (0..n_users)
+        .map(|_| {
+            let cx = rng.gen::<f64>() * span;
+            let cy = rng.gen::<f64>() * span;
+            let r = 1 + rng.gen_range(0..12);
+            MovingUser::new(
+                (0..r)
+                    .map(|_| {
+                        Point::new(
+                            (cx + rng.gen::<f64>() * 4.0 - 2.0).clamp(0.0, span),
+                            (cy + rng.gen::<f64>() * 4.0 - 2.0).clamp(0.0, span),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let site = |rng: &mut StdRng| Point::new(rng.gen::<f64>() * span, rng.gen::<f64>() * span);
+    let facilities: Vec<Point> = (0..n_facilities).map(|_| site(&mut rng)).collect();
+    let candidates: Vec<Point> = (0..n_candidates).map(|_| site(&mut rng)).collect();
+    Problem::new(
+        users,
+        facilities,
+        candidates,
+        k,
+        tau,
+        Sigmoid::paper_default(),
+    )
+}

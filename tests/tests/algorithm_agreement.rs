@@ -1,0 +1,126 @@
+//! Cross-algorithm agreement: every solution algorithm must return the same
+//! selected set and the same cinf on the same instance, because all pruning
+//! is lossless. This is the workspace's strongest end-to-end invariant.
+
+use mc2ls::prelude::*;
+use mc2ls_integration::random_problem;
+
+fn all_methods() -> Vec<Method> {
+    vec![
+        Method::Baseline,
+        Method::KCifp,
+        Method::Iqt(IqtConfig::iqt_c(2.0)),
+        Method::Iqt(IqtConfig::iqt(2.0)),
+        Method::Iqt(IqtConfig::iqt_pino(2.0)),
+        Method::Iqt(IqtConfig::iqt_c(1.0)),
+        Method::Iqt(IqtConfig::iqt(3.0)),
+    ]
+}
+
+#[test]
+fn all_algorithms_agree_across_seeds_and_taus() {
+    for seed in 1..=8u64 {
+        for tau in [0.2, 0.5, 0.7, 0.9] {
+            let p = random_problem(seed, 80, 15, 15, 4, tau);
+            let reference = solve(&p, Method::Baseline);
+            for m in all_methods() {
+                let got = solve(&p, m);
+                assert!(
+                    reference.solution.equivalent(&got.solution),
+                    "{} diverged from Baseline (seed={seed}, tau={tau}): {:?} vs {:?}",
+                    m.name(),
+                    got.solution.selected_sorted(),
+                    reference.solution.selected_sorted(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_greedy_matches_standard_end_to_end() {
+    for seed in 1..=6u64 {
+        let p = random_problem(seed * 31, 100, 20, 25, 8, 0.6);
+        let a = solve_with(&p, Method::Iqt(IqtConfig::default()), Selector::Greedy);
+        let b = solve_with(&p, Method::Iqt(IqtConfig::default()), Selector::LazyGreedy);
+        assert_eq!(a.solution.selected, b.solution.selected, "seed={seed}");
+        assert!((a.solution.cinf - b.solution.cinf).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn pair_accounting_balances_for_every_method() {
+    let p = random_problem(99, 120, 25, 25, 5, 0.6);
+    for m in all_methods() {
+        let report = solve(&p, m);
+        let s = report.stats;
+        assert_eq!(
+            s.is_decided + s.nir_decided + s.ia_decided + s.nib_decided + s.irrelevant + s.verified,
+            s.pairs_total,
+            "pair ledger broken for {}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn solutions_have_k_distinct_candidates_and_consistent_cinf() {
+    let p = random_problem(5, 60, 10, 12, 6, 0.5);
+    for m in all_methods() {
+        let report = solve(&p, m);
+        let sol = &report.solution;
+        assert_eq!(sol.selected.len(), 6);
+        let mut uniq = sol.selected.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 6, "duplicate candidates from {}", m.name());
+        let sum: f64 = sol.marginal_gains.iter().sum();
+        assert!((sum - sol.cinf).abs() < 1e-9);
+        // Re-evaluate the set from scratch via the influence sets.
+        let (sets, _, _) = mc2ls::core::algorithms::influence_sets(&p, m);
+        assert!((cinf_of_set(&sets, &sol.selected) - sol.cinf).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn degenerate_instances_are_handled() {
+    // One user, one candidate, far apart: empty influence everywhere.
+    let users = vec![MovingUser::new(vec![
+        Point::new(0.0, 0.0),
+        Point::new(0.1, 0.0),
+    ])];
+    let p = Problem::new(
+        users,
+        vec![Point::new(500.0, 500.0)],
+        vec![Point::new(900.0, 900.0)],
+        1,
+        0.7,
+        Sigmoid::paper_default(),
+    );
+    for m in all_methods() {
+        let report = solve(&p, m);
+        assert_eq!(report.solution.selected.len(), 1);
+        assert_eq!(report.solution.cinf, 0.0, "method {}", m.name());
+    }
+}
+
+#[test]
+fn single_position_users_under_high_tau_are_never_influenced() {
+    // PF(0) = 0.5 < τ = 0.7: r = 1 users are uninfluenceable; algorithms
+    // must not crash and must agree.
+    let users: Vec<MovingUser> = (0..20)
+        .map(|i| MovingUser::new(vec![Point::new(i as f64, 0.0)]))
+        .collect();
+    let p = Problem::new(
+        users,
+        vec![Point::new(1.0, 0.0)],
+        vec![Point::new(2.0, 0.0), Point::new(3.0, 0.0)],
+        1,
+        0.7,
+        Sigmoid::paper_default(),
+    );
+    for m in all_methods() {
+        let report = solve(&p, m);
+        assert_eq!(report.solution.cinf, 0.0, "method {}", m.name());
+    }
+}

@@ -1,0 +1,136 @@
+//! Quality guarantees: on exhaustively solvable instances the greedy
+//! solution must achieve at least `(1 − 1/e)` of the exact optimum
+//! (paper Theorem 2), and in practice far more.
+
+use mc2ls::prelude::*;
+use mc2ls_integration::random_problem;
+
+const APPROX: f64 = 1.0 - 1.0 / std::f64::consts::E;
+
+#[test]
+fn greedy_meets_theorem2_bound_on_small_instances() {
+    let mut worst_ratio = f64::INFINITY;
+    for seed in 1..=20u64 {
+        let p = random_problem(seed * 7, 40, 8, 10, 3, 0.5);
+        let report = solve(&p, Method::Iqt(IqtConfig::default()));
+        let (sets, _, _) =
+            mc2ls::core::algorithms::influence_sets(&p, Method::Iqt(IqtConfig::default()));
+        let opt = solve_exact(&sets, p.k);
+        assert!(
+            opt.cinf >= report.solution.cinf - 1e-9,
+            "exact optimum below greedy (seed={seed})"
+        );
+        if opt.cinf > 0.0 {
+            let ratio = report.solution.cinf / opt.cinf;
+            worst_ratio = worst_ratio.min(ratio);
+            assert!(
+                ratio >= APPROX - 1e-9,
+                "approximation bound violated: ratio={ratio} (seed={seed})"
+            );
+        }
+    }
+    // Greedy is typically near-optimal; make sure the suite would notice a
+    // catastrophic regression in selection quality.
+    assert!(
+        worst_ratio > 0.85,
+        "greedy quality collapsed: {worst_ratio}"
+    );
+}
+
+#[test]
+fn exact_and_greedy_agree_when_candidates_are_disjoint() {
+    // Disjoint influence sets make greedy provably optimal.
+    let users: Vec<MovingUser> = (0..30)
+        .map(|i| {
+            let cx = (i % 6) as f64 * 10.0;
+            let cy = (i / 6) as f64 * 10.0;
+            MovingUser::new(vec![
+                Point::new(cx, cy),
+                Point::new(cx + 0.2, cy + 0.1),
+                Point::new(cx + 0.1, cy + 0.2),
+            ])
+        })
+        .collect();
+    // One candidate per cluster (distance 10 km apart ⇒ disjoint).
+    let candidates: Vec<Point> = (0..6).map(|i| Point::new(i as f64 * 10.0, 0.1)).collect();
+    let facilities = vec![Point::new(0.0, 0.2)];
+    let p = Problem::new(
+        users,
+        facilities,
+        candidates,
+        3,
+        0.5,
+        Sigmoid::paper_default(),
+    );
+    let report = solve(&p, Method::Baseline);
+    let (sets, _, _) = mc2ls::core::algorithms::influence_sets(&p, Method::Baseline);
+    let opt = solve_exact(&sets, 3);
+    assert!((report.solution.cinf - opt.cinf).abs() < 1e-9);
+}
+
+#[test]
+fn increasing_k_never_decreases_cinf() {
+    let p0 = random_problem(3, 80, 12, 15, 1, 0.6);
+    let mut last = 0.0;
+    for k in 1..=10 {
+        let mut p = p0.clone();
+        p.k = k;
+        let report = solve(&p, Method::Iqt(IqtConfig::default()));
+        assert!(
+            report.solution.cinf >= last - 1e-9,
+            "cinf decreased at k={k}"
+        );
+        last = report.solution.cinf;
+    }
+}
+
+#[test]
+fn more_competitors_never_increase_cinf() {
+    // Adding facilities can only split demand further — provided the
+    // facility sets are nested, so grow one pool by prefixes.
+    let base = random_problem(11, 60, 0, 12, 4, 0.5);
+    let pool = random_problem(1000, 1, 30, 1, 1, 0.5).facilities;
+    let mut last = f64::INFINITY;
+    for n_f in [0usize, 5, 15, 30] {
+        let p = Problem::new(
+            base.users.clone(),
+            pool[..n_f].to_vec(),
+            base.candidates.clone(),
+            base.k,
+            base.tau,
+            Sigmoid::paper_default(),
+        );
+        // Use the exact optimum: it is provably monotone under nested
+        // facility sets, whereas the greedy heuristic could fluctuate.
+        let (sets, _, _) = mc2ls::core::algorithms::influence_sets(&p, Method::Baseline);
+        let opt = solve_exact(&sets, p.k);
+        assert!(
+            opt.cinf <= last + 1e-9,
+            "optimal cinf grew when adding competitors (|F|={n_f})"
+        );
+        last = opt.cinf;
+    }
+}
+
+#[test]
+fn raising_tau_never_increases_cinf() {
+    // A stricter threshold shrinks every Ω_c and every F_o... the weight of
+    // a user may *rise* when facilities lose it, so monotonicity holds for
+    // the influenced-user sets, not cinf itself; check the set sizes.
+    let p = random_problem(17, 70, 10, 12, 4, 0.3);
+    let mut last_sizes = usize::MAX;
+    for tau in [0.3, 0.5, 0.7, 0.9] {
+        let mut q = p.clone();
+        q.tau = tau;
+        let (sets, _, _) =
+            mc2ls::core::algorithms::influence_sets(&q, Method::Iqt(IqtConfig::default()));
+        let covered: usize = sets
+            .omega_of_set(&(0..q.n_candidates() as u32).collect::<Vec<_>>())
+            .len();
+        assert!(
+            covered <= last_sizes,
+            "coverage grew with stricter tau={tau}"
+        );
+        last_sizes = covered;
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end runs on the calibrated datasets at reduced scale: the whole
+//! pipeline (generate → sample sites → prune → verify → select) and the
+//! qualitative properties the paper reports.
+
+use mc2ls::prelude::*;
+
+fn problem_from(dataset: Dataset, n_c: usize, n_f: usize, k: usize, tau: f64) -> Problem {
+    let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, 1234);
+    Problem::new(
+        dataset.users,
+        facilities,
+        candidates,
+        k,
+        tau,
+        Sigmoid::paper_default(),
+    )
+}
+
+#[test]
+fn california_like_pipeline_end_to_end() {
+    let dataset = presets::california_scaled(0.03).generate();
+    let p = problem_from(dataset, 40, 80, 10, 0.7);
+    let base = solve(&p, Method::Baseline);
+    let iqt = solve(&p, Method::Iqt(IqtConfig::default()));
+    assert!(base.solution.equivalent(&iqt.solution));
+    assert!(
+        iqt.solution.cinf > 0.0,
+        "nobody influenced at California scale?"
+    );
+    // The paper: NIR prunes the vast majority of users in C.
+    assert!(
+        iqt.stats.nir_fraction() > 0.5,
+        "NIR fraction {} too low for the uniform dataset",
+        iqt.stats.nir_fraction()
+    );
+    // And pruning slashes verification versus Baseline.
+    assert!(iqt.stats.verified * 2 < base.stats.verified);
+}
+
+#[test]
+fn new_york_like_pipeline_end_to_end() {
+    let dataset = presets::new_york_scaled(0.15).generate();
+    let p = problem_from(dataset, 30, 60, 5, 0.7);
+    let base = solve(&p, Method::Baseline);
+    let iqt = solve(&p, Method::Iqt(IqtConfig::default()));
+    assert!(base.solution.equivalent(&iqt.solution));
+    // Skewed data weakens NIR (paper Fig. 7): it must prune less here than
+    // on the California-like dataset at comparable settings.
+    let cal = presets::california_scaled(0.03).generate();
+    let pc = problem_from(cal, 30, 60, 5, 0.7);
+    let iqt_c = solve(&pc, Method::Iqt(IqtConfig::default()));
+    assert!(
+        iqt.stats.nir_fraction() < iqt_c.stats.nir_fraction(),
+        "NY NIR {} should trail California NIR {}",
+        iqt.stats.nir_fraction(),
+        iqt_c.stats.nir_fraction()
+    );
+}
+
+#[test]
+fn loader_roundtrip_through_solver() {
+    // Synthesise a check-in file, load it, and solve on it.
+    let mut lines = String::new();
+    for u in 0..25 {
+        let base_lat = 40.5 + (u % 5) as f64 * 0.05;
+        let base_lon = -74.0 + (u / 5) as f64 * 0.05;
+        for i in 0..6 {
+            lines.push_str(&format!(
+                "{u}\t2010-10-1{i}T10:00:00Z\t{:.5}\t{:.5}\t{}\n",
+                base_lat + i as f64 * 0.002,
+                base_lon + i as f64 * 0.002,
+                u * 10 + i
+            ));
+        }
+    }
+    let dataset = loader::load_checkins(lines.as_bytes(), "synthetic", None, 2).unwrap();
+    assert_eq!(dataset.users.len(), 25);
+    let n_pois = dataset.pois.len().min(20);
+    let sites = dataset.sample_sites(n_pois, 3);
+    let (c, f) = sites.split_at(n_pois / 2);
+    let p = Problem::new(
+        dataset.users,
+        f.to_vec(),
+        c.to_vec(),
+        3.min(c.len()),
+        0.5,
+        Sigmoid::paper_default(),
+    );
+    let report = solve(&p, Method::Iqt(IqtConfig::iqt(1.0)));
+    assert_eq!(report.solution.selected.len(), p.k);
+    assert!(report.solution.cinf > 0.0);
+}
+
+#[test]
+fn position_resampling_experiment_protocol() {
+    // The Fig. 15/16 protocol: filter users with > 12 positions, resample
+    // r ∈ {4, 8, 12}; verification cost must grow with r.
+    let dataset = presets::california_scaled(0.02).generate();
+    let (candidates, facilities) = dataset.sample_sites_disjoint(20, 40, 5);
+    let mut last_evals = 0u64;
+    for r in [4usize, 8, 12] {
+        let users = sampler::resample_positions(&dataset.users, 12, r, 77);
+        assert!(!users.is_empty());
+        let p = Problem::new(
+            users,
+            facilities.clone(),
+            candidates.clone(),
+            5,
+            0.7,
+            Sigmoid::paper_default(),
+        );
+        let report = solve(&p, Method::Iqt(IqtConfig::default()));
+        assert!(
+            report.stats.prob_evals >= last_evals,
+            "verification cost should grow with r (r={r})"
+        );
+        last_evals = report.stats.prob_evals;
+    }
+}
+
+#[test]
+fn user_scaling_experiment_protocol() {
+    // The Fig. 10 protocol: runtime-relevant work grows with |Ω|.
+    let dataset = presets::california_scaled(0.03).generate();
+    let (candidates, facilities) = dataset.sample_sites_disjoint(20, 40, 5);
+    let mut last_pairs = 0u64;
+    for frac in [0.25, 0.5, 1.0] {
+        let n = (dataset.users.len() as f64 * frac) as usize;
+        let users = sampler::subset_users(&dataset.users, n, 42);
+        let p = Problem::new(
+            users,
+            facilities.clone(),
+            candidates.clone(),
+            5,
+            0.7,
+            Sigmoid::paper_default(),
+        );
+        let report = solve(&p, Method::Iqt(IqtConfig::default()));
+        assert!(report.stats.pairs_total > last_pairs);
+        last_pairs = report.stats.pairs_total;
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based cross-crate tests: random instances through the full
+//! pipeline, checking algorithm agreement and ledger invariants.
+
+use mc2ls::prelude::*;
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (
+        1u64..10_000,
+        5usize..40,   // users
+        0usize..10,   // facilities
+        2usize..10,   // candidates
+        0.15f64..0.9, // tau
+    )
+        .prop_map(|(seed, n_u, n_f, n_c, tau)| {
+            let k = 1 + (seed as usize % n_c);
+            mc2ls_integration::random_problem(seed, n_u, n_f, n_c, k, tau)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn iqt_matches_baseline(p in arb_problem()) {
+        let a = solve(&p, Method::Baseline);
+        let b = solve(&p, Method::Iqt(IqtConfig::default()));
+        prop_assert!(a.solution.equivalent(&b.solution),
+            "IQT {:?} vs Baseline {:?}", b.solution.selected_sorted(), a.solution.selected_sorted());
+    }
+
+    #[test]
+    fn kcifp_matches_baseline(p in arb_problem()) {
+        let a = solve(&p, Method::Baseline);
+        let b = solve(&p, Method::KCifp);
+        prop_assert!(a.solution.equivalent(&b.solution));
+    }
+
+    #[test]
+    fn iqt_pino_matches_iqt_c(p in arb_problem()) {
+        let a = solve(&p, Method::Iqt(IqtConfig::iqt_c(1.5)));
+        let b = solve(&p, Method::Iqt(IqtConfig::iqt_pino(2.5)));
+        prop_assert!(a.solution.equivalent(&b.solution));
+    }
+
+    #[test]
+    fn cinf_never_exceeds_total_demand(p in arb_problem()) {
+        // cinf(G) ≤ Σ_o 1/(|F_o|+1) ≤ |Ω|.
+        let report = solve(&p, Method::Iqt(IqtConfig::default()));
+        prop_assert!(report.solution.cinf <= p.n_users() as f64 + 1e-9);
+        prop_assert!(report.solution.cinf >= 0.0);
+    }
+
+    #[test]
+    fn marginal_gains_non_increasing(p in arb_problem()) {
+        let report = solve(&p, Method::Iqt(IqtConfig::default()));
+        for w in report.solution.marginal_gains.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pair_ledger_balances(p in arb_problem()) {
+        for m in [Method::Baseline, Method::KCifp, Method::Iqt(IqtConfig::default())] {
+            let r = solve(&p, m);
+            prop_assert_eq!(
+                r.stats.is_decided + r.stats.nir_decided + r.stats.ia_decided
+                    + r.stats.nib_decided + r.stats.irrelevant + r.stats.verified,
+                r.stats.pairs_total
+            );
+        }
+    }
+}
