@@ -1,0 +1,36 @@
+//! Parallel scaling bench: the chunked IQuad-tree pipeline and the chunked
+//! exhaustive baseline at 1/2/4/8 worker threads. On an N-core machine the
+//! per-iteration time should drop until the thread count reaches N; the
+//! output is always bit-identical to the serial run (see
+//! `mc2ls-core/tests/parallel_equivalence.rs`), so only speed varies.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc2ls::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dataset = common::dataset_c();
+    let problem = common::problem(&dataset, 0.7);
+    for threads in [1usize, 2, 4, 8] {
+        for (method, label) in [
+            (Method::Iqt(IqtConfig::iqt(2.0)), "IQT"),
+            (Method::Baseline, "Baseline"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("threads={threads}")),
+                &problem,
+                |b, p| b.iter(|| influence_sets_threaded(p, method, threads)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

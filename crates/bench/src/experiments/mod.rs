@@ -12,6 +12,7 @@ mod fig14;
 pub(crate) mod fig15;
 mod fig16;
 mod figd;
+mod parallel;
 mod quality;
 mod table1;
 mod table2;
@@ -27,6 +28,7 @@ pub use fig14::fig14;
 pub use fig15::fig15;
 pub use fig16::fig16;
 pub use figd::figd;
+pub use parallel::parallel;
 pub use quality::quality;
 pub use table1::table1;
 pub use table2::table2;
@@ -53,6 +55,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("fig16", fig16),
         ("figd", figd),
         ("quality", quality),
+        ("BENCH_parallel", parallel),
     ]
 }
 

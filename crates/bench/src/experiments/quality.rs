@@ -34,7 +34,12 @@ pub fn quality(ctx: &Ctx) -> ExperimentResult {
 
             // Competition-blind: optimise raw coverage (every weight 1),
             // then score the chosen set under the true competitive weights.
-            let blind_sets = InfluenceSets::new(sets.omega_c.clone(), vec![0; sets.n_users()]);
+            let (offsets, user_ids) = sets.csr();
+            let blind_sets = InfluenceSets::from_csr(
+                offsets.to_vec(),
+                user_ids.to_vec(),
+                vec![0; sets.n_users()],
+            );
             let blind_pick = greedy::select(&blind_sets, k);
             let blind_value = sets.cinf_set(&blind_pick.selected);
 

@@ -12,7 +12,8 @@ commands:
   stats      --data FILE | --preset P [--scale S]
   solve      --data FILE | --preset P [--scale S]
              [--candidates N] [--facilities M] [-k K] [--tau T]
-             [--method baseline|kcifp|iqt|iqt-c|iqt-pino] [--svg FILE] [--json]
+             [--method baseline|kcifp|iqt|iqt-c|iqt-pino] [--threads T]
+             [--svg FILE] [--json]
   analyze    --data FILE | --preset P [--scale S]
              [--candidates N] [--facilities M] [-k K] [--tau T]
   convert    --checkins FILE --out FILE [--bounds ny|ca] [--min-positions N]

@@ -93,6 +93,10 @@ fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     let tau: f64 = parsed.get_or("tau", 0.7)?;
     let seed: u64 = parsed.get_or("site-seed", 42)?;
     let method = parse_method(parsed.get("method").unwrap_or("iqt"))?;
+    let threads: usize = parsed.get_or("threads", 1)?;
+    if threads == 0 {
+        return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
+    }
 
     let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
     let problem = Problem::new(
@@ -103,7 +107,9 @@ fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         tau,
         Sigmoid::paper_default(),
     );
-    let report = solve(&problem, method);
+    // The influence phases fan out over `threads` workers; the result is
+    // bit-identical to the serial run for any thread count.
+    let report = solve_threaded(&problem, method, Selector::Greedy, threads);
 
     if let Some(path) = parsed.get("svg") {
         let svg = render_scene(&problem, Some(&report.solution), &RenderOptions::default());
@@ -281,6 +287,29 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["solution"]["selected"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn solve_threads_flag_does_not_change_the_answer() {
+        let base = "solve --preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
+        let (code, serial) = call(base);
+        assert_eq!(code, 0, "{serial}");
+        let (code, threaded) = call(&format!("{base} --threads 4"));
+        assert_eq!(code, 0, "{threaded}");
+        let line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("selected"))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(line(&serial), line(&threaded));
+    }
+
+    #[test]
+    fn solve_rejects_zero_threads() {
+        let (code, out) = call("solve --preset new-york --scale 0.05 --threads 0");
+        assert_eq!(code, 1);
+        assert!(out.contains("bad value"));
     }
 
     #[test]

@@ -105,11 +105,11 @@ mod tests {
         let p = small_problem();
         let (sets, stats, _) = influence_sets(&p);
         // Candidate 0 influences user 0 (three close positions).
-        assert_eq!(sets.omega_c[0], vec![0]);
+        assert_eq!(sets.omega(0), [0]);
         // Candidate 1 influences user 1.
-        assert_eq!(sets.omega_c[1], vec![1]);
+        assert_eq!(sets.omega(1), [1]);
         // Candidate 2 is far from everyone.
-        assert!(sets.omega_c[2].is_empty());
+        assert!(sets.omega(2).is_empty());
         // Facility competes for user 0 only.
         assert_eq!(sets.f_count, vec![1, 0, 0]);
         assert_eq!(stats.pairs_total, stats.verified);

@@ -61,7 +61,8 @@ pub fn solve_budgeted(sets: &InfluenceSets, costs: &[f64], budget: f64) -> Solut
             if taken[c] || cost > remaining + 1e-12 {
                 continue;
             }
-            let gain: f64 = sets.omega_c[c]
+            let gain: f64 = sets
+                .omega(c)
                 .iter()
                 .filter(|&&o| !covered[o as usize])
                 .map(|&o| sets.weight(o))
@@ -79,7 +80,7 @@ pub fn solve_budgeted(sets: &InfluenceSets, costs: &[f64], budget: f64) -> Solut
         taken[c] = true;
         remaining -= costs[c];
         sweep.push(c as u32);
-        for &o in &sets.omega_c[c] {
+        for &o in sets.omega(c) {
             covered[o as usize] = true;
         }
     }

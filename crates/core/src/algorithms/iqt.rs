@@ -13,6 +13,7 @@
 //! live in [`crate::greedy`]; this module produces the influence sets.
 
 use crate::algorithms::IqtConfig;
+use crate::parallel::{map_chunks, map_items};
 use crate::pruning::{ia_contains, nib_contains, nib_query_rect, MmrTable};
 use crate::{InfluenceSets, PhaseTimes, Problem, PruneStats};
 use mc2ls_geo::Point;
@@ -25,9 +26,29 @@ pub fn influence_sets<PF: ProbabilityFunction>(
     problem: &Problem<PF>,
     config: &IqtConfig,
 ) -> (InfluenceSets, PruneStats, PhaseTimes) {
+    influence_sets_parallel(problem, config, 1)
+}
+
+/// [`influence_sets`] across `threads` workers. Every phase chunks its item
+/// space contiguously (see [`crate::parallel`]): traversals per abstract
+/// facility, NIB/IA R-tree queries per user, and exact verification per
+/// abstract facility. Chunk results are stitched in chunk order and partial
+/// statistics are summed, so the returned `InfluenceSets` **and**
+/// `PruneStats` are bit-identical to the serial run for any thread count
+/// (assertion-tested in `tests/parallel_equivalence.rs`). `PhaseTimes` are
+/// wall-clock per phase, measured on the coordinating thread — not summed
+/// across workers.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn influence_sets_parallel<PF: ProbabilityFunction>(
+    problem: &Problem<PF>,
+    config: &IqtConfig,
+    threads: usize,
+) -> (InfluenceSets, PruneStats, PhaseTimes) {
+    assert!(threads >= 1, "need at least one worker thread");
     let mut stats = PruneStats::default();
     let mut times = PhaseTimes::default();
-    let counter = EvalCounter::new();
 
     let n_users = problem.n_users();
     let n_cands = problem.n_candidates();
@@ -36,18 +57,17 @@ pub fn influence_sets<PF: ProbabilityFunction>(
     stats.pairs_total = (n_abstract * n_users) as u64;
 
     // Abstract facilities: candidates first, then facilities (paper's
-    // `v ∈ C ∪ F`).
-    let abstract_points = || {
-        problem
-            .candidates
-            .iter()
-            .chain(problem.facilities.iter())
-            .copied()
-    };
+    // `v ∈ C ∪ F`), materialised so workers can index any chunk.
+    let points: Vec<Point> = problem
+        .candidates
+        .iter()
+        .chain(problem.facilities.iter())
+        .copied()
+        .collect();
 
     // Lines 1–2: build the IQuad-tree, record NIR.
     let t = Instant::now();
-    let mut iqt = IQuadTree::build(
+    let iqt = IQuadTree::build(
         &problem.users,
         &problem.pf,
         problem.tau,
@@ -56,11 +76,18 @@ pub fn influence_sets<PF: ProbabilityFunction>(
     times.indexing = t.elapsed();
 
     // Lines 3–4: Traverse per abstract facility (IS + NIR rules).
+    // Facilities are independent; each worker reuses one scratch across its
+    // chunk, preserving the batch-wise property per worker.
     let t = Instant::now();
     let mut influenced: Vec<Vec<u32>> = Vec::with_capacity(n_abstract);
     let mut to_verify: Vec<Vec<u32>> = Vec::with_capacity(n_abstract);
-    for v in abstract_points() {
-        let outcome = iqt.traverse(&v);
+    let outcome_chunks = map_chunks(n_abstract, threads, |range| {
+        let mut scratch = iqt.scratch();
+        range
+            .map(|i| iqt.traverse_shared(&points[i], &mut scratch))
+            .collect::<Vec<_>>()
+    });
+    for outcome in outcome_chunks.into_iter().flatten() {
         stats.is_decided += outcome.influenced.len() as u64;
         stats.nir_decided += (n_users - outcome.influenced.len() - outcome.to_verify.len()) as u64;
         influenced.push(outcome.influenced);
@@ -101,50 +128,82 @@ pub fn influence_sets<PF: ProbabilityFunction>(
                 maybe_relevant[o as usize] = true;
             }
         }
+        // Users are independent: each worker runs the R-tree queries for a
+        // contiguous user chunk into private per-v lists. Serial execution
+        // pushes users in ascending id order, so concatenating the chunks in
+        // chunk order rebuilds exactly the serial lists.
+        let query_chunks = map_chunks(n_users, threads, |range| {
+            let mut nib_possible: Vec<Vec<u32>> = vec![Vec::new(); n_abstract];
+            let mut ia_certain: Vec<Vec<u32>> = vec![Vec::new(); n_abstract];
+            for o in range {
+                let user = &problem.users[o];
+                let Some(radius) = mmr.get(user.len()) else {
+                    continue; // never appears in any NIB set ⇒ dropped below
+                };
+                let window = nib_query_rect(user.mbr(), radius);
+                let mut handle = |v: u32, p: Point| {
+                    if config.use_ia && ia_contains(user.mbr(), &p, radius) {
+                        ia_certain[v as usize].push(o as u32);
+                    } else if nib_contains(user.mbr(), &p, radius) {
+                        nib_possible[v as usize].push(o as u32);
+                    }
+                };
+                rt_c.for_each_in_rect(&window, &mut handle);
+                if maybe_relevant[o] {
+                    rt_f.for_each_in_rect(&window, &mut handle);
+                }
+            }
+            (nib_possible, ia_certain)
+        });
         let mut nib_possible: Vec<Vec<u32>> = vec![Vec::new(); n_abstract];
         let mut ia_certain: Vec<Vec<u32>> = vec![Vec::new(); n_abstract];
-        for (o, user) in problem.users.iter().enumerate() {
-            let Some(radius) = mmr.get(user.len()) else {
-                continue; // never appears in any NIB set ⇒ dropped below
-            };
-            let window = nib_query_rect(user.mbr(), radius);
-            let mut handle = |v: u32, p: Point| {
-                if config.use_ia && ia_contains(user.mbr(), &p, radius) {
-                    ia_certain[v as usize].push(o as u32);
-                } else if nib_contains(user.mbr(), &p, radius) {
-                    nib_possible[v as usize].push(o as u32);
-                }
-            };
-            rt_c.for_each_in_rect(&window, &mut handle);
-            if maybe_relevant[o] {
-                rt_f.for_each_in_rect(&window, &mut handle);
+        for (nib_part, ia_part) in query_chunks {
+            for (v, part) in nib_part.into_iter().enumerate() {
+                nib_possible[v].extend(part);
+            }
+            for (v, part) in ia_part.into_iter().enumerate() {
+                ia_certain[v].extend(part);
             }
         }
 
-        for v in 0..n_abstract {
-            if config.use_ia && !ia_certain[v].is_empty() {
-                setops::normalize(&mut ia_certain[v]);
+        // Set algebra per abstract facility — independent across v.
+        let folded = map_items(n_abstract, threads, |v| {
+            let mut inf = influenced[v].clone();
+            let mut tv = to_verify[v].clone();
+            let mut ia = ia_certain[v].clone();
+            let mut nib = nib_possible[v].clone();
+            let mut ia_decided = 0u64;
+            let mut nib_decided = 0u64;
+            if config.use_ia && !ia.is_empty() {
+                setops::normalize(&mut ia);
                 // Users certain by IA skip verification entirely.
-                let moved = setops::intersect(&to_verify[v], &ia_certain[v]);
-                stats.ia_decided += moved.len() as u64;
-                to_verify[v] = setops::difference(&to_verify[v], &moved);
-                setops::union_into(&mut influenced[v], &moved);
+                let moved = setops::intersect(&tv, &ia);
+                ia_decided = moved.len() as u64;
+                tv = setops::difference(&tv, &moved);
+                setops::union_into(&mut inf, &moved);
             }
             if config.use_nib {
-                setops::normalize(&mut nib_possible[v]);
+                setops::normalize(&mut nib);
                 // Line 12: Ω′_v := Ω′_v ∩ Ω_v^NIB — users outside the NIB
                 // region of v cannot be influenced. IA-certain users are
                 // deliberately absent from nib_possible; they were already
                 // moved out of Ω′_v above.
                 let keep = if config.use_ia {
-                    setops::union(&nib_possible[v], &ia_certain[v])
+                    setops::union(&nib, &ia)
                 } else {
-                    std::mem::take(&mut nib_possible[v])
+                    nib
                 };
-                let before = to_verify[v].len();
-                to_verify[v] = setops::intersect(&to_verify[v], &keep);
-                stats.nib_decided += (before - to_verify[v].len()) as u64;
+                let before = tv.len();
+                tv = setops::intersect(&tv, &keep);
+                nib_decided = (before - tv.len()) as u64;
             }
+            (inf, tv, ia_decided, nib_decided)
+        });
+        for (v, (inf, tv, ia_decided, nib_decided)) in folded.into_iter().enumerate() {
+            influenced[v] = inf;
+            to_verify[v] = tv;
+            stats.ia_decided += ia_decided;
+            stats.nib_decided += nib_decided;
         }
         times.pruning += t.elapsed();
     }
@@ -154,18 +213,14 @@ pub fn influence_sets<PF: ProbabilityFunction>(
     // one candidate influences (the Ω′ optimisation of Algorithm 1 line 10,
     // applied symmetrically) — other users' `F_o` never enters the
     // objective, so skipping them cannot change the solution.
+    //
+    // Each worker counts probability evaluations in a private `EvalCounter`
+    // (no cache-line contention); early stopping is per-pair deterministic,
+    // so the summed totals match a serial run exactly.
     let t = Instant::now();
-    fn verify_list<PF: ProbabilityFunction>(
-        problem: &Problem<PF>,
-        counter: &EvalCounter,
-        point: &Point,
-        list: Vec<u32>,
-        influenced_v: &mut Vec<u32>,
-        stats: &mut PruneStats,
-    ) {
-        stats.verified += list.len() as u64;
+    let verify_hits = |point: &Point, list: &[u32], counter: &EvalCounter| -> Vec<u32> {
         let mut hits: Vec<u32> = Vec::new();
-        for o in list {
+        for &o in list {
             if influences_counted(
                 &problem.pf,
                 point,
@@ -176,18 +231,29 @@ pub fn influence_sets<PF: ProbabilityFunction>(
                 hits.push(o);
             }
         }
-        setops::union_into(influenced_v, &hits);
-    }
-    for (v, point) in problem.candidates.iter().enumerate() {
-        let list = std::mem::take(&mut to_verify[v]);
-        verify_list(
-            problem,
-            &counter,
-            point,
-            list,
-            &mut influenced[v],
-            &mut stats,
-        );
+        hits
+    };
+    let cand_chunks = map_chunks(n_cands, threads, |range| {
+        let counter = EvalCounter::new();
+        let mut verified = 0u64;
+        let hits: Vec<Vec<u32>> = range
+            .map(|v| {
+                verified += to_verify[v].len() as u64;
+                verify_hits(&problem.candidates[v], &to_verify[v], &counter)
+            })
+            .collect();
+        (hits, verified, counter.get())
+    });
+    {
+        let mut v = 0usize;
+        for (hits, verified, evals) in cand_chunks {
+            stats.verified += verified;
+            stats.prob_evals += evals;
+            for h in hits {
+                setops::union_into(&mut influenced[v], &h);
+                v += 1;
+            }
+        }
     }
     let mut relevant = vec![false; n_users];
     for list in &influenced[..n_cands] {
@@ -195,23 +261,38 @@ pub fn influence_sets<PF: ProbabilityFunction>(
             relevant[o as usize] = true;
         }
     }
-    for (f, point) in problem.facilities.iter().enumerate() {
-        let v = n_cands + f;
-        let list = std::mem::take(&mut to_verify[v]);
-        let before = list.len();
-        let kept: Vec<u32> = list.into_iter().filter(|&o| relevant[o as usize]).collect();
-        stats.irrelevant += (before - kept.len()) as u64;
-        verify_list(
-            problem,
-            &counter,
-            point,
-            kept,
-            &mut influenced[v],
-            &mut stats,
-        );
+    let fac_chunks = map_chunks(n_facs, threads, |range| {
+        let counter = EvalCounter::new();
+        let mut verified = 0u64;
+        let mut irrelevant = 0u64;
+        let hits: Vec<Vec<u32>> = range
+            .map(|f| {
+                let v = n_cands + f;
+                let kept: Vec<u32> = to_verify[v]
+                    .iter()
+                    .copied()
+                    .filter(|&o| relevant[o as usize])
+                    .collect();
+                irrelevant += (to_verify[v].len() - kept.len()) as u64;
+                verified += kept.len() as u64;
+                verify_hits(&problem.facilities[f], &kept, &counter)
+            })
+            .collect();
+        (hits, verified, irrelevant, counter.get())
+    });
+    {
+        let mut v = n_cands;
+        for (hits, verified, irrelevant, evals) in fac_chunks {
+            stats.verified += verified;
+            stats.irrelevant += irrelevant;
+            stats.prob_evals += evals;
+            for h in hits {
+                setops::union_into(&mut influenced[v], &h);
+                v += 1;
+            }
+        }
     }
     times.verification = t.elapsed();
-    stats.prob_evals = counter.get();
 
     // Assemble Ω_c and |F_o|.
     let omega_c: Vec<Vec<u32>> = influenced[..n_cands].to_vec();
@@ -268,8 +349,8 @@ mod tests {
     }
 
     fn assert_equivalent_sets(a: &InfluenceSets, b: &InfluenceSets, label: &str) {
-        assert_eq!(a.omega_c, b.omega_c, "{label}: omega_c diverged");
-        for list in &a.omega_c {
+        assert_eq!(a.csr(), b.csr(), "{label}: omega_c diverged");
+        for list in a.iter_omegas() {
             for &o in list {
                 assert_eq!(
                     a.f_count[o as usize], b.f_count[o as usize],
@@ -308,6 +389,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_pipeline_is_bit_identical() {
+        let p = random_problem(7, 70, 12, 10, 0.5);
+        for config in [
+            IqtConfig::iqt_c(2.0),
+            IqtConfig::iqt(2.0),
+            IqtConfig::iqt_pino(2.0),
+        ] {
+            let (sets, stats, _) = influence_sets(&p, &config);
+            for threads in [2usize, 4, 7] {
+                let (par_sets, par_stats, _) = influence_sets_parallel(&p, &config, threads);
+                assert_eq!(sets, par_sets, "threads={threads}");
+                assert_eq!(stats, par_stats, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let p = random_problem(2, 10, 3, 3, 0.5);
+        influence_sets_parallel(&p, &IqtConfig::iqt(2.0), 0);
+    }
+
+    #[test]
     fn facility_influence_is_complete_where_it_matters() {
         // IQT skips facility verification for users no candidate influences
         // (their weight is never read); for every user some candidate does
@@ -316,7 +421,7 @@ mod tests {
         let (base, _, _) = baseline::influence_sets(&p);
         let (got, _, _) = influence_sets(&p, &IqtConfig::iqt_c(2.0));
         let mut relevant = vec![false; p.n_users()];
-        for list in &base.omega_c {
+        for list in base.iter_omegas() {
             for &o in list {
                 relevant[o as usize] = true;
             }
@@ -333,8 +438,7 @@ mod tests {
         let p = random_problem(11, 40, 8, 8, 0.6);
         let (a, _, _) = influence_sets(&p, &IqtConfig::iqt(1.0));
         let (b, _, _) = influence_sets(&p, &IqtConfig::iqt(2.5));
-        assert_eq!(a.omega_c, b.omega_c);
-        assert_eq!(a.f_count, b.f_count);
+        assert_eq!(a, b);
     }
 
     #[test]

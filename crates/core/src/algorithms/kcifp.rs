@@ -321,12 +321,12 @@ mod tests {
             let p = random_problem(seed, 40, 8, 10);
             let (a, _, _) = baseline::influence_sets(&p);
             let (b, _, _) = influence_sets(&p);
-            assert_eq!(a.omega_c, b.omega_c, "omega_c diverged, seed={seed}");
+            assert_eq!(a.csr(), b.csr(), "omega_c diverged, seed={seed}");
             // f_count may differ on users influenced by no candidate (k-CIFP
             // skips them as an optimisation); weights only matter for
             // influenced users.
             for c in 0..p.n_candidates() {
-                for &o in &a.omega_c[c] {
+                for &o in a.omega(c) {
                     assert_eq!(
                         a.f_count[o as usize], b.f_count[o as usize],
                         "f_count diverged for influenced user {o}, seed={seed}"
@@ -342,8 +342,8 @@ mod tests {
             let p = random_problem(seed, 50, 10, 12);
             let (a, a_stats, _) = influence_sets(&p);
             let (b, b_stats, _) = influence_sets_faithful(&p);
-            assert_eq!(a.omega_c, b.omega_c, "seed={seed}");
-            for list in &a.omega_c {
+            assert_eq!(a.csr(), b.csr(), "seed={seed}");
+            for list in a.iter_omegas() {
                 for &o in list {
                     assert_eq!(a.f_count[o as usize], b.f_count[o as usize], "seed={seed}");
                 }

@@ -134,3 +134,77 @@ pub fn influence_sets<PF: ProbabilityFunction>(
         Method::Iqt(config) => iqt::influence_sets(problem, &config),
     }
 }
+
+/// [`solve_with`] with an explicit worker-thread count for the influence
+/// phases. `threads == 1` is exactly the serial path; any thread count
+/// produces bit-identical results (see `tests/parallel_equivalence.rs`),
+/// so the selected sites and `cinf(G)` never depend on `threads`.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn solve_threaded<PF: ProbabilityFunction>(
+    problem: &Problem<PF>,
+    method: Method,
+    selector: Selector,
+    threads: usize,
+) -> RunReport {
+    let (sets, stats, mut times) = influence_sets_threaded(problem, method, threads);
+    let t = Instant::now();
+    let solution = match selector {
+        Selector::Greedy => greedy::select(&sets, problem.k),
+        Selector::LazyGreedy => greedy::select_lazy(&sets, problem.k),
+    };
+    times.selection = t.elapsed();
+    RunReport {
+        solution,
+        stats,
+        times,
+    }
+}
+
+/// [`influence_sets`] across `threads` worker threads.
+///
+/// * [`Method::Iqt`] runs the chunked IQuad-tree pipeline
+///   ([`iqt::influence_sets_parallel`]): traversal, NIB/IA refinement and
+///   exact verification all fan out; sets **and** `PruneStats` are
+///   bit-identical to serial.
+/// * [`Method::Baseline`] runs the chunked exhaustive scan with per-worker
+///   evaluation counters; its whole cost is verification, so `PhaseTimes`
+///   reports the wall-clock of the scan there.
+/// * [`Method::KCifp`] stays serial (its R-tree walk shares mutable
+///   per-candidate state); `threads` is ignored.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn influence_sets_threaded<PF: ProbabilityFunction>(
+    problem: &Problem<PF>,
+    method: Method,
+    threads: usize,
+) -> (InfluenceSets, PruneStats, PhaseTimes) {
+    assert!(threads >= 1, "need at least one worker thread");
+    match method {
+        Method::Baseline => {
+            if threads == 1 {
+                return baseline::influence_sets(problem);
+            }
+            let t0 = Instant::now();
+            let (sets, prob_evals) =
+                crate::parallel::baseline_influence_sets_counted(problem, threads);
+            let pairs =
+                ((problem.n_candidates() + problem.n_facilities()) * problem.n_users()) as u64;
+            let stats = PruneStats {
+                pairs_total: pairs,
+                verified: pairs,
+                prob_evals,
+                ..PruneStats::default()
+            };
+            let times = PhaseTimes {
+                verification: t0.elapsed(),
+                ..PhaseTimes::default()
+            };
+            (sets, stats, times)
+        }
+        Method::KCifp => kcifp::influence_sets(problem),
+        Method::Iqt(config) => iqt::influence_sets_parallel(problem, &config, threads),
+    }
+}

@@ -37,7 +37,7 @@ pub struct SiteReport {
 pub fn site_reports(sets: &InfluenceSets, solution: &Solution) -> Vec<SiteReport> {
     let mut cover_count = vec![0u32; sets.n_users()];
     for &c in &solution.selected {
-        for &o in &sets.omega_c[c as usize] {
+        for &o in sets.omega(c as usize) {
             cover_count[o as usize] += 1;
         }
     }
@@ -48,7 +48,7 @@ pub fn site_reports(sets: &InfluenceSets, solution: &Solution) -> Vec<SiteReport
             let mut exclusive_users = 0;
             let mut shared_users = 0;
             let mut exclusive_weight = 0.0;
-            for &o in &sets.omega_c[c as usize] {
+            for &o in sets.omega(c as usize) {
                 if cover_count[o as usize] == 1 {
                     exclusive_users += 1;
                     exclusive_weight += sets.weight(o);

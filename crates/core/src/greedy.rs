@@ -13,7 +13,7 @@
 //!   this repository's implementation of the "candidate-pruning strategy to
 //!   further accelerate the computation" the paper's abstract highlights.
 
-use crate::{InfluenceSets, Solution};
+use crate::{Bitset, InfluenceSets, Solution};
 
 /// The paper's greedy: re-evaluate every remaining candidate each round.
 ///
@@ -30,7 +30,7 @@ use crate::{InfluenceSets, Solution};
 pub fn select(sets: &InfluenceSets, k: usize) -> Solution {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
-    let mut covered = vec![false; sets.n_users()];
+    let mut covered = Bitset::new(sets.n_users());
     let mut taken = vec![false; n];
     let mut selected = Vec::with_capacity(k);
     let mut gains = Vec::with_capacity(k);
@@ -55,8 +55,8 @@ pub fn select(sets: &InfluenceSets, k: usize) -> Solution {
         selected.push(c as u32);
         gains.push(gain);
         total += gain;
-        for &o in &sets.omega_c[c] {
-            covered[o as usize] = true;
+        for &o in sets.omega(c) {
+            covered.insert(o);
         }
     }
 
@@ -71,7 +71,7 @@ pub fn select(sets: &InfluenceSets, k: usize) -> Solution {
 pub fn select_lazy(sets: &InfluenceSets, k: usize) -> Solution {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
-    let mut covered = vec![false; sets.n_users()];
+    let mut covered = Bitset::new(sets.n_users());
     // (cached_gain, candidate, round_of_cache); BinaryHeap orders by gain,
     // then by *smaller* id via Reverse-style key on ties.
     use std::cmp::Ordering;
@@ -119,8 +119,8 @@ pub fn select_lazy(sets: &InfluenceSets, k: usize) -> Solution {
                 selected.push(top.cand as u32);
                 gains.push(top.gain);
                 total += top.gain;
-                for &o in &sets.omega_c[top.cand] {
-                    covered[o as usize] = true;
+                for &o in sets.omega(top.cand) {
+                    covered.insert(o);
                 }
                 break;
             }
@@ -152,7 +152,7 @@ pub fn select_with_demand(sets: &InfluenceSets, demand: &[f64], k: usize) -> Sol
         demand.iter().all(|&d| d >= 0.0),
         "demands must be non-negative"
     );
-    let mut covered = vec![false; sets.n_users()];
+    let mut covered = Bitset::new(sets.n_users());
     let mut taken = vec![false; n];
     let mut selected = Vec::with_capacity(k);
     let mut gains = Vec::with_capacity(k);
@@ -164,9 +164,10 @@ pub fn select_with_demand(sets: &InfluenceSets, demand: &[f64], k: usize) -> Sol
             if taken[c] {
                 continue;
             }
-            let gain: f64 = sets.omega_c[c]
+            let gain: f64 = sets
+                .omega(c)
                 .iter()
-                .filter(|&&o| !covered[o as usize])
+                .filter(|&&o| !covered.contains(o))
                 .map(|&o| demand[o as usize] * sets.weight(o))
                 .sum();
             match best {
@@ -179,8 +180,8 @@ pub fn select_with_demand(sets: &InfluenceSets, demand: &[f64], k: usize) -> Sol
         selected.push(c as u32);
         gains.push(gain);
         total += gain;
-        for &o in &sets.omega_c[c] {
-            covered[o as usize] = true;
+        for &o in sets.omega(c) {
+            covered.insert(o);
         }
     }
     Solution {
@@ -192,10 +193,10 @@ pub fn select_with_demand(sets: &InfluenceSets, demand: &[f64], k: usize) -> Sol
 
 /// The marginal competitive influence of candidate `c` given covered users.
 #[inline]
-fn marginal_gain(sets: &InfluenceSets, c: usize, covered: &[bool]) -> f64 {
-    sets.omega_c[c]
+fn marginal_gain(sets: &InfluenceSets, c: usize, covered: &Bitset) -> f64 {
+    sets.omega(c)
         .iter()
-        .filter(|&&o| !covered[o as usize])
+        .filter(|&&o| !covered.contains(o))
         .map(|&o| sets.weight(o))
         .sum()
 }

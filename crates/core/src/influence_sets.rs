@@ -3,11 +3,18 @@ use mc2ls_index::setops;
 /// The influence relationships an algorithm's pruning + verification phases
 /// produce, and everything the greedy selection phase needs:
 ///
-/// * `omega_c[c]` — the sorted users influenced by candidate `c`
+/// * `omega(c)` — the sorted users influenced by candidate `c`
 ///   (Definition 2's `Ω_c`).
 /// * `f_count[o]` — `|F_o|`, the number of existing facilities influencing
 ///   user `o` (Definition 3). The competitive weight of a user is
 ///   `1/(|F_o|+1)` (Equation 1).
+///
+/// The per-candidate lists live in one flat **CSR layout**: `user_ids`
+/// concatenates every candidate's sorted users, and `offsets[c]..offsets[c+1]`
+/// delimits candidate `c`'s slice. Compared to a `Vec<Vec<u32>>`, the greedy
+/// selection phase scans candidates back to back over one contiguous
+/// allocation — no per-candidate pointer chase, and the whole structure is
+/// two `memcpy`s to clone or send across threads.
 ///
 /// All MC²LS algorithms in this crate reduce to this structure; since the
 /// pruning rules are lossless, every algorithm must produce the same
@@ -15,35 +22,98 @@ use mc2ls_index::setops;
 /// exactly that to cross-validate the implementations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InfluenceSets {
-    /// Sorted user ids per candidate.
-    pub omega_c: Vec<Vec<u32>>,
+    /// CSR row pointers: candidate `c` owns `user_ids[offsets[c] as usize
+    /// .. offsets[c + 1] as usize]`. Always `n_candidates + 1` entries,
+    /// starting at 0, non-decreasing.
+    offsets: Vec<u32>,
+    /// Concatenated sorted user ids of every candidate.
+    user_ids: Vec<u32>,
     /// `|F_o|` per user.
     pub f_count: Vec<u32>,
 }
 
 impl InfluenceSets {
-    /// Creates the structure, asserting each `omega_c` list is sorted and
-    /// in range (debug builds only).
+    /// Creates the structure from nested per-candidate lists (flattened to
+    /// CSR internally), asserting each list is sorted and in range (debug
+    /// builds only).
     pub fn new(omega_c: Vec<Vec<u32>>, f_count: Vec<u32>) -> Self {
-        #[cfg(debug_assertions)]
+        let mut offsets = Vec::with_capacity(omega_c.len() + 1);
+        offsets.push(0u32);
+        let total: usize = omega_c.iter().map(Vec::len).sum();
+        let mut user_ids = Vec::with_capacity(total);
         for list in &omega_c {
-            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "omega_c not sorted");
-            debug_assert!(
-                list.iter().all(|&u| (u as usize) < f_count.len()),
-                "user id out of range"
-            );
+            user_ids.extend_from_slice(list);
+            offsets.push(user_ids.len() as u32);
         }
-        InfluenceSets { omega_c, f_count }
+        Self::from_csr(offsets, user_ids, f_count)
+    }
+
+    /// Creates the structure directly from a CSR layout.
+    ///
+    /// # Panics
+    /// Panics when `offsets` is empty, does not start at 0, or does not end
+    /// at `user_ids.len()`. Per-candidate sortedness and id range are
+    /// debug-asserted like in [`InfluenceSets::new`].
+    pub fn from_csr(offsets: Vec<u32>, user_ids: Vec<u32>, f_count: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offsets needs a leading 0 entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            user_ids.len(),
+            "offsets must end at user_ids.len()"
+        );
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                offsets.windows(2).all(|w| w[0] <= w[1]),
+                "offsets not non-decreasing"
+            );
+            for w in offsets.windows(2) {
+                let list = &user_ids[w[0] as usize..w[1] as usize];
+                debug_assert!(list.windows(2).all(|x| x[0] < x[1]), "omega_c not sorted");
+                debug_assert!(
+                    list.iter().all(|&u| (u as usize) < f_count.len()),
+                    "user id out of range"
+                );
+            }
+        }
+        InfluenceSets {
+            offsets,
+            user_ids,
+            f_count,
+        }
     }
 
     /// Number of candidates.
     pub fn n_candidates(&self) -> usize {
-        self.omega_c.len()
+        self.offsets.len() - 1
     }
 
     /// Number of users.
     pub fn n_users(&self) -> usize {
         self.f_count.len()
+    }
+
+    /// Sorted users influenced by candidate `c` (Definition 2's `Ω_c`).
+    #[inline]
+    pub fn omega(&self, c: usize) -> &[u32] {
+        &self.user_ids[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Per-candidate lists in candidate order.
+    pub fn iter_omegas(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.n_candidates()).map(|c| self.omega(c))
+    }
+
+    /// The raw CSR arrays `(offsets, user_ids)`.
+    pub fn csr(&self) -> (&[u32], &[u32]) {
+        (&self.offsets, &self.user_ids)
+    }
+
+    /// The per-candidate lists as owned nested vectors (the pre-CSR
+    /// representation; for callers that slice or reshuffle candidates).
+    pub fn to_nested(&self) -> Vec<Vec<u32>> {
+        self.iter_omegas().map(<[u32]>::to_vec).collect()
     }
 
     /// Competitive weight `1/(|F_o|+1)` of user `o`.
@@ -54,14 +124,14 @@ impl InfluenceSets {
 
     /// `cinf(c)` against the full user set (Definition 4).
     pub fn cinf_candidate(&self, c: usize) -> f64 {
-        self.omega_c[c].iter().map(|&o| self.weight(o)).sum()
+        self.omega(c).iter().map(|&o| self.weight(o)).sum()
     }
 
     /// The union `Ω_G` of influenced users over a candidate set (sorted).
     pub fn omega_of_set(&self, set: &[u32]) -> Vec<u32> {
         let mut out: Vec<u32> = Vec::new();
         for &c in set {
-            setops::union_into(&mut out, &self.omega_c[c as usize]);
+            setops::union_into(&mut out, self.omega(c as usize));
         }
         out
     }
@@ -126,5 +196,50 @@ mod tests {
         let pair = s.cinf_set(&[0, 1]);
         assert!(pair >= single);
         assert!(pair <= s.cinf_candidate(0) + s.cinf_candidate(1) + 1e-12);
+    }
+
+    #[test]
+    fn csr_layout_matches_nested_input() {
+        let s = paper_example();
+        let (offsets, user_ids) = s.csr();
+        assert_eq!(offsets, &[0, 2, 4, 6]);
+        assert_eq!(user_ids, &[0, 1, 1, 3, 0, 2]);
+        assert_eq!(s.omega(0), [0, 1]);
+        assert_eq!(s.omega(1), [1, 3]);
+        assert_eq!(s.omega(2), [0, 2]);
+        assert_eq!(s.n_candidates(), 3);
+    }
+
+    #[test]
+    fn nested_round_trip_is_lossless() {
+        let nested = vec![vec![0, 1], vec![], vec![2], vec![0, 1, 2, 3]];
+        let s = InfluenceSets::new(nested.clone(), vec![0; 4]);
+        assert_eq!(s.to_nested(), nested);
+        let (offsets, user_ids) = s.csr();
+        let rebuilt =
+            InfluenceSets::from_csr(offsets.to_vec(), user_ids.to_vec(), s.f_count.clone());
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn empty_candidate_lists_are_preserved() {
+        let s = InfluenceSets::new(vec![vec![], vec![], vec![1]], vec![0, 0]);
+        assert_eq!(s.n_candidates(), 3);
+        assert!(s.omega(0).is_empty());
+        assert!(s.omega(1).is_empty());
+        assert_eq!(s.omega(2), [1]);
+        assert_eq!(s.iter_omegas().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end at user_ids.len()")]
+    fn csr_with_dangling_ids_is_rejected() {
+        InfluenceSets::from_csr(vec![0, 1], vec![0, 1, 2], vec![0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must start at 0")]
+    fn csr_with_bad_leading_offset_is_rejected() {
+        InfluenceSets::from_csr(vec![1, 3], vec![0, 1, 2], vec![0; 3]);
     }
 }

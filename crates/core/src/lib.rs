@@ -27,6 +27,7 @@
 
 pub mod algorithms;
 pub mod analysis;
+mod bitset;
 mod cinf;
 pub mod greedy;
 mod influence_sets;
@@ -37,6 +38,7 @@ pub mod sketch;
 mod solution;
 mod stats;
 
+pub use bitset::Bitset;
 pub use cinf::{cinf_of_set, competitive_weight};
 pub use influence_sets::InfluenceSets;
 pub use problem::Problem;

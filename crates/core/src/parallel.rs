@@ -1,16 +1,96 @@
-//! Multi-threaded influence computation (crossbeam scoped threads).
+//! Multi-threaded execution primitives (std scoped threads).
 //!
 //! The influence relationships of distinct abstract facilities are
-//! independent, so the exhaustive evaluation parallelises embarrassingly:
-//! candidates and facilities are chunked across worker threads, each worker
-//! fills its slice of `Ω_c`/`|F_o|` privately, and results are stitched
-//! without locks. Output is bit-identical to [`crate::algorithms::baseline`]
-//! (assertion-tested), making this a drop-in accelerator for the unpruned
-//! path — useful when validating pruned algorithms against ground truth on
-//! large instances.
+//! independent, so every expensive phase of the pipeline parallelises by
+//! *contiguous chunking*: the item index space `0..n` is split into at most
+//! `threads` contiguous ranges, each worker computes its range privately,
+//! and the per-chunk results are stitched back **in chunk order**. Because
+//! chunk boundaries never change what is computed for an item — only which
+//! thread computes it — the stitched output is bit-identical to a serial
+//! run for any thread count (assertion-tested in
+//! `tests/parallel_equivalence.rs` and below).
+//!
+//! [`map_chunks`] is the one primitive; [`map_items`] and [`sum_folds`] are
+//! the two stitching conventions the pipeline needs (per-item results in
+//! order; order-independent partial aggregates).
 
 use crate::{InfluenceSets, Problem};
-use mc2ls_influence::{influences, ProbabilityFunction};
+use mc2ls_influence::{influences_counted, EvalCounter, ProbabilityFunction};
+use std::ops::Range;
+
+/// Splits `0..n_items` into at most `threads` contiguous ranges, runs
+/// `work` on each range in parallel, and returns the per-chunk results in
+/// chunk order. With one thread (or zero/one item) the work runs on the
+/// calling thread — no spawn cost on the serial path.
+///
+/// # Panics
+/// Panics when `threads == 0`, or when a worker panics.
+pub fn map_chunks<T, F>(n_items: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    assert!(threads >= 1, "need at least one worker thread");
+    let threads = threads.min(n_items.max(1));
+    if threads == 1 {
+        return vec![work(0..n_items)];
+    }
+    let chunk = n_items.div_ceil(threads);
+    let mut out = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * chunk).min(n_items);
+                let hi = (lo + chunk).min(n_items);
+                scope.spawn(move || work(lo..hi))
+            })
+            .collect();
+        out.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked")),
+        );
+    });
+    out
+}
+
+/// Runs `f` once per item index and returns the results in item order —
+/// identical to `(0..n_items).map(f).collect()` for any thread count.
+pub fn map_items<R, F>(n_items: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    map_chunks(n_items, threads, |range| range.map(&f).collect::<Vec<R>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Runs `fold` per chunk (each worker folding into a fresh `init()`
+/// accumulator) and combines the partial accumulators **in chunk order**
+/// with `merge`. For commutative merges (sums, max) the result is identical
+/// to a serial fold for any thread count.
+pub fn sum_folds<A, F, I, M>(n_items: usize, threads: usize, init: I, fold: F, merge: M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, Range<usize>) + Sync,
+    M: Fn(&mut A, A),
+{
+    let parts = map_chunks(n_items, threads, |range| {
+        let mut acc = init();
+        fold(&mut acc, range);
+        acc
+    });
+    let mut parts = parts.into_iter();
+    let mut total = parts.next().expect("map_chunks returns >= 1 chunk");
+    for part in parts {
+        merge(&mut total, part);
+    }
+    total
+}
 
 /// Exhaustive influence computation across `threads` workers. Equivalent to
 /// the Baseline's sets (same `omega_c`, same `f_count`), just faster on
@@ -22,76 +102,83 @@ pub fn baseline_influence_sets_parallel<PF: ProbabilityFunction>(
     problem: &Problem<PF>,
     threads: usize,
 ) -> InfluenceSets {
+    baseline_influence_sets_counted(problem, threads).0
+}
+
+/// [`baseline_influence_sets_parallel`] plus the number of probability
+/// evaluations performed. Each worker counts on a private [`EvalCounter`]
+/// (no atomic contention); the per-chunk totals sum to exactly the serial
+/// count because early stopping is decided per pair.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn baseline_influence_sets_counted<PF: ProbabilityFunction>(
+    problem: &Problem<PF>,
+    threads: usize,
+) -> (InfluenceSets, u64) {
     assert!(threads >= 1, "need at least one worker thread");
     let n_users = problem.n_users();
-    let n_cands = problem.n_candidates();
-    let n_facs = problem.n_facilities();
 
     // Candidates: each worker owns a disjoint chunk of candidate indices.
-    let chunk = n_cands.div_ceil(threads).max(1);
-    let mut omega_c: Vec<Vec<u32>> = Vec::with_capacity(n_cands);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = problem
-            .candidates
-            .chunks(chunk)
-            .map(|cands| {
-                scope.spawn(move |_| {
-                    cands
-                        .iter()
-                        .map(|c| {
-                            (0..n_users as u32)
-                                .filter(|&o| {
-                                    influences(
-                                        &problem.pf,
-                                        c,
-                                        problem.users[o as usize].positions(),
-                                        problem.tau,
-                                    )
-                                })
-                                .collect::<Vec<u32>>()
-                        })
-                        .collect::<Vec<Vec<u32>>>()
-                })
+    let cand_chunks = map_chunks(problem.n_candidates(), threads, |range| {
+        let counter = EvalCounter::new();
+        let lists: Vec<Vec<u32>> = range
+            .map(|ci| {
+                let c = &problem.candidates[ci];
+                (0..n_users as u32)
+                    .filter(|&o| {
+                        influences_counted(
+                            &problem.pf,
+                            c,
+                            problem.users[o as usize].positions(),
+                            problem.tau,
+                            &counter,
+                        )
+                    })
+                    .collect()
             })
             .collect();
-        for h in handles {
-            omega_c.extend(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("thread scope failed");
+        (lists, counter.get())
+    });
+    let mut omega_c = Vec::with_capacity(problem.n_candidates());
+    let mut evals = 0u64;
+    for (lists, count) in cand_chunks {
+        omega_c.extend(lists);
+        evals += count;
+    }
 
     // Facilities: workers produce partial |F_o| vectors, summed afterwards.
-    let fchunk = n_facs.div_ceil(threads).max(1);
-    let mut f_count = vec![0u32; n_users];
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = problem
-            .facilities
-            .chunks(fchunk)
-            .map(|facs| {
-                scope.spawn(move |_| {
-                    let mut local = vec![0u32; n_users];
-                    for f in facs {
-                        for (o, cnt) in local.iter_mut().enumerate() {
-                            if influences(&problem.pf, f, problem.users[o].positions(), problem.tau)
-                            {
-                                *cnt += 1;
-                            }
-                        }
+    let (f_count, fac_evals) = sum_folds(
+        problem.n_facilities(),
+        threads,
+        || (vec![0u32; n_users], EvalCounter::new()),
+        |(local, counter), range| {
+            for f in &problem.facilities[range] {
+                for (o, cnt) in local.iter_mut().enumerate() {
+                    if influences_counted(
+                        &problem.pf,
+                        f,
+                        problem.users[o].positions(),
+                        problem.tau,
+                        counter,
+                    ) {
+                        *cnt += 1;
                     }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            let local = h.join().expect("worker panicked");
-            for (total, part) in f_count.iter_mut().zip(local) {
-                *total += part;
+                }
             }
-        }
-    })
-    .expect("thread scope failed");
+        },
+        |(total, t_counter), (part, p_counter)| {
+            for (t, p) in total.iter_mut().zip(part) {
+                *t += p;
+            }
+            t_counter.add(p_counter.get());
+        },
+    );
 
-    InfluenceSets::new(omega_c, f_count)
+    (
+        InfluenceSets::new(omega_c, f_count),
+        evals + fac_evals.get(),
+    )
 }
 
 #[cfg(test)]
@@ -136,8 +223,7 @@ mod tests {
             let (serial, _, _) = baseline::influence_sets(&p);
             for threads in [1usize, 2, 4, 7] {
                 let par = baseline_influence_sets_parallel(&p, threads);
-                assert_eq!(serial.omega_c, par.omega_c, "threads={threads}");
-                assert_eq!(serial.f_count, par.f_count, "threads={threads}");
+                assert_eq!(serial, par, "threads={threads}");
             }
         }
     }
@@ -147,6 +233,30 @@ mod tests {
         let p = problem(9);
         let par = baseline_influence_sets_parallel(&p, 64);
         assert_eq!(par.n_candidates(), p.n_candidates());
+    }
+
+    #[test]
+    fn map_items_matches_serial_map() {
+        for threads in [1usize, 2, 3, 7, 16] {
+            let got = map_items(23, threads, |i| i * i);
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert!(map_items(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn sum_folds_matches_serial_fold() {
+        for threads in [1usize, 2, 5, 11] {
+            let total = sum_folds(
+                100,
+                threads,
+                || 0u64,
+                |acc, range| *acc += range.map(|i| i as u64).sum::<u64>(),
+                |a, b| *a += b,
+            );
+            assert_eq!(total, 4950, "threads={threads}");
+        }
     }
 
     #[test]

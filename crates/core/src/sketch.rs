@@ -128,7 +128,7 @@ fn hash64(mut x: u64) -> u64 {
 pub fn select_sketched(sets: &InfluenceSets, k: usize, m: usize) -> Solution {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
-    let sketches: Vec<FmSketch> = (0..n).map(|c| FmSketch::of(&sets.omega_c[c], m)).collect();
+    let sketches: Vec<FmSketch> = (0..n).map(|c| FmSketch::of(sets.omega(c), m)).collect();
 
     let mut covered = FmSketch::new(m);
     let mut taken = vec![false; n];

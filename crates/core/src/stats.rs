@@ -10,7 +10,7 @@ use std::time::Duration;
 /// A "pair" is one (abstract facility, user) influence relationship. For
 /// every pair exactly one of the following holds after the pruning phase:
 /// decided-influenced (IS or IA), decided-not (NIR or NIB), or verified.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PruneStats {
     /// Total pairs considered: `(|C| + |F|)·|Ω|` (facility side restricted
     /// to users that matter, see Algorithm 1 line 10 / Algorithm 2).

@@ -70,7 +70,7 @@ pub struct IqtStats {
 /// // can possibly be influenced.
 /// assert!(!outcome.to_verify.contains(&1) && !outcome.influenced.contains(&1));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct IQuadTree {
     nodes: Vec<IqtNode>,
     root_square: Square,
@@ -83,18 +83,52 @@ pub struct IQuadTree {
     n_users: usize,
     /// Epoch-stamped per-user dedup marks for
     /// [`IQuadTree::users_with_position_in`] (avoids sorting
-    /// duplicate-laden raw id lists on every NIR query).
-    seen: std::cell::RefCell<Stamp>,
+    /// duplicate-laden raw id lists on every NIR query). A `Mutex` (rather
+    /// than a `RefCell`) keeps the tree `Sync`; the shared-traversal path
+    /// never touches it — each worker carries its own [`TraverseScratch`].
+    seen: std::sync::Mutex<Stamp>,
     /// Extent of the positions deleted by the in-flight
     /// [`IQuadTree::remove_user`] call (scratch state for its
     /// cache-invalidation pass).
     last_removed_mbr: Option<Rect>,
 }
 
+impl Clone for IQuadTree {
+    fn clone(&self) -> Self {
+        IQuadTree {
+            nodes: self.nodes.clone(),
+            root_square: self.root_square,
+            depth: self.depth,
+            eta_by_level: self.eta_by_level.clone(),
+            nir: self.nir,
+            r_max: self.r_max,
+            n_users: self.n_users,
+            seen: std::sync::Mutex::new(self.seen.lock().unwrap().clone()),
+            last_removed_mbr: self.last_removed_mbr,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct Stamp {
     mark: Vec<u32>,
     epoch: u32,
+}
+
+/// Per-worker state for [`IQuadTree::traverse_shared`]: a private dedup
+/// stamp plus memos standing in for the node caches that the `&mut self`
+/// path ([`IQuadTree::traverse`]) writes in place. Because a node's
+/// `Ω_inf`/`Ω_vrf` depend only on the node's square and the (immutable
+/// during a shared phase) indexed positions, memoising per worker instead of
+/// per tree changes *where* results are cached, never *what* they are — the
+/// batch-wise reuse property survives within each worker's chunk.
+#[derive(Debug)]
+pub struct TraverseScratch {
+    stamp: Stamp,
+    /// node index → `Ω_inf` (IS rule result) computed by this worker.
+    omega_inf: std::collections::HashMap<u32, Vec<u32>>,
+    /// leaf node index → `Ω_vrf` (NIR window users) computed by this worker.
+    omega_vrf: std::collections::HashMap<u32, Vec<u32>>,
 }
 
 impl IQuadTree {
@@ -149,7 +183,7 @@ impl IQuadTree {
             nir,
             r_max,
             n_users: users.len(),
-            seen: std::cell::RefCell::new(Stamp {
+            seen: std::sync::Mutex::new(Stamp {
                 mark: vec![0; users.len()],
                 epoch: 0,
             }),
@@ -298,7 +332,7 @@ impl IQuadTree {
         }
         let uid = self.n_users as u32;
         self.n_users += 1;
-        self.seen.borrow_mut().mark.push(0);
+        self.seen.get_mut().unwrap().mark.push(0);
 
         // Growing r_max loosens NIR: every cached Ω_vrf may be too small.
         if user.len() > self.r_max {
@@ -506,14 +540,116 @@ impl IQuadTree {
         }
     }
 
+    /// A fresh per-worker scratch for [`IQuadTree::traverse_shared`].
+    pub fn scratch(&self) -> TraverseScratch {
+        TraverseScratch {
+            stamp: Stamp {
+                mark: vec![0; self.n_users],
+                epoch: 0,
+            },
+            omega_inf: std::collections::HashMap::new(),
+            omega_vrf: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Read-only [`IQuadTree::traverse`] for concurrent use: takes `&self`
+    /// (the tree is `Sync`) and caches node results in the caller-owned
+    /// `scratch` instead of on the nodes. The outcome is **bit-identical**
+    /// to `traverse` for every `v` — both classify by the leaf square
+    /// containing `v`, and the IS/NIR computations read only immutable
+    /// build-time state (assertion-tested below and in the core crate's
+    /// parallel-equivalence suite).
+    ///
+    /// Workers chunking a batch of facilities each hold one scratch, so
+    /// facilities sharing a leaf within a chunk still pay a single
+    /// computation (the batch-wise property, per worker).
+    ///
+    /// Scratch memos mirror node caches, so the same invalidation contract
+    /// applies: after [`IQuadTree::insert_user`]/[`IQuadTree::remove_user`],
+    /// discard old scratches and start fresh ones (the dedup marks
+    /// self-heal, the memos do not).
+    pub fn traverse_shared(&self, v: &Point, scratch: &mut TraverseScratch) -> TraverseOutcome {
+        let Some(nir) = self.nir else {
+            // No user can ever be influenced: nothing to verify either.
+            return TraverseOutcome::default();
+        };
+
+        if !self.root_square.contains(v) {
+            // v lies outside the indexed region: no IS pruning is possible;
+            // fall back to an exact NIR ball around v.
+            let rect = Rect::point(*v).inflate(nir);
+            let possible = self.users_in_rect(&rect, &mut scratch.stamp);
+            return TraverseOutcome {
+                influenced: Vec::new(),
+                to_verify: possible,
+            };
+        }
+
+        // Root→leaf descent, mirroring `traverse` line for line; the only
+        // difference is where Ω_inf/Ω_vrf get cached.
+        let mut influenced: Vec<u32> = Vec::new();
+        let mut square = self.root_square;
+        let mut cursor: Option<u32> = Some(0);
+        for level in 0..=self.depth {
+            if let Some(ci) = cursor {
+                if let Some(inf) = self.nodes[ci as usize].omega_inf.as_deref() {
+                    // A pre-warmed tree (serial traversals before the
+                    // parallel phase) already carries the node cache.
+                    setops::union_into(&mut influenced, inf);
+                } else {
+                    let inf = scratch
+                        .omega_inf
+                        .entry(ci)
+                        .or_insert_with(|| self.compute_omega_inf(ci as usize));
+                    setops::union_into(&mut influenced, inf);
+                }
+            }
+            if level < self.depth {
+                let q = square.quadrant_of(v);
+                cursor = cursor.and_then(|ci| self.nodes[ci as usize].children[q]);
+                square = square.quadrants()[q];
+            }
+        }
+        let leaf_node = cursor.map(|c| c as usize);
+
+        let to_verify = if let Some(leaf) = leaf_node {
+            debug_assert_eq!(self.nodes[leaf].level, self.depth);
+            if let Some(vrf) = self.nodes[leaf].omega_vrf.as_deref() {
+                setops::difference(vrf, &influenced)
+            } else {
+                let leaf_key = leaf as u32;
+                if !scratch.omega_vrf.contains_key(&leaf_key) {
+                    let rect = self.nodes[leaf].square.rect().inflate(nir);
+                    let possible = self.users_in_rect(&rect, &mut scratch.stamp);
+                    scratch.omega_vrf.insert(leaf_key, possible);
+                }
+                setops::difference(&scratch.omega_vrf[&leaf_key], &influenced)
+            }
+        } else {
+            let rect = square.rect().inflate(nir);
+            let possible = self.users_in_rect(&rect, &mut scratch.stamp);
+            setops::difference(&possible, &influenced)
+        };
+        TraverseOutcome {
+            influenced,
+            to_verify,
+        }
+    }
+
     /// Computes (or reuses) `Ω_inf` of a node: users whose position count in
     /// the node square reaches the level's `⌈η⌉`.
     fn ensure_omega_inf(&mut self, idx: usize) {
         if self.nodes[idx].omega_inf.is_some() {
             return;
         }
-        let level = self.nodes[idx].level;
-        let omega = match self.eta_by_level[level] {
+        let omega = self.compute_omega_inf(idx);
+        self.nodes[idx].omega_inf = Some(omega);
+    }
+
+    /// `Ω_inf` of a node from its counts alone (the IS rule, Lemma 2).
+    /// Counts are user-sorted, so the filtered ids come out sorted.
+    fn compute_omega_inf(&self, idx: usize) -> Vec<u32> {
+        match self.eta_by_level[self.nodes[idx].level] {
             Some(eta) => {
                 let eta = eta as u32;
                 self.nodes[idx]
@@ -524,8 +660,7 @@ impl IQuadTree {
                     .collect()
             }
             None => Vec::new(),
-        };
-        self.nodes[idx].omega_inf = Some(omega);
+        }
     }
 
     /// Sorted ids of users having at least one position inside `rect`.
@@ -533,15 +668,26 @@ impl IQuadTree {
     /// Fully covered nodes contribute their whole user list without
     /// descending; partially covered leaves test exact positions.
     pub fn users_with_position_in(&self, rect: &Rect) -> Vec<u32> {
-        let mut stamp = self.seen.borrow_mut();
+        let mut stamp = self.seen.lock().unwrap();
+        self.users_in_rect(rect, &mut stamp)
+    }
+
+    /// [`IQuadTree::users_with_position_in`] driven by an explicit stamp —
+    /// the tree's own (serial path) or a worker's scratch (shared path).
+    /// The stamp only dedups; the sorted output is stamp-independent.
+    fn users_in_rect(&self, rect: &Rect, stamp: &mut Stamp) -> Vec<u32> {
         stamp.epoch = stamp.epoch.wrapping_add(1);
         if stamp.epoch == 0 {
             // Epoch wrapped: clear stale marks once every 2^32 queries.
             stamp.mark.iter_mut().for_each(|m| *m = 0);
             stamp.epoch = 1;
         }
+        if stamp.mark.len() < self.n_users {
+            // Scratch created before an insert_user call: grow the marks.
+            stamp.mark.resize(self.n_users, 0);
+        }
         let mut out: Vec<u32> = Vec::new();
-        self.collect_users(0, rect, &mut stamp, &mut out);
+        self.collect_users(0, rect, stamp, &mut out);
         // `out` holds each user at most once (stamped); only a sort of the
         // unique ids remains.
         out.sort_unstable();
@@ -953,6 +1099,100 @@ mod tests {
         // A rejected insert leaves the tree untouched and queryable.
         let out = t.traverse(&Point::new(0.5, 0.5));
         assert!(!out.to_verify.is_empty() || !out.influenced.is_empty());
+    }
+
+    #[test]
+    fn tree_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IQuadTree>();
+    }
+
+    #[test]
+    fn traverse_shared_matches_traverse() {
+        let users = users_grid();
+        let pf = Sigmoid::paper_default();
+        let mut t = IQuadTree::build(&users, &pf, 0.5, 2.0);
+        let probes: Vec<Point> = vec![
+            Point::new(0.2, 0.2),
+            Point::new(7.5, 7.5),
+            Point::new(15.0, 12.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.05, 1.02), // same leaf as the previous probe
+            Point::new(-3.0, -3.0), // outside the region
+        ];
+        // Cold tree, one scratch reused across probes (batch-wise path).
+        let mut scratch = t.scratch();
+        let shared: Vec<TraverseOutcome> = probes
+            .iter()
+            .map(|v| t.traverse_shared(v, &mut scratch))
+            .collect();
+        // Reference outcomes from the &mut self path.
+        for (v, got) in probes.iter().zip(&shared) {
+            let want = t.traverse(v);
+            assert_eq!(got.influenced, want.influenced, "probe {v:?}");
+            assert_eq!(got.to_verify, want.to_verify, "probe {v:?}");
+        }
+        // Warm tree (node caches now populated): shared must still agree.
+        let mut warm_scratch = t.scratch();
+        for (v, want) in probes.iter().zip(&shared) {
+            let got = t.traverse_shared(v, &mut warm_scratch);
+            assert_eq!(got.influenced, want.influenced, "warm probe {v:?}");
+            assert_eq!(got.to_verify, want.to_verify, "warm probe {v:?}");
+        }
+    }
+
+    #[test]
+    fn traverse_shared_from_worker_threads() {
+        let users = users_grid();
+        let pf = Sigmoid::paper_default();
+        let tau = 0.5;
+        let t = IQuadTree::build(&users, &pf, tau, 2.0);
+        let probes: Vec<Point> = (0..24)
+            .map(|i| Point::new((i % 6) as f64 * 2.7 + 0.3, (i / 6) as f64 * 3.1 + 0.2))
+            .collect();
+        // Serial reference on a clone (traverse needs &mut).
+        let mut serial_tree = t.clone();
+        let want: Vec<TraverseOutcome> = probes.iter().map(|v| serial_tree.traverse(v)).collect();
+        // 4 workers over contiguous chunks, each with a private scratch.
+        let got: Vec<TraverseOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = probes
+                .chunks(6)
+                .map(|chunk| {
+                    let tree = &t;
+                    scope.spawn(move || {
+                        let mut scratch = tree.scratch();
+                        chunk
+                            .iter()
+                            .map(|v| tree.traverse_shared(v, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        for ((v, a), b) in probes.iter().zip(&want).zip(&got) {
+            assert_eq!(a.influenced, b.influenced, "probe {v:?}");
+            assert_eq!(a.to_verify, b.to_verify, "probe {v:?}");
+        }
+    }
+
+    #[test]
+    fn stale_scratch_survives_insert() {
+        let users = users_grid();
+        let pf = Sigmoid::paper_default();
+        let tau = 0.5;
+        let mut t = IQuadTree::build(&users, &pf, tau, 2.0);
+        let mut scratch = t.scratch(); // created before the insert
+        let newcomer = MovingUser::new(vec![Point::new(3.0, 3.0), Point::new(3.1, 3.2)]);
+        t.insert_user(&newcomer, &pf, tau).unwrap();
+        let probe = Point::new(3.05, 3.05);
+        let got = t.traverse_shared(&probe, &mut scratch);
+        let want = t.traverse(&probe);
+        assert_eq!(got.influenced, want.influenced);
+        assert_eq!(got.to_verify, want.to_verify);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod rtree;
 pub mod setops;
 
 pub use grid::GridIndex;
-pub use iquadtree::{IQuadTree, IqtStats, TraverseOutcome};
+pub use iquadtree::{IQuadTree, IqtStats, TraverseOutcome, TraverseScratch};
 pub use kdtree::KdTree;
 pub use quadtree::QuadTree;
 pub use rtree::RTree;

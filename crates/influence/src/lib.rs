@@ -24,7 +24,10 @@ mod pf;
 mod radius;
 mod user;
 
-pub use cumulative::{cumulative_probability, influences, influences_counted, EvalCounter};
+pub use cumulative::{
+    cumulative_probability, influences, influences_counted, AtomicEvalCounter, CountEvals,
+    EvalCounter,
+};
 pub use pf::{Exponential, Linear, ProbabilityFunction, Sigmoid, Step};
 pub use radius::{eta, eta_count, min_max_radius, non_influence_radius};
 pub use user::{MovingUser, UserId};

@@ -56,7 +56,9 @@ pub use mc2ls_viz as viz;
 
 /// The one-import convenience module.
 pub mod prelude {
-    pub use mc2ls_core::algorithms::{solve_with, Selector};
+    pub use mc2ls_core::algorithms::{
+        influence_sets_threaded, solve_threaded, solve_with, Selector,
+    };
     pub use mc2ls_core::{
         algorithms::exact::solve_exact, cinf_of_set, solve, IqtConfig, Method, Problem, RunReport,
         Solution,

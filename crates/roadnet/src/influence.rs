@@ -198,10 +198,10 @@ mod tests {
         let sets = network_influence_sets(&net, &problem);
         // Candidate at node 0: users 0 (positions 0,1) and 2 (pos 2 at
         // distance 2 > 1.5? no) — user 2's position is 2 km away, excluded.
-        assert_eq!(sets.omega_c[0], vec![0]);
+        assert_eq!(sets.omega(0), [0]);
         // Candidate at node 3: user 1 (position 4 at 1 km), user 2 (pos 2
         // at 1 km).
-        assert_eq!(sets.omega_c[1], vec![1, 2]);
+        assert_eq!(sets.omega(1), [1, 2]);
         // Facility at node 5 influences user 1 only; f_count restricted to
         // candidate-influenced users.
         assert_eq!(sets.f_count, vec![0, 1, 0]);
@@ -249,8 +249,8 @@ mod tests {
         let sets = network_influence_sets(&net, &problem);
         // Euclidean distance 0→3 is 1 km, but road distance is 3 km: no
         // influence. Candidate at node 2 is 1 road-km away: influences.
-        assert!(sets.omega_c[0].is_empty());
-        assert_eq!(sets.omega_c[1], vec![0]);
+        assert!(sets.omega(0).is_empty());
+        assert_eq!(sets.omega(1), [0]);
     }
 
     #[test]
@@ -283,7 +283,7 @@ mod tests {
                     expect.push(o as u32);
                 }
             }
-            assert_eq!(sets.omega_c[ci], expect, "candidate {ci}");
+            assert_eq!(sets.omega(ci), expect, "candidate {ci}");
         }
     }
 
@@ -306,6 +306,6 @@ mod tests {
             pf: Sigmoid::paper_default(),
         };
         let sets = network_influence_sets(&net, &problem);
-        assert!(sets.omega_c[0].is_empty());
+        assert!(sets.omega(0).is_empty());
     }
 }

@@ -107,13 +107,7 @@ pub fn solve_social<PF: ProbabilityFunction>(problem: &SocialProblem<PF>) -> Soc
     // activated[c][s] is sorted.
     let activated: Vec<Vec<Vec<u32>>> = match problem.model {
         PropagationModel::OneHop { threshold } => (0..n_cands)
-            .map(|c| {
-                vec![activate_one_hop(
-                    &problem.graph,
-                    &sets.omega_c[c],
-                    threshold,
-                )]
-            })
+            .map(|c| vec![activate_one_hop(&problem.graph, sets.omega(c), threshold)])
             .collect(),
         PropagationModel::IndependentCascade { samples, seed } => {
             let live: Vec<LiveEdgeSample> = (0..samples)
@@ -122,7 +116,7 @@ pub fn solve_social<PF: ProbabilityFunction>(problem: &SocialProblem<PF>) -> Soc
             (0..n_cands)
                 .map(|c| {
                     live.iter()
-                        .map(|sample| sample.reachable(&sets.omega_c[c]))
+                        .map(|sample| sample.reachable(sets.omega(c)))
                         .collect()
                 })
                 .collect()

@@ -201,7 +201,7 @@ pub fn solve_temporal<PF: ProbabilityFunction + Clone>(problem: &TemporalProblem
                 .zip(&covered)
                 .zip(&influence.weights)
             {
-                for &o in &sets.omega_c[c] {
+                for &o in sets.omega(c) {
                     if !cov[o as usize] {
                         gain += w * sets.weight(o);
                     }
@@ -218,7 +218,7 @@ pub fn solve_temporal<PF: ProbabilityFunction + Clone>(problem: &TemporalProblem
         gains.push(gain);
         total += gain;
         for (sets, cov) in influence.per_slot.iter().zip(&mut covered) {
-            for &o in &sets.omega_c[c] {
+            for &o in sets.omega(c) {
                 cov[o as usize] = true;
             }
         }

@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the benchmarking surface this workspace uses — groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `sample_size`,
+//! `measurement_time` — with a simple measurement loop: warm up once, then
+//! time `sample_size` iterations (bounded by `measurement_time`) and print
+//! the mean. No statistics, plots, or report files; good enough to compare
+//! runs by eye and to keep `cargo bench` working offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque black box: defeats constant-folding of benchmark inputs/outputs.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    budget: Duration,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also primes caches/allocations
+        let start = Instant::now();
+        let mut done = 0u64;
+        for _ in 0..self.iters {
+            black_box(f());
+            done += 1;
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed() / done.max(1) as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: u64,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this shim runs a fixed number of
+    /// iterations and does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            budget: self.measurement_time,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "{}/{}: {:>12.3} ms/iter",
+            self.name,
+            id,
+            b.elapsed.as_secs_f64() * 1000.0
+        );
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: 10,
+            budget: Duration::from_secs(2),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "{}: {:>12.3} ms/iter",
+            id.id,
+            b.elapsed.as_secs_f64() * 1000.0
+        );
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

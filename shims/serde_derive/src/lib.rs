@@ -1,0 +1,359 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! shim `serde` crate's collapsed data model (`to_value`/`from_value`) by
+//! hand-parsing the item's token stream — no `syn`/`quote`, so it builds
+//! with zero dependencies in the offline environment.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - non-generic structs with named fields, honoring `#[serde(skip)]` and
+//!   `#[serde(default)]`;
+//! - non-generic enums with unit, one-field tuple, and struct variants,
+//!   externally tagged like real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item.kind {
+        ItemKind::Struct(fields) => struct_serialize(&item.name, fields),
+        ItemKind::Enum(variants) => enum_serialize(&item.name, variants),
+    };
+    src.parse()
+        .expect("serde_derive: generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item.kind {
+        ItemKind::Struct(fields) => struct_deserialize(&item.name, fields),
+        ItemKind::Enum(variants) => enum_deserialize(&item.name, variants),
+    };
+    src.parse()
+        .expect("serde_derive: generated code must parse")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (doc comments arrive as attributes too) and
+    // visibility modifiers.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    // Generics are not supported; the next brace group is the body.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("serde_derive: {name}: no body found (tuple structs unsupported)"),
+        }
+    };
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_fields(body)),
+        "enum" => ItemKind::Enum(parse_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Splits a brace-group body at top-level commas.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().unwrap().push(tt),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Consumes leading attributes from a chunk, returning (skip, default) from
+/// any `#[serde(...)]` among them, and the index of the first non-attribute
+/// token.
+fn eat_attrs(chunk: &[TokenTree]) -> (bool, bool, usize) {
+    let (mut skip, mut default) = (false, false);
+    let mut i = 0;
+    while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for tt in args.stream() {
+                            if let TokenTree::Ident(flag) = tt {
+                                match flag.to_string().as_str() {
+                                    "skip" => skip = true,
+                                    "default" => default = true,
+                                    other => panic!(
+                                        "serde_derive: unsupported serde attribute `{other}`"
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (skip, default, i)
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    split_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let (skip, default, mut i) = eat_attrs(&chunk);
+            if let Some(TokenTree::Ident(id)) = chunk.get(i) {
+                if id.to_string() == "pub" {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            };
+            Field {
+                name,
+                skip,
+                default,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let (_, _, mut i) = eat_attrs(&chunk);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = split_commas(g.stream()).len();
+                    assert!(
+                        n == 1,
+                        "serde_derive: tuple variant {name} must have exactly one field"
+                    );
+                    VariantKind::Newtype
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_fields(g.stream()))
+                }
+                // `= discriminant` and anything else is unsupported.
+                other => panic!("serde_derive: unsupported variant shape: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+fn struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut body = String::from("let mut m = ::serde::Map::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        body.push_str(&format!(
+            "m.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+            n = f.name
+        ));
+    }
+    body.push_str("::serde::Value::Object(m)\n");
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn field_expr(owner: &str, f: &Field) -> String {
+    if f.skip {
+        return format!("{}: ::core::default::Default::default()", f.name);
+    }
+    if f.default {
+        return format!(
+            "{n}: match obj.get(\"{n}\") {{\n\
+             Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+             None => ::core::default::Default::default(),\n}}",
+            n = f.name
+        );
+    }
+    format!(
+        "{n}: ::serde::Deserialize::from_value(obj.get(\"{n}\").ok_or_else(|| \
+         ::serde::Error::msg(\"missing field `{n}` in {owner}\"))?)?",
+        n = f.name
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let assigns: Vec<String> = fields.iter().map(|f| field_expr(name, f)).collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         let obj = v.as_object().ok_or_else(|| \
+         ::serde::Error::msg(\"expected object for {name}\"))?;\n\
+         ::core::result::Result::Ok({name} {{\n{}\n}})\n}}\n}}\n",
+        assigns.join(",\n")
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                v = v.name
+            )),
+            VariantKind::Newtype => arms.push_str(&format!(
+                "{name}::{v}(inner) => {{\n\
+                 let mut m = ::serde::Map::new();\n\
+                 m.insert(\"{v}\".to_string(), ::serde::Serialize::to_value(inner));\n\
+                 ::serde::Value::Object(m)\n}}\n",
+                v = v.name
+            )),
+            VariantKind::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    inner.push_str(&format!(
+                        "fm.insert(\"{n}\".to_string(), ::serde::Serialize::to_value({n}));\n",
+                        n = f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {} }} => {{\n{inner}\
+                     let mut m = ::serde::Map::new();\n\
+                     m.insert(\"{v}\".to_string(), ::serde::Value::Object(fm));\n\
+                     ::serde::Value::Object(m)\n}}\n",
+                    binds.join(", "),
+                    v = v.name
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut object_arms = String::new();
+    for v in variants {
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{v}\" => return ::core::result::Result::Ok({name}::{v}),\n",
+                v = v.name
+            )),
+            VariantKind::Newtype => object_arms.push_str(&format!(
+                "if let Some(inner) = m.get(\"{v}\") {{\n\
+                 return ::core::result::Result::Ok({name}::{v}(\
+                 ::serde::Deserialize::from_value(inner)?));\n}}\n",
+                v = v.name
+            )),
+            VariantKind::Struct(fields) => {
+                let assigns: Vec<String> = fields
+                    .iter()
+                    .map(|f| field_expr(&format!("{name}::{}", v.name), f))
+                    .collect();
+                object_arms.push_str(&format!(
+                    "if let Some(inner) = m.get(\"{v}\") {{\n\
+                     let obj = inner.as_object().ok_or_else(|| \
+                     ::serde::Error::msg(\"expected object for {name}::{v}\"))?;\n\
+                     return ::core::result::Result::Ok({name}::{v} {{\n{}\n}});\n}}\n",
+                    assigns.join(",\n"),
+                    v = v.name
+                ));
+            }
+        }
+    }
+    let mut arms = String::new();
+    if !unit_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}_ => {{}}\n}},\n"
+        ));
+    }
+    if !object_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::Object(m) => {{\n{object_arms}}}\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n\
+         {arms}\
+         _ => {{}}\n\
+         }}\n\
+         ::core::result::Result::Err(::serde::Error::msg(\
+         \"unknown variant for {name}\"))\n\
+         }}\n}}\n"
+    )
+}

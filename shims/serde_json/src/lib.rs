@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the JSON-shaped data model from the shim `serde` crate (which
+//! defines it so derived impls can target it without a circular dependency)
+//! and adds text encoding/decoding plus the `json!` macro. Insertion order
+//! of object keys is preserved, matching the real crate's `preserve_order`
+//! feature that the bench harness relies on for table column order.
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value)
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::render::compact(&value.to_value()))
+}
+
+/// Pretty JSON text (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::render::pretty(&value.to_value()))
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    T::from_value(&serde::parse::parse(text)?)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Supports the shapes used in this
+/// workspace: scalar expressions, arrays of expressions, and objects with
+/// string-literal keys and expression values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::to_value(&$val)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}

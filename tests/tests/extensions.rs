@@ -129,7 +129,7 @@ fn budgeted_selection_on_real_sets() {
     assert!(spent <= 6.0 + 1e-9);
     // Compare to the exact optimum on a trimmed instance.
     let trimmed =
-        mc2ls::core::InfluenceSets::new(sets.omega_c[..12].to_vec(), sets.f_count.clone());
+        mc2ls::core::InfluenceSets::new(sets.to_nested()[..12].to_vec(), sets.f_count.clone());
     let g = solve_budgeted(&trimmed, &costs[..12], 6.0);
     let opt = solve_budgeted_exact(&trimmed, &costs[..12], 6.0);
     assert!(g.cinf >= (1.0 - (-0.5f64).exp()) * opt.cinf - 1e-9);
