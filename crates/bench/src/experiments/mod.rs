@@ -16,6 +16,7 @@ mod parallel;
 mod quality;
 mod table1;
 mod table2;
+mod verify;
 
 pub use fig07::fig7;
 pub use fig08::fig8;
@@ -32,6 +33,7 @@ pub use parallel::parallel;
 pub use quality::quality;
 pub use table1::table1;
 pub use table2::table2;
+pub use verify::verify;
 
 use crate::{Ctx, ExperimentResult};
 
@@ -56,6 +58,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("figd", figd),
         ("quality", quality),
         ("BENCH_parallel", parallel),
+        ("BENCH_verify", verify),
     ]
 }
 

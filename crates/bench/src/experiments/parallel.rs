@@ -104,9 +104,7 @@ fn baseline_replay(problem: &Problem, threads: usize) -> Replay {
 
 /// Runs the experiment; see the module docs for the two scaling metrics.
 pub fn parallel(ctx: &Ctx) -> ExperimentResult {
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = crate::detected_cores();
     let mut rows = Vec::new();
     for (name, dataset) in [
         ("C", crate::california(ctx.scale_c)),

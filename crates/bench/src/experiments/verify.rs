@@ -1,0 +1,181 @@
+//! `BENCH_verify` — verification-kernel cost: naive vs. early-stop vs.
+//! blocked (written to `BENCH_verify.json`).
+//!
+//! The paper's Fig. 15(b)/16(b) metric is the number of per-position
+//! probability evaluations the verification phase performs. This experiment
+//! measures that metric — plus wall-clock — for the three ways the exact
+//! `Pr_v(o) ≥ τ` decision can be made, over the full `(C ∪ F) × Ω` pair
+//! workload of the default problem, per τ:
+//!
+//! * **naive** — the full product (`cumulative_probability`), `r` positions
+//!   per pair, no stopping.
+//! * **early** — `influences_counted`, the PINOCCHIO two-sided early stop.
+//! * **blocked** — `influences_blocked_counted` at several block sizes:
+//!   per-block MBR distance bounds decide most pairs without touching any
+//!   position (see `mc2ls-influence::blocks`).
+//!
+//! All three must agree on every pair (asserted); only the work differs.
+//! Block build time is reported separately (`b{size}_build_ms`) — it is
+//! paid once per problem, not per pair. Kernels are timed single-threaded
+//! (`threads` column); the `cores` column records what the machine offers.
+
+use crate::{Ctx, ExperimentResult};
+use mc2ls::influence::{
+    influences_blocked_counted, influences_counted, BlockCounters, EvalCounter,
+};
+use mc2ls::prelude::*;
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+/// Block sizes swept per τ; 16 is the problem default.
+const BLOCK_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// Median wall-clock of `reps` runs of `f`.
+fn median_of<F: FnMut() -> Duration>(reps: usize, mut f: F) -> Duration {
+    let mut times: Vec<Duration> = (0..reps.max(1)).map(|_| f()).collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Runs the experiment; see the module docs for the three kernels.
+pub fn verify(ctx: &Ctx) -> ExperimentResult {
+    let cores = crate::detected_cores();
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        for tau in super::TAUS {
+            let problem = crate::problem_with(
+                &dataset,
+                crate::defaults::N_CANDIDATES,
+                crate::defaults::N_FACILITIES,
+                crate::defaults::K,
+                tau,
+            );
+            let sites: Vec<Point> = problem
+                .candidates
+                .iter()
+                .chain(problem.facilities.iter())
+                .copied()
+                .collect();
+            let n_users = problem.n_users();
+            let pairs = (sites.len() * n_users) as u64;
+
+            // Naive: every pair pays its full position count.
+            let naive_evals = sites.len() as u64 * problem.n_positions() as u64;
+            let mut reference: Vec<bool> = Vec::with_capacity(pairs as usize);
+            let naive_t = median_of(ctx.reps, || {
+                reference.clear();
+                let t = Instant::now();
+                for v in &sites {
+                    for o in 0..n_users {
+                        let pr =
+                            cumulative_probability(&problem.pf, v, problem.users[o].positions());
+                        reference.push(pr >= tau);
+                    }
+                }
+                t.elapsed()
+            });
+
+            // Early-stop kernel.
+            let early = EvalCounter::new();
+            let early_t = median_of(ctx.reps, || {
+                early.reset();
+                let t = Instant::now();
+                let mut i = 0usize;
+                for v in &sites {
+                    for o in 0..n_users {
+                        let got = influences_counted(
+                            &problem.pf,
+                            v,
+                            problem.users[o].positions(),
+                            tau,
+                            &early,
+                        );
+                        assert_eq!(got, reference[i], "early-stop diverged");
+                        i += 1;
+                    }
+                }
+                t.elapsed()
+            });
+
+            let mut r = crate::RowBuilder::new()
+                .set("dataset", json!(name))
+                .set("tau", json!(tau))
+                .set("cores", json!(cores))
+                .set("threads", json!(1))
+                .set("pairs", json!(pairs))
+                .set("naive_evals", json!(naive_evals))
+                .set("naive_ms", super::ms(naive_t))
+                .set("early_evals", json!(early.get()))
+                .set("early_ms", super::ms(early_t));
+
+            // Blocked kernel per block size.
+            let mut default_bs_evals = None;
+            for bs in BLOCK_SIZES {
+                let mut blocks = None;
+                let build_t = median_of(ctx.reps, || {
+                    let t = Instant::now();
+                    blocks = Some(PositionBlocks::build(&problem.users, bs));
+                    t.elapsed()
+                });
+                let blocks = blocks.expect("reps >= 1");
+                let evals = EvalCounter::new();
+                let bc = BlockCounters::new();
+                let mut scratch = BlockScratch::new();
+                let blocked_t = median_of(ctx.reps, || {
+                    evals.reset();
+                    bc.reset();
+                    let t = Instant::now();
+                    let mut i = 0usize;
+                    for v in &sites {
+                        for o in 0..n_users as u32 {
+                            let got = influences_blocked_counted(
+                                &problem.pf,
+                                v,
+                                &blocks,
+                                o,
+                                tau,
+                                &mut scratch,
+                                &evals,
+                                &bc,
+                            );
+                            assert_eq!(got, reference[i], "blocked kernel diverged (bs={bs})");
+                            i += 1;
+                        }
+                    }
+                    t.elapsed()
+                });
+                if bs == mc2ls::prelude::DEFAULT_BLOCK_SIZE {
+                    default_bs_evals = Some(evals.get());
+                }
+                r = r
+                    .set(format!("b{bs}_evals"), json!(evals.get()))
+                    .set(format!("b{bs}_ms"), super::ms(blocked_t))
+                    .set(format!("b{bs}_build_ms"), super::ms(build_t))
+                    .set(format!("b{bs}_bounded_out"), json!(bc.bounded_out()));
+            }
+
+            // The headline number: eval reduction of the default block size
+            // over the early-stop kernel, per τ. The blocked kernel must do
+            // strictly less positional work on this workload.
+            let def = default_bs_evals.expect("default size is in BLOCK_SIZES");
+            assert!(
+                def < early.get(),
+                "blocked kernel did not reduce evaluations (tau={tau}, {def} vs {})",
+                early.get()
+            );
+            let reduction = 1.0 - def as f64 / early.get().max(1) as f64;
+            rows.push(
+                r.set("reduction_vs_early", crate::percent(reduction))
+                    .build(),
+            );
+        }
+    }
+    ExperimentResult {
+        id: "BENCH_verify",
+        title: "Verification kernels: naive vs early-stop vs blocked (evals and wall-clock)",
+        rows,
+    }
+}

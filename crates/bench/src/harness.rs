@@ -98,11 +98,17 @@ impl ExperimentResult {
             return;
         }
         let path = ctx.out_dir.join(format!("{}.json", self.id));
+        // Every artifact records the detected hardware parallelism and the
+        // harness's worker-thread count, so timings from single-core CI
+        // runners are interpretable (experiments sweeping threads, like
+        // BENCH_parallel, additionally record per-row thread counts).
         match serde_json::to_string_pretty(&json!({
             "id": self.id,
             "title": self.title,
             "scale_c": ctx.scale_c,
             "scale_n": ctx.scale_n,
+            "cores": detected_cores(),
+            "threads": 1,
             "rows": self.rows,
         })) {
             Ok(s) => {
@@ -113,6 +119,13 @@ impl ExperimentResult {
             Err(e) => eprintln!("warning: cannot serialise {}: {e}", self.id),
         }
     }
+}
+
+/// The machine's detected hardware parallelism (1 when undetectable).
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Builds a JSON row from key/value pairs — tiny sugar over `json!`.

@@ -15,7 +15,7 @@
 pub mod experiments;
 mod harness;
 
-pub use harness::{percent, row, Ctx, ExperimentResult, RowBuilder};
+pub use harness::{detected_cores, percent, row, Ctx, ExperimentResult, RowBuilder};
 
 use mc2ls::prelude::*;
 use std::collections::HashMap;

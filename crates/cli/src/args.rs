@@ -13,9 +13,11 @@ commands:
   solve      --data FILE | --preset P [--scale S]
              [--candidates N] [--facilities M] [-k K] [--tau T]
              [--method baseline|kcifp|iqt|iqt-c|iqt-pino] [--threads T]
+             [--block-size B] [--lazy-greedy true|false]
              [--svg FILE] [--json]
   analyze    --data FILE | --preset P [--scale S]
              [--candidates N] [--facilities M] [-k K] [--tau T]
+             [--block-size B] [--lazy-greedy true|false]
   convert    --checkins FILE --out FILE [--bounds ny|ca] [--min-positions N]
   help";
 

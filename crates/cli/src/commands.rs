@@ -97,6 +97,14 @@ fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     if threads == 0 {
         return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
     }
+    let block_size: usize = parsed.get_or("block-size", DEFAULT_BLOCK_SIZE)?;
+    // CELF returns the same sites as the re-evaluating greedy with fewer
+    // marginal-gain evaluations; `--lazy-greedy false` opts out.
+    let selector = if parsed.get_or("lazy-greedy", true)? {
+        Selector::LazyGreedy
+    } else {
+        Selector::Greedy
+    };
 
     let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
     let problem = Problem::new(
@@ -106,10 +114,11 @@ fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         k,
         tau,
         Sigmoid::paper_default(),
-    );
+    )
+    .with_block_size(block_size);
     // The influence phases fan out over `threads` workers; the result is
     // bit-identical to the serial run for any thread count.
-    let report = solve_threaded(&problem, method, Selector::Greedy, threads);
+    let report = solve_threaded(&problem, method, selector, threads);
 
     if let Some(path) = parsed.get("svg") {
         let svg = render_scene(&problem, Some(&report.solution), &RenderOptions::default());
@@ -146,6 +155,7 @@ fn analyze<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     let k: usize = parsed.get_or("k", 10)?;
     let tau: f64 = parsed.get_or("tau", 0.7)?;
     let seed: u64 = parsed.get_or("site-seed", 42)?;
+    let block_size: usize = parsed.get_or("block-size", DEFAULT_BLOCK_SIZE)?;
 
     let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
     let problem = Problem::new(
@@ -155,10 +165,15 @@ fn analyze<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         k,
         tau,
         Sigmoid::paper_default(),
-    );
+    )
+    .with_block_size(block_size);
     let (sets, _, _) =
         mc2ls::core::algorithms::influence_sets(&problem, Method::Iqt(IqtConfig::default()));
-    let solution = mc2ls::core::greedy::select(&sets, k);
+    let solution = if parsed.get_or("lazy-greedy", true)? {
+        mc2ls::core::greedy::select_lazy(&sets, k)
+    } else {
+        mc2ls::core::greedy::select(&sets, k)
+    };
 
     let demand = analysis::demand_summary(&sets);
     writeln!(out, "demand landscape")?;
@@ -303,6 +318,43 @@ mod tests {
                 .to_owned()
         };
         assert_eq!(line(&serial), line(&threaded));
+    }
+
+    #[test]
+    fn lazy_greedy_flag_does_not_change_the_answer() {
+        // CELF (the default) and the re-evaluating greedy must select the
+        // same sites with the same cinf.
+        let base = "solve --preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
+        let (code, lazy) = call(base);
+        assert_eq!(code, 0, "{lazy}");
+        let (code, eager) = call(&format!("{base} --lazy-greedy false"));
+        assert_eq!(code, 0, "{eager}");
+        let pick = |s: &str, prefix: &str| {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(pick(&lazy, "selected"), pick(&eager, "selected"));
+        assert_eq!(pick(&lazy, "cinf"), pick(&eager, "cinf"));
+    }
+
+    #[test]
+    fn block_size_flag_does_not_change_the_answer() {
+        // The blocked kernel (default) and the plain kernel (--block-size 0)
+        // make identical decisions, so the solution must match exactly.
+        let base = "solve --preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
+        let (code, blocked) = call(&format!("{base} --block-size 8"));
+        assert_eq!(code, 0, "{blocked}");
+        let (code, plain) = call(&format!("{base} --block-size 0"));
+        assert_eq!(code, 0, "{plain}");
+        let line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("selected"))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(line(&blocked), line(&plain));
     }
 
     #[test]

@@ -2,16 +2,27 @@
 //! candidate–user and facility–user pair with the cumulative probability
 //! model, then select greedily. Complexity `O((n+m)·u·r + 2kn)`.
 
+use crate::verify::Verifier;
 use crate::{InfluenceSets, PhaseTimes, Problem, PruneStats};
-use mc2ls_influence::{influences_counted, EvalCounter, ProbabilityFunction};
+use mc2ls_influence::ProbabilityFunction;
 use std::time::Instant;
 
 /// Computes the full influence relationships with no pruning at all.
+///
+/// "No pruning" refers to the pair level: every candidate–user and
+/// facility–user pair is decided exactly. Each individual decision still
+/// goes through the configured verification kernel (blocked when
+/// `problem.block_size > 0`), which changes the evaluation count but never
+/// the decision.
 pub fn influence_sets<PF: ProbabilityFunction>(
     problem: &Problem<PF>,
 ) -> (InfluenceSets, PruneStats, PhaseTimes) {
+    let t_index = Instant::now();
+    let verifier = Verifier::build(problem);
+    let indexing = t_index.elapsed();
+
     let t0 = Instant::now();
-    let counter = EvalCounter::new();
+    let mut scratch = verifier.scratch();
     let n_users = problem.n_users();
 
     let omega_c: Vec<Vec<u32>> = problem
@@ -19,15 +30,7 @@ pub fn influence_sets<PF: ProbabilityFunction>(
         .iter()
         .map(|c| {
             (0..n_users as u32)
-                .filter(|&o| {
-                    influences_counted(
-                        &problem.pf,
-                        c,
-                        problem.users[o as usize].positions(),
-                        problem.tau,
-                        &counter,
-                    )
-                })
+                .filter(|&o| verifier.influences(c, o, &mut scratch))
                 .collect()
         })
         .collect();
@@ -35,26 +38,21 @@ pub fn influence_sets<PF: ProbabilityFunction>(
     let mut f_count = vec![0u32; n_users];
     for f in &problem.facilities {
         for (o, cnt) in f_count.iter_mut().enumerate() {
-            if influences_counted(
-                &problem.pf,
-                f,
-                problem.users[o].positions(),
-                problem.tau,
-                &counter,
-            ) {
+            if verifier.influences(f, o as u32, &mut scratch) {
                 *cnt += 1;
             }
         }
     }
 
     let pairs = ((problem.n_candidates() + problem.n_facilities()) * n_users) as u64;
-    let stats = PruneStats {
+    let mut stats = PruneStats {
         pairs_total: pairs,
         verified: pairs,
-        prob_evals: counter.get(),
         ..PruneStats::default()
     };
+    scratch.counts().add_to(&mut stats);
     let times = PhaseTimes {
+        indexing,
         verification: t0.elapsed(),
         ..PhaseTimes::default()
     };
@@ -113,7 +111,21 @@ mod tests {
         // Facility competes for user 0 only.
         assert_eq!(sets.f_count, vec![1, 0, 0]);
         assert_eq!(stats.pairs_total, stats.verified);
-        assert!(stats.prob_evals > 0);
+        // The blocked kernel may decide pairs from bounds alone; some work
+        // must be recorded either way.
+        assert!(stats.prob_evals + stats.blocks_bounded_out > 0);
+    }
+
+    #[test]
+    fn blocked_and_plain_kernels_agree() {
+        let p = small_problem();
+        let (blocked, b_stats, _) = influence_sets(&p);
+        let (plain, p_stats, _) = influence_sets(&p.clone().with_block_size(0));
+        assert_eq!(blocked, plain);
+        // Plain kernel records no block activity; on this clustered instance
+        // the block bounds decide pairs cheaper than the per-position walk.
+        assert_eq!(p_stats.blocks_opened + p_stats.blocks_bounded_out, 0);
+        assert!(b_stats.prob_evals <= p_stats.prob_evals);
     }
 
     #[test]

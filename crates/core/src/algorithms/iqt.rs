@@ -15,10 +15,11 @@
 use crate::algorithms::IqtConfig;
 use crate::parallel::{map_chunks, map_items};
 use crate::pruning::{ia_contains, nib_contains, nib_query_rect, MmrTable};
+use crate::verify::{Verifier, VerifyScratch};
 use crate::{InfluenceSets, PhaseTimes, Problem, PruneStats};
 use mc2ls_geo::Point;
 use mc2ls_index::{setops, IQuadTree, RTree};
-use mc2ls_influence::{influences_counted, EvalCounter, ProbabilityFunction};
+use mc2ls_influence::ProbabilityFunction;
 use std::time::Instant;
 
 /// Computes influence relationships with the IQuad-tree pruning pipeline.
@@ -65,7 +66,8 @@ pub fn influence_sets_parallel<PF: ProbabilityFunction>(
         .copied()
         .collect();
 
-    // Lines 1–2: build the IQuad-tree, record NIR.
+    // Lines 1–2: build the IQuad-tree, record NIR. The blocked verification
+    // substrate is built alongside (once, shared by every worker).
     let t = Instant::now();
     let iqt = IQuadTree::build(
         &problem.users,
@@ -73,6 +75,7 @@ pub fn influence_sets_parallel<PF: ProbabilityFunction>(
         problem.tau,
         config.leaf_diagonal,
     );
+    let verifier = Verifier::build(problem);
     times.indexing = t.elapsed();
 
     // Lines 3–4: Traverse per abstract facility (IS + NIR rules).
@@ -214,41 +217,35 @@ pub fn influence_sets_parallel<PF: ProbabilityFunction>(
     // applied symmetrically) — other users' `F_o` never enters the
     // objective, so skipping them cannot change the solution.
     //
-    // Each worker counts probability evaluations in a private `EvalCounter`
-    // (no cache-line contention); early stopping is per-pair deterministic,
-    // so the summed totals match a serial run exactly.
+    // Each worker counts probability evaluations and block outcomes in
+    // private scratch (no cache-line contention); every stop is per-pair
+    // deterministic, so the summed totals match a serial run exactly.
     let t = Instant::now();
-    let verify_hits = |point: &Point, list: &[u32], counter: &EvalCounter| -> Vec<u32> {
+    let verify_hits = |point: &Point, list: &[u32], scratch: &mut VerifyScratch| -> Vec<u32> {
         let mut hits: Vec<u32> = Vec::new();
         for &o in list {
-            if influences_counted(
-                &problem.pf,
-                point,
-                problem.users[o as usize].positions(),
-                problem.tau,
-                counter,
-            ) {
+            if verifier.influences(point, o, scratch) {
                 hits.push(o);
             }
         }
         hits
     };
     let cand_chunks = map_chunks(n_cands, threads, |range| {
-        let counter = EvalCounter::new();
+        let mut scratch = verifier.scratch();
         let mut verified = 0u64;
         let hits: Vec<Vec<u32>> = range
             .map(|v| {
                 verified += to_verify[v].len() as u64;
-                verify_hits(&problem.candidates[v], &to_verify[v], &counter)
+                verify_hits(&problem.candidates[v], &to_verify[v], &mut scratch)
             })
             .collect();
-        (hits, verified, counter.get())
+        (hits, verified, scratch.counts())
     });
     {
         let mut v = 0usize;
-        for (hits, verified, evals) in cand_chunks {
+        for (hits, verified, counts) in cand_chunks {
             stats.verified += verified;
-            stats.prob_evals += evals;
+            counts.add_to(&mut stats);
             for h in hits {
                 setops::union_into(&mut influenced[v], &h);
                 v += 1;
@@ -262,7 +259,7 @@ pub fn influence_sets_parallel<PF: ProbabilityFunction>(
         }
     }
     let fac_chunks = map_chunks(n_facs, threads, |range| {
-        let counter = EvalCounter::new();
+        let mut scratch = verifier.scratch();
         let mut verified = 0u64;
         let mut irrelevant = 0u64;
         let hits: Vec<Vec<u32>> = range
@@ -275,17 +272,17 @@ pub fn influence_sets_parallel<PF: ProbabilityFunction>(
                     .collect();
                 irrelevant += (to_verify[v].len() - kept.len()) as u64;
                 verified += kept.len() as u64;
-                verify_hits(&problem.facilities[f], &kept, &counter)
+                verify_hits(&problem.facilities[f], &kept, &mut scratch)
             })
             .collect();
-        (hits, verified, irrelevant, counter.get())
+        (hits, verified, irrelevant, scratch.counts())
     });
     {
         let mut v = n_cands;
-        for (hits, verified, irrelevant, evals) in fac_chunks {
+        for (hits, verified, irrelevant, counts) in fac_chunks {
             stats.verified += verified;
             stats.irrelevant += irrelevant;
-            stats.prob_evals += evals;
+            counts.add_to(&mut stats);
             for h in hits {
                 setops::union_into(&mut influenced[v], &h);
                 v += 1;

@@ -12,21 +12,25 @@
 //! two `RangeQuery` calls but touches the R-tree once.
 
 use crate::pruning::{ia_contains, nib_contains, nib_query_rect, MmrTable};
+use crate::verify::Verifier;
 use crate::{InfluenceSets, PhaseTimes, Problem, PruneStats};
 use mc2ls_index::RTree;
 use mc2ls_influence::{influences_counted, EvalCounter, ProbabilityFunction};
 use std::time::Instant;
 
 /// Computes influence relationships with IA/NIB pruning over R-trees.
+/// Undecided pairs go through the configured verification kernel (blocked
+/// when `problem.block_size > 0`).
 pub fn influence_sets<PF: ProbabilityFunction>(
     problem: &Problem<PF>,
 ) -> (InfluenceSets, PruneStats, PhaseTimes) {
     let mut stats = PruneStats::default();
     let mut times = PhaseTimes::default();
-    let counter = EvalCounter::new();
 
-    // Lines 1–2: R-trees of C and F.
+    // Lines 1–2: R-trees of C and F (and the blocked substrate).
     let t = Instant::now();
+    let verifier = Verifier::build(problem);
+    let mut scratch = verifier.scratch();
     let rt_c = RTree::bulk_load(
         problem
             .candidates
@@ -80,7 +84,7 @@ pub fn influence_sets<PF: ProbabilityFunction>(
                 stats.nib_decided += 1;
             } else {
                 stats.verified += 1;
-                if influences_counted(&problem.pf, &p, user.positions(), problem.tau, &counter) {
+                if verifier.influences(&p, o as u32, &mut scratch) {
                     omega_c[c as usize].push(o as u32);
                     influenced_by_candidate[o] = true;
                 }
@@ -114,7 +118,7 @@ pub fn influence_sets<PF: ProbabilityFunction>(
                 stats.nib_decided += 1;
             } else {
                 stats.verified += 1;
-                if influences_counted(&problem.pf, &p, user.positions(), problem.tau, &counter) {
+                if verifier.influences(&p, o as u32, &mut scratch) {
                     f_count[o] += 1;
                 }
             }
@@ -125,7 +129,7 @@ pub fn influence_sets<PF: ProbabilityFunction>(
     times.verification = phase.saturating_sub(pruning_time);
 
     // omega_c lists were filled in increasing user order already.
-    stats.prob_evals = counter.get();
+    scratch.counts().add_to(&mut stats);
     (InfluenceSets::new(omega_c, f_count), stats, times)
 }
 
@@ -138,6 +142,9 @@ pub fn influence_sets<PF: ProbabilityFunction>(
 /// which is semantically identical but touches each R-tree once; this
 /// faithful variant exists to measure what that merge is worth (see the
 /// `ablation_kcifp` bench) and as a second witness in the agreement tests.
+/// It deliberately stays on the plain per-position kernel: it replicates
+/// the paper's protocol literally, so the blocked substrate is not wired
+/// in here.
 pub fn influence_sets_faithful<PF: ProbabilityFunction>(
     problem: &Problem<PF>,
 ) -> (InfluenceSets, PruneStats, PhaseTimes) {

@@ -188,16 +188,15 @@ pub fn influence_sets_threaded<PF: ProbabilityFunction>(
                 return baseline::influence_sets(problem);
             }
             let t0 = Instant::now();
-            let (sets, prob_evals) =
-                crate::parallel::baseline_influence_sets_counted(problem, threads);
+            let (sets, counts) = crate::parallel::baseline_influence_sets_counted(problem, threads);
             let pairs =
                 ((problem.n_candidates() + problem.n_facilities()) * problem.n_users()) as u64;
-            let stats = PruneStats {
+            let mut stats = PruneStats {
                 pairs_total: pairs,
                 verified: pairs,
-                prob_evals,
                 ..PruneStats::default()
             };
+            counts.add_to(&mut stats);
             let times = PhaseTimes {
                 verification: t0.elapsed(),
                 ..PhaseTimes::default()

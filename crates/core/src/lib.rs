@@ -37,6 +37,7 @@ pub mod pruning;
 pub mod sketch;
 mod solution;
 mod stats;
+mod verify;
 
 pub use bitset::Bitset;
 pub use cinf::{cinf_of_set, competitive_weight};

@@ -14,8 +14,9 @@
 //! the two stitching conventions the pipeline needs (per-item results in
 //! order; order-independent partial aggregates).
 
+use crate::verify::{Verifier, VerifyCounts};
 use crate::{InfluenceSets, Problem};
-use mc2ls_influence::{influences_counted, EvalCounter, ProbabilityFunction};
+use mc2ls_influence::ProbabilityFunction;
 use std::ops::Range;
 
 /// Splits `0..n_items` into at most `threads` contiguous ranges, runs
@@ -105,80 +106,67 @@ pub fn baseline_influence_sets_parallel<PF: ProbabilityFunction>(
     baseline_influence_sets_counted(problem, threads).0
 }
 
-/// [`baseline_influence_sets_parallel`] plus the number of probability
-/// evaluations performed. Each worker counts on a private [`EvalCounter`]
-/// (no atomic contention); the per-chunk totals sum to exactly the serial
-/// count because early stopping is decided per pair.
+/// [`baseline_influence_sets_parallel`] plus the verification counters.
+/// The blocked substrate is built once on the calling thread and shared by
+/// reference (it is immutable and `Sync`); each worker counts on private
+/// scratch (no atomic contention), and the per-chunk totals sum to exactly
+/// the serial counts because every stop is decided per pair.
 ///
 /// # Panics
 /// Panics when `threads == 0`.
-pub fn baseline_influence_sets_counted<PF: ProbabilityFunction>(
+pub(crate) fn baseline_influence_sets_counted<PF: ProbabilityFunction>(
     problem: &Problem<PF>,
     threads: usize,
-) -> (InfluenceSets, u64) {
+) -> (InfluenceSets, VerifyCounts) {
     assert!(threads >= 1, "need at least one worker thread");
     let n_users = problem.n_users();
+    let verifier = Verifier::build(problem);
 
     // Candidates: each worker owns a disjoint chunk of candidate indices.
     let cand_chunks = map_chunks(problem.n_candidates(), threads, |range| {
-        let counter = EvalCounter::new();
+        let mut scratch = verifier.scratch();
         let lists: Vec<Vec<u32>> = range
             .map(|ci| {
                 let c = &problem.candidates[ci];
                 (0..n_users as u32)
-                    .filter(|&o| {
-                        influences_counted(
-                            &problem.pf,
-                            c,
-                            problem.users[o as usize].positions(),
-                            problem.tau,
-                            &counter,
-                        )
-                    })
+                    .filter(|&o| verifier.influences(c, o, &mut scratch))
                     .collect()
             })
             .collect();
-        (lists, counter.get())
+        (lists, scratch.counts())
     });
     let mut omega_c = Vec::with_capacity(problem.n_candidates());
-    let mut evals = 0u64;
-    for (lists, count) in cand_chunks {
+    let mut counts = VerifyCounts::default();
+    for (lists, part) in cand_chunks {
         omega_c.extend(lists);
-        evals += count;
+        counts.merge(part);
     }
 
     // Facilities: workers produce partial |F_o| vectors, summed afterwards.
-    let (f_count, fac_evals) = sum_folds(
+    let (f_count, fac_counts) = sum_folds(
         problem.n_facilities(),
         threads,
-        || (vec![0u32; n_users], EvalCounter::new()),
-        |(local, counter), range| {
+        || (vec![0u32; n_users], verifier.scratch()),
+        |(local, scratch), range| {
             for f in &problem.facilities[range] {
                 for (o, cnt) in local.iter_mut().enumerate() {
-                    if influences_counted(
-                        &problem.pf,
-                        f,
-                        problem.users[o].positions(),
-                        problem.tau,
-                        counter,
-                    ) {
+                    if verifier.influences(f, o as u32, scratch) {
                         *cnt += 1;
                     }
                 }
             }
         },
-        |(total, t_counter), (part, p_counter)| {
+        |(total, t_scratch), (part, p_scratch)| {
             for (t, p) in total.iter_mut().zip(part) {
                 *t += p;
             }
-            t_counter.add(p_counter.get());
+            t_scratch.absorb(&p_scratch);
         },
     );
 
-    (
-        InfluenceSets::new(omega_c, f_count),
-        evals + fac_evals.get(),
-    )
+    let mut total = counts;
+    total.merge(fac_counts.counts());
+    (InfluenceSets::new(omega_c, f_count), total)
 }
 
 #[cfg(test)]

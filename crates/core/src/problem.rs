@@ -22,6 +22,11 @@ pub struct Problem<PF: ProbabilityFunction = Sigmoid> {
     pub tau: f64,
     /// The distance-based probability function.
     pub pf: PF,
+    /// Positions per block of the blocked verification substrate
+    /// ([`mc2ls_influence::PositionBlocks`]). `0` disables blocking and runs
+    /// the plain per-position kernel; the decisions are identical either
+    /// way, only the evaluation count differs.
+    pub block_size: usize,
 }
 
 impl<PF: ProbabilityFunction> Problem<PF> {
@@ -66,7 +71,14 @@ impl<PF: ProbabilityFunction> Problem<PF> {
             k,
             tau,
             pf,
+            block_size: mc2ls_influence::DEFAULT_BLOCK_SIZE,
         }
+    }
+
+    /// Sets the verification block size (`0` = plain per-position kernel).
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
     }
 
     /// Number of users `|Ω|`.

@@ -32,6 +32,13 @@ pub struct PruneStats {
     /// Per-position probability evaluations performed during verification
     /// (with early stopping).
     pub prob_evals: u64,
+    /// Position blocks whose contents were never read because block-level
+    /// distance bounds decided the pair first (blocked kernel only; 0 when
+    /// `block_size == 0`).
+    pub blocks_bounded_out: u64,
+    /// Position blocks opened for exact per-position evaluation (blocked
+    /// kernel only).
+    pub blocks_opened: u64,
 }
 
 impl PruneStats {
@@ -119,6 +126,8 @@ mod tests {
             irrelevant: 0,
             verified: 15,
             prob_evals: 123,
+            blocks_bounded_out: 4,
+            blocks_opened: 2,
         };
         assert!((s.pruned_fraction() - 0.85).abs() < 1e-12);
         assert!((s.is_fraction() - 0.30).abs() < 1e-12);

@@ -1,0 +1,119 @@
+//! The shared exact-verification kernel behind every algorithm's
+//! "line 13–17" phase.
+//!
+//! [`Verifier`] owns the problem's [`PositionBlocks`] (built once, immutable,
+//! `Sync` — shared by reference across all candidates and worker threads)
+//! and dispatches each `Pr_v(o) ≥ τ` decision to either the blocked kernel
+//! ([`influences_blocked_counted`]) or, when `Problem::block_size == 0`, the
+//! plain per-position kernel. Decisions are identical either way; only the
+//! instrumented evaluation counts differ.
+//!
+//! Workers carry a private [`VerifyScratch`] (bound buffers + counters, all
+//! `!Sync` by construction) and the per-worker counts are summed at join —
+//! addition commutes, so the reported [`PruneStats`](crate::PruneStats)
+//! counters are identical for every thread count.
+
+use crate::Problem;
+use mc2ls_geo::Point;
+use mc2ls_influence::{
+    influences_blocked_counted, influences_counted, BlockCounters, BlockScratch, EvalCounter,
+    PositionBlocks, ProbabilityFunction,
+};
+
+/// Per-problem verification state: the blocked substrate (if enabled) plus
+/// the problem reference the kernels need.
+pub(crate) struct Verifier<'a, PF: ProbabilityFunction> {
+    problem: &'a Problem<PF>,
+    blocks: Option<PositionBlocks>,
+}
+
+impl<'a, PF: ProbabilityFunction> Verifier<'a, PF> {
+    /// Builds the substrate for `problem` (a no-op when `block_size == 0`).
+    /// Callers time this under their indexing phase.
+    pub fn build(problem: &'a Problem<PF>) -> Self {
+        let blocks = (problem.block_size > 0)
+            .then(|| PositionBlocks::build(&problem.users, problem.block_size));
+        Verifier { problem, blocks }
+    }
+
+    /// A fresh per-worker scratch (buffers + zeroed counters).
+    pub fn scratch(&self) -> VerifyScratch {
+        VerifyScratch::default()
+    }
+
+    /// The exact `Pr_v(o) ≥ τ` decision for user `o` against site `v`,
+    /// through whichever kernel the problem configured.
+    #[inline]
+    pub fn influences(&self, v: &Point, o: u32, s: &mut VerifyScratch) -> bool {
+        match &self.blocks {
+            Some(blocks) => influences_blocked_counted(
+                &self.problem.pf,
+                v,
+                blocks,
+                o,
+                self.problem.tau,
+                &mut s.bounds,
+                &s.evals,
+                &s.blocks,
+            ),
+            None => influences_counted(
+                &self.problem.pf,
+                v,
+                self.problem.users[o as usize].positions(),
+                self.problem.tau,
+                &s.evals,
+            ),
+        }
+    }
+}
+
+/// One worker's reusable verification scratch and counters.
+#[derive(Default)]
+pub(crate) struct VerifyScratch {
+    bounds: BlockScratch,
+    evals: EvalCounter,
+    blocks: BlockCounters,
+}
+
+impl VerifyScratch {
+    /// Folds another scratch's counters into this one (merging per-worker
+    /// accumulators; the buffers are irrelevant at that point).
+    pub fn absorb(&self, other: &VerifyScratch) {
+        self.evals.add(other.evals.get());
+        self.blocks.merge(&other.blocks);
+    }
+
+    /// The accumulated counts, field-for-field as they land in
+    /// [`PruneStats`](crate::PruneStats).
+    pub fn counts(&self) -> VerifyCounts {
+        VerifyCounts {
+            prob_evals: self.evals.get(),
+            blocks_bounded_out: self.blocks.bounded_out(),
+            blocks_opened: self.blocks.opened(),
+        }
+    }
+}
+
+/// Summable verification counters (one per worker, merged at join).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct VerifyCounts {
+    pub prob_evals: u64,
+    pub blocks_bounded_out: u64,
+    pub blocks_opened: u64,
+}
+
+impl VerifyCounts {
+    /// Adds another worker's counts into this one.
+    pub fn merge(&mut self, other: VerifyCounts) {
+        self.prob_evals += other.prob_evals;
+        self.blocks_bounded_out += other.blocks_bounded_out;
+        self.blocks_opened += other.blocks_opened;
+    }
+
+    /// Writes the counts into the matching `PruneStats` fields (adding).
+    pub fn add_to(&self, stats: &mut crate::PruneStats) {
+        stats.prob_evals += self.prob_evals;
+        stats.blocks_bounded_out += self.blocks_bounded_out;
+        stats.blocks_opened += self.blocks_opened;
+    }
+}

@@ -14,6 +14,8 @@
 //!   matching how the paper parameterises IQuad-tree nodes (`d̂` is always a
 //!   diagonal).
 //! * [`Extent`] — incremental bounding-box accumulation for datasets.
+//! * [`morton_code`] — z-order codes over quad subdivisions, shared by the
+//!   IQuad-tree builder and the blocked verification substrate.
 //!
 //! All distances are Euclidean in km. The substrate is `f64` throughout; the
 //! algorithms never require exact arithmetic because every pruning rule is
@@ -24,6 +26,7 @@
 
 mod circle;
 mod extent;
+mod morton;
 mod point;
 pub mod project;
 mod rect;
@@ -31,6 +34,7 @@ mod square;
 
 pub use circle::Circle;
 pub use extent::Extent;
+pub use morton::morton_code;
 pub use point::Point;
 pub use rect::Rect;
 pub use square::Square;

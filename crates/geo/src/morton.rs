@@ -1,0 +1,100 @@
+//! Morton (z-order) codes over quad subdivisions of a [`Square`].
+//!
+//! Two consumers share this routine: the IQuad-tree builder in `mc2ls-index`
+//! (which needs codes bit-identical to its `quadrant_of` traversal descent)
+//! and the blocked verification substrate in `mc2ls-influence` (which
+//! Morton-sorts each user's positions so consecutive positions are spatially
+//! close, making per-block MBRs tight).
+
+use crate::{Point, Square};
+
+/// The Morton (z-order) code of `p` under a `depth`-level quad subdivision
+/// of `root`.
+///
+/// The descent is a scalar replica of [`Square::quadrant_of`] +
+/// [`Square::child`], evaluating the *same* floating-point expressions
+/// (`center = origin + side·0.5`, `child.origin = origin + (q&1)·h`) so the
+/// result is bit-identical to the struct-based descent, just without
+/// materialising squares. Points on a split line go to the higher-indexed
+/// child, exactly as `quadrant_of` assigns them.
+///
+/// Each level contributes two bits (`north ‖ east`), so the code fits in
+/// `2·depth` bits; callers keep `depth ≤ 31`.
+///
+/// # Examples
+/// ```
+/// use mc2ls_geo::{morton_code, Point, Square};
+///
+/// let root = Square::new(Point::ORIGIN, 8.0);
+/// // SW quadrant at every level ⇒ code 0.
+/// assert_eq!(morton_code(&root, 3, &Point::new(0.1, 0.1)), 0);
+/// // NE quadrant at every level ⇒ all bits set.
+/// assert_eq!(morton_code(&root, 3, &Point::new(7.9, 7.9)), 0b111111);
+/// ```
+pub fn morton_code(root: &Square, depth: usize, p: &Point) -> u64 {
+    let (mut ox, mut oy, mut side) = (root.origin.x, root.origin.y, root.side);
+    let mut code = 0u64;
+    for _ in 0..depth {
+        let h = side * 0.5;
+        let east = (p.x >= ox + h) as u64;
+        let north = (p.y >= oy + h) as u64;
+        code = (code << 2) | (north << 1) | east;
+        ox += east as f64 * h;
+        oy += north as f64 * h;
+        side = h;
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_matches_geometric_descent() {
+        let root = Square::new(Point::new(-3.0, 2.0), 8.0);
+        for p in [
+            Point::new(-2.5, 2.5),
+            Point::new(4.9, 9.9),
+            Point::new(1.0, 6.0), // exactly on every split line
+            Point::new(0.999, 6.001),
+        ] {
+            let code = morton_code(&root, 4, &p);
+            let mut sq = root;
+            for level in 0..4 {
+                let q = sq.quadrant_of(&p);
+                assert_eq!(
+                    ((code >> (2 * (3 - level))) & 3) as usize,
+                    q,
+                    "level {level} point {p:?}"
+                );
+                sq = sq.child(q);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_depth_is_zero() {
+        let root = Square::new(Point::ORIGIN, 1.0);
+        assert_eq!(morton_code(&root, 0, &Point::new(0.7, 0.3)), 0);
+    }
+
+    #[test]
+    fn degenerate_square_is_total() {
+        // A zero-side root (identical positions) still yields a code —
+        // every point lands in the NE child at every level.
+        let root = Square::new(Point::new(1.0, 1.0), 0.0);
+        let c = morton_code(&root, 2, &Point::new(1.0, 1.0));
+        assert_eq!(c, 0b1111);
+    }
+
+    #[test]
+    fn order_is_spatially_coherent() {
+        // Points in the same deep quadrant sort adjacently.
+        let root = Square::new(Point::ORIGIN, 16.0);
+        let sw_a = morton_code(&root, 5, &Point::new(1.0, 1.0));
+        let sw_b = morton_code(&root, 5, &Point::new(1.2, 0.8));
+        let ne = morton_code(&root, 5, &Point::new(15.0, 15.0));
+        assert!(sw_a.abs_diff(sw_b) < sw_a.abs_diff(ne));
+    }
+}

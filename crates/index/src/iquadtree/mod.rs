@@ -18,7 +18,11 @@
 
 mod node;
 
-use mc2ls_geo::{Extent, Point, Rect, Square};
+// `morton_code` lives in `mc2ls_geo`: it performs the same `quadrant_of`
+// descent `traverse` does, so builder and traversal classify boundary
+// positions identically, and it is shared with the blocked verification
+// substrate in `mc2ls-influence`.
+use mc2ls_geo::{morton_code, Extent, Point, Rect, Square};
 use mc2ls_influence::{eta_count, non_influence_radius, MovingUser, ProbabilityFunction};
 use node::IqtNode;
 
@@ -725,28 +729,6 @@ impl IQuadTree {
             self.collect_users(child as usize, rect, stamp, out);
         }
     }
-}
-
-/// The Morton (z-order) code of `p` at the given depth, derived by the same
-/// `quadrant_of` descent that `traverse` performs — builder and traversal
-/// therefore classify boundary positions identically.
-fn morton_code(root: &Square, depth: usize, p: &Point) -> u64 {
-    // Scalar replica of `Square::quadrant_of` + `Square::child`, evaluating
-    // the *same* floating-point expressions (`center = origin + side·0.5`,
-    // `child.origin = origin + (q&1)·h`) so the result is bit-identical to
-    // the struct-based descent, just without materialising squares.
-    let (mut ox, mut oy, mut side) = (root.origin.x, root.origin.y, root.side);
-    let mut code = 0u64;
-    for _ in 0..depth {
-        let h = side * 0.5;
-        let east = (p.x >= ox + h) as u64;
-        let north = (p.y >= oy + h) as u64;
-        code = (code << 2) | (north << 1) | east;
-        ox += east as f64 * h;
-        oy += north as f64 * h;
-        side = h;
-    }
-    code
 }
 
 /// Merges two user-sorted `(user, count)` lists, summing counts.

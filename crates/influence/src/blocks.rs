@@ -1,0 +1,635 @@
+//! Blocked SoA verification substrate for the exact `Pr_v(o) ≥ τ` decision.
+//!
+//! [`influences`](crate::influences) walks a user's positions in storage
+//! order, paying one distance + one `PF` call per position, and its failure
+//! stop is bounded by the globally loose `PF(0)^remaining`. This module
+//! replaces that per-position walk with a *block-bounded* evaluation:
+//!
+//! * [`PositionBlocks`] — every user's positions, Morton-sorted and split
+//!   into fixed-size blocks stored as flat `x[]`/`y[]` SoA arrays, each
+//!   block carrying its MBR and count. Built once per problem; immutable
+//!   and `Sync`, so one structure serves all candidates and all workers.
+//! * [`influences_blocked`] — the decision kernel. `PF` is monotone
+//!   non-increasing, so for a block `B` with MBR `R` and `n` positions the
+//!   per-block product of "keep" factors is bracketed:
+//!
+//!   ```text
+//!   (1 − PF(min_dist(v, R)))ⁿ  ≤  Π_{p ∈ B} (1 − PF(d(v, p)))  ≤  (1 − PF(max_dist(v, R)))ⁿ
+//!   ```
+//!
+//!   Multiplying the per-block brackets gives two-sided bounds on the whole
+//!   product `Π(1 − PF(dᵢ))`: when the upper bound is already `≤ 1 − τ` the
+//!   user is influenced, when the lower bound is `> 1 − τ` they are not —
+//!   in either case **without touching a single position**. Inconclusive
+//!   users are resolved by visiting blocks closest-first and evaluating
+//!   exactly inside a block, with the early stops tightened from
+//!   `PF(0)^remaining` to the product of the *remaining blocks'* bounds.
+//!
+//! Every stop is justified by a true bound on the exact product, so the
+//! decision is identical to `cumulative_probability(..) ≥ τ`; only the
+//! number of evaluated positions shrinks (measured by the `BENCH_verify`
+//! experiment and asserted by the property tests).
+
+use crate::{CountEvals, ProbabilityFunction};
+use mc2ls_geo::{morton_code, Point, Rect, Square};
+use std::cell::Cell;
+
+/// Default positions per block (CLI `--block-size`).
+pub const DEFAULT_BLOCK_SIZE: usize = 16;
+
+/// Morton-sort depth: 16 levels = a 65536² virtual grid over each user's
+/// MBR, far finer than any real block split needs.
+const MORTON_DEPTH: usize = 16;
+
+/// All users' positions in Morton order, chunked into fixed-size blocks
+/// with per-block MBRs — the structure-of-arrays substrate the blocked
+/// verification kernel reads.
+///
+/// Layout: positions live in flat `xs`/`ys` arrays; block `b` owns
+/// `block_offsets[b]..block_offsets[b+1]` of them plus `rects[b]`; user `o`
+/// owns blocks `user_offsets[o]..user_offsets[o+1]`. All arrays are
+/// immutable after [`PositionBlocks::build`], so the structure is `Sync`
+/// and shared by reference across verification workers.
+#[derive(Debug, Clone)]
+pub struct PositionBlocks {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    rects: Vec<Rect>,
+    block_offsets: Vec<u32>,
+    user_offsets: Vec<u32>,
+    block_size: usize,
+}
+
+impl PositionBlocks {
+    /// Builds the blocked layout for `users`, `block_size` positions per
+    /// block (the last block of a user may be smaller).
+    ///
+    /// Positions are ordered by their Morton code over the user's own MBR
+    /// (ties broken by original position index), so consecutive positions
+    /// are spatially close and block MBRs stay tight.
+    ///
+    /// # Panics
+    /// Panics when `block_size == 0`.
+    pub fn build(users: &[crate::MovingUser], block_size: usize) -> Self {
+        assert!(block_size >= 1, "block_size must be at least 1");
+        let total: usize = users.iter().map(crate::MovingUser::len).sum();
+        let mut xs = Vec::with_capacity(total);
+        let mut ys = Vec::with_capacity(total);
+        let mut rects = Vec::new();
+        let mut block_offsets = vec![0u32];
+        let mut user_offsets = Vec::with_capacity(users.len() + 1);
+        user_offsets.push(0u32);
+
+        let mut keyed: Vec<(u64, u32)> = Vec::new();
+        for u in users {
+            let mbr = u.mbr();
+            // A square root over the MBR (degenerate side 0 is fine: all
+            // positions then share one code and the original order holds).
+            let root = Square::new(mbr.min, mbr.width().max(mbr.height()));
+            keyed.clear();
+            keyed.extend(
+                u.positions()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (morton_code(&root, MORTON_DEPTH, p), i as u32)),
+            );
+            keyed.sort_unstable();
+            for chunk in keyed.chunks(block_size) {
+                let first = u.positions()[chunk[0].1 as usize];
+                let mut rect = Rect::point(first);
+                for &(_, i) in chunk {
+                    let p = u.positions()[i as usize];
+                    xs.push(p.x);
+                    ys.push(p.y);
+                    rect.expand_to(&p);
+                }
+                rects.push(rect);
+                block_offsets.push(xs.len() as u32);
+            }
+            user_offsets.push(rects.len() as u32);
+        }
+
+        PositionBlocks {
+            xs,
+            ys,
+            rects,
+            block_offsets,
+            user_offsets,
+            block_size,
+        }
+    }
+
+    /// Number of users the structure covers.
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.user_offsets.len() - 1
+    }
+
+    /// Total number of blocks across all users.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// The configured positions-per-block target.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The global block-index range owned by `user`.
+    #[inline]
+    pub fn user_blocks(&self, user: u32) -> std::ops::Range<usize> {
+        let o = user as usize;
+        self.user_offsets[o] as usize..self.user_offsets[o + 1] as usize
+    }
+
+    /// The MBR of block `b`.
+    #[inline]
+    pub fn block_rect(&self, b: usize) -> &Rect {
+        &self.rects[b]
+    }
+
+    /// Number of positions in block `b`.
+    #[inline]
+    pub fn block_len(&self, b: usize) -> usize {
+        (self.block_offsets[b + 1] - self.block_offsets[b]) as usize
+    }
+
+    /// The SoA coordinate slices of block `b`.
+    #[inline]
+    pub fn block_positions(&self, b: usize) -> (&[f64], &[f64]) {
+        let range = self.block_offsets[b] as usize..self.block_offsets[b + 1] as usize;
+        (&self.xs[range.clone()], &self.ys[range])
+    }
+}
+
+/// Per-worker scratch of the blocked kernel: per-block bounds and the
+/// closest-first visit order, reused across calls so the hot path never
+/// allocates once the vectors have grown to the largest block count seen.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    order: Vec<u32>,
+    dmin: Vec<f64>,
+    flo: Vec<f64>,
+    fhi: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    suffix_lb: Vec<f64>,
+    suffix_ub: Vec<f64>,
+}
+
+impl BlockScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Block-level counters of the blocked kernel, mirroring
+/// [`EvalCounter`](crate::EvalCounter)'s interior-mutable design: one
+/// instance per worker, summed at join (addition commutes, so the totals
+/// are thread-count independent).
+#[derive(Debug, Default)]
+pub struct BlockCounters {
+    bounded_out: Cell<u64>,
+    opened: Cell<u64>,
+}
+
+impl BlockCounters {
+    /// A fresh zeroed counter pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks whose positions were never touched because block bounds
+    /// decided the user first.
+    pub fn bounded_out(&self) -> u64 {
+        self.bounded_out.get()
+    }
+
+    /// Blocks opened for exact per-position evaluation.
+    pub fn opened(&self) -> u64 {
+        self.opened.get()
+    }
+
+    #[inline]
+    fn add_bounded(&self, n: u64) {
+        self.bounded_out.set(self.bounded_out.get() + n);
+    }
+
+    #[inline]
+    fn add_opened(&self, n: u64) {
+        self.opened.set(self.opened.get() + n);
+    }
+
+    /// Adds another counter pair's totals into this one (per-worker
+    /// counters summed at join).
+    pub fn merge(&self, other: &BlockCounters) {
+        self.add_bounded(other.bounded_out());
+        self.add_opened(other.opened());
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.bounded_out.set(0);
+        self.opened.set(0);
+    }
+}
+
+/// The blocked `Pr_v(o) ≥ τ` decision for `user` — identical to
+/// [`influences`](crate::influences) over the same positions, evaluating
+/// (usually far) fewer of them. See the module docs for the bound
+/// derivation.
+///
+/// # Examples
+/// ```
+/// use mc2ls_geo::Point;
+/// use mc2ls_influence::{influences_blocked, BlockScratch, MovingUser, PositionBlocks, Sigmoid};
+///
+/// let users = vec![MovingUser::new(vec![Point::ORIGIN, Point::ORIGIN])];
+/// let blocks = PositionBlocks::build(&users, 16);
+/// let mut scratch = BlockScratch::new();
+/// let pf = Sigmoid::paper_default(); // PF(0) = 0.5 ⇒ Pr = 0.75
+/// assert!(influences_blocked(&pf, &Point::ORIGIN, &blocks, 0, 0.7, &mut scratch));
+/// assert!(!influences_blocked(&pf, &Point::ORIGIN, &blocks, 0, 0.8, &mut scratch));
+/// ```
+pub fn influences_blocked<PF: ProbabilityFunction + ?Sized>(
+    pf: &PF,
+    v: &Point,
+    blocks: &PositionBlocks,
+    user: u32,
+    tau: f64,
+    scratch: &mut BlockScratch,
+) -> bool {
+    influences_blocked_impl::<PF, crate::EvalCounter>(pf, v, blocks, user, tau, scratch, None, None)
+}
+
+/// [`influences_blocked`] that also counts evaluated positions (any
+/// [`CountEvals`] impl) and block outcomes (bounded out vs opened) for the
+/// verification-cost experiments.
+#[allow(clippy::too_many_arguments)] // mirrors influences_counted + block instrumentation
+pub fn influences_blocked_counted<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
+    pf: &PF,
+    v: &Point,
+    blocks: &PositionBlocks,
+    user: u32,
+    tau: f64,
+    scratch: &mut BlockScratch,
+    counter: &C,
+    block_counters: &BlockCounters,
+) -> bool {
+    influences_blocked_impl(
+        pf,
+        v,
+        blocks,
+        user,
+        tau,
+        scratch,
+        Some(counter),
+        Some(block_counters),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn influences_blocked_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
+    pf: &PF,
+    v: &Point,
+    blocks: &PositionBlocks,
+    user: u32,
+    tau: f64,
+    scratch: &mut BlockScratch,
+    counter: Option<&C>,
+    block_counters: Option<&BlockCounters>,
+) -> bool {
+    debug_assert!((0.0..=1.0).contains(&tau));
+    let target = 1.0 - tau;
+    let brange = blocks.user_blocks(user);
+    let nb = brange.len();
+    if nb == 0 {
+        // No positions: Pr = 0, influenced only when τ = 0 (target = 1).
+        return 1.0 <= target;
+    }
+
+    // Per-block factor bounds. For block j with n positions and per-position
+    // factor f = 1 − PF(d): f ∈ [flo, fhi] with flo = 1 − PF(dmin) and
+    // fhi = 1 − PF(dmax), so the block product lies in [floⁿ, fhiⁿ].
+    let s = scratch;
+    s.order.clear();
+    s.dmin.clear();
+    s.flo.clear();
+    s.fhi.clear();
+    s.lb.clear();
+    s.ub.clear();
+    for (local, b) in brange.clone().enumerate() {
+        let rect = blocks.block_rect(b);
+        let dmin = rect.min_distance(v);
+        let dmax = rect.max_distance(v);
+        let n = blocks.block_len(b) as i32;
+        let flo = 1.0 - pf.prob(dmin);
+        let fhi = 1.0 - pf.prob(dmax);
+        s.order.push(local as u32);
+        s.dmin.push(dmin);
+        s.flo.push(flo);
+        s.fhi.push(fhi);
+        s.lb.push(flo.powi(n));
+        s.ub.push(fhi.powi(n));
+    }
+
+    // Closest blocks first (ties toward the lower block index, which keeps
+    // the visit order — and hence the evaluation counts — deterministic).
+    {
+        let dmin = &s.dmin;
+        s.order.sort_unstable_by(|&a, &b| {
+            dmin[a as usize]
+                .total_cmp(&dmin[b as usize])
+                .then(a.cmp(&b))
+        });
+    }
+
+    // suffix_lb[t] / suffix_ub[t]: product of the [t..] blocks' bounds in
+    // visit order; index nb is the empty product.
+    s.suffix_lb.resize(nb + 1, 1.0);
+    s.suffix_ub.resize(nb + 1, 1.0);
+    s.suffix_lb[nb] = 1.0;
+    s.suffix_ub[nb] = 1.0;
+    for t in (0..nb).rev() {
+        let j = s.order[t] as usize;
+        s.suffix_lb[t] = s.suffix_lb[t + 1] * s.lb[j];
+        s.suffix_ub[t] = s.suffix_ub[t + 1] * s.ub[j];
+    }
+
+    // Aggregate bounds: decide the user without touching any position when
+    // conclusive (`product` is still 1 here).
+    if s.suffix_ub[0] <= target {
+        if let Some(bc) = block_counters {
+            bc.add_bounded(nb as u64);
+        }
+        return true;
+    }
+    if s.suffix_lb[0] > target {
+        if let Some(bc) = block_counters {
+            bc.add_bounded(nb as u64);
+        }
+        return false;
+    }
+
+    let mut product = 1.0f64;
+    for t in 0..nb {
+        let j = s.order[t] as usize;
+        if let Some(bc) = block_counters {
+            bc.add_opened(1);
+        }
+        let (xs, ys) = blocks.block_positions(brange.start + j);
+        let n = xs.len();
+        let (flo, fhi) = (s.flo[j], s.fhi[j]);
+        for i in 0..n {
+            if let Some(c) = counter {
+                c.add(1);
+            }
+            let dx = xs[i] - v.x;
+            let dy = ys[i] - v.y;
+            product *= 1.0 - pf.prob((dx * dx + dy * dy).sqrt());
+            let rem = (n - i - 1) as i32;
+            // Two-sided stops: the unvisited remainder is bracketed by this
+            // block's per-position bounds to the power of its remaining
+            // count times the unopened blocks' bound products — much
+            // tighter than the global `PF(0)^remaining` budget.
+            if product * fhi.powi(rem) * s.suffix_ub[t + 1] <= target {
+                if let Some(bc) = block_counters {
+                    bc.add_bounded((nb - t - 1) as u64);
+                }
+                return true;
+            }
+            if product * flo.powi(rem) * s.suffix_lb[t + 1] > target {
+                if let Some(bc) = block_counters {
+                    bc.add_bounded((nb - t - 1) as u64);
+                }
+                return false;
+            }
+        }
+    }
+    // Unreachable for nb ≥ 1 (the last in-block check is the full-product
+    // decision), kept as the honest fallback.
+    product <= target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cumulative_probability, influences, EvalCounter, MovingUser, Sigmoid};
+
+    fn users_ring(n_users: usize, r: usize) -> Vec<MovingUser> {
+        (0..n_users)
+            .map(|u| {
+                MovingUser::new(
+                    (0..r)
+                        .map(|i| {
+                            let a = (u * r + i) as f64 * 0.37;
+                            Point::new(
+                                u as f64 * 3.0 + a.cos() * (1.0 + i as f64 * 0.1),
+                                a.sin() * (1.0 + i as f64 * 0.1),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn layout_partitions_every_position() {
+        let users = users_ring(5, 23);
+        let blocks = PositionBlocks::build(&users, 7);
+        assert_eq!(blocks.n_users(), 5);
+        for (o, u) in users.iter().enumerate() {
+            let total: usize = blocks
+                .user_blocks(o as u32)
+                .map(|b| blocks.block_len(b))
+                .sum();
+            assert_eq!(total, u.len(), "user {o}");
+            for b in blocks.user_blocks(o as u32) {
+                assert!(blocks.block_len(b) <= 7);
+                let (xs, ys) = blocks.block_positions(b);
+                let rect = blocks.block_rect(b);
+                for (x, y) in xs.iter().zip(ys) {
+                    assert!(rect.contains(&Point::new(*x, *y)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_decision_matches_plain_kernel() {
+        let users = users_ring(6, 31);
+        let pf = Sigmoid::paper_default();
+        let blocks = PositionBlocks::build(&users, 4);
+        let mut scratch = BlockScratch::new();
+        for tau in [0.05, 0.3, 0.5, 0.7, 0.95] {
+            for (o, u) in users.iter().enumerate() {
+                for v in [Point::ORIGIN, Point::new(o as f64 * 3.0, 0.5)] {
+                    let want = influences(&pf, &v, u.positions(), tau);
+                    let got = influences_blocked(&pf, &v, &blocks, o as u32, tau, &mut scratch);
+                    assert_eq!(got, want, "user {o} tau {tau} v {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_one_and_huge_agree() {
+        let users = users_ring(4, 17);
+        let pf = Sigmoid::paper_default();
+        let fine = PositionBlocks::build(&users, 1);
+        let coarse = PositionBlocks::build(&users, 1000);
+        let mut scratch = BlockScratch::new();
+        for (o, u) in users.iter().enumerate() {
+            let v = Point::new(1.0, -2.0);
+            let want = cumulative_probability(&pf, &v, u.positions()) >= 0.6;
+            for blocks in [&fine, &coarse] {
+                assert_eq!(
+                    influences_blocked(&pf, &v, blocks, o as u32, 0.6, &mut scratch),
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn far_user_is_bounded_out_without_evaluations() {
+        let users = vec![MovingUser::new(
+            (0..32)
+                .map(|i| Point::new(100.0 + i as f64 * 0.01, 50.0))
+                .collect(),
+        )];
+        let pf = Sigmoid::paper_default();
+        let blocks = PositionBlocks::build(&users, 8);
+        let mut scratch = BlockScratch::new();
+        let evals = EvalCounter::new();
+        let bc = BlockCounters::new();
+        assert!(!influences_blocked_counted(
+            &pf,
+            &Point::ORIGIN,
+            &blocks,
+            0,
+            0.5,
+            &mut scratch,
+            &evals,
+            &bc
+        ));
+        assert_eq!(evals.get(), 0, "no position may be touched");
+        assert_eq!(bc.bounded_out(), blocks.n_blocks() as u64);
+        assert_eq!(bc.opened(), 0);
+    }
+
+    #[test]
+    fn near_user_is_accepted_without_evaluations() {
+        // 32 positions essentially at the query point: the aggregate upper
+        // bound (1 − PF(max_dist))³² is far below 1 − τ.
+        let users = vec![MovingUser::new(
+            (0..32).map(|i| Point::new(i as f64 * 1e-6, 0.0)).collect(),
+        )];
+        let pf = Sigmoid::paper_default();
+        let blocks = PositionBlocks::build(&users, 8);
+        let mut scratch = BlockScratch::new();
+        let evals = EvalCounter::new();
+        let bc = BlockCounters::new();
+        assert!(influences_blocked_counted(
+            &pf,
+            &Point::ORIGIN,
+            &blocks,
+            0,
+            0.9,
+            &mut scratch,
+            &evals,
+            &bc
+        ));
+        assert_eq!(evals.get(), 0);
+        assert_eq!(bc.bounded_out(), blocks.n_blocks() as u64);
+    }
+
+    #[test]
+    fn blocked_never_evaluates_more_than_block_worths_needed() {
+        // Mixed case: a near cluster and a far cluster; the far blocks must
+        // never be opened once the near ones decide.
+        let mut ps: Vec<Point> = (0..16).map(|i| Point::new(i as f64 * 0.01, 0.0)).collect();
+        ps.extend((0..16).map(|i| Point::new(500.0 + i as f64, 0.0)));
+        let users = vec![MovingUser::new(ps)];
+        let pf = Sigmoid::paper_default();
+        let blocks = PositionBlocks::build(&users, 8);
+        let mut scratch = BlockScratch::new();
+        let evals = EvalCounter::new();
+        let bc = BlockCounters::new();
+        let got = influences_blocked_counted(
+            &pf,
+            &Point::ORIGIN,
+            &blocks,
+            0,
+            0.9,
+            &mut scratch,
+            &evals,
+            &bc,
+        );
+        assert!(got);
+        assert!(evals.get() <= 16, "evaluated {}", evals.get());
+        assert!(bc.opened() <= 2);
+        assert_eq!(bc.opened() + bc.bounded_out(), blocks.n_blocks() as u64);
+    }
+
+    #[test]
+    fn degenerate_taus() {
+        let users = users_ring(3, 9);
+        let pf = Sigmoid::paper_default();
+        let blocks = PositionBlocks::build(&users, 4);
+        let mut scratch = BlockScratch::new();
+        for (o, u) in users.iter().enumerate() {
+            let v = Point::new(0.5, 0.5);
+            // τ = 0: everyone is influenced (Pr ≥ 0 always).
+            assert!(influences_blocked(
+                &pf,
+                &v,
+                &blocks,
+                o as u32,
+                0.0,
+                &mut scratch
+            ));
+            // τ → 1: the sigmoid (PF < 1) can never reach it.
+            assert!(!influences_blocked(
+                &pf,
+                &v,
+                &blocks,
+                o as u32,
+                1.0,
+                &mut scratch
+            ));
+            assert_eq!(
+                influences_blocked(&pf, &v, &blocks, o as u32, 0.999_999, &mut scratch),
+                cumulative_probability(&pf, &v, u.positions()) >= 0.999_999
+            );
+        }
+    }
+
+    #[test]
+    fn identical_positions_collapse_to_one_tight_block() {
+        let users = vec![MovingUser::new(vec![Point::new(2.0, 2.0); 40])];
+        let blocks = PositionBlocks::build(&users, 16);
+        let pf = Sigmoid::paper_default();
+        let mut scratch = BlockScratch::new();
+        // Degenerate MBR (a point): bounds are exact, so every decision is
+        // made from the bounds alone.
+        let evals = EvalCounter::new();
+        let bc = BlockCounters::new();
+        let got = influences_blocked_counted(
+            &pf,
+            &Point::new(2.0, 2.0),
+            &blocks,
+            0,
+            0.9,
+            &mut scratch,
+            &evals,
+            &bc,
+        );
+        assert!(got);
+        assert_eq!(evals.get(), 0);
+    }
+}

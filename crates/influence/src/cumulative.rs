@@ -176,7 +176,22 @@ fn influences_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
     let max_keep = 1.0 - pf.max_probability(); // smallest per-position factor
     let mut product = 1.0f64;
     let r = positions.len();
-    for (i, p) in positions.iter().enumerate() {
+    // Failure-stop budget `max_keep^remaining`, maintained as a running
+    // product: one `powi` up front, then one multiply per iteration. Division
+    // by `max_keep` would be unsound (rounding could inflate the budget past
+    // its true value and fire a wrong reject), so the tail is *multiplied* by
+    // `1/max_keep` and clamped to 1.0 — the mathematical ceiling for any
+    // `max_keep ≤ 1` power. An under-estimated tail merely delays the stop
+    // (the final `product <= target` is still exact); it can never flip a
+    // decision. `max_keep == 0` (PF(0) = 1) degrades the same way: tail 0
+    // suppresses the stop and the loop decides exactly.
+    let mut tail = if r > 1 {
+        max_keep.powi(r as i32 - 1)
+    } else {
+        1.0
+    };
+    let inv_keep = if max_keep > 0.0 { 1.0 / max_keep } else { 0.0 };
+    for p in positions {
         if let Some(c) = counter {
             c.add(1);
         }
@@ -184,11 +199,11 @@ fn influences_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
         if product <= target {
             return true; // success stop
         }
-        let remaining = (r - i - 1) as i32;
         // Even max influence at every remaining position cannot reach τ.
-        if product * max_keep.powi(remaining) > target {
+        if product * tail > target {
             return false; // failure stop
         }
+        tail = (tail * inv_keep).min(1.0);
     }
     product <= target
 }

@@ -15,15 +15,24 @@
 //!   [`eta`] (`η(τ, PF, d̂)`, Definition 8) — the radius/count thresholds
 //!   behind the IA, NIB, IS and NIR pruning rules.
 //! * [`MovingUser`] — a multi-position user with its cached MBR.
+//! * [`PositionBlocks`] / [`influences_blocked`] — the blocked SoA
+//!   verification substrate: Morton-sorted fixed-size position blocks with
+//!   per-block MBR distance bounds that decide most users without touching
+//!   their positions (same decisions, far fewer evaluations).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blocks;
 mod cumulative;
 mod pf;
 mod radius;
 mod user;
 
+pub use blocks::{
+    influences_blocked, influences_blocked_counted, BlockCounters, BlockScratch, PositionBlocks,
+    DEFAULT_BLOCK_SIZE,
+};
 pub use cumulative::{
     cumulative_probability, influences, influences_counted, AtomicEvalCounter, CountEvals,
     EvalCounter,

@@ -3,7 +3,8 @@
 
 use mc2ls_geo::Point;
 use mc2ls_influence::{
-    cumulative_probability, eta_count, influences, min_max_radius, Exponential, MovingUser, Sigmoid,
+    cumulative_probability, eta_count, influences, influences_blocked, min_max_radius,
+    BlockScratch, Exponential, MovingUser, PositionBlocks, ProbabilityFunction, Sigmoid,
 };
 use proptest::prelude::*;
 
@@ -17,6 +18,14 @@ fn positions() -> impl Strategy<Value = Vec<Point>> {
 
 fn tau() -> impl Strategy<Value = f64> {
     0.05f64..0.95
+}
+
+fn users() -> impl Strategy<Value = Vec<MovingUser>> {
+    prop::collection::vec(positions().prop_map(MovingUser::new), 1..6)
+}
+
+fn block_size() -> impl Strategy<Value = usize> {
+    1usize..40
 }
 
 proptest! {
@@ -108,5 +117,76 @@ proptest! {
         let pf = Sigmoid::new(0.8);
         let pr = cumulative_probability(&pf, &v, &ps);
         prop_assert!((0.0..=1.0).contains(&pr));
+    }
+
+    /// The per-block factor bounds derived from the block MBR bracket the
+    /// exact keep-product of the block's positions: PF is monotone
+    /// non-increasing in distance, so every position's keep-factor
+    /// `1 − PF(d)` lies in `[1 − PF(dmin), 1 − PF(dmax)]` and the block
+    /// product in `[flo^n, fhi^n]`.
+    #[test]
+    fn block_bounds_bracket_exact_product(v in pt(), us in users(), bs in block_size()) {
+        let pf = Sigmoid::paper_default();
+        let blocks = PositionBlocks::build(&us, bs);
+        for b in 0..blocks.n_blocks() {
+            let rect = blocks.block_rect(b);
+            let n = blocks.block_len(b) as i32;
+            let flo = 1.0 - pf.prob(rect.min_distance(&v));
+            let fhi = 1.0 - pf.prob(rect.max_distance(&v));
+            let (xs, ys) = blocks.block_positions(b);
+            let exact: f64 = xs.iter().zip(ys)
+                .map(|(&x, &y)| 1.0 - pf.prob(v.distance(&Point::new(x, y))))
+                .product();
+            prop_assert!(flo.powi(n) <= exact + 1e-12,
+                "lower bound {} above exact {}", flo.powi(n), exact);
+            prop_assert!(fhi.powi(n) >= exact - 1e-12,
+                "upper bound {} below exact {}", fhi.powi(n), exact);
+        }
+    }
+
+    /// The blocked kernel is a pure optimisation: its decision equals the
+    /// exact Definition 2 decision for every user, any block size.
+    #[test]
+    fn blocked_kernel_is_exact(v in pt(), us in users(), bs in block_size(), t in tau()) {
+        let pf = Sigmoid::paper_default();
+        let blocks = PositionBlocks::build(&us, bs);
+        let mut scratch = BlockScratch::new();
+        for (u, user) in us.iter().enumerate() {
+            let exact = cumulative_probability(&pf, &v, user.positions()) >= t;
+            prop_assert_eq!(
+                influences_blocked(&pf, &v, &blocks, u as u32, t, &mut scratch),
+                exact,
+                "user {} diverged at block size {}", u, bs
+            );
+        }
+    }
+
+    /// Degenerate thresholds: τ = 0 accepts everyone (Pr ≥ 0 always);
+    /// τ just below 1 — where PF(0) = 0.5 caps Pr of an r-position user at
+    /// 1 − 2^−r — still matches the exact decision.
+    #[test]
+    fn blocked_kernel_handles_degenerate_taus(v in pt(), us in users(), bs in block_size()) {
+        let pf = Sigmoid::paper_default();
+        let blocks = PositionBlocks::build(&us, bs);
+        let mut scratch = BlockScratch::new();
+        for (u, user) in us.iter().enumerate() {
+            prop_assert!(influences_blocked(&pf, &v, &blocks, u as u32, 0.0, &mut scratch));
+            let t = 1.0 - 1e-9;
+            let exact = cumulative_probability(&pf, &v, user.positions()) >= t;
+            prop_assert_eq!(influences_blocked(&pf, &v, &blocks, u as u32, t, &mut scratch), exact);
+        }
+    }
+
+    /// All-identical positions collapse to point-rectangle blocks whose
+    /// bounds are tight; the decision must still be exact.
+    #[test]
+    fn blocked_kernel_exact_on_identical_positions(v in pt(), p in pt(), r in 1usize..50,
+                                                   bs in block_size(), t in tau()) {
+        let pf = Sigmoid::paper_default();
+        let us = vec![MovingUser::new(vec![p; r])];
+        let blocks = PositionBlocks::build(&us, bs);
+        let mut scratch = BlockScratch::new();
+        let exact = cumulative_probability(&pf, &v, &vec![p; r]) >= t;
+        prop_assert_eq!(influences_blocked(&pf, &v, &blocks, 0, t, &mut scratch), exact);
     }
 }

@@ -67,6 +67,7 @@ pub mod prelude {
     pub use mc2ls_geo::{Circle, Point, Rect, Square};
     pub use mc2ls_index::{IQuadTree, RTree};
     pub use mc2ls_influence::{
-        cumulative_probability, influences, MovingUser, ProbabilityFunction, Sigmoid,
+        cumulative_probability, influences, influences_blocked, BlockScratch, MovingUser,
+        PositionBlocks, ProbabilityFunction, Sigmoid, DEFAULT_BLOCK_SIZE,
     };
 }
