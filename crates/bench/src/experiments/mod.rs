@@ -12,6 +12,7 @@ mod fig14;
 pub(crate) mod fig15;
 mod fig16;
 mod figd;
+mod greedy;
 mod parallel;
 mod quality;
 mod table1;
@@ -29,6 +30,7 @@ pub use fig14::fig14;
 pub use fig15::fig15;
 pub use fig16::fig16;
 pub use figd::figd;
+pub use greedy::greedy;
 pub use parallel::parallel;
 pub use quality::quality;
 pub use table1::table1;
@@ -59,6 +61,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("quality", quality),
         ("BENCH_parallel", parallel),
         ("BENCH_verify", verify),
+        ("BENCH_greedy", greedy),
     ]
 }
 

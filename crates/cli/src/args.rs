@@ -14,6 +14,7 @@ commands:
              [--candidates N] [--facilities M] [-k K] [--tau T]
              [--method baseline|kcifp|iqt|iqt-c|iqt-pino] [--threads T]
              [--block-size B] [--lazy-greedy true|false]
+             [--selector rescan|celf|decremental|auto]
              [--svg FILE] [--json]
   analyze    --data FILE | --preset P [--scale S]
              [--candidates N] [--facilities M] [-k K] [--tau T]

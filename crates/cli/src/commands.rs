@@ -98,12 +98,23 @@ fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
     }
     let block_size: usize = parsed.get_or("block-size", DEFAULT_BLOCK_SIZE)?;
-    // CELF returns the same sites as the re-evaluating greedy with fewer
-    // marginal-gain evaluations; `--lazy-greedy false` opts out.
-    let selector = if parsed.get_or("lazy-greedy", true)? {
-        Selector::LazyGreedy
-    } else {
-        Selector::Greedy
+    // All selectors return byte-identical solutions; `--selector` picks how
+    // the greedy rounds are computed (`auto` chooses decremental vs CELF
+    // from the instance shape). The older `--lazy-greedy true|false` flag
+    // remains as a fallback when `--selector` is absent.
+    let selector = match parsed.get("selector") {
+        Some("rescan") => Selector::Greedy,
+        Some("celf") => Selector::LazyGreedy,
+        Some("decremental") => Selector::Decremental,
+        Some("auto") => Selector::Auto,
+        Some(other) => {
+            return Err(Box::new(ArgError::BadValue(
+                "selector".into(),
+                other.into(),
+            )))
+        }
+        None if parsed.get_or("lazy-greedy", true)? => Selector::LazyGreedy,
+        None => Selector::Greedy,
     };
 
     let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
@@ -134,6 +145,12 @@ fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     writeln!(out, "method:   {}", method.name())?;
     writeln!(out, "selected: {:?}", report.solution.selected)?;
     writeln!(out, "cinf(G):  {:.4}", report.solution.cinf)?;
+    writeln!(
+        out,
+        "covered:  {} of {} users",
+        report.selection.covered_users,
+        problem.n_users()
+    )?;
     writeln!(
         out,
         "pruned:   {:.1}% of pairs (IS {:.1}%, NIR {:.1}%, NIB {:.1}%, IA {:.1}%)",
@@ -355,6 +372,53 @@ mod tests {
                 .to_owned()
         };
         assert_eq!(line(&blocked), line(&plain));
+    }
+
+    #[test]
+    fn selector_flag_variants_agree() {
+        // rescan, celf, decremental and auto must print the exact same
+        // selected set, cinf and covered-user count.
+        let base = "solve --preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
+        let pick = |s: &str, prefix: &str| {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap()
+                .to_owned()
+        };
+        let (code, reference) = call(&format!("{base} --selector rescan"));
+        assert_eq!(code, 0, "{reference}");
+        assert!(pick(&reference, "covered:").contains("users"));
+        for selector in ["celf", "decremental", "auto"] {
+            let (code, got) = call(&format!("{base} --selector {selector}"));
+            assert_eq!(code, 0, "{got}");
+            for prefix in ["selected", "cinf", "covered"] {
+                assert_eq!(
+                    pick(&reference, prefix),
+                    pick(&got, prefix),
+                    "--selector {selector}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selector_stats_appear_in_json_output() {
+        let (code, out) = call(
+            "solve --preset new-york --scale 0.05 --candidates 10 --facilities 10 -k 2 \
+             --selector decremental --json",
+        );
+        assert_eq!(code, 0, "{out}");
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["selection"]["covered_users"].as_u64().unwrap() > 0);
+        assert!(v["selection"]["inverted_entries"].as_u64().unwrap() > 0);
+        assert_eq!(v["selection"]["users_rescanned"].as_u64().unwrap(), 0);
+    }
+
+    #[test]
+    fn solve_rejects_bad_selector() {
+        let (code, out) = call("solve --preset new-york --scale 0.05 --selector quantum");
+        assert_eq!(code, 1);
+        assert!(out.contains("bad value"));
     }
 
     #[test]

@@ -85,18 +85,20 @@ pub fn solve_budgeted(sets: &InfluenceSets, costs: &[f64], budget: f64) -> Solut
         }
     }
 
-    // (b) best single affordable candidate.
+    // (b) best single affordable candidate. Each `cinf_candidate` walks the
+    // candidate's whole Ω_c; computing it once per candidate instead of
+    // inside the comparator (O(n log n) re-evaluations) matters when the
+    // sets are dense.
+    let singleton: Vec<f64> = (0..n).map(|c| sets.cinf_candidate(c)).collect();
     let single: Option<u32> = (0..n)
         .filter(|&c| costs[c] <= budget + 1e-12)
         .max_by(|&a, &b| {
-            sets.cinf_candidate(a)
-                .total_cmp(&sets.cinf_candidate(b))
-                .then(b.cmp(&a)) // smaller id on ties
+            singleton[a].total_cmp(&singleton[b]).then(b.cmp(&a)) // smaller id on ties
         })
         .map(|c| c as u32);
 
     let sweep_value = sets.cinf_set(&sweep);
-    let single_value = single.map_or(0.0, |c| sets.cinf_candidate(c as usize));
+    let single_value = single.map_or(0.0, |c| singleton[c as usize]);
     if single_value > sweep_value + 1e-15 {
         solution_for(sets, vec![single.expect("value > 0 implies a candidate")])
     } else {

@@ -7,7 +7,7 @@ pub mod iqt;
 pub mod kcifp;
 pub mod topk;
 
-use crate::{greedy, InfluenceSets, PhaseTimes, Problem, PruneStats, RunReport};
+use crate::{greedy, InfluenceSets, PhaseTimes, Problem, PruneStats, RunReport, SelectionStats};
 use mc2ls_influence::ProbabilityFunction;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -85,13 +85,57 @@ impl Method {
     }
 }
 
-/// How the `k` candidates are selected from the influence sets.
+/// How the `k` candidates are selected from the influence sets. Every
+/// selector returns byte-identical [`crate::Solution`]s (canonical
+/// weight-class gains, smallest-id tie-break); they differ only in how much
+/// work they spend getting there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Selector {
     /// The paper's greedy: re-evaluate every candidate per round.
     Greedy,
     /// CELF lazy greedy (identical result, fewer evaluations).
     LazyGreedy,
+    /// Decremental gain maintenance over the inverted user → candidate CSR
+    /// (identical result; update work bounded by one inverted-CSR pass).
+    Decremental,
+    /// Picks [`Selector::Decremental`] or [`Selector::LazyGreedy`] from the
+    /// instance shape — see [`resolve_selector`].
+    Auto,
+}
+
+/// Resolves [`Selector::Auto`] against the instance: decremental
+/// maintenance pays off when one pass over the CSR (`Σ|Ω_c|`, its total
+/// update bound) costs no more than the `k·|C|` candidate re-evaluations a
+/// scanning selector risks, i.e. when the sets are sparse relative to the
+/// budget; otherwise CELF's pruning on the forward CSR wins. Non-`Auto`
+/// selectors resolve to themselves.
+pub fn resolve_selector(selector: Selector, sets: &InfluenceSets, k: usize) -> Selector {
+    match selector {
+        Selector::Auto => {
+            if sets.total_influences() <= k * sets.n_candidates() {
+                Selector::Decremental
+            } else {
+                Selector::LazyGreedy
+            }
+        }
+        s => s,
+    }
+}
+
+/// Runs the (resolved) selector, returning the solution plus its
+/// [`SelectionStats`] work counters.
+fn run_selector(
+    selector: Selector,
+    sets: &InfluenceSets,
+    k: usize,
+    threads: usize,
+) -> (crate::Solution, SelectionStats) {
+    match resolve_selector(selector, sets, k) {
+        Selector::Greedy => greedy::select_counted(sets, k),
+        Selector::LazyGreedy => greedy::select_lazy_counted(sets, k, threads),
+        Selector::Decremental => greedy::select_decremental_counted(sets, k, threads),
+        Selector::Auto => unreachable!("resolve_selector never returns Auto"),
+    }
 }
 
 /// Computes the influence relationships with `method`, then selects `k`
@@ -108,14 +152,12 @@ pub fn solve_with<PF: ProbabilityFunction>(
 ) -> RunReport {
     let (sets, stats, mut times) = influence_sets(problem, method);
     let t = Instant::now();
-    let solution = match selector {
-        Selector::Greedy => greedy::select(&sets, problem.k),
-        Selector::LazyGreedy => greedy::select_lazy(&sets, problem.k),
-    };
+    let (solution, selection) = run_selector(selector, &sets, problem.k, 1);
     times.selection = t.elapsed();
     RunReport {
         solution,
         stats,
+        selection,
         times,
     }
 }
@@ -150,14 +192,12 @@ pub fn solve_threaded<PF: ProbabilityFunction>(
 ) -> RunReport {
     let (sets, stats, mut times) = influence_sets_threaded(problem, method, threads);
     let t = Instant::now();
-    let solution = match selector {
-        Selector::Greedy => greedy::select(&sets, problem.k),
-        Selector::LazyGreedy => greedy::select_lazy(&sets, problem.k),
-    };
+    let (solution, selection) = run_selector(selector, &sets, problem.k, threads);
     times.selection = t.elapsed();
     RunReport {
         solution,
         stats,
+        selection,
         times,
     }
 }

@@ -51,12 +51,52 @@ impl Bitset {
 
     /// Number of indices present.
     pub fn count(&self) -> usize {
+        self.count_ones()
+    }
+
+    /// Number of indices present (one `popcnt` per word).
+    pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the present indices in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: self.words.iter(),
+            base: 0,
+            current: 0,
+        }
     }
 
     /// Removes every index.
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// Iterator over the set indices of a [`Bitset`], ascending. Each word is
+/// drained lowest-bit-first via `trailing_zeros` + clear-lowest-set-bit, so
+/// the cost is one iteration per *set* bit plus one per word.
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    words: std::slice::Iter<'a, u64>,
+    base: u32,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some(self.base - 64 + bit);
+            }
+            self.current = *self.words.next()?;
+            self.base += 64;
+        }
     }
 }
 
@@ -111,5 +151,55 @@ mod tests {
         let b = Bitset::new(0);
         assert!(b.is_empty());
         assert_eq!(b.count(), 0);
+        assert_eq!(b.iter_ones().next(), None);
+    }
+
+    #[test]
+    fn count_ones_and_iter_ones_at_word_boundaries() {
+        // 63 (last bit of word 0), 64 (first bit of word 1), 65: the
+        // boundary cases where a shift or word-index off-by-one would bite.
+        for cap in [63usize, 64, 65, 130] {
+            let mut b = Bitset::new(cap);
+            assert_eq!(b.count_ones(), 0);
+            let all: Vec<u32> = (0..cap as u32).collect();
+            for &i in &all {
+                b.insert(i);
+            }
+            assert_eq!(b.count_ones(), cap, "cap={cap}");
+            assert_eq!(b.iter_ones().collect::<Vec<u32>>(), all, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn iter_ones_yields_sparse_indices_in_order() {
+        let mut b = Bitset::new(200);
+        for i in [199u32, 0, 64, 63, 65, 128, 1] {
+            b.insert(i);
+        }
+        assert_eq!(
+            b.iter_ones().collect::<Vec<u32>>(),
+            vec![0, 1, 63, 64, 65, 128, 199]
+        );
+        assert_eq!(b.count_ones(), 7);
+    }
+
+    #[test]
+    fn iter_ones_matches_contains_on_random_sets() {
+        let mut seed = 0xA5A5A5A5DEADBEEFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let n = 777usize;
+        let mut b = Bitset::new(n);
+        for _ in 0..300 {
+            b.insert((next() % n as u64) as u32);
+        }
+        let via_iter: Vec<u32> = b.iter_ones().collect();
+        let via_contains: Vec<u32> = (0..n as u32).filter(|&i| b.contains(i)).collect();
+        assert_eq!(via_iter, via_contains);
+        assert_eq!(via_iter.len(), b.count_ones());
     }
 }

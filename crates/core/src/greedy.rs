@@ -1,7 +1,7 @@
 //! Greedy selection of `k` candidates maximising the submodular objective
 //! `cinf(G)` (paper §IV-A step 2–3 and Theorem 2).
 //!
-//! Two implementations with identical output:
+//! Three implementations with **byte-identical** output:
 //!
 //! * [`select`] — the paper's procedure: each round re-evaluates `cinf(c)`
 //!   over uncovered users for every remaining candidate and picks the
@@ -12,8 +12,82 @@
 //!   upper bound) cannot beat the current best is not re-evaluated. This is
 //!   this repository's implementation of the "candidate-pruning strategy to
 //!   further accelerate the computation" the paper's abstract highlights.
+//! * [`select_decremental`] — exact decremental gain maintenance over the
+//!   inverted user → candidate CSR ([`InvertedIndex`]): instead of
+//!   re-scanning `Ω_c` slices, each candidate keeps a per-weight-class
+//!   count of its uncovered users, and selecting a candidate walks only the
+//!   newly covered users' inverted lists to decrement the affected counts.
+//!   Total update work over all `k` rounds is bounded by **one pass over
+//!   the inverted CSR**, instead of `k` passes over the forward CSR.
+//!
+//! # Canonical gains
+//!
+//! Every user's competitive weight `1/(|F_o|+1)` (Equation 1) is one of a
+//! small set of **weight classes** — one per distinct `|F_o|` value. All
+//! selectors therefore evaluate a marginal gain the same way: count the
+//! candidate's uncovered users per class, then materialise
+//! `Σ_w counts[w]/(w+1)` in ascending class order ([`canonical_gain`]'s
+//! fixed summation order). Equal class counts produce bit-identical `f64`
+//! gains in every selector, which is what makes the three implementations
+//! — and any worker-thread count — byte-for-byte comparable
+//! (`tests/selector_equivalence.rs` asserts it).
 
-use crate::{Bitset, InfluenceSets, Solution};
+use crate::{Bitset, InfluenceSets, InvertedIndex, SelectionStats, Solution};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Materialises a marginal gain from per-weight-class counts:
+/// `Σ_w counts[w]/(w+1)`, accumulated in ascending class order with empty
+/// classes skipped (adding `+0.0` would not change the sum, skipping just
+/// saves the divisions). Every selector funnels gains through this one
+/// function, so equal counts give bit-identical gains everywhere.
+#[inline]
+fn canonical_gain(counts: &[u32]) -> f64 {
+    let mut total = 0.0;
+    for (w, &n) in counts.iter().enumerate() {
+        if n != 0 {
+            total += n as f64 / (w as f64 + 1.0);
+        }
+    }
+    total
+}
+
+/// Reusable weight-class counting scratch for the scanning selectors.
+struct ClassScratch {
+    counts: Vec<u32>,
+}
+
+impl ClassScratch {
+    fn new(sets: &InfluenceSets) -> Self {
+        ClassScratch {
+            counts: vec![0u32; sets.n_weight_classes()],
+        }
+    }
+
+    /// Counts candidate `c`'s uncovered users per weight class and
+    /// materialises the canonical gain, leaving the scratch cleared.
+    fn marginal_gain(&mut self, sets: &InfluenceSets, c: usize, covered: &Bitset) -> f64 {
+        for &o in sets.omega(c) {
+            if !covered.contains(o) {
+                self.counts[sets.f_count[o as usize] as usize] += 1;
+            }
+        }
+        let gain = canonical_gain(&self.counts);
+        self.counts.iter_mut().for_each(|n| *n = 0);
+        gain
+    }
+}
+
+/// Candidate `c`'s full `cinf(c)` materialised canonically (the round-1
+/// marginal gain: no user is covered yet). Allocates its own class scratch,
+/// so it is safe to call from parallel workers.
+fn canonical_cinf(sets: &InfluenceSets, c: usize, n_classes: usize) -> f64 {
+    let mut counts = vec![0u32; n_classes];
+    for &o in sets.omega(c) {
+        counts[sets.f_count[o as usize] as usize] += 1;
+    }
+    canonical_gain(&counts)
+}
 
 /// The paper's greedy: re-evaluate every remaining candidate each round.
 ///
@@ -28,22 +102,34 @@ use crate::{Bitset, InfluenceSets, Solution};
 /// assert!((sol.cinf - 2.0).abs() < 1e-12);
 /// ```
 pub fn select(sets: &InfluenceSets, k: usize) -> Solution {
+    select_counted(sets, k).0
+}
+
+/// [`select`] plus its [`SelectionStats`] work counters.
+pub fn select_counted(sets: &InfluenceSets, k: usize) -> (Solution, SelectionStats) {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
     let mut covered = Bitset::new(sets.n_users());
     let mut taken = vec![false; n];
+    let mut scratch = ClassScratch::new(sets);
+    let mut stats = SelectionStats::default();
     let mut selected = Vec::with_capacity(k);
     let mut gains = Vec::with_capacity(k);
     let mut total = 0.0;
 
-    for _round in 0..k {
+    for round in 0..k {
         let mut best: Option<(usize, f64)> = None;
-        #[allow(clippy::needless_range_loop)] // c indexes three parallel arrays
-        for c in 0..n {
-            if taken[c] {
+        for (c, &already) in taken.iter().enumerate() {
+            if already {
                 continue;
             }
-            let gain = marginal_gain(sets, c, &covered);
+            let gain = scratch.marginal_gain(sets, c, &covered);
+            stats.gain_evals += 1;
+            let len = sets.omega(c).len() as u64;
+            stats.users_scanned += len;
+            if round > 0 {
+                stats.users_rescanned += len;
+            }
             match best {
                 // Strict `>` keeps the smallest id on ties.
                 Some((_, g)) if gain <= g => {}
@@ -60,90 +146,290 @@ pub fn select(sets: &InfluenceSets, k: usize) -> Solution {
         }
     }
 
-    Solution {
-        selected,
-        marginal_gains: gains,
-        cinf: total,
+    stats.covered_users = covered.count_ones() as u64;
+    (
+        Solution {
+            selected,
+            marginal_gains: gains,
+            cinf: total,
+        },
+        stats,
+    )
+}
+
+/// Max-heap entry shared by the lazy selectors: orders by gain, then by
+/// *smaller* candidate id, then by *newer* version — so on equal gains the
+/// smallest id pops first (the shared tie-break) and a candidate's current
+/// entry pops before its stale ones.
+#[derive(PartialEq)]
+struct Entry {
+    gain: f64,
+    cand: u32,
+    version: u32,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.cand.cmp(&self.cand))
+            .then_with(|| self.version.cmp(&other.version))
     }
 }
 
 /// CELF lazy greedy: identical output to [`select`], fewer re-evaluations.
 pub fn select_lazy(sets: &InfluenceSets, k: usize) -> Solution {
+    select_lazy_counted(sets, k, 1).0
+}
+
+/// [`select_lazy`] with the initial heap built across `threads` workers
+/// (`parallel::map_items`, stitched in candidate order, so the heap
+/// contents — and therefore the output — stay bit-identical to serial).
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn select_lazy_threaded(sets: &InfluenceSets, k: usize, threads: usize) -> Solution {
+    select_lazy_counted(sets, k, threads).0
+}
+
+/// [`select_lazy_threaded`] plus its [`SelectionStats`] work counters.
+pub fn select_lazy_counted(
+    sets: &InfluenceSets,
+    k: usize,
+    threads: usize,
+) -> (Solution, SelectionStats) {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
+    assert!(threads >= 1, "need at least one worker thread");
+    let n_classes = sets.n_weight_classes();
     let mut covered = Bitset::new(sets.n_users());
-    // (cached_gain, candidate, round_of_cache); BinaryHeap orders by gain,
-    // then by *smaller* id via Reverse-style key on ties.
-    use std::cmp::Ordering;
-    #[derive(PartialEq)]
-    struct Entry {
-        gain: f64,
-        cand: usize,
-        round: usize,
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            // Max-heap by gain; on equal gains prefer the smaller id (so it
-            // must compare as "greater").
-            self.gain
-                .total_cmp(&other.gain)
-                .then_with(|| other.cand.cmp(&self.cand))
-        }
-    }
+    let mut stats = SelectionStats::default();
 
-    let mut heap: std::collections::BinaryHeap<Entry> = (0..n)
-        .map(|c| Entry {
-            gain: sets.cinf_candidate(c),
-            cand: c,
-            round: 0,
+    // The CELF seed: every candidate's full cinf. The per-item evaluations
+    // are independent, so they fan out; `map_items` stitches them back in
+    // candidate order and the heap is built from the exact same entries a
+    // serial pass would produce.
+    let initial: Vec<f64> =
+        crate::parallel::map_items(n, threads, |c| canonical_cinf(sets, c, n_classes));
+    stats.gain_evals += n as u64;
+    stats.users_scanned += sets.total_influences() as u64;
+    stats.heap_pushes += n as u64;
+    let mut heap: BinaryHeap<Entry> = initial
+        .into_iter()
+        .enumerate()
+        .map(|(c, gain)| Entry {
+            gain,
+            cand: c as u32,
+            version: 0,
         })
         .collect();
 
+    let mut scratch = ClassScratch::new(sets);
     let mut selected = Vec::with_capacity(k);
     let mut gains = Vec::with_capacity(k);
     let mut total = 0.0;
 
-    for round in 1..=k {
+    for round in 1..=k as u32 {
         loop {
             let top = heap.pop().expect("heap cannot be empty while k <= n");
-            if top.round == round - 1 {
+            if top.version == round - 1 {
                 // Fresh enough: by submodularity no stale entry below can
                 // exceed it, and any equal-gain fresh entry with a smaller
                 // id would have sorted above it.
-                selected.push(top.cand as u32);
+                selected.push(top.cand);
                 gains.push(top.gain);
                 total += top.gain;
-                for &o in sets.omega(top.cand) {
+                for &o in sets.omega(top.cand as usize) {
                     covered.insert(o);
                 }
                 break;
             }
-            let fresh = marginal_gain(sets, top.cand, &covered);
+            let fresh = scratch.marginal_gain(sets, top.cand as usize, &covered);
+            stats.gain_evals += 1;
+            let len = sets.omega(top.cand as usize).len() as u64;
+            stats.users_scanned += len;
+            stats.users_rescanned += len;
+            stats.heap_pushes += 1;
             heap.push(Entry {
                 gain: fresh,
                 cand: top.cand,
-                round: round - 1,
+                version: round - 1,
             });
         }
     }
 
-    Solution {
-        selected,
-        marginal_gains: gains,
-        cinf: total,
+    stats.covered_users = covered.count_ones() as u64;
+    (
+        Solution {
+            selected,
+            marginal_gains: gains,
+            cinf: total,
+        },
+        stats,
+    )
+}
+
+/// Decremental greedy over the inverted CSR: identical output to
+/// [`select`] and [`select_lazy`], with gain maintenance instead of
+/// re-evaluation.
+///
+/// Each candidate keeps `counts[w] = #{uncovered o ∈ Ω_c : |F_o| = w}`.
+/// When a candidate is selected, only its *newly covered* users' inverted
+/// lists are walked: each decrement fixes one affected candidate's class
+/// count exactly (integer arithmetic — no drift), and each affected
+/// candidate re-materialises its canonical gain once per round. A
+/// gain-ordered lazy-bucket heap (entries invalidated by a per-candidate
+/// version, the current version re-pushed on every update) replaces the
+/// per-round argmax, so a round costs `O(Σ_{new o} |inv(o)| + touched·(W +
+/// log n))` — and the decrement total over all `k` rounds never exceeds one
+/// pass over the inverted CSR.
+pub fn select_decremental(sets: &InfluenceSets, k: usize) -> Solution {
+    select_decremental_counted(sets, k, 1).0
+}
+
+/// [`select_decremental`] with the inverted CSR and the initial class
+/// counts built across `threads` workers (chunked by candidate, stitched in
+/// chunk order — bit-identical for any thread count).
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn select_decremental_threaded(sets: &InfluenceSets, k: usize, threads: usize) -> Solution {
+    select_decremental_counted(sets, k, threads).0
+}
+
+/// [`select_decremental_threaded`] plus its [`SelectionStats`] counters.
+pub fn select_decremental_counted(
+    sets: &InfluenceSets,
+    k: usize,
+    threads: usize,
+) -> (Solution, SelectionStats) {
+    let n = sets.n_candidates();
+    assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
+    assert!(threads >= 1, "need at least one worker thread");
+    let mut stats = SelectionStats::default();
+
+    let inverted = InvertedIndex::build(sets, threads);
+    stats.inverted_entries = inverted.len() as u64;
+
+    // Per-candidate weight-class counts, flattened row-major. Built by
+    // candidate chunks; stitching the chunk outputs in order reproduces the
+    // serial layout exactly.
+    let n_classes = sets.n_weight_classes();
+    let mut counts: Vec<u32> = crate::parallel::map_chunks(n, threads, |range| {
+        let mut part = vec![0u32; range.len() * n_classes];
+        for (i, c) in range.enumerate() {
+            let row = &mut part[i * n_classes..(i + 1) * n_classes];
+            for &o in sets.omega(c) {
+                row[sets.f_count[o as usize] as usize] += 1;
+            }
+        }
+        part
+    })
+    .concat();
+    stats.users_scanned += sets.total_influences() as u64;
+
+    // Seed the lazy-bucket heap with every candidate's canonical cinf.
+    let mut version = vec![0u32; n];
+    let mut heap: BinaryHeap<Entry> = (0..n)
+        .map(|c| Entry {
+            gain: canonical_gain(&counts[c * n_classes..(c + 1) * n_classes]),
+            cand: c as u32,
+            version: 0,
+        })
+        .collect();
+    stats.gain_evals += n as u64;
+    stats.heap_pushes += n as u64;
+
+    let mut covered = Bitset::new(sets.n_users());
+    let mut taken = vec![false; n];
+    // Candidates whose counts changed this round, deduplicated by stamp.
+    let mut touched: Vec<u32> = Vec::new();
+    let mut stamp = vec![u32::MAX; n];
+    let mut selected = Vec::with_capacity(k);
+    let mut gains = Vec::with_capacity(k);
+    let mut total = 0.0;
+
+    for round in 0..k as u32 {
+        // Pop until the entry is current. Every untaken candidate always
+        // has exactly one entry carrying its latest version (seeded above,
+        // re-pushed on every update), so the first current entry is the
+        // true maximum under the shared (gain, smaller-id) order.
+        let (c, gain) = loop {
+            let top = heap.pop().expect("a current entry exists per candidate");
+            let c = top.cand as usize;
+            if taken[c] || top.version != version[c] {
+                continue;
+            }
+            break (c, top.gain);
+        };
+        taken[c] = true;
+        selected.push(c as u32);
+        gains.push(gain);
+        total += gain;
+
+        // Decrement phase: each newly covered user tells exactly the
+        // candidates that lose it (its inverted list) which class count to
+        // drop. Already-covered users were removed in an earlier round.
+        touched.clear();
+        for &o in sets.omega(c) {
+            if covered.contains(o) {
+                continue;
+            }
+            covered.insert(o);
+            let w = sets.f_count[o as usize] as usize;
+            for &c2 in inverted.candidates_of(o) {
+                let c2u = c2 as usize;
+                if taken[c2u] {
+                    continue;
+                }
+                counts[c2u * n_classes + w] -= 1;
+                stats.gain_updates += 1;
+                if stamp[c2u] != round {
+                    stamp[c2u] = round;
+                    touched.push(c2);
+                }
+            }
+        }
+        // Refresh phase: one canonical re-materialisation and one heap
+        // push per affected candidate; older entries die by version.
+        for &c2 in &touched {
+            let c2u = c2 as usize;
+            version[c2u] += 1;
+            heap.push(Entry {
+                gain: canonical_gain(&counts[c2u * n_classes..(c2u + 1) * n_classes]),
+                cand: c2,
+                version: version[c2u],
+            });
+            stats.gain_evals += 1;
+            stats.heap_pushes += 1;
+        }
     }
+
+    stats.covered_users = covered.count_ones() as u64;
+    (
+        Solution {
+            selected,
+            marginal_gains: gains,
+            cinf: total,
+        },
+        stats,
+    )
 }
 
 /// Greedy selection under per-user **demand weights**: user `o` is worth
 /// `demand[o] / (|F_o| + 1)` (spending power, visit frequency, or any other
 /// business prior scaling the evenly-split competition weight). With unit
-/// demands this is exactly [`select`].
+/// demands this selects the same sites as [`select`] (gains may differ in
+/// the last bit: arbitrary demands do not bucket into classes, so this
+/// selector sums per user rather than per class).
 pub fn select_with_demand(sets: &InfluenceSets, demand: &[f64], k: usize) -> Solution {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
@@ -159,9 +445,8 @@ pub fn select_with_demand(sets: &InfluenceSets, demand: &[f64], k: usize) -> Sol
     let mut total = 0.0;
     for _ in 0..k {
         let mut best: Option<(usize, f64)> = None;
-        #[allow(clippy::needless_range_loop)] // c indexes parallel arrays
-        for c in 0..n {
-            if taken[c] {
+        for (c, &already) in taken.iter().enumerate() {
+            if already {
                 continue;
             }
             let gain: f64 = sets
@@ -191,16 +476,6 @@ pub fn select_with_demand(sets: &InfluenceSets, demand: &[f64], k: usize) -> Sol
     }
 }
 
-/// The marginal competitive influence of candidate `c` given covered users.
-#[inline]
-fn marginal_gain(sets: &InfluenceSets, c: usize, covered: &Bitset) -> f64 {
-    sets.omega(c)
-        .iter()
-        .filter(|&&o| !covered.contains(o))
-        .map(|&o| sets.weight(o))
-        .sum()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +483,17 @@ mod tests {
     /// The paper's running example (Examples 1/3/4).
     fn paper_sets() -> InfluenceSets {
         InfluenceSets::new(vec![vec![0, 1], vec![1, 3], vec![0, 2]], vec![1, 2, 0, 1])
+    }
+
+    /// All selectors on the same instance, as (name, solution) pairs.
+    fn all_selectors(sets: &InfluenceSets, k: usize) -> Vec<(&'static str, Solution)> {
+        vec![
+            ("rescan", select(sets, k)),
+            ("celf", select_lazy(sets, k)),
+            ("celf-t4", select_lazy_threaded(sets, k, 4)),
+            ("decremental", select_decremental(sets, k)),
+            ("decremental-t4", select_decremental_threaded(sets, k, 4)),
+        ]
     }
 
     #[test]
@@ -224,16 +510,17 @@ mod tests {
     }
 
     #[test]
-    fn lazy_matches_standard_on_paper_example() {
+    fn all_selectors_match_on_paper_example() {
         let s = paper_sets();
-        let a = select(&s, 2);
-        let b = select_lazy(&s, 2);
-        assert_eq!(a.selected, b.selected);
-        assert!((a.cinf - b.cinf).abs() < 1e-12);
+        let reference = select(&s, 2);
+        for (name, got) in all_selectors(&s, 2) {
+            assert_eq!(reference.selected, got.selected, "{name}");
+            assert_eq!(reference.cinf.to_bits(), got.cinf.to_bits(), "{name}");
+        }
     }
 
     #[test]
-    fn lazy_matches_standard_on_many_random_instances() {
+    fn all_selectors_bit_identical_on_many_random_instances() {
         // Deterministic pseudo-random instances exercising tie cases.
         let mut seed = 0x9E3779B97F4A7C15u64;
         let mut next = move || {
@@ -256,11 +543,42 @@ mod tests {
                 .collect();
             let sets = InfluenceSets::new(omega_c, f_count);
             let k = 1 + (next() as usize % n_cands);
-            let a = select(&sets, k);
-            let b = select_lazy(&sets, k);
-            assert_eq!(a.selected, b.selected, "k={k}");
-            assert!((a.cinf - b.cinf).abs() < 1e-9);
+            let reference = select(&sets, k);
+            for (name, got) in all_selectors(&sets, k) {
+                assert_eq!(reference.selected, got.selected, "{name} k={k}");
+                let want_bits: Vec<u64> = reference
+                    .marginal_gains
+                    .iter()
+                    .map(|g| g.to_bits())
+                    .collect();
+                let got_bits: Vec<u64> = got.marginal_gains.iter().map(|g| g.to_bits()).collect();
+                assert_eq!(want_bits, got_bits, "{name} gains k={k}");
+                assert_eq!(reference.cinf.to_bits(), got.cinf.to_bits(), "{name} k={k}");
+            }
         }
+    }
+
+    #[test]
+    fn decremental_stats_are_thread_count_invariant() {
+        let s = paper_sets();
+        let (_, want) = select_decremental_counted(&s, 3, 1);
+        for threads in [2usize, 4, 7] {
+            let (_, got) = select_decremental_counted(&s, 3, threads);
+            assert_eq!(want, got, "threads={threads}");
+        }
+        let (_, lazy1) = select_lazy_counted(&s, 3, 1);
+        let (_, lazy4) = select_lazy_counted(&s, 3, 4);
+        assert_eq!(lazy1, lazy4);
+    }
+
+    #[test]
+    fn decremental_update_work_is_bounded_by_one_inverted_pass() {
+        let s = paper_sets();
+        let (_, stats) = select_decremental_counted(&s, 3, 1);
+        assert!(stats.gain_updates <= stats.inverted_entries);
+        assert_eq!(stats.inverted_entries, s.total_influences() as u64);
+        assert_eq!(stats.users_rescanned, 0);
+        assert_eq!(stats.covered_users, 4);
     }
 
     #[test]
@@ -275,9 +593,10 @@ mod tests {
     #[test]
     fn covers_empty_candidates_gracefully() {
         let s = InfluenceSets::new(vec![vec![], vec![0]], vec![0]);
-        let sol = select(&s, 2);
-        assert_eq!(sol.selected_sorted(), vec![0, 1]);
-        assert!((sol.cinf - 1.0).abs() < 1e-12);
+        for (name, sol) in all_selectors(&s, 2) {
+            assert_eq!(sol.selected_sorted(), vec![0, 1], "{name}");
+            assert!((sol.cinf - 1.0).abs() < 1e-12, "{name}");
+        }
     }
 
     #[test]
@@ -305,9 +624,10 @@ mod tests {
 
     #[test]
     fn tie_break_prefers_smaller_id() {
-        // Two identical candidates: both implementations must pick id 0.
+        // Two identical candidates: every implementation must pick id 0.
         let s = InfluenceSets::new(vec![vec![0], vec![0]], vec![0]);
-        assert_eq!(select(&s, 1).selected, vec![0]);
-        assert_eq!(select_lazy(&s, 1).selected, vec![0]);
+        for (name, sol) in all_selectors(&s, 1) {
+            assert_eq!(sol.selected, vec![0], "{name}");
+        }
     }
 }

@@ -1,4 +1,4 @@
-use mc2ls_index::setops;
+use crate::Bitset;
 
 /// The influence relationships an algorithm's pruning + verification phases
 /// produce, and everything the greedy selection phase needs:
@@ -116,6 +116,23 @@ impl InfluenceSets {
         self.iter_omegas().map(<[u32]>::to_vec).collect()
     }
 
+    /// Total number of (candidate, user) influence entries, `Σ_c |Ω_c|` —
+    /// the size of the CSR payload and the work bound of one full pass
+    /// over it (forward or inverted).
+    #[inline]
+    pub fn total_influences(&self) -> usize {
+        self.user_ids.len()
+    }
+
+    /// Number of distinct competitive **weight classes**: users fall into
+    /// classes by `|F_o|` (class `w` has weight `1/(w+1)`), so this is
+    /// `max |F_o| + 1` — bounded by `|F| + 1`, small in practice. The
+    /// selectors bucket per-candidate gains by class (see
+    /// [`crate::greedy`]).
+    pub fn n_weight_classes(&self) -> usize {
+        self.f_count.iter().max().map_or(1, |&m| m as usize + 1)
+    }
+
     /// Competitive weight `1/(|F_o|+1)` of user `o`.
     #[inline]
     pub fn weight(&self, o: u32) -> f64 {
@@ -127,13 +144,21 @@ impl InfluenceSets {
         self.omega(c).iter().map(|&o| self.weight(o)).sum()
     }
 
+    /// The set of users influenced by any candidate in `set`, as a
+    /// [`Bitset`] sized to the user range.
+    pub fn covered_by(&self, set: &[u32]) -> Bitset {
+        let mut covered = Bitset::new(self.n_users());
+        for &c in set {
+            for &o in self.omega(c as usize) {
+                covered.insert(o);
+            }
+        }
+        covered
+    }
+
     /// The union `Ω_G` of influenced users over a candidate set (sorted).
     pub fn omega_of_set(&self, set: &[u32]) -> Vec<u32> {
-        let mut out: Vec<u32> = Vec::new();
-        for &c in set {
-            setops::union_into(&mut out, self.omega(c as usize));
-        }
-        out
+        self.covered_by(set).iter_ones().collect()
     }
 
     /// `cinf(G)` for a candidate set (Definition 6): overlapping influence
@@ -187,6 +212,18 @@ mod tests {
         assert_eq!(s.omega_of_set(&[0, 1]), vec![0, 1, 3]);
         assert_eq!(s.omega_of_set(&[0, 2]), vec![0, 1, 2]);
         assert_eq!(s.omega_of_set(&[]), Vec::<u32>::new());
+        assert_eq!(s.covered_by(&[0, 1]).count_ones(), 3);
+    }
+
+    #[test]
+    fn size_and_class_accessors() {
+        let s = paper_example();
+        assert_eq!(s.total_influences(), 6);
+        // |F_o| counts are {1, 2, 0, 1} → classes 0..=2.
+        assert_eq!(s.n_weight_classes(), 3);
+        let empty = InfluenceSets::new(vec![vec![]], vec![]);
+        assert_eq!(empty.total_influences(), 0);
+        assert_eq!(empty.n_weight_classes(), 1);
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod bitset;
 mod cinf;
 pub mod greedy;
 mod influence_sets;
+mod inverted;
 pub mod parallel;
 mod problem;
 pub mod pruning;
@@ -39,11 +40,12 @@ mod solution;
 mod stats;
 mod verify;
 
-pub use bitset::Bitset;
+pub use bitset::{Bitset, IterOnes};
 pub use cinf::{cinf_of_set, competitive_weight};
 pub use influence_sets::InfluenceSets;
+pub use inverted::InvertedIndex;
 pub use problem::Problem;
 pub use solution::Solution;
-pub use stats::{PhaseTimes, PruneStats, RunReport};
+pub use stats::{PhaseTimes, PruneStats, RunReport, SelectionStats};
 
 pub use algorithms::{solve, IqtConfig, Method};

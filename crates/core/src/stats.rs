@@ -79,6 +79,45 @@ fn safe_div(a: u64, b: u64) -> f64 {
     }
 }
 
+/// Counters over the greedy **selection** phase, in the same spirit as
+/// [`PruneStats`] for the influence phases: every selector counts the work
+/// it performs in deterministic units, and — like the influence counters —
+/// the values are invariant under the worker-thread count (asserted in
+/// `tests/selector_equivalence.rs`), so they are comparable across machines.
+///
+/// The unit conventions, per selector:
+///
+/// * **rescan** (`greedy::select`) and **CELF** (`greedy::select_lazy`)
+///   evaluate gains by walking forward-CSR `Ω_c` slices: `users_scanned`
+///   counts every entry visited, `users_rescanned` the subset visited
+///   *again* after a candidate's first evaluation (rounds ≥ 2 for rescan,
+///   re-evaluations for CELF) — the redundant work decremental maintenance
+///   eliminates.
+/// * **decremental** (`greedy::select_decremental`) walks each newly
+///   covered user's inverted list exactly once: `gain_updates` counts the
+///   per-weight-class count decrements, which over all `k` rounds are
+///   bounded by `inverted_entries` (one pass over the inverted CSR).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionStats {
+    /// Marginal gains materialized from weight-class counts (initial pass
+    /// included).
+    pub gain_evals: u64,
+    /// Forward-CSR `Ω_c` entries visited while evaluating gains.
+    pub users_scanned: u64,
+    /// Forward-CSR entries visited again after a candidate's first
+    /// evaluation; 0 for the decremental selector.
+    pub users_rescanned: u64,
+    /// Per-weight-class count decrements over the inverted CSR
+    /// (decremental selector only).
+    pub gain_updates: u64,
+    /// Entries in the inverted user → candidate CSR (decremental only).
+    pub inverted_entries: u64,
+    /// Entries pushed into the selector's max-heap (lazy selectors only).
+    pub heap_pushes: u64,
+    /// Users covered by the selected set (`covered.count_ones()`).
+    pub covered_users: u64,
+}
+
 /// Wall-clock time per algorithm phase.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct PhaseTimes {
@@ -100,13 +139,15 @@ impl PhaseTimes {
 }
 
 /// Everything an algorithm run reports: the solution, the pruning counters,
-/// and per-phase timings.
+/// the selection counters, and per-phase timings.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// The selected candidate set and its influence.
     pub solution: Solution,
     /// Pruning/verification counters.
     pub stats: PruneStats,
+    /// Selection-phase counters.
+    pub selection: SelectionStats,
     /// Per-phase wall-clock times.
     pub times: PhaseTimes,
 }

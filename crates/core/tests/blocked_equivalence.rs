@@ -101,7 +101,14 @@ fn influence_sets_identical_blocked_vs_plain() {
 #[test]
 fn solutions_identical_blocked_vs_plain() {
     // End-to-end: same selected candidates, same objective, regardless of
-    // which kernel verified the pairs and how many threads ran it.
+    // which kernel verified the pairs, how many threads ran it, and which
+    // selector picked the sites (all selectors are byte-equivalent).
+    let selectors = [
+        Selector::Greedy,
+        Selector::LazyGreedy,
+        Selector::Decremental,
+        Selector::Auto,
+    ];
     for seed in [3u64, 7, 11] {
         let base = random_problem(seed);
         for method in methods() {
@@ -110,19 +117,20 @@ fn solutions_identical_blocked_vs_plain() {
             for bs in [4usize, 16] {
                 let blocked = base.clone().with_block_size(bs);
                 for threads in THREAD_COUNTS {
-                    let got =
-                        solve_threaded(&blocked, method, Selector::LazyGreedy, threads).solution;
-                    assert_eq!(
-                        want.selected, got.selected,
-                        "selection diverged: seed={seed} method={method:?} \
-                         block_size={bs} threads={threads}"
-                    );
-                    assert_eq!(
-                        want.cinf.to_bits(),
-                        got.cinf.to_bits(),
-                        "objective diverged: seed={seed} method={method:?} \
-                         block_size={bs} threads={threads}"
-                    );
+                    for selector in selectors {
+                        let got = solve_threaded(&blocked, method, selector, threads).solution;
+                        assert_eq!(
+                            want.selected, got.selected,
+                            "selection diverged: seed={seed} method={method:?} \
+                             block_size={bs} threads={threads} selector={selector:?}"
+                        );
+                        assert_eq!(
+                            want.cinf.to_bits(),
+                            got.cinf.to_bits(),
+                            "objective diverged: seed={seed} method={method:?} \
+                             block_size={bs} threads={threads} selector={selector:?}"
+                        );
+                    }
                 }
             }
         }

@@ -107,7 +107,9 @@ fn baseline_parallel_is_bit_identical_across_20_instances() {
 #[test]
 fn parallel_sets_drive_identical_selections() {
     // End-to-end: the greedy phase consumes the parallel sets and must pick
-    // the same candidates with the same objective value.
+    // the same candidates with the same objective value — for every
+    // selector, including the decremental one running its own threaded
+    // inverted-index build.
     for seed in [3u64, 8, 14] {
         let p = random_problem(seed);
         let (serial_sets, _, _) = iqt::influence_sets(&p, &IqtConfig::iqt(2.0));
@@ -117,6 +119,16 @@ fn parallel_sets_drive_identical_selections() {
             let got = greedy::select_lazy(&par_sets, p.k);
             assert_eq!(want.selected, got.selected, "seed={seed} threads={threads}");
             assert!((want.cinf - got.cinf).abs() < 1e-15, "seed={seed}");
+            let dec = greedy::select_decremental_threaded(&par_sets, p.k, threads);
+            assert_eq!(
+                want.selected, dec.selected,
+                "decremental diverged: seed={seed} threads={threads}"
+            );
+            assert_eq!(
+                want.cinf.to_bits(),
+                dec.cinf.to_bits(),
+                "decremental cinf bits diverged: seed={seed} threads={threads}"
+            );
         }
     }
 }

@@ -1,0 +1,157 @@
+//! All greedy selectors are the same function: `select` (rescan),
+//! `select_lazy` (CELF) and `select_decremental` (inverted-CSR gain
+//! maintenance) must return **byte-identical** `Solution`s — same selected
+//! ids in the same order, bit-equal marginal gains and `cinf` — on any
+//! instance, at any worker-thread count. The canonical weight-class gain
+//! materialisation (`Σ_w counts[w]/(w+1)` in fixed class order) is what
+//! makes this hold exactly, not just within a tolerance.
+
+use mc2ls_core::{greedy, InfluenceSets, SelectionStats, Solution};
+use proptest::prelude::*;
+
+const THREADS: [usize; 2] = [1, 4];
+
+/// Normalises raw generated material into a valid instance: user ids are
+/// folded into range, lists sorted + deduplicated.
+fn build_sets(f_count: Vec<u32>, raw_lists: Vec<Vec<u32>>) -> InfluenceSets {
+    let n_users = f_count.len() as u32;
+    let omega_c: Vec<Vec<u32>> = raw_lists
+        .into_iter()
+        .map(|raw| {
+            let mut list: Vec<u32> = raw.into_iter().map(|x| x % n_users).collect();
+            list.sort_unstable();
+            list.dedup();
+            list
+        })
+        .collect();
+    InfluenceSets::new(omega_c, f_count)
+}
+
+/// Runs every selector at every thread count and asserts byte-identity
+/// against the rescan reference. Returns the reference solution.
+fn assert_all_selectors_identical(sets: &InfluenceSets, k: usize) -> Solution {
+    let (reference, _) = greedy::select_counted(sets, k);
+    let ref_bits: Vec<u64> = reference
+        .marginal_gains
+        .iter()
+        .map(|g| g.to_bits())
+        .collect();
+    let check = |name: &str, got: Solution| {
+        assert_eq!(reference.selected, got.selected, "{name}: selected ids");
+        let got_bits: Vec<u64> = got.marginal_gains.iter().map(|g| g.to_bits()).collect();
+        assert_eq!(ref_bits, got_bits, "{name}: marginal gain bits");
+        assert_eq!(
+            reference.cinf.to_bits(),
+            got.cinf.to_bits(),
+            "{name}: cinf bits"
+        );
+    };
+    for threads in THREADS {
+        check(
+            &format!("celf t={threads}"),
+            greedy::select_lazy_threaded(sets, k, threads),
+        );
+        check(
+            &format!("decremental t={threads}"),
+            greedy::select_decremental_threaded(sets, k, threads),
+        );
+    }
+    reference
+}
+
+/// The counted variants' stats must not depend on the thread count.
+fn assert_stats_thread_invariant(sets: &InfluenceSets, k: usize) {
+    let stats_at = |threads: usize| -> (SelectionStats, SelectionStats) {
+        (
+            greedy::select_lazy_counted(sets, k, threads).1,
+            greedy::select_decremental_counted(sets, k, threads).1,
+        )
+    };
+    assert_eq!(stats_at(1), stats_at(4), "stats diverged at t=4");
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+
+    /// Randomised instances: mixed weight classes, uneven coverage.
+    #[test]
+    fn selectors_agree_on_random_instances(
+        f_count in prop::collection::vec(0u32..4, 1..24),
+        raw_lists in prop::collection::vec(prop::collection::vec(0u32..1000, 0..30), 1..10),
+        k_raw in 0usize..1000,
+    ) {
+        let sets = build_sets(f_count, raw_lists);
+        let k = 1 + k_raw % sets.n_candidates();
+        assert_all_selectors_identical(&sets, k);
+        assert_stats_thread_invariant(&sets, k);
+    }
+
+    /// Tie-heavy instances: one weight class only and many duplicated
+    /// candidate lists, so nearly every round is decided by the
+    /// smallest-id tie-break.
+    #[test]
+    fn selectors_agree_on_tie_heavy_instances(
+        n_users_raw in 1u32..12,
+        raw_lists in prop::collection::vec(prop::collection::vec(0u32..1000, 0..8), 2..8),
+        dup_from in prop::collection::vec(0usize..1000, 2..8),
+    ) {
+        let f_count = vec![0u32; n_users_raw as usize];
+        let mut lists = raw_lists;
+        // Overwrite a suffix of the candidates with copies of earlier ones.
+        for i in 1..lists.len() {
+            if i < dup_from.len() && dup_from[i] % 2 == 0 {
+                lists[i] = lists[dup_from[i] % i].clone();
+            }
+        }
+        let sets = build_sets(f_count, lists);
+        let k = sets.n_candidates(); // exhaust every tie
+        assert_all_selectors_identical(&sets, k);
+    }
+
+    /// One dominant candidate covers every user, so from round 2 on every
+    /// remaining gain is exactly 0.0 — the all-covered regime where stale
+    /// heap entries and empty decrement phases must still agree.
+    #[test]
+    fn selectors_agree_when_first_pick_covers_everything(
+        f_count in prop::collection::vec(0u32..3, 1..16),
+        raw_lists in prop::collection::vec(prop::collection::vec(0u32..1000, 0..10), 1..6),
+    ) {
+        let n_users = f_count.len() as u32;
+        let mut lists = raw_lists;
+        lists.push((0..n_users).collect()); // the dominant candidate
+        let sets = build_sets(f_count, lists);
+        let k = sets.n_candidates();
+        let sol = assert_all_selectors_identical(&sets, k);
+        // Sanity: once everything is covered the remaining gains are +0.0.
+        let full = sets.cinf_set(&(0..sets.n_candidates() as u32).collect::<Vec<u32>>());
+        prop_assert!((sol.cinf - full).abs() < 1e-12);
+    }
+
+    /// Instances with empty Ω lists sprinkled in: zero-gain candidates must
+    /// rank purely by id in every implementation.
+    #[test]
+    fn selectors_agree_with_empty_omegas(
+        f_count in prop::collection::vec(0u32..3, 1..16),
+        raw_lists in prop::collection::vec(prop::collection::vec(0u32..1000, 0..6), 1..6),
+        empty_at in prop::collection::vec(0usize..1000, 1..4),
+    ) {
+        let mut lists = raw_lists;
+        for &pos in &empty_at {
+            lists.insert(pos % (lists.len() + 1), Vec::new());
+        }
+        let sets = build_sets(f_count, lists);
+        let k = sets.n_candidates();
+        assert_all_selectors_identical(&sets, k);
+    }
+}
+
+#[test]
+fn selectors_agree_on_degenerate_edges() {
+    // No users at all.
+    let no_users = InfluenceSets::new(vec![vec![], vec![]], vec![]);
+    assert_all_selectors_identical(&no_users, 2);
+    // A single candidate, k = 0 and k = 1.
+    let single = InfluenceSets::new(vec![vec![0, 1]], vec![0, 1]);
+    assert_all_selectors_identical(&single, 0);
+    assert_all_selectors_identical(&single, 1);
+}

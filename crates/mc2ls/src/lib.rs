@@ -57,11 +57,11 @@ pub use mc2ls_viz as viz;
 /// The one-import convenience module.
 pub mod prelude {
     pub use mc2ls_core::algorithms::{
-        influence_sets_threaded, solve_threaded, solve_with, Selector,
+        influence_sets_threaded, resolve_selector, solve_threaded, solve_with, Selector,
     };
     pub use mc2ls_core::{
-        algorithms::exact::solve_exact, cinf_of_set, solve, IqtConfig, Method, Problem, RunReport,
-        Solution,
+        algorithms::exact::solve_exact, cinf_of_set, solve, InvertedIndex, IqtConfig, Method,
+        Problem, RunReport, SelectionStats, Solution,
     };
     pub use mc2ls_data::{loader, presets, sampler, Dataset, DatasetConfig};
     pub use mc2ls_geo::{Circle, Point, Rect, Square};

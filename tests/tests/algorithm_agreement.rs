@@ -49,6 +49,28 @@ fn lazy_greedy_matches_standard_end_to_end() {
 }
 
 #[test]
+fn every_selector_matches_standard_end_to_end() {
+    // The decremental selector (and Auto, whichever way it resolves) must
+    // reproduce the rescan greedy bit for bit through the full pipeline.
+    for seed in 1..=6u64 {
+        let p = random_problem(seed * 17, 100, 20, 25, 8, 0.6);
+        let reference = solve_with(&p, Method::Iqt(IqtConfig::default()), Selector::Greedy);
+        for selector in [Selector::Decremental, Selector::Auto] {
+            let got = solve_with(&p, Method::Iqt(IqtConfig::default()), selector);
+            assert_eq!(
+                reference.solution.selected, got.solution.selected,
+                "seed={seed} selector={selector:?}"
+            );
+            assert_eq!(
+                reference.solution.cinf.to_bits(),
+                got.solution.cinf.to_bits(),
+                "seed={seed} selector={selector:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn pair_accounting_balances_for_every_method() {
     let p = random_problem(99, 120, 25, 25, 5, 0.6);
     for m in all_methods() {
