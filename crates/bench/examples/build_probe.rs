@@ -1,5 +1,8 @@
 //! Dev probe: IQuad-tree build phases at full scale.
 
+// Examples exist to print; sanctioned writers.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls::prelude::*;
 use std::time::Instant;
 

@@ -1,5 +1,8 @@
 //! Dev probe: combined vs faithful two-query k-CIFP at full scale.
 
+// Examples exist to print; sanctioned writers.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls::core::algorithms::kcifp;
 use std::time::Instant;
 

@@ -1,5 +1,8 @@
 //! Dev probe: phase-time breakdown of each method at full scale.
 
+// A probe example exists to print; sanctioned writer.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls::prelude::*;
 
 fn main() {

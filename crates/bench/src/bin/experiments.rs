@@ -14,6 +14,9 @@
 //! Results are printed as aligned tables and written as JSON under
 //! `target/experiment-results/` (override with `--out DIR`).
 
+// The experiments driver prints progress and result tables by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls_bench::{experiments, Ctx};
 use std::process::ExitCode;
 

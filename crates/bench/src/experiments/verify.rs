@@ -147,7 +147,7 @@ pub fn verify(ctx: &Ctx) -> ExperimentResult {
                     }
                     t.elapsed()
                 });
-                if bs == mc2ls::prelude::DEFAULT_BLOCK_SIZE {
+                if bs == DEFAULT_BLOCK_SIZE {
                     default_bs_evals = Some(evals.get());
                 }
                 r = r

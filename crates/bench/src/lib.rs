@@ -11,6 +11,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The bench harness is a sanctioned writer: its whole job is printing
+// result tables (workspace policy denies printing elsewhere).
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod experiments;
 mod harness;

@@ -27,7 +27,7 @@ use std::io::Write;
 /// Entry point shared by the binary and the tests. Returns the process
 /// exit code.
 pub fn run<W: Write>(args: &[String], out: &mut W) -> i32 {
-    let parsed = match args::Parsed::parse(args) {
+    let parsed = match Parsed::parse(args) {
         Ok(p) => p,
         Err(e) => {
             let _ = writeln!(out, "error: {e}");

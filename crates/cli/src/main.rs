@@ -1,5 +1,7 @@
 //! The `mc2ls` binary: see `mc2ls help`.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout().lock();

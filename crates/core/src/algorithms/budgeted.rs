@@ -100,6 +100,7 @@ pub fn solve_budgeted(sets: &InfluenceSets, costs: &[f64], budget: f64) -> Solut
     let sweep_value = sets.cinf_set(&sweep);
     let single_value = single.map_or(0.0, |c| singleton[c as usize]);
     if single_value > sweep_value + 1e-15 {
+        // lint:allow(panic-path): single_value > 0 is only reachable when the singleton argmax exists
         solution_for(sets, vec![single.expect("value > 0 implies a candidate")])
     } else {
         solution_for(sets, sweep)

@@ -106,6 +106,7 @@ pub fn influence_sets_parallel<PF: ProbabilityFunction>(
                 .candidates
                 .iter()
                 .enumerate()
+                // lint:allow(narrowing-cast): i enumerates candidates, whose count fits the u32 id space by construction
                 .map(|(i, p)| (i as u32, *p))
                 .collect(),
         );
@@ -114,6 +115,7 @@ pub fn influence_sets_parallel<PF: ProbabilityFunction>(
                 .facilities
                 .iter()
                 .enumerate()
+                // lint:allow(narrowing-cast): candidate and facility counts both fit the u32 id space by construction
                 .map(|(i, p)| (i as u32 + n_cands as u32, *p))
                 .collect(),
         );
@@ -146,8 +148,10 @@ pub fn influence_sets_parallel<PF: ProbabilityFunction>(
                 let window = nib_query_rect(user.mbr(), radius);
                 let mut handle = |v: u32, p: Point| {
                     if config.use_ia && ia_contains(user.mbr(), &p, radius) {
+                        // lint:allow(narrowing-cast): o enumerates users, whose count fits the u32 id space by construction
                         ia_certain[v as usize].push(o as u32);
                     } else if nib_contains(user.mbr(), &p, radius) {
+                        // lint:allow(narrowing-cast): o enumerates users, whose count fits the u32 id space by construction
                         nib_possible[v as usize].push(o as u32);
                     }
                 };

@@ -72,6 +72,29 @@ impl Bitset {
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
+
+    /// Structural sanitizer: the word array matches the capacity and no
+    /// bit beyond `len` is set (a stray tail bit would corrupt
+    /// `count_ones` and `iter_ones`). Always callable; the body compiles
+    /// away in release builds.
+    ///
+    /// # Panics
+    /// Panics (debug builds only) when either invariant is broken.
+    pub fn validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.words.len(),
+                self.len.div_ceil(64),
+                "word count does not match capacity"
+            );
+            let tail = self.len % 64;
+            if tail != 0 {
+                let last = self.words[self.words.len() - 1];
+                assert_eq!(last >> tail, 0, "bit set beyond the capacity");
+            }
+        }
+    }
 }
 
 /// Iterator over the set indices of a [`Bitset`], ascending. Each word is

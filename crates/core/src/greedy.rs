@@ -136,8 +136,10 @@ pub fn select_counted(sets: &InfluenceSets, k: usize) -> (Solution, SelectionSta
                 _ => best = Some((c, gain)),
             }
         }
+        // lint:allow(panic-path): the constructor validates k <= n, so an untaken candidate always remains
         let (c, gain) = best.expect("k <= n guarantees a candidate remains");
         taken[c] = true;
+        // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
         selected.push(c as u32);
         gains.push(gain);
         total += gain;
@@ -227,6 +229,7 @@ pub fn select_lazy_counted(
         .enumerate()
         .map(|(c, gain)| Entry {
             gain,
+            // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
             cand: c as u32,
             version: 0,
         })
@@ -237,8 +240,10 @@ pub fn select_lazy_counted(
     let mut gains = Vec::with_capacity(k);
     let mut total = 0.0;
 
+    // lint:allow(narrowing-cast): k <= n_candidates, which fits the u32 id space
     for round in 1..=k as u32 {
         loop {
+            // lint:allow(panic-path): each untaken candidate keeps one entry in the heap and k <= n is validated
             let top = heap.pop().expect("heap cannot be empty while k <= n");
             if top.version == round - 1 {
                 // Fresh enough: by submodularity no stale entry below can
@@ -341,6 +346,7 @@ pub fn select_decremental_counted(
     let mut heap: BinaryHeap<Entry> = (0..n)
         .map(|c| Entry {
             gain: canonical_gain(&counts[c * n_classes..(c + 1) * n_classes]),
+            // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
             cand: c as u32,
             version: 0,
         })
@@ -357,12 +363,14 @@ pub fn select_decremental_counted(
     let mut gains = Vec::with_capacity(k);
     let mut total = 0.0;
 
+    // lint:allow(narrowing-cast): k <= n_candidates, which fits the u32 id space
     for round in 0..k as u32 {
         // Pop until the entry is current. Every untaken candidate always
         // has exactly one entry carrying its latest version (seeded above,
         // re-pushed on every update), so the first current entry is the
         // true maximum under the shared (gain, smaller-id) order.
         let (c, gain) = loop {
+            // lint:allow(panic-path): every untaken candidate re-pushes its current-version entry before this pop
             let top = heap.pop().expect("a current entry exists per candidate");
             let c = top.cand as usize;
             if taken[c] || top.version != version[c] {
@@ -371,6 +379,7 @@ pub fn select_decremental_counted(
             break (c, top.gain);
         };
         taken[c] = true;
+        // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
         selected.push(c as u32);
         gains.push(gain);
         total += gain;
@@ -454,14 +463,17 @@ pub fn select_with_demand(sets: &InfluenceSets, demand: &[f64], k: usize) -> Sol
                 .iter()
                 .filter(|&&o| !covered.contains(o))
                 .map(|&o| demand[o as usize] * sets.weight(o))
+                // lint:allow(float-accum): serial scan over Omega(c) in fixed ascending user order; never split across threads
                 .sum();
             match best {
                 Some((_, g)) if gain <= g => {}
                 _ => best = Some((c, gain)),
             }
         }
+        // lint:allow(panic-path): the constructor validates k <= n, so an untaken candidate always remains
         let (c, gain) = best.expect("k <= n");
         taken[c] = true;
+        // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
         selected.push(c as u32);
         gains.push(gain);
         total += gain;

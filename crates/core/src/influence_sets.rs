@@ -40,9 +40,14 @@ impl InfluenceSets {
         let mut offsets = Vec::with_capacity(omega_c.len() + 1);
         offsets.push(0u32);
         let total: usize = omega_c.iter().map(Vec::len).sum();
+        assert!(
+            u32::try_from(total).is_ok(),
+            "CSR adjacency length {total} exceeds the u32 offset space"
+        );
         let mut user_ids = Vec::with_capacity(total);
         for list in &omega_c {
             user_ids.extend_from_slice(list);
+            // lint:allow(narrowing-cast): total adjacency length is asserted to fit u32 above
             offsets.push(user_ids.len() as u32);
         }
         Self::from_csr(offsets, user_ids, f_count)
@@ -58,29 +63,41 @@ impl InfluenceSets {
         assert!(!offsets.is_empty(), "offsets needs a leading 0 entry");
         assert_eq!(offsets[0], 0, "offsets must start at 0");
         assert_eq!(
-            *offsets.last().unwrap() as usize,
+            offsets[offsets.len() - 1] as usize,
             user_ids.len(),
             "offsets must end at user_ids.len()"
         );
-        #[cfg(debug_assertions)]
-        {
-            debug_assert!(
-                offsets.windows(2).all(|w| w[0] <= w[1]),
-                "offsets not non-decreasing"
-            );
-            for w in offsets.windows(2) {
-                let list = &user_ids[w[0] as usize..w[1] as usize];
-                debug_assert!(list.windows(2).all(|x| x[0] < x[1]), "omega_c not sorted");
-                debug_assert!(
-                    list.iter().all(|&u| (u as usize) < f_count.len()),
-                    "user id out of range"
-                );
-            }
-        }
-        InfluenceSets {
+        let sets = InfluenceSets {
             offsets,
             user_ids,
             f_count,
+        };
+        sets.validate();
+        sets
+    }
+
+    /// Structural sanitizer: checks every CSR invariant the accessors rely
+    /// on. Always callable; the body compiles away in release builds.
+    ///
+    /// # Panics
+    /// Panics (debug builds only) when `offsets` is not non-decreasing, a
+    /// per-candidate list is unsorted or holds duplicates, or a user id is
+    /// out of the `f_count` range.
+    pub fn validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                self.offsets.windows(2).all(|w| w[0] <= w[1]),
+                "offsets not non-decreasing"
+            );
+            for w in self.offsets.windows(2) {
+                let list = &self.user_ids[w[0] as usize..w[1] as usize];
+                assert!(list.windows(2).all(|x| x[0] < x[1]), "omega_c not sorted");
+                assert!(
+                    list.iter().all(|&u| (u as usize) < self.f_count.len()),
+                    "user id out of range"
+                );
+            }
         }
     }
 
@@ -141,6 +158,7 @@ impl InfluenceSets {
 
     /// `cinf(c)` against the full user set (Definition 4).
     pub fn cinf_candidate(&self, c: usize) -> f64 {
+        // lint:allow(float-accum): serial sum over the CSR row in fixed ascending user order
         self.omega(c).iter().map(|&o| self.weight(o)).sum()
     }
 
@@ -164,6 +182,7 @@ impl InfluenceSets {
     /// `cinf(G)` for a candidate set (Definition 6): overlapping influence
     /// counts once.
     pub fn cinf_set(&self, set: &[u32]) -> f64 {
+        // lint:allow(float-accum): serial sum over the sorted union in fixed ascending user order
         self.omega_of_set(set).iter().map(|&o| self.weight(o)).sum()
     }
 }

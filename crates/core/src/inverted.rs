@@ -53,6 +53,7 @@ impl InvertedIndex {
             for c in range {
                 for &o in sets.omega(c) {
                     let slot = cursor[o as usize];
+                    // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
                     ids[slot as usize] = c as u32;
                     cursor[o as usize] = slot + 1;
                 }
@@ -78,6 +79,7 @@ impl InvertedIndex {
                 let src = &ids[offs[o] as usize..offs[o + 1] as usize];
                 let dst = cursor[o] as usize;
                 cand_ids[dst..dst + src.len()].copy_from_slice(src);
+                // lint:allow(narrowing-cast): a CSR row is no longer than the total adjacency, which fits u32
                 cursor[o] += src.len() as u32;
             }
         }
@@ -104,6 +106,36 @@ impl InvertedIndex {
     #[inline]
     pub fn candidates_of(&self, o: u32) -> &[u32] {
         &self.cand_ids[self.offsets[o as usize] as usize..self.offsets[o as usize + 1] as usize]
+    }
+
+    /// Structural sanitizer: checks every CSR invariant the accessors rely
+    /// on. Always callable; the body compiles away in release builds.
+    ///
+    /// # Panics
+    /// Panics (debug builds only) when the row pointers are malformed or a
+    /// user's candidate list is unsorted / holds duplicates.
+    pub fn validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(!self.offsets.is_empty(), "offsets needs a leading 0 entry");
+            assert_eq!(self.offsets[0], 0, "offsets must start at 0");
+            assert_eq!(
+                self.offsets[self.offsets.len() - 1] as usize,
+                self.cand_ids.len(),
+                "offsets must end at cand_ids.len()"
+            );
+            assert!(
+                self.offsets.windows(2).all(|w| w[0] <= w[1]),
+                "offsets not non-decreasing"
+            );
+            for w in self.offsets.windows(2) {
+                let row = &self.cand_ids[w[0] as usize..w[1] as usize];
+                assert!(
+                    row.windows(2).all(|x| x[0] < x[1]),
+                    "candidate row not sorted"
+                );
+            }
+        }
     }
 }
 

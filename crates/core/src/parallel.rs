@@ -50,6 +50,7 @@ where
         out.extend(
             handles
                 .into_iter()
+                // lint:allow(panic-path): join only fails when the worker panicked; re-raising on the spawner is intended
                 .map(|h| h.join().expect("worker panicked")),
         );
     });
@@ -86,6 +87,7 @@ where
         acc
     });
     let mut parts = parts.into_iter();
+    // lint:allow(panic-path): map_chunks always yields at least one chunk even for empty input
     let mut total = parts.next().expect("map_chunks returns >= 1 chunk");
     for part in parts {
         merge(&mut total, part);

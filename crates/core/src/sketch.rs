@@ -147,6 +147,7 @@ pub fn select_sketched(sets: &InfluenceSets, k: usize, m: usize) -> Solution {
                 _ => best = Some((c, gain)),
             }
         }
+        // lint:allow(panic-path): the constructor validates k <= n, so an untaken candidate always remains
         let (c, _) = best.expect("k <= n");
         taken[c] = true;
         selected.push(c as u32);

@@ -6,7 +6,7 @@
 //! materialisation (`Σ_w counts[w]/(w+1)` in fixed class order) is what
 //! makes this hold exactly, not just within a tolerance.
 
-use mc2ls_core::{greedy, InfluenceSets, SelectionStats, Solution};
+use mc2ls_core::{greedy, InfluenceSets, InvertedIndex, SelectionStats, Solution};
 use proptest::prelude::*;
 
 const THREADS: [usize; 2] = [1, 4];
@@ -24,13 +24,20 @@ fn build_sets(f_count: Vec<u32>, raw_lists: Vec<Vec<u32>>) -> InfluenceSets {
             list
         })
         .collect();
-    InfluenceSets::new(omega_c, f_count)
+    let sets = InfluenceSets::new(omega_c, f_count);
+    // Debug-mode structural sanitizer: a malformed CSR would invalidate
+    // every equivalence assertion below.
+    sets.validate();
+    sets
 }
 
 /// Runs every selector at every thread count and asserts byte-identity
 /// against the rescan reference. Returns the reference solution.
 fn assert_all_selectors_identical(sets: &InfluenceSets, k: usize) -> Solution {
+    // Sanitize the derived structures the selectors run on.
+    InvertedIndex::build(sets, 3).validate();
     let (reference, _) = greedy::select_counted(sets, k);
+    sets.covered_by(&reference.selected).validate();
     let ref_bits: Vec<u64> = reference
         .marginal_gains
         .iter()

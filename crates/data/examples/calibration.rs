@@ -3,6 +3,9 @@
 //! calibration --release`). Scaled-down instances are used so the check
 //! runs in seconds; the behavioural statistics are scale-invariant.
 
+// Examples exist to print; sanctioned writers.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 fn main() {
     println!(
         "{:<7} {:>6} {:>8} {:>7} {:>6} {:>10} {:>9}   target-ratio",

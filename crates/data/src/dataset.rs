@@ -56,6 +56,7 @@ impl Dataset {
         for u in &self.users {
             e.add_all(u.positions());
         }
+        // lint:allow(panic-path): Dataset::new rejects empty user lists and every user carries >= 1 position
         e.rect().expect("non-empty dataset")
     }
 
@@ -115,7 +116,7 @@ impl Dataset {
                 counts[cy * 5 + cx] += 1;
             }
         }
-        let hotspot_share = *counts.iter().max().unwrap() as f64 / n_positions as f64;
+        let hotspot_share = counts.iter().copied().max().unwrap_or(0) as f64 / n_positions as f64;
 
         DatasetStats {
             n_users,

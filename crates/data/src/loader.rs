@@ -165,7 +165,9 @@ pub fn load_checkins<R: Read>(
     for u in &users {
         e.add_all(u.positions());
     }
-    let region = e.rect().expect("non-empty");
+    // An empty extent can only come from every record being filtered
+    // out, which is exactly the Empty error.
+    let region = e.rect().ok_or(LoadError::Empty)?;
     Ok(Dataset::new(
         name.to_string(),
         users,

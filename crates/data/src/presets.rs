@@ -139,7 +139,7 @@ mod tests {
         // Paper: per-user positions per km² in C ≈ 80% of N's.
         let c = california_scaled(0.05).generate();
         let n = new_york_scaled(0.2).generate();
-        let density = |d: &crate::Dataset| {
+        let density = |d: &Dataset| {
             let s = d.stats();
             s.mean_positions / d.extent().area()
         };

@@ -107,7 +107,12 @@ impl Clone for IQuadTree {
             nir: self.nir,
             r_max: self.r_max,
             n_users: self.n_users,
-            seen: std::sync::Mutex::new(self.seen.lock().unwrap().clone()),
+            seen: std::sync::Mutex::new(
+                self.seen
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone(),
+            ),
             last_removed_mbr: self.last_removed_mbr,
         }
     }
@@ -130,9 +135,9 @@ struct Stamp {
 pub struct TraverseScratch {
     stamp: Stamp,
     /// node index → `Ω_inf` (IS rule result) computed by this worker.
-    omega_inf: std::collections::HashMap<u32, Vec<u32>>,
+    omega_inf: std::collections::BTreeMap<u32, Vec<u32>>,
     /// leaf node index → `Ω_vrf` (NIR window users) computed by this worker.
-    omega_vrf: std::collections::HashMap<u32, Vec<u32>>,
+    omega_vrf: std::collections::BTreeMap<u32, Vec<u32>>,
 }
 
 impl IQuadTree {
@@ -311,6 +316,90 @@ impl IQuadTree {
         }
     }
 
+    /// Structural sanitizer: checks the node-hierarchy invariants the
+    /// pruning rules rely on. Always callable; the body compiles away in
+    /// release builds.
+    ///
+    /// # Panics
+    /// Panics (debug builds only) when a child node's square escapes its
+    /// parent's, levels are inconsistent, a count table is unsorted or
+    /// disagrees with the children/points, or a cached `Ω` list is
+    /// malformed.
+    pub fn validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.eta_by_level.len(),
+                self.depth + 1,
+                "one eta entry per level"
+            );
+            for (i, node) in self.nodes.iter().enumerate() {
+                assert!(node.level <= self.depth, "node below the leaf level");
+                assert!(
+                    node.counts.windows(2).all(|w| w[0].0 < w[1].0),
+                    "node {i}: counts not sorted by user id"
+                );
+                for &(u, c) in &node.counts {
+                    assert!((u as usize) < self.n_users, "node {i}: user out of range");
+                    assert!(c > 0, "node {i}: zero count entry");
+                }
+                if node.level == self.depth {
+                    assert!(node.is_leaf(), "leaf-level node with children");
+                    // Leaf position multiset must reproduce the counts.
+                    let total: u32 = node.counts.iter().map(|&(_, c)| c).sum();
+                    assert_eq!(
+                        total as usize,
+                        node.points.len(),
+                        "node {i}: counts disagree with stored points"
+                    );
+                } else {
+                    assert!(node.points.is_empty(), "inner node {i} stores points");
+                    let child_total: u32 = node
+                        .children
+                        .iter()
+                        .flatten()
+                        .map(|&c| {
+                            let child = &self.nodes[c as usize];
+                            assert_eq!(
+                                child.level,
+                                node.level + 1,
+                                "child of node {i} skips a level"
+                            );
+                            // One-ulp slack: (origin + h) + h may round a
+                            // hair past origin + side.
+                            let tol = node.square.side * 1e-12;
+                            let p = node.square.rect();
+                            let c = child.square.rect();
+                            assert!(
+                                p.min.x - tol <= c.min.x
+                                    && p.min.y - tol <= c.min.y
+                                    && p.max.x + tol >= c.max.x
+                                    && p.max.y + tol >= c.max.y,
+                                "child square of node {i} escapes its parent"
+                            );
+                            child.counts.iter().map(|&(_, n)| n).sum::<u32>()
+                        })
+                        .sum();
+                    let own_total: u32 = node.counts.iter().map(|&(_, c)| c).sum();
+                    assert_eq!(
+                        own_total, child_total,
+                        "node {i}: counts disagree with its children"
+                    );
+                }
+                for omega in [&node.omega_inf, &node.omega_vrf].into_iter().flatten() {
+                    assert!(
+                        omega.windows(2).all(|w| w[0] < w[1]),
+                        "node {i}: cached omega list not sorted"
+                    );
+                    assert!(
+                        omega.iter().all(|&u| (u as usize) < self.n_users),
+                        "node {i}: cached omega user out of range"
+                    );
+                }
+            }
+        }
+    }
+
     /// Inserts one more moving user into a built index (the streaming
     /// scenario of the related work: check-in streams keep arriving after
     /// deployment). Node counts along every affected path are updated and
@@ -336,7 +425,11 @@ impl IQuadTree {
         }
         let uid = self.n_users as u32;
         self.n_users += 1;
-        self.seen.get_mut().unwrap().mark.push(0);
+        self.seen
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .mark
+            .push(0);
 
         // Growing r_max loosens NIR: every cached Ω_vrf may be too small.
         if user.len() > self.r_max {
@@ -480,11 +573,10 @@ impl IQuadTree {
     /// facility at `v` using the IS and NIR rules, reusing every previously
     /// cached node result (the batch-wise property).
     pub fn traverse(&mut self, v: &Point) -> TraverseOutcome {
-        if self.nir.is_none() {
+        let Some(nir) = self.nir else {
             // No user can ever be influenced: nothing to verify either.
             return TraverseOutcome::default();
-        }
-        let nir = self.nir.unwrap();
+        };
 
         if !self.root_square.contains(v) {
             // v lies outside the indexed region: no IS pruning is possible;
@@ -508,8 +600,11 @@ impl IQuadTree {
         for level in 0..=self.depth {
             if let Some(ci) = cursor {
                 self.ensure_omega_inf(ci as usize);
-                let inf = self.nodes[ci as usize].omega_inf.as_deref().unwrap();
-                setops::union_into(&mut influenced, inf);
+                // ensure_omega_inf has just materialised the cache; an
+                // (unreachable) empty fallback keeps this panic-free.
+                if let Some(inf) = self.nodes[ci as usize].omega_inf.as_deref() {
+                    setops::union_into(&mut influenced, inf);
+                }
             }
             if level < self.depth {
                 let q = square.quadrant_of(v);
@@ -532,7 +627,10 @@ impl IQuadTree {
                 let possible = self.users_with_position_in(&rect);
                 self.nodes[leaf].omega_vrf = Some(possible);
             }
-            setops::difference(self.nodes[leaf].omega_vrf.as_deref().unwrap(), &influenced)
+            // Filled two lines up when absent; the empty fallback is
+            // unreachable but keeps this branch panic-free.
+            let cached = self.nodes[leaf].omega_vrf.as_deref().unwrap_or(&[]);
+            setops::difference(cached, &influenced)
         } else {
             let rect = square.rect().inflate(nir);
             let possible = self.users_with_position_in(&rect);
@@ -551,8 +649,8 @@ impl IQuadTree {
                 mark: vec![0; self.n_users],
                 epoch: 0,
             },
-            omega_inf: std::collections::HashMap::new(),
-            omega_vrf: std::collections::HashMap::new(),
+            omega_inf: std::collections::BTreeMap::new(),
+            omega_vrf: std::collections::BTreeMap::new(),
         }
     }
 
@@ -672,7 +770,12 @@ impl IQuadTree {
     /// Fully covered nodes contribute their whole user list without
     /// descending; partially covered leaves test exact positions.
     pub fn users_with_position_in(&self, rect: &Rect) -> Vec<u32> {
-        let mut stamp = self.seen.lock().unwrap();
+        // A poisoned lock only means another traversal panicked mid-query;
+        // the stamp is epoch-guarded, so its state is still valid.
+        let mut stamp = self
+            .seen
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         self.users_in_rect(rect, &mut stamp)
     }
 

@@ -360,6 +360,7 @@ impl RTree {
         });
         while let Some(item) = heap.pop() {
             if item.kind == 1 {
+                // lint:allow(panic-path): kind == 1 items are constructed with Some(point) in the push below
                 return Some((item.id, item.point.expect("entries carry their point")));
             }
             match &self.nodes[item.id as usize].kind {

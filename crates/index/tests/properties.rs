@@ -107,7 +107,10 @@ proptest! {
                                       tau in 0.1f64..0.9, d_hat in 0.5f64..4.0) {
         let pf = Sigmoid::paper_default();
         let mut t = IQuadTree::build(&us, &pf, tau, d_hat);
+        t.validate();
         let out = t.traverse(&v);
+        // The traversal fills omega caches; the hierarchy must survive it.
+        t.validate();
         prop_assert!(setops::intersect(&out.influenced, &out.to_verify).is_empty());
         for (uid, u) in us.iter().enumerate() {
             let truth = influences(&pf, &v, u.positions(), tau);
@@ -127,6 +130,7 @@ proptest! {
         let mut t = IQuadTree::build(&us, &pf, tau, 2.0);
         let a = t.traverse(&v);
         let b = t.traverse(&v);
+        t.validate();
         prop_assert_eq!(a.influenced, b.influenced);
         prop_assert_eq!(a.to_verify, b.to_verify);
     }

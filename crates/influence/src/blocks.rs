@@ -91,6 +91,7 @@ impl PositionBlocks {
                 u.positions()
                     .iter()
                     .enumerate()
+                    // lint:allow(narrowing-cast): i indexes one user's positions; r_max fits the u32 id space
                     .map(|(i, p)| (morton_code(&root, MORTON_DEPTH, p), i as u32)),
             );
             keyed.sort_unstable();
@@ -104,8 +105,10 @@ impl PositionBlocks {
                     rect.expand_to(&p);
                 }
                 rects.push(rect);
+                // lint:allow(narrowing-cast): total position count fits u32: positions are addressed by u32 ids
                 block_offsets.push(xs.len() as u32);
             }
+            // lint:allow(narrowing-cast): block count is bounded by position count, which fits u32
             user_offsets.push(rects.len() as u32);
         }
 
@@ -161,6 +164,56 @@ impl PositionBlocks {
     pub fn block_positions(&self, b: usize) -> (&[f64], &[f64]) {
         let range = self.block_offsets[b] as usize..self.block_offsets[b + 1] as usize;
         (&self.xs[range.clone()], &self.ys[range])
+    }
+
+    /// Structural sanitizer: checks the SoA/offset invariants the blocked
+    /// kernel relies on. Always callable; the body compiles away in
+    /// release builds.
+    ///
+    /// # Panics
+    /// Panics (debug builds only) when the offset arrays are malformed, a
+    /// block is empty or overfull, or a position lies outside its block's
+    /// MBR.
+    pub fn validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(self.xs.len(), self.ys.len(), "xs/ys length mismatch");
+            assert_eq!(
+                self.block_offsets.len(),
+                self.rects.len() + 1,
+                "one offset pair per block"
+            );
+            assert_eq!(
+                self.block_offsets[self.block_offsets.len() - 1] as usize,
+                self.xs.len(),
+                "block offsets must end at the position count"
+            );
+            assert_eq!(
+                self.user_offsets[self.user_offsets.len() - 1] as usize,
+                self.rects.len(),
+                "user offsets must end at the block count"
+            );
+            assert!(
+                self.user_offsets.windows(2).all(|w| w[0] <= w[1]),
+                "user offsets not non-decreasing"
+            );
+            for b in 0..self.n_blocks() {
+                let len = self.block_len(b);
+                assert!(
+                    len >= 1 && len <= self.block_size,
+                    "block {b} holds {len} positions (block_size {})",
+                    self.block_size
+                );
+                let (xs, ys) = self.block_positions(b);
+                let rect = &self.rects[b];
+                for (x, y) in xs.iter().zip(ys) {
+                    assert!(
+                        rect.contains(&Point { x: *x, y: *y }),
+                        "position outside its block MBR"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -325,9 +378,11 @@ fn influences_blocked_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Si
         let rect = blocks.block_rect(b);
         let dmin = rect.min_distance(v);
         let dmax = rect.max_distance(v);
+        // lint:allow(narrowing-cast): a block holds at most BLOCK_CAP positions, far below i32::MAX
         let n = blocks.block_len(b) as i32;
         let flo = 1.0 - pf.prob(dmin);
         let fhi = 1.0 - pf.prob(dmax);
+        // lint:allow(narrowing-cast): local indexes the per-user block list, bounded by the u32 block count
         s.order.push(local as u32);
         s.dmin.push(dmin);
         s.flo.push(flo);
@@ -390,6 +445,7 @@ fn influences_blocked_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Si
             let dx = xs[i] - v.x;
             let dy = ys[i] - v.y;
             product *= 1.0 - pf.prob((dx * dx + dy * dy).sqrt());
+            // lint:allow(narrowing-cast): n is a block length (<= BLOCK_CAP) and i < n, so the difference fits i32
             let rem = (n - i - 1) as i32;
             // Two-sided stops: the unvisited remainder is bracketed by this
             // block's per-position bounds to the power of its remaining

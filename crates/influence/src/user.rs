@@ -24,6 +24,7 @@ impl MovingUser {
     /// meaning in the influence model.
     pub fn new(positions: Vec<Point>) -> Self {
         let mbr =
+            // lint:allow(panic-path): the documented panic contract of MovingUser::new (empty positions)
             Rect::bounding(&positions).expect("a moving user must have at least one position");
         MovingUser { positions, mbr }
     }

@@ -128,6 +128,7 @@ proptest! {
     fn block_bounds_bracket_exact_product(v in pt(), us in users(), bs in block_size()) {
         let pf = Sigmoid::paper_default();
         let blocks = PositionBlocks::build(&us, bs);
+        blocks.validate();
         for b in 0..blocks.n_blocks() {
             let rect = blocks.block_rect(b);
             let n = blocks.block_len(b) as i32;
@@ -150,6 +151,7 @@ proptest! {
     fn blocked_kernel_is_exact(v in pt(), us in users(), bs in block_size(), t in tau()) {
         let pf = Sigmoid::paper_default();
         let blocks = PositionBlocks::build(&us, bs);
+        blocks.validate();
         let mut scratch = BlockScratch::new();
         for (u, user) in us.iter().enumerate() {
             let exact = cumulative_probability(&pf, &v, user.positions()) >= t;
@@ -168,6 +170,7 @@ proptest! {
     fn blocked_kernel_handles_degenerate_taus(v in pt(), us in users(), bs in block_size()) {
         let pf = Sigmoid::paper_default();
         let blocks = PositionBlocks::build(&us, bs);
+        blocks.validate();
         let mut scratch = BlockScratch::new();
         for (u, user) in us.iter().enumerate() {
             prop_assert!(influences_blocked(&pf, &v, &blocks, u as u32, 0.0, &mut scratch));
@@ -185,6 +188,7 @@ proptest! {
         let pf = Sigmoid::paper_default();
         let us = vec![MovingUser::new(vec![p; r])];
         let blocks = PositionBlocks::build(&us, bs);
+        blocks.validate();
         let mut scratch = BlockScratch::new();
         let exact = cumulative_probability(&pf, &v, &vec![p; r]) >= t;
         prop_assert_eq!(influences_blocked(&pf, &v, &blocks, 0, t, &mut scratch), exact);

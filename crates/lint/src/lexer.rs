@@ -1,0 +1,469 @@
+//! A minimal Rust lexer: just enough token structure for line-accurate
+//! static analysis, with strings, char literals, lifetimes, raw
+//! strings/identifiers and (nested) comments handled correctly so rule
+//! patterns never fire on text inside a literal or a comment.
+//!
+//! The lexer is deliberately byte-oriented: every syntactic delimiter of
+//! Rust is ASCII, and UTF-8 continuation bytes can never collide with one,
+//! so multi-byte characters inside identifiers, strings and comments pass
+//! through untouched.
+
+/// The coarse token classes the rule engine consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, stored without
+    /// the `r#` prefix).
+    Ident,
+    /// A lifetime such as `'a` (stored without the quote).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, including suffixes).
+    Num,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte-character literal: `'x'`, `b'\n'`.
+    Char,
+    /// A single ASCII punctuation byte (`::` arrives as two `:` tokens).
+    Punct(u8),
+    /// `// …` comment (doc comments included); text excludes the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting handled); text excludes the delimiters.
+    BlockComment,
+}
+
+/// One lexed token: kind, source text, and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (comment delimiters / quote prefixes stripped where the
+    /// kind's docs say so).
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    /// Whether the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether the token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals or
+/// comments simply run to end of input (the compiler is the authority on
+/// well-formedness; the linter only needs to never misclassify what *is*
+/// well-formed).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Shebang on the very first line is not Rust syntax; skip it.
+    if bytes.starts_with(b"#!") && !bytes.starts_with(b"#![") {
+        while i < bytes.len() && bytes[i] != b'\n' {
+            i += 1;
+        }
+    }
+
+    // Counts the newlines inside a consumed span so multi-line tokens keep
+    // the line counter honest.
+    let newlines = |s: &[u8]| s.iter().filter(|&&b| b == b'\n').count() as u32;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        let start_line = line;
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if b.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                i += 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: &src[start + 2..i],
+                    line: start_line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start + 2);
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: &src[start + 2..end],
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' | b'c' if starts_raw_or_prefixed(bytes, i) => {
+                // One of: r"…", r#"…"#, r#ident, b"…", br#"…"#, b'…', c"…".
+                let (tok_end, kind) = prefixed_literal(bytes, i);
+                line += newlines(&bytes[start..tok_end]);
+                let text = match kind {
+                    TokKind::Ident => {
+                        // Raw identifier r#foo: strip the prefix.
+                        let p = start + 2;
+                        &src[p..tok_end]
+                    }
+                    _ => &src[start..tok_end],
+                };
+                toks.push(Tok {
+                    kind,
+                    text,
+                    line: start_line,
+                });
+                i = tok_end;
+            }
+            _ if is_ident_start(b) => {
+                i += 1;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'0'..=b'9' => {
+                i += 1;
+                while i < bytes.len() && (is_ident_continue(bytes[i])) {
+                    i += 1;
+                }
+                // Fractional part: a dot followed by a digit (not `..`).
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                }
+                // Exponent sign: 1e-9 / 1E+9 (the `e` was consumed above).
+                if i < bytes.len()
+                    && (bytes[i] == b'+' || bytes[i] == b'-')
+                    && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')
+                {
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                line += newlines(&bytes[start..end]);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: &src[start..end],
+                    line: start_line,
+                });
+                i = end;
+            }
+            b'\'' => {
+                let (end, kind) = char_or_lifetime(bytes, i);
+                line += newlines(&bytes[start..end]);
+                let text = if kind == TokKind::Lifetime {
+                    &src[start + 1..end]
+                } else {
+                    &src[start..end]
+                };
+                toks.push(Tok {
+                    kind,
+                    text,
+                    line: start_line,
+                });
+                i = end;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(b),
+                    text: &src[start..start + 1],
+                    line: start_line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Whether position `i` (at `r`, `b` or `c`) starts a raw identifier or a
+/// prefixed literal rather than a plain identifier.
+fn starts_raw_or_prefixed(bytes: &[u8], i: usize) -> bool {
+    let b = bytes[i];
+    match b {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => matches!(
+            (bytes.get(i + 1), bytes.get(i + 2)),
+            (Some(b'"'), _)
+                | (Some(b'\''), _)
+                | (Some(b'r'), Some(b'"'))
+                | (Some(b'r'), Some(b'#'))
+        ),
+        b'c' => bytes.get(i + 1) == Some(&b'"'),
+        _ => false,
+    }
+}
+
+/// Consumes a prefixed literal (`r"…"`, `r#"…"#`, `r#ident`, `b"…"`,
+/// `br#"…"#`, `b'…'`, `c"…"`) starting at `i`; returns (end, kind).
+fn prefixed_literal(bytes: &[u8], i: usize) -> (usize, TokKind) {
+    let mut j = i + 1; // past the r/b/c
+    if bytes[i] == b'b' && bytes.get(j) == Some(&b'r') {
+        j += 1;
+    }
+    if bytes[i] == b'b' && bytes.get(j) == Some(&b'\'') {
+        let (end, _) = char_or_lifetime(bytes, j);
+        return (end, TokKind::Char);
+    }
+    // Count raw-string hashes.
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    match bytes.get(j) {
+        Some(b'"') => {
+            // Raw string when `r`/`br` prefix (hashes ≥ 0), cooked otherwise.
+            let raw = bytes[i] == b'r' || (bytes[i] == b'b' && bytes[i + 1] == b'r');
+            if raw {
+                j += 1;
+                loop {
+                    match bytes.get(j) {
+                        None => return (bytes.len(), TokKind::Str),
+                        Some(b'"') => {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                return (k, TokKind::Str);
+                            }
+                            j += 1;
+                        }
+                        Some(_) => j += 1,
+                    }
+                }
+            } else {
+                (skip_string(bytes, j), TokKind::Str)
+            }
+        }
+        _ if hashes > 0 && bytes[i] == b'r' => {
+            // Raw identifier r#name.
+            let mut k = j;
+            while k < bytes.len() && is_ident_continue(bytes[k]) {
+                k += 1;
+            }
+            (k, TokKind::Ident)
+        }
+        _ => {
+            // Plain identifier starting with r/b/c after all (e.g. `br0ken`
+            // can't reach here, but be safe).
+            let mut k = i + 1;
+            while k < bytes.len() && is_ident_continue(bytes[k]) {
+                k += 1;
+            }
+            (k, TokKind::Ident)
+        }
+    }
+}
+
+/// Consumes a cooked string starting at the opening quote; returns the
+/// index one past the closing quote.
+fn skip_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) at a `'`.
+/// Returns (end index, kind).
+fn char_or_lifetime(bytes: &[u8], i: usize) -> (usize, TokKind) {
+    match bytes.get(i + 1) {
+        None => (i + 1, TokKind::Punct(b'\'')),
+        Some(b'\\') => {
+            // Escaped char literal. The byte right after the backslash is
+            // the escaped character and must be consumed unconditionally —
+            // otherwise `'\\'` reads its own payload backslash as a fresh
+            // escape and jumps past the closing quote. Multi-byte escapes
+            // (`\x41`, `\u{..}`) are covered by the scan below.
+            let mut j = i + 3;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return (j + 1, TokKind::Char),
+                    _ => j += 1,
+                }
+            }
+            (bytes.len(), TokKind::Char)
+        }
+        Some(&c) if is_ident_start(c) => {
+            // `'x'` is a char literal; `'x` (no closing quote after one
+            // ident char run) is a lifetime. Consume the ident run first.
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') && j == i + 2 {
+                (j + 1, TokKind::Char)
+            } else if bytes.get(j) == Some(&b'\'') && j > i + 2 {
+                // Multi-char like 'ab' is not valid Rust; treat as char
+                // literal so we never leak literal text into idents.
+                (j + 1, TokKind::Char)
+            } else {
+                (j, TokKind::Lifetime)
+            }
+        }
+        Some(_) => {
+            // `'('` style char literal (any single non-ident char).
+            if bytes.get(i + 2) == Some(&b'\'') {
+                (i + 3, TokKind::Char)
+            } else {
+                (i + 1, TokKind::Punct(b'\''))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("fn foo(x: u32) -> bool { x.unwrap() }");
+        assert!(ts.contains(&(TokKind::Ident, "unwrap".into())));
+        assert!(ts.contains(&(TokKind::Punct(b'.'), ".".into())));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let ts = kinds(r#"let s = "HashMap.unwrap() // not a comment";"#);
+        assert!(!ts
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ts = kinds(r##"let s = r#"quote " inside"#; let t = 1;"##);
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(ts.contains(&(TokKind::Ident, "t".into())));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert_eq!(
+            ts.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Ident).count(), 2);
+        assert_eq!(
+            ts.iter()
+                .filter(|(k, _)| *k == TokKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nlet c = 2;";
+        let toks = lex(src);
+        let c = toks.iter().find(|t| t.is_ident("c")).expect("c exists");
+        assert_eq!(c.line, 6);
+    }
+
+    #[test]
+    fn comments_keep_text_for_waiver_parsing() {
+        let toks = lex("// lint:allow(panic-path): reason here\nfoo();");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("lint:allow(panic-path)"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ts = kinds("let r#type = 3;");
+        assert!(ts.contains(&(TokKind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn numeric_literals_with_exponents_and_ranges() {
+        let ts = kinds("let x = 1e-9; for i in 0..n {}");
+        assert!(ts.contains(&(TokKind::Num, "1e-9".into())));
+        assert!(ts.contains(&(TokKind::Num, "0".into())));
+        assert!(ts.contains(&(TokKind::Ident, "n".into())));
+    }
+
+    #[test]
+    fn escaped_backslash_char_literals_close_properly() {
+        // Regression: the payload backslash of '\\' (and b'\\') must not
+        // be read as the start of a second escape, which would overshoot
+        // the closing quote and swallow the following code.
+        let ts = kinds("match c { b'\\\\' => 1, b'\"' => 2, _ => x.unwrap() }");
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+        assert!(ts.contains(&(TokKind::Ident, "unwrap".into())));
+        let ts = kinds("let q = '\\\\'; after");
+        assert!(ts.contains(&(TokKind::Ident, "after".into())));
+    }
+}

@@ -1,0 +1,264 @@
+//! `mc2ls-lint` — a from-scratch, zero-dependency static-analysis pass
+//! over the workspace's Rust sources.
+//!
+//! Every result this workspace ships rests on one invariant the compiler
+//! cannot see: solutions and stats must be **byte-identical at any thread
+//! count and any kernel/selector choice**. The dynamic tests assert it on
+//! sampled instances; this linter closes the gap statically by keeping the
+//! known nondeterminism sources out of result-producing code:
+//!
+//! | code | rule            | scope                                  | what it catches |
+//! |------|-----------------|----------------------------------------|-----------------|
+//! | R1   | nondet-iteration| `core`/`index`/`influence`/`geo` lib   | `HashMap`/`HashSet` (iteration order varies per process) |
+//! | R2   | panic-path      | library crates (not `cli`/`bench`)     | `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` |
+//! | R3   | unsafe-code     | everywhere, plus crate-root audit      | `unsafe` tokens; missing `#![forbid(unsafe_code)]` |
+//! | R4   | narrowing-cast  | CSR/Morton/heap hot-path files         | unchecked `as u32`-style narrowing on index arithmetic |
+//! | R5   | float-accum     | parallel-join / gain files             | f64 reductions outside `canonical_gain` |
+//! | W1   | bad-waiver      | everywhere                             | waiver without a reason / unknown rule |
+//! | W2   | unused-waiver   | everywhere                             | waiver that suppresses nothing |
+//!
+//! Violations are waived inline with `// lint:allow(<rule>): <reason>` on
+//! the offending line or the line above; the reason is mandatory and
+//! unused waivers are errors, so the waiver inventory is always a live,
+//! audited list of documented invariants.
+//!
+//! The crate has **no dependencies** (not even the in-repo shims): its own
+//! minimal lexer handles strings, char literals, lifetimes, raw
+//! strings/identifiers and nested comments, so rule patterns never fire
+//! inside a literal or comment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+mod rules;
+pub mod scopes;
+
+pub use rules::{lint_source, Diagnostic, FileClass, Rule};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose library code produces results (solutions, stats, influence
+/// sets) — the R1 scope.
+const RESULT_CRATES: [&str; 4] = ["core", "index", "influence", "geo"];
+
+/// Crates exempt from R2: binaries and the bench harness may shortcut.
+const PANIC_EXEMPT_CRATES: [&str; 2] = ["cli", "bench"];
+
+/// Hot-path files for R4 (CSR layouts, Morton codes, selection heaps),
+/// workspace-relative with `/` separators.
+const NARROWING_SCOPE: [&str; 7] = [
+    "crates/core/src/influence_sets.rs",
+    "crates/core/src/inverted.rs",
+    "crates/core/src/bitset.rs",
+    "crates/core/src/greedy.rs",
+    "crates/core/src/algorithms/iqt.rs",
+    "crates/geo/src/morton.rs",
+    "crates/influence/src/blocks.rs",
+];
+
+/// Files containing parallel-join or gain-materialisation code for R5.
+const FLOAT_SCOPE: [&str; 6] = [
+    "crates/core/src/greedy.rs",
+    "crates/core/src/parallel.rs",
+    "crates/core/src/inverted.rs",
+    "crates/core/src/verify.rs",
+    "crates/core/src/influence_sets.rs",
+    "crates/core/src/algorithms/iqt.rs",
+];
+
+/// Classifies a workspace-relative path (always `/`-separated) into the
+/// rule set that applies to it, or `None` when the file is out of scope.
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    // The linter's own violation fixtures are linted only by the
+    // self-tests, with explicit classes.
+    if rel.contains("/fixtures/") {
+        return None;
+    }
+
+    // crates/<name>/src/** — library (or binary) source.
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (name, tail) = rest.split_once('/')?;
+        if let Some(in_src) = tail.strip_prefix("src/") {
+            let is_bin_target = in_src.starts_with("bin/");
+            return Some(FileClass {
+                nondet_iteration: RESULT_CRATES.contains(&name),
+                panic_path: !PANIC_EXEMPT_CRATES.contains(&name) && !is_bin_target,
+                narrowing_cast: NARROWING_SCOPE.contains(&rel),
+                float_accum: FLOAT_SCOPE.contains(&rel),
+                crate_root: in_src == "lib.rs",
+            });
+        }
+        // Integration tests / benches of a crate: unsafe audit only.
+        return Some(FileClass::default());
+    }
+
+    // Offline dependency shims: reimplemented third-party API surface.
+    // Panic shortcuts mirror the upstream APIs, but unsafe stays banned
+    // and every shim root must carry the forbid attribute.
+    if let Some(rest) = rel.strip_prefix("shims/") {
+        let crate_root = rest
+            .split_once('/')
+            .is_some_and(|(_, tail)| tail == "src/lib.rs");
+        return Some(FileClass {
+            crate_root,
+            ..FileClass::default()
+        });
+    }
+
+    // The cross-crate integration crate and the examples: unsafe audit.
+    if rel.starts_with("tests/") || rel.starts_with("examples/") {
+        return Some(FileClass {
+            crate_root: rel == "tests/src/lib.rs",
+            ..FileClass::default()
+        });
+    }
+
+    None
+}
+
+/// Recursively collects `.rs` files under `dir` into `out` (skipping
+/// `target/` and hidden directories), as workspace-relative paths.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lints every in-scope `.rs` file under `root` (a workspace checkout).
+/// Returns all diagnostics sorted by file and line; empty means clean.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "shims", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(root, &dir, &mut files)?;
+        }
+    }
+    // Deterministic order regardless of directory-entry order.
+    files.sort();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for rel in &files {
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let Some(class) = classify(&rel_str) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(root.join(rel))?;
+        diags.extend(lint_source(&rel_str, &src, class));
+    }
+    diags.sort();
+    Ok(diags)
+}
+
+/// Renders diagnostics as a machine-readable JSON array (`[]` when clean).
+/// Hand-rolled on purpose: the linter stays dependency-free.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    fn escape(s: &str, out: &mut String) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str("\\u");
+                    let code = c as u32;
+                    for shift in [12u32, 8, 4, 0] {
+                        let digit = (code >> shift) & 0xF;
+                        out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule\":\"");
+        escape(d.rule.slug(), &mut out);
+        out.push_str("\",\"code\":\"");
+        escape(d.rule.code(), &mut out);
+        out.push_str("\",\"file\":\"");
+        escape(&d.file, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"message\":\"");
+        escape(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_scopes_match_the_policy() {
+        let core = classify("crates/core/src/greedy.rs").expect("in scope");
+        assert!(core.nondet_iteration && core.panic_path);
+        assert!(core.narrowing_cast && core.float_accum);
+        assert!(!core.crate_root);
+
+        let cli = classify("crates/cli/src/commands.rs").expect("in scope");
+        assert!(!cli.panic_path && !cli.nondet_iteration);
+
+        let data_root = classify("crates/data/src/lib.rs").expect("in scope");
+        assert!(data_root.crate_root && data_root.panic_path);
+        assert!(!data_root.nondet_iteration);
+
+        let shim = classify("shims/serde/src/parse.rs").expect("in scope");
+        assert!(!shim.panic_path && !shim.crate_root);
+        let shim_root = classify("shims/serde/src/lib.rs").expect("in scope");
+        assert!(shim_root.crate_root);
+
+        assert!(classify("crates/lint/tests/fixtures/r2.rs").is_none());
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let diags = vec![Diagnostic {
+            file: "a\\b.rs".into(),
+            line: 3,
+            rule: Rule::PanicPath,
+            message: "say \"no\"".into(),
+        }];
+        let json = to_json(&diags);
+        assert!(json.contains("\"file\":\"a\\\\b.rs\""));
+        assert!(json.contains("\"say \\\"no\\\"\""));
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,76 @@
+//! The `mc2ls-lint` binary: lints the workspace tree and exits non-zero
+//! on any diagnostic. CI runs it before clippy; `--json` feeds the
+//! experiments-smoke emptiness check.
+//!
+//! ```text
+//! cargo run -p mc2ls-lint -- --workspace-root . [--json]
+//! ```
+
+#![forbid(unsafe_code)]
+// Diagnostics on stdout/stderr are this binary's entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mc2ls-lint [--workspace-root <dir>] [--json]
+
+Determinism & safety linter for the MC2LS workspace.
+Exits 0 when clean, 1 when any diagnostic fires, 2 on usage/I/O errors.
+
+options:
+  --workspace-root <dir>  workspace checkout to lint (default: .)
+  --json                  emit diagnostics as a JSON array on stdout
+  --help                  print this help";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace-root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --workspace-root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let diags = match mc2ls_lint::lint_workspace(&root) {
+        Ok(diags) => diags,
+        Err(err) => {
+            eprintln!("error: cannot lint {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", mc2ls_lint::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("mc2ls-lint: clean");
+        } else {
+            println!("mc2ls-lint: {} diagnostic(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

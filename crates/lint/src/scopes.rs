@@ -1,0 +1,236 @@
+//! Structural context over a token stream: which tokens live inside test
+//! code (`#[cfg(test)]` items, `#[test]` functions) and which function body
+//! encloses each token. The rule engine needs both — library-code rules
+//! must not fire on tests, and the float-accumulation rule exempts the
+//! canonical gain routines by name.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Per-file structural context, indexed by token position.
+#[derive(Debug)]
+pub struct Scopes {
+    /// `in_test[i]` — token `i` is inside a test item.
+    in_test: Vec<bool>,
+    /// `fn_name[i]` — name of the innermost function whose body contains
+    /// token `i` (index into `names`), or `u32::MAX` outside any body.
+    fn_of: Vec<u32>,
+    names: Vec<String>,
+}
+
+impl Scopes {
+    /// Whether token `i` is inside `#[cfg(test)]` / `#[test]` code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    /// The name of the innermost function enclosing token `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&str> {
+        let id = *self.fn_of.get(i)?;
+        self.names.get(id as usize).map(String::as_str)
+    }
+}
+
+/// Whether the attribute token slice (the tokens between `#[` and `]`)
+/// marks a test item: `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`,
+/// or `#[cfg(any(test, …))]` — but never `#[cfg(not(test))]`.
+fn attr_marks_test(attr: &[Tok<'_>]) -> bool {
+    if attr.len() == 1 && attr[0].is_ident("test") {
+        return true;
+    }
+    if !attr.first().is_some_and(|t| t.is_ident("cfg")) {
+        return false;
+    }
+    let has_test = attr.iter().any(|t| t.is_ident("test"));
+    let has_not = attr.iter().any(|t| t.is_ident("not"));
+    has_test && !has_not
+}
+
+/// Analyses the token stream of one file.
+pub fn analyze(toks: &[Tok<'_>]) -> Scopes {
+    let mut in_test = vec![false; toks.len()];
+    let mut fn_of = vec![u32::MAX; toks.len()];
+    let mut names: Vec<String> = Vec::new();
+
+    // Pass 1: test spans. Walk items; a `#[test]`-ish attribute marks the
+    // item it precedes (through its `;` or matching close brace).
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct(b'#') && toks.get(i + 1).is_some_and(|t| t.is_punct(b'[')) {
+            let attr_start = i;
+            let mut marks_test = false;
+            // Consume a run of consecutive outer attributes.
+            while i < toks.len()
+                && toks[i].is_punct(b'#')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(b'['))
+            {
+                let body_start = i + 2;
+                let mut depth = 1usize;
+                let mut j = body_start;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct(b'[') {
+                        depth += 1;
+                    } else if toks[j].is_punct(b']') {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                marks_test |= attr_marks_test(&toks[body_start..j.saturating_sub(1)]);
+                i = j;
+            }
+            if marks_test {
+                let end = item_end(toks, i);
+                for flag in &mut in_test[attr_start..end.min(toks.len())] {
+                    *flag = true;
+                }
+                i = end;
+            }
+        } else {
+            i += 1;
+        }
+    }
+
+    // Pass 2: enclosing function bodies. A stack of (name id, brace depth
+    // at entry); a body opens at the first `{` after the `fn` signature
+    // (parens/brackets balanced) and closes when the depth returns.
+    let mut brace_depth = 0i64;
+    let mut stack: Vec<(u32, i64)> = Vec::new();
+    let mut pending_fn: Option<u32> = None; // fn seen, body brace not yet
+    let mut sig_depth = 0i64; // () + [] + <> nesting inside a signature
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident if t.text == "fn" && pending_fn.is_none() => {
+                if let Some(name_tok) = toks.get(i + 1) {
+                    if name_tok.kind == TokKind::Ident {
+                        let id = names.len() as u32;
+                        names.push(name_tok.text.to_string());
+                        pending_fn = Some(id);
+                        sig_depth = 0;
+                    }
+                }
+            }
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') if pending_fn.is_some() => sig_depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') if pending_fn.is_some() => sig_depth -= 1,
+            TokKind::Punct(b';') if pending_fn.is_some() && sig_depth == 0 => {
+                pending_fn = None; // bodyless (trait method declaration)
+            }
+            TokKind::Punct(b'{') => {
+                brace_depth += 1;
+                if sig_depth == 0 {
+                    if let Some(id) = pending_fn.take() {
+                        stack.push((id, brace_depth));
+                    }
+                }
+            }
+            TokKind::Punct(b'}') => {
+                if let Some(&(_, entry)) = stack.last() {
+                    if brace_depth == entry {
+                        stack.pop();
+                    }
+                }
+                brace_depth -= 1;
+            }
+            _ => {}
+        }
+        if let Some(&(id, _)) = stack.last() {
+            fn_of[i] = id;
+        }
+        i += 1;
+    }
+
+    Scopes {
+        in_test,
+        fn_of,
+        names,
+    }
+}
+
+/// Index one past the end of the item starting at `start`: through the
+/// matching `}` of its first body brace, or through its terminating `;`.
+fn item_end(toks: &[Tok<'_>], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = start;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            TokKind::Punct(b';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn tail() {}";
+        let toks = lex(src);
+        let sc = analyze(&toks);
+        let unwrap_pos = toks.iter().position(|t| t.is_ident("unwrap")).expect("has");
+        let tail_pos = toks.iter().position(|t| t.is_ident("tail")).expect("has");
+        assert!(sc.is_test(unwrap_pos));
+        assert!(!sc.is_test(tail_pos));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_marked() {
+        let src = "#[test]\nfn roundtrip() { a(); }\nfn lib() { b(); }";
+        let toks = lex(src);
+        let sc = analyze(&toks);
+        let a = toks.iter().position(|t| t.is_ident("a")).expect("has");
+        let b = toks.iter().position(|t| t.is_ident("b")).expect("has");
+        assert!(sc.is_test(a));
+        assert!(!sc.is_test(b));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = "#[cfg(not(test))]\nfn shipped() { x(); }";
+        let toks = lex(src);
+        let sc = analyze(&toks);
+        let x = toks.iter().position(|t| t.is_ident("x")).expect("has");
+        assert!(!sc.is_test(x));
+    }
+
+    #[test]
+    fn enclosing_fn_names_nest() {
+        let src = "fn outer() { fn inner() { body(); } tail(); }";
+        let toks = lex(src);
+        let sc = analyze(&toks);
+        let body = toks.iter().position(|t| t.is_ident("body")).expect("has");
+        let tail = toks.iter().position(|t| t.is_ident("tail")).expect("has");
+        assert_eq!(sc.enclosing_fn(body), Some("inner"));
+        assert_eq!(sc.enclosing_fn(tail), Some("outer"));
+    }
+
+    #[test]
+    fn fn_with_generics_and_where_clause() {
+        let src = "fn g<T: Ord>(x: T) -> Vec<T> where T: Clone { inner(); }";
+        let toks = lex(src);
+        let sc = analyze(&toks);
+        let inner = toks.iter().position(|t| t.is_ident("inner")).expect("has");
+        assert_eq!(sc.enclosing_fn(inner), Some("g"));
+    }
+
+    #[test]
+    fn trait_method_declaration_has_no_body() {
+        let src = "trait T { fn decl(&self) -> u32; }\nfn real() { x(); }";
+        let toks = lex(src);
+        let sc = analyze(&toks);
+        let x = toks.iter().position(|t| t.is_ident("x")).expect("has");
+        assert_eq!(sc.enclosing_fn(x), Some("real"));
+    }
+}

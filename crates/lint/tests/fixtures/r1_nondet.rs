@@ -1,0 +1,13 @@
+//! R1 fixture: hash-keyed containers in result-producing code.
+use std::collections::HashMap;
+
+fn cache() -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}
+
+fn dedup(xs: &[u32]) -> usize {
+    let s: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    s.len()
+}

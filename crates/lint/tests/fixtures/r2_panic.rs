@@ -1,0 +1,17 @@
+//! R2 fixture: panicking shortcuts in library code.
+
+fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("needs two elements")
+}
+
+fn unreached() -> u32 {
+    panic!("boom")
+}
+
+fn later() -> u32 {
+    todo!()
+}

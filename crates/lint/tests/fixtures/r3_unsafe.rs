@@ -1,0 +1,6 @@
+//! R3 fixture: an `unsafe` block, in a crate root missing the forbid
+//! attribute (both halves of the rule fire).
+
+fn zeroed() -> u8 {
+    unsafe { std::mem::zeroed() }
+}

@@ -1,0 +1,11 @@
+//! R4 fixture: unchecked narrowing casts on a hot path.
+
+fn offsets(total: usize, n: u64) -> (u32, i16) {
+    let a = total as u32;
+    let b = n as i16;
+    (a, b)
+}
+
+fn widening_is_fine(x: u32) -> (usize, u64, f64) {
+    (x as usize, x as u64, x as f64)
+}

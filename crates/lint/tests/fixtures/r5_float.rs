@@ -1,0 +1,18 @@
+//! R5 fixture: ad-hoc float accumulation outside the canonical routine.
+
+fn turbofish(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+fn inferred(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().copied().sum();
+    total
+}
+
+fn seeded(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, b| a + b)
+}
+
+fn canonical_gain(counts: &[u32]) -> f64 {
+    counts.iter().map(|&n| f64::from(n)).sum::<f64>()
+}

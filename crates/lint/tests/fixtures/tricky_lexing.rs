@@ -1,0 +1,27 @@
+//! Lexer-robustness fixture: every rule pattern below sits inside a
+//! string, char literal, or comment — nothing may fire.
+//
+// A line comment mentioning .unwrap() and HashMap and unsafe.
+
+/* A block comment: panic!("no") /* nested: x as u32 */ still comment */
+
+fn strings() -> &'static str {
+    "HashMap::new().unwrap(); unsafe { x as u32 }; xs.iter().sum::<f64>()"
+}
+
+fn raw_strings() -> &'static str {
+    r#"a "quoted" .expect("x") and panic!() inside a raw string"#
+}
+
+fn escaped_backslash_char() -> (char, char) {
+    // '\\' must not swallow the code after it (regression: self-lexing).
+    ('\\', '\'')
+}
+
+fn lifetimes_are_not_chars<'a>(x: &'a str) -> &'a str {
+    x
+}
+
+fn byte_strings() -> &'static [u8] {
+    b"contains .unwrap() too"
+}

@@ -1,0 +1,22 @@
+//! Waiver-protocol fixture: one honoured waiver, one unused waiver, one
+//! reasonless waiver, one naming an unknown rule.
+
+fn honoured(x: Option<u32>) -> u32 {
+    // lint:allow(panic-path): x is Some by construction at every call site
+    x.unwrap()
+}
+
+// lint:allow(panic-path): nothing on the next line panics
+fn unused() -> u32 {
+    7
+}
+
+fn reasonless(x: Option<u32>) -> u32 {
+    // lint:allow(panic-path)
+    x.unwrap()
+}
+
+fn unknown_rule(x: Option<u32>) -> u32 {
+    // lint:allow(no-such-rule): creative spelling
+    x.unwrap()
+}

@@ -1,0 +1,168 @@
+//! Fixture-driven self-tests: each fixture under `tests/fixtures/` holds
+//! known violations; the assertions pin the exact rule **and line** of
+//! every expected diagnostic, so a lexer or scope regression shows up as a
+//! changed line number, not a silent miss.
+//!
+//! The fixture directory is excluded from the workspace walk
+//! (`classify` skips `/fixtures/` paths), so these violations never leak
+//! into a real lint run.
+
+#![forbid(unsafe_code)]
+
+use mc2ls_lint::{lint_source, FileClass, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// `(rule, line)` pairs of the diagnostics, in sorted order.
+fn hits(name: &str, class: FileClass) -> Vec<(Rule, u32)> {
+    lint_source(name, &fixture(name), class)
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn r1_flags_hash_containers_at_exact_lines() {
+    let got = hits("r1_nondet.rs", FileClass::strict());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::NondetIteration, 2),  // use std::collections::HashMap;
+            (Rule::NondetIteration, 4),  // -> HashMap<u32, u32>
+            (Rule::NondetIteration, 5),  // HashMap::new()
+            (Rule::NondetIteration, 11), // HashSet<u32> annotation
+        ]
+    );
+}
+
+#[test]
+fn r2_flags_each_panicking_shortcut() {
+    let got = hits("r2_panic.rs", FileClass::strict());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::PanicPath, 4),  // .unwrap()
+            (Rule::PanicPath, 8),  // .expect(…)
+            (Rule::PanicPath, 12), // panic!
+            (Rule::PanicPath, 16), // todo!
+        ]
+    );
+}
+
+#[test]
+fn r2_is_off_for_panic_exempt_classes() {
+    let got = hits("r2_panic.rs", FileClass::default());
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn r3_flags_unsafe_and_missing_forbid() {
+    let class = FileClass {
+        crate_root: true,
+        ..FileClass::default()
+    };
+    let got = hits("r3_unsafe.rs", class);
+    assert_eq!(
+        got,
+        vec![
+            (Rule::UnsafeCode, 1), // crate root missing #![forbid(unsafe_code)]
+            (Rule::UnsafeCode, 5), // the unsafe block
+        ]
+    );
+}
+
+#[test]
+fn r4_flags_narrowing_not_widening() {
+    let got = hits("r4_narrowing.rs", FileClass::strict());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::NarrowingCast, 4), // total as u32
+            (Rule::NarrowingCast, 5), // n as i16
+        ]
+    );
+}
+
+#[test]
+fn r5_flags_each_accumulation_shape_but_not_the_canonical_routine() {
+    let got = hits("r5_float.rs", FileClass::strict());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::FloatAccum, 4),  // .sum::<f64>() turbofish
+            (Rule::FloatAccum, 8),  // float-typed .sum()
+            (Rule::FloatAccum, 13), // float-seeded .fold(0.0, …)
+        ]
+    );
+}
+
+#[test]
+fn waiver_protocol_honours_uses_and_flags_abuse() {
+    let got = hits("waivers.rs", FileClass::strict());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::UnusedWaiver, 9), // waiver covering a non-violation
+            (Rule::BadWaiver, 15),   // missing reason
+            (Rule::PanicPath, 16),   // reasonless waiver does not suppress
+            (Rule::BadWaiver, 20),   // unknown rule name
+            (Rule::PanicPath, 21),   // unknown-rule waiver does not suppress
+        ]
+    );
+}
+
+#[test]
+fn violations_inside_strings_and_comments_never_fire() {
+    let class = FileClass {
+        crate_root: false,
+        ..FileClass::strict()
+    };
+    let got = hits("tricky_lexing.rs", class);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn every_violation_fixture_is_nonempty_under_its_class() {
+    // The CI gate relies on a non-zero exit for any violation; pin that
+    // each fixture actually produces at least one diagnostic.
+    for name in [
+        "r1_nondet.rs",
+        "r2_panic.rs",
+        "r4_narrowing.rs",
+        "r5_float.rs",
+        "waivers.rs",
+    ] {
+        assert!(
+            !lint_source(name, &fixture(name), FileClass::strict()).is_empty(),
+            "{name} unexpectedly clean"
+        );
+    }
+    let root = FileClass {
+        crate_root: true,
+        ..FileClass::default()
+    };
+    assert!(!lint_source("r3_unsafe.rs", &fixture("r3_unsafe.rs"), root).is_empty());
+}
+
+#[test]
+fn the_workspace_tree_itself_is_clean() {
+    // Walk upward from the crate dir to the workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/lint sits two levels below the root");
+    let diags = mc2ls_lint::lint_workspace(root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "workspace not lint-clean:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(mc2ls_lint::to_json(&diags), "[]");
+}

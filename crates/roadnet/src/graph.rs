@@ -101,6 +101,7 @@ impl RoadNetwork {
     pub fn nearest_node(&self, p: &Point) -> NodeId {
         assert!(!self.nodes.is_empty(), "empty network");
         if let Some(index) = &self.node_index {
+            // lint:allow(panic-path): the index is built from self.nodes, asserted non-empty above
             return index.nearest(p).expect("non-empty index").0;
         }
         let mut best = 0u32;

@@ -150,6 +150,7 @@ pub fn solve_social<PF: ProbabilityFunction>(problem: &SocialProblem<PF>) -> Soc
                 _ => best = Some((c, gain)),
             }
         }
+        // lint:allow(panic-path): the base problem validates k <= |C|, so an untaken candidate remains
         let (c, gain) = best.expect("k <= |C| is validated by the base problem");
         taken[c] = true;
         selected.push(c as u32);

@@ -212,6 +212,7 @@ pub fn solve_temporal<PF: ProbabilityFunction + Clone>(problem: &TemporalProblem
                 _ => best = Some((c, gain)),
             }
         }
+        // lint:allow(panic-path): snapshot problems validate k <= n, so an untaken candidate remains
         let (c, gain) = best.expect("k <= n");
         taken[c] = true;
         selected.push(c as u32);

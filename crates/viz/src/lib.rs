@@ -157,7 +157,7 @@ mod tests {
                 .map(|i| Point::new(i as f64 * 0.01, 0.0))
                 .collect(),
         )];
-        let dataset = mc2ls_data::Dataset::new("t".into(), users, vec![Point::ORIGIN], 10.0);
+        let dataset = Dataset::new("t".into(), users, vec![Point::ORIGIN], 10.0);
         let svg = render_dataset(
             &dataset,
             &RenderOptions {

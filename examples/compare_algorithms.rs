@@ -7,6 +7,9 @@
 //! cargo run --release --example compare_algorithms
 //! ```
 
+// Examples exist to print; sanctioned writers.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls::prelude::*;
 
 fn main() {

@@ -6,6 +6,9 @@
 //! cargo run --release --example geo_social
 //! ```
 
+// Examples exist to print; sanctioned writers.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls::prelude::*;
 use mc2ls::social::{solve_social, PropagationModel, SocialGraph, SocialProblem};
 

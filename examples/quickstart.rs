@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples exist to print; sanctioned writers.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls::prelude::*;
 
 fn main() {

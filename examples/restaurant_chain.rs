@@ -8,6 +8,9 @@
 //! cargo run --release --example restaurant_chain
 //! ```
 
+// Examples exist to print; sanctioned writers.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls::prelude::*;
 
 fn main() {

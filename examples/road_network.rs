@@ -6,6 +6,9 @@
 //! cargo run --release --example road_network
 //! ```
 
+// Examples exist to print; sanctioned writers.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls::prelude::*;
 use mc2ls::roadnet::{solve_network, NetworkProblem, RoadNetwork};
 use rand::rngs::StdRng;

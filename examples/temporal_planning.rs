@@ -6,6 +6,9 @@
 //! cargo run --release --example temporal_planning
 //! ```
 
+// Examples exist to print; sanctioned writers.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use mc2ls::prelude::*;
 use mc2ls::temporal::{solve_temporal, TemporalProblem, TimedUser};
 use rand::rngs::StdRng;

@@ -7,6 +7,10 @@
 //! the mean. No statistics, plots, or report files; good enough to compare
 //! runs by eye and to keep `cargo bench` working offline.
 
+#![forbid(unsafe_code)]
+// Reporting bench timings on stdout is this shim's entire purpose.
+#![allow(clippy::print_stdout)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -13,6 +13,8 @@
 //! - string "regex" strategies support the `.{a,b}` shape used here, falling
 //!   back to emitting the pattern itself as a literal.
 
+#![forbid(unsafe_code)]
+
 use rand::prelude::*;
 
 /// A generator of values for property tests. (The real crate's value trees

@@ -8,6 +8,8 @@
 //! differ from ones generated under the real crate, but every use in this
 //! repo only requires determinism for a fixed seed, which this provides.
 
+#![forbid(unsafe_code)]
+
 /// Low-level entropy source; object-safe.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
@@ -68,7 +70,7 @@ impl SeedableRng for StdRng {
 pub mod rngs {
     pub use crate::StdRng;
     /// Alias: the shim needs no separate small generator.
-    pub type SmallRng = crate::StdRng;
+    pub type SmallRng = StdRng;
 }
 
 /// Types producible by `Rng::gen()`.
@@ -98,6 +100,8 @@ impl Standard for bool {
 macro_rules! impl_standard_int {
     ($($t:ty),*) => {$(
         impl Standard for $t {
+            // The macro instantiates identity casts (u64 as u64) too.
+            #[allow(trivial_numeric_casts)]
             fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
                 rng.next_u64() as $t
             }
@@ -121,6 +125,8 @@ fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
 macro_rules! impl_range_int {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for std::ops::Range<$t> {
+            // The macro instantiates identity casts (u64 as u64) too.
+            #[allow(trivial_numeric_casts)]
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as i128 - self.start as i128) as u64;
@@ -128,6 +134,8 @@ macro_rules! impl_range_int {
             }
         }
         impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            // The macro instantiates identity casts (u64 as u64) too.
+            #[allow(trivial_numeric_casts)]
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
@@ -147,6 +155,8 @@ impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 macro_rules! impl_range_float {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for std::ops::Range<$t> {
+            // The macro instantiates identity casts (u64 as u64) too.
+            #[allow(trivial_numeric_casts)]
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let u = <$t as Standard>::sample(rng);

@@ -12,6 +12,8 @@
 //! requires deleting `crates/shims` and restoring the registry versions in
 //! the workspace manifest.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::fmt;
@@ -280,7 +282,7 @@ impl std::ops::Index<usize> for Value {
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&crate::render::compact(self))
+        f.write_str(&render::compact(self))
     }
 }
 
@@ -330,6 +332,8 @@ pub(crate) fn mismatch(expected: &str, got: &Value) -> Error {
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
+            // The macro instantiates identity casts (u64 as u64) too.
+            #[allow(trivial_numeric_casts)]
             fn to_value(&self) -> Value {
                 Value::Number(Number::PosInt(*self as u64))
             }
@@ -346,6 +350,8 @@ macro_rules! impl_uint {
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
+            // The macro instantiates identity casts (i64 as i64) too.
+            #[allow(trivial_numeric_casts)]
             fn to_value(&self) -> Value {
                 let n = *self as i64;
                 if n >= 0 {

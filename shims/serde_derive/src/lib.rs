@@ -11,6 +11,8 @@
 //! - non-generic enums with unit, one-field tuple, and struct variants,
 //!   externally tagged like real serde.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize, attributes(serde))]

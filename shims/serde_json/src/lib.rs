@@ -6,6 +6,8 @@
 //! of object keys is preserved, matching the real crate's `preserve_order`
 //! feature that the bench harness relies on for table column order.
 
+#![forbid(unsafe_code)]
+
 pub use serde::{Error, Map, Number, Value};
 
 /// Result alias matching `serde_json::Result`.

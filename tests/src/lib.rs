@@ -1,5 +1,7 @@
 //! Test-support crate: shared instance builders for the integration suite.
 
+#![forbid(unsafe_code)]
+
 use mc2ls::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
