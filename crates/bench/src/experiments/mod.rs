@@ -15,6 +15,7 @@ mod figd;
 mod greedy;
 mod parallel;
 mod quality;
+mod serve;
 mod table1;
 mod table2;
 mod verify;
@@ -33,6 +34,7 @@ pub use figd::figd;
 pub use greedy::greedy;
 pub use parallel::parallel;
 pub use quality::quality;
+pub use serve::serve;
 pub use table1::table1;
 pub use table2::table2;
 pub use verify::verify;
@@ -62,6 +64,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("BENCH_parallel", parallel),
         ("BENCH_verify", verify),
         ("BENCH_greedy", greedy),
+        ("BENCH_serve", serve),
     ]
 }
 

@@ -1,0 +1,211 @@
+//! `BENCH_serve` — snapshot cold-start vs in-process rebuild, and loopback
+//! serving throughput with the result cache on and off (written to
+//! `BENCH_serve.json`).
+//!
+//! Two row kinds per dataset:
+//!
+//! * `coldstart` — wall-clock of `Snapshot::build` (the full influence
+//!   pipeline) vs `Snapshot::from_bytes` over the encoded container. The
+//!   load path is asserted faster than the rebuild: that is the whole
+//!   point of persisting the indexes.
+//! * `serving` — a real `Server` on an ephemeral loopback port, driven by
+//!   `clients` concurrent `Client` connections issuing full-instance
+//!   queries. Reported: queries/s and the server-side cache hit rate.
+//!
+//! Every served answer is asserted bit-identical to the direct
+//! `solve_threaded` run of the same instance, and every answer's pruning
+//! counters are asserted all-zero — the serving path re-evaluates no
+//! influence sets.
+
+use crate::{Ctx, ExperimentResult};
+use mc2ls::core::PruneStats;
+use mc2ls::prelude::*;
+use mc2ls_serve::{Client, QueryEngine, QueryRequest, Server, ServerConfig, Snapshot};
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+const QUERIES_PER_CLIENT: usize = 8;
+const CLIENTS: [usize; 2] = [1, 4];
+const CACHE_CAPACITIES: [usize; 2] = [0, 64];
+
+/// Median wall-clock of `reps` runs of `f`.
+fn median_of<F: FnMut() -> Duration>(reps: usize, mut f: F) -> Duration {
+    let mut times: Vec<Duration> = (0..reps.max(1)).map(|_| f()).collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Runs the experiment; see the module docs for the row kinds.
+pub fn serve(ctx: &Ctx) -> ExperimentResult {
+    let cores = crate::detected_cores();
+    // Engine solve threads: the serving rows measure dispatch/cache
+    // overhead and concurrency, not solver scaling (BENCH_greedy covers
+    // that), so one solver thread keeps the numbers comparable.
+    let threads = 1usize;
+    let mut rows = Vec::new();
+
+    for (name, dataset) in [
+        ("C", crate::california(ctx.scale_c)),
+        ("N", crate::new_york(ctx.scale_n)),
+    ] {
+        let problem = crate::default_problem(&dataset);
+
+        // --- cold start vs rebuild -------------------------------------
+        let build_wall = {
+            let t = Instant::now();
+            let (snap, _) = Snapshot::build(name, &problem, crate::defaults::D_HAT, threads);
+            let elapsed = t.elapsed();
+            std::hint::black_box(&snap);
+            elapsed
+        };
+        let (snapshot, _) = Snapshot::build(name, &problem, crate::defaults::D_HAT, threads);
+        let bytes = snapshot.to_bytes();
+        let load_wall = median_of(ctx.reps.max(3), || {
+            let t = Instant::now();
+            let s = Snapshot::from_bytes(&bytes).expect("container decodes");
+            let elapsed = t.elapsed();
+            std::hint::black_box(&s);
+            elapsed
+        });
+        assert!(
+            load_wall < build_wall,
+            "{name}: cold load ({load_wall:?}) must beat rebuild ({build_wall:?})"
+        );
+        // Both row kinds share one column set (the table printer takes
+        // its columns from the first row); cells that do not apply to a
+        // kind hold "-".
+        rows.push(
+            crate::RowBuilder::new()
+                .set("kind", json!("coldstart"))
+                .set("dataset", json!(name))
+                .set("cores", json!(cores))
+                .set("threads", json!(threads))
+                .set("clients", json!("-"))
+                .set("cache", json!("-"))
+                .set("snapshot_bytes", json!(bytes.len()))
+                .set("build_ms", super::ms(build_wall))
+                .set("load_ms", super::ms(load_wall))
+                .set("speedup", json!(ratio(build_wall, load_wall)))
+                .set("queries", json!("-"))
+                .set("wall_ms", json!("-"))
+                .set("qps", json!("-"))
+                .set("hit_rate", json!("-"))
+                .build(),
+        );
+
+        // The ground truth every served answer must match bit-for-bit.
+        let reference = solve_threaded(
+            &problem,
+            Method::Iqt(IqtConfig::iqt(crate::defaults::D_HAT)),
+            Selector::Auto,
+            threads,
+        )
+        .solution;
+        let request = QueryRequest {
+            candidates: None,
+            k: problem.k,
+            tau: problem.tau,
+            block_size: problem.block_size,
+            selector: Selector::Auto,
+        };
+
+        // --- loopback serving sweep ------------------------------------
+        for cache_capacity in CACHE_CAPACITIES {
+            for clients in CLIENTS {
+                let engine = QueryEngine::new(
+                    Snapshot::from_bytes(&bytes).expect("container decodes"),
+                    threads,
+                );
+                let config = ServerConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    workers: clients,
+                    max_pending: clients * 2 + QUERIES_PER_CLIENT,
+                    cache_capacity,
+                    threads,
+                    ..ServerConfig::default()
+                };
+                let server = Server::start(config, engine).expect("server binds loopback");
+                let addr = server.addr().to_string();
+
+                let t = Instant::now();
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        let addr = addr.clone();
+                        let request = request.clone();
+                        std::thread::spawn(move || {
+                            let mut client = Client::connect(&addr).expect("client connects");
+                            (0..QUERIES_PER_CLIENT)
+                                .map(|_| client.query(&request).expect("query answered"))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let answers: Vec<_> = handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("client thread joins"))
+                    .collect();
+                let wall = t.elapsed();
+
+                let mut probe = Client::connect(&addr).expect("stats client connects");
+                let stats = probe.stats().expect("stats answered");
+                probe.shutdown().expect("shutdown acknowledged");
+                server.join();
+
+                for answer in &answers {
+                    assert_eq!(
+                        answer.solution.selected, reference.selected,
+                        "{name}: served selection diverged from direct solve"
+                    );
+                    assert_eq!(
+                        answer.solution.cinf.to_bits(),
+                        reference.cinf.to_bits(),
+                        "{name}: served cinf diverged from direct solve"
+                    );
+                    assert_eq!(
+                        answer.prune,
+                        PruneStats::default(),
+                        "{name}: the serving path must evaluate zero influence sets"
+                    );
+                }
+                let total = (clients * QUERIES_PER_CLIENT) as f64;
+                let hit_rate = if stats.cache_hits + stats.cache_misses == 0 {
+                    0.0
+                } else {
+                    stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
+                };
+                rows.push(
+                    crate::RowBuilder::new()
+                        .set("kind", json!("serving"))
+                        .set("dataset", json!(name))
+                        .set("cores", json!(cores))
+                        .set("threads", json!(threads))
+                        .set("clients", json!(clients))
+                        .set("cache", json!(cache_capacity))
+                        .set("snapshot_bytes", json!(bytes.len()))
+                        .set("build_ms", json!("-"))
+                        .set("load_ms", json!("-"))
+                        .set("speedup", json!("-"))
+                        .set("queries", json!(clients * QUERIES_PER_CLIENT))
+                        .set("wall_ms", super::ms(wall))
+                        .set(
+                            "qps",
+                            json!(((total / wall.as_secs_f64().max(1e-9)) * 100.0).round() / 100.0),
+                        )
+                        .set("hit_rate", crate::percent(hit_rate))
+                        .build(),
+                );
+            }
+        }
+    }
+
+    ExperimentResult {
+        id: "BENCH_serve",
+        title: "Serving: snapshot cold-start vs rebuild, loopback throughput, cache hit rate",
+        rows,
+    }
+}
+
+/// `a / b` rounded to 2 decimals.
+fn ratio(a: Duration, b: Duration) -> f64 {
+    ((a.as_secs_f64() / b.as_secs_f64().max(1e-9)) * 100.0).round() / 100.0
+}

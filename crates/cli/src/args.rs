@@ -20,6 +20,16 @@ commands:
              [--candidates N] [--facilities M] [-k K] [--tau T]
              [--block-size B] [--lazy-greedy true|false]
   convert    --checkins FILE --out FILE [--bounds ny|ca] [--min-positions N]
+  snapshot   save --preset P | --data FILE [--scale S] [--candidates N]
+             [--facilities M] [-k K] [--tau T] [--block-size B]
+             [--threads T] [--site-seed N] --out FILE.mc2s
+             load --file FILE.mc2s  (verify + print metadata)
+  serve      --snapshot FILE.mc2s [--addr HOST:PORT] [--workers N]
+             [--threads T] [--cache N] [--max-pending N] [--port-file FILE]
+  query      --addr HOST:PORT [--candidates 1,2,3] [-k K]
+             [--selector rescan|celf|decremental|auto] [--tau T]
+             [--block-size B] [--json]
+             [--stats] [--reload FILE.mc2s] [--shutdown]
   help";
 
 /// A parsed command line: the subcommand plus flag key/value pairs.
@@ -27,6 +37,9 @@ commands:
 pub struct Parsed {
     /// The subcommand name.
     pub command: String,
+    /// The action token of commands that take one (`snapshot save|load`);
+    /// `None` for every other command.
+    pub action: Option<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -59,16 +72,32 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-const COMMANDS: &[&str] = &["generate", "stats", "solve", "analyze", "convert", "help"];
+const COMMANDS: &[&str] = &[
+    "generate", "stats", "solve", "analyze", "convert", "snapshot", "serve", "query", "help",
+];
 /// Boolean flags that take no value.
-const SWITCHES: &[&str] = &["json"];
+const SWITCHES: &[&str] = &["json", "stats", "shutdown"];
+/// Commands taking a positional action token before their flags, with the
+/// actions each admits.
+const ACTIONS: &[(&str, &[&str])] = &[("snapshot", &["save", "load"])];
 
 impl Parsed {
     /// Parses `args` (without the program name).
     pub fn parse(args: &[String]) -> Result<Parsed, ArgError> {
-        let (command, rest) = args.split_first().ok_or(ArgError::Missing)?;
+        let (command, mut rest) = args.split_first().ok_or(ArgError::Missing)?;
         if !COMMANDS.contains(&command.as_str()) {
             return Err(ArgError::UnknownCommand(command.clone()));
+        }
+        let mut action = None;
+        if let Some((_, admitted)) = ACTIONS.iter().find(|(c, _)| c == command) {
+            let (token, after) = rest
+                .split_first()
+                .ok_or_else(|| ArgError::Required("<action>".into()))?;
+            if !admitted.contains(&token.as_str()) {
+                return Err(ArgError::BadValue("<action>".into(), token.clone()));
+            }
+            action = Some(token.clone());
+            rest = after;
         }
         let mut flags = BTreeMap::new();
         let mut it = rest.iter();
@@ -91,6 +120,7 @@ impl Parsed {
         }
         Ok(Parsed {
             command: command.clone(),
+            action,
             flags,
         })
     }
@@ -179,5 +209,33 @@ mod tests {
     fn require_reports_missing() {
         let p = Parsed::parse(&to_args("generate")).unwrap();
         assert!(matches!(p.require("out"), Err(ArgError::Required(_))));
+    }
+
+    #[test]
+    fn action_commands_take_one_action_token() {
+        let p = Parsed::parse(&to_args("snapshot save --out x.mc2s")).unwrap();
+        assert_eq!(p.command, "snapshot");
+        assert_eq!(p.action.as_deref(), Some("save"));
+        assert_eq!(p.get("out"), Some("x.mc2s"));
+        // Plain commands never get an action.
+        let p = Parsed::parse(&to_args("solve --tau 0.7")).unwrap();
+        assert_eq!(p.action, None);
+    }
+
+    #[test]
+    fn action_commands_reject_missing_or_unknown_actions() {
+        assert!(matches!(
+            Parsed::parse(&to_args("snapshot")),
+            Err(ArgError::Required(_))
+        ));
+        assert!(matches!(
+            Parsed::parse(&to_args("snapshot frobnicate --out x")),
+            Err(ArgError::BadValue(_, _))
+        ));
+        // The action slot does not make other commands accept positionals.
+        assert!(matches!(
+            Parsed::parse(&to_args("serve stray")),
+            Err(ArgError::Malformed(_))
+        ));
     }
 }

@@ -16,6 +16,9 @@ pub fn dispatch<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         "solve" => solve_cmd(parsed, out),
         "analyze" => analyze(parsed, out),
         "convert" => convert(parsed, out),
+        "snapshot" => snapshot_cmd(parsed, out),
+        "serve" => serve_cmd(parsed, out),
+        "query" => query_cmd(parsed, out),
         "help" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -85,38 +88,29 @@ fn parse_method(name: &str) -> Result<Method, ArgError> {
     })
 }
 
-fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+/// Parses a `--selector` value (shared by `solve` and `query`).
+fn parse_selector(name: &str) -> Result<Selector, ArgError> {
+    Ok(match name {
+        "rescan" => Selector::Greedy,
+        "celf" => Selector::LazyGreedy,
+        "decremental" => Selector::Decremental,
+        "auto" => Selector::Auto,
+        other => return Err(ArgError::BadValue("selector".into(), other.into())),
+    })
+}
+
+/// Builds the MC²LS instance shared by `solve`, `analyze` and `snapshot
+/// save`: dataset (file or preset), disjoint site sampling, and the
+/// standard instance flags. Returns the dataset name alongside.
+fn problem_from_flags(parsed: &Parsed) -> Result<(Problem<Sigmoid>, String), Box<dyn Error>> {
     let dataset = obtain_dataset(parsed)?;
     let n_c: usize = parsed.get_or("candidates", 100)?;
     let n_f: usize = parsed.get_or("facilities", 200)?;
     let k: usize = parsed.get_or("k", 10)?;
     let tau: f64 = parsed.get_or("tau", 0.7)?;
     let seed: u64 = parsed.get_or("site-seed", 42)?;
-    let method = parse_method(parsed.get("method").unwrap_or("iqt"))?;
-    let threads: usize = parsed.get_or("threads", 1)?;
-    if threads == 0 {
-        return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
-    }
     let block_size: usize = parsed.get_or("block-size", DEFAULT_BLOCK_SIZE)?;
-    // All selectors return byte-identical solutions; `--selector` picks how
-    // the greedy rounds are computed (`auto` chooses decremental vs CELF
-    // from the instance shape). The older `--lazy-greedy true|false` flag
-    // remains as a fallback when `--selector` is absent.
-    let selector = match parsed.get("selector") {
-        Some("rescan") => Selector::Greedy,
-        Some("celf") => Selector::LazyGreedy,
-        Some("decremental") => Selector::Decremental,
-        Some("auto") => Selector::Auto,
-        Some(other) => {
-            return Err(Box::new(ArgError::BadValue(
-                "selector".into(),
-                other.into(),
-            )))
-        }
-        None if parsed.get_or("lazy-greedy", true)? => Selector::LazyGreedy,
-        None => Selector::Greedy,
-    };
-
+    let name = dataset.name.clone();
     let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
     let problem = Problem::new(
         dataset.users,
@@ -127,6 +121,26 @@ fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         Sigmoid::paper_default(),
     )
     .with_block_size(block_size);
+    Ok((problem, name))
+}
+
+fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let method = parse_method(parsed.get("method").unwrap_or("iqt"))?;
+    let threads: usize = parsed.get_or("threads", 1)?;
+    if threads == 0 {
+        return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
+    }
+    // All selectors return byte-identical solutions; `--selector` picks how
+    // the greedy rounds are computed (`auto` chooses decremental vs CELF
+    // from the instance shape). The older `--lazy-greedy true|false` flag
+    // remains as a fallback when `--selector` is absent.
+    let selector = match parsed.get("selector") {
+        Some(name) => parse_selector(name)?,
+        None if parsed.get_or("lazy-greedy", true)? => Selector::LazyGreedy,
+        None => Selector::Greedy,
+    };
+
+    let (problem, _name) = problem_from_flags(parsed)?;
     // The influence phases fan out over `threads` workers; the result is
     // bit-identical to the serial run for any thread count.
     let report = solve_threaded(&problem, method, selector, threads);
@@ -166,24 +180,8 @@ fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
 
 fn analyze<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     use mc2ls::core::analysis;
-    let dataset = obtain_dataset(parsed)?;
-    let n_c: usize = parsed.get_or("candidates", 100)?;
-    let n_f: usize = parsed.get_or("facilities", 200)?;
-    let k: usize = parsed.get_or("k", 10)?;
-    let tau: f64 = parsed.get_or("tau", 0.7)?;
-    let seed: u64 = parsed.get_or("site-seed", 42)?;
-    let block_size: usize = parsed.get_or("block-size", DEFAULT_BLOCK_SIZE)?;
-
-    let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
-    let problem = Problem::new(
-        dataset.users,
-        facilities,
-        candidates,
-        k,
-        tau,
-        Sigmoid::paper_default(),
-    )
-    .with_block_size(block_size);
+    let (problem, _name) = problem_from_flags(parsed)?;
+    let k = problem.k;
     let (sets, _, _) =
         mc2ls::core::algorithms::influence_sets(&problem, Method::Iqt(IqtConfig::default()));
     let solution = if parsed.get_or("lazy-greedy", true)? {
@@ -242,6 +240,175 @@ fn convert<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         "converted {} users / {} positions to {output}",
         dataset.users.len(),
         dataset.stats().n_positions
+    )?;
+    Ok(())
+}
+
+fn snapshot_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    match parsed.action.as_deref() {
+        Some("save") => snapshot_save(parsed, out),
+        Some("load") => snapshot_load(parsed, out),
+        other => unreachable!("parser admitted snapshot action {other:?}"),
+    }
+}
+
+fn snapshot_save<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let path = parsed.require("out")?;
+    let threads: usize = parsed.get_or("threads", 1)?;
+    if threads == 0 {
+        return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
+    }
+    let leaf_diagonal: f64 = parsed.get_or("leaf-diagonal", 2.0)?;
+    let (problem, name) = problem_from_flags(parsed)?;
+    let (snapshot, stats) = mc2ls_serve::Snapshot::build(&name, &problem, leaf_diagonal, threads);
+    let bytes = snapshot.to_bytes();
+    std::fs::write(path, &bytes)?;
+    let meta = &snapshot.meta;
+    writeln!(
+        out,
+        "snapshot {}: {} users, {} candidates, {} facilities, tau {}",
+        meta.name, meta.n_users, meta.n_candidates, meta.n_facilities, meta.tau
+    )?;
+    writeln!(
+        out,
+        "influences: {} entries ({:.1}% of pairs pruned)",
+        snapshot.sets.total_influences(),
+        stats.pruned_fraction() * 100.0
+    )?;
+    writeln!(out, "wrote {} bytes to {path}", bytes.len())?;
+    Ok(())
+}
+
+fn snapshot_load<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let path = parsed.require("file")?;
+    let snapshot = mc2ls_serve::Snapshot::load(std::path::Path::new(path))?;
+    let meta = &snapshot.meta;
+    writeln!(out, "snapshot:    {}", meta.name)?;
+    writeln!(out, "users:       {}", meta.n_users)?;
+    writeln!(out, "candidates:  {}", meta.n_candidates)?;
+    writeln!(out, "facilities:  {}", meta.n_facilities)?;
+    writeln!(out, "tau:         {}", meta.tau)?;
+    writeln!(out, "block size:  {}", meta.block_size)?;
+    writeln!(out, "default k:   {}", meta.default_k)?;
+    writeln!(out, "influences:  {}", snapshot.sets.total_influences())?;
+    writeln!(out, "iqt nodes:   {}", snapshot.tree.stats().nodes)?;
+    writeln!(out, "verified OK (magic, version, section checksums)")?;
+    Ok(())
+}
+
+fn serve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let path = parsed.require("snapshot")?;
+    let threads: usize = parsed.get_or("threads", 1)?;
+    if threads == 0 {
+        return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
+    }
+    let config = mc2ls_serve::ServerConfig {
+        addr: parsed.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
+        workers: parsed.get_or("workers", 4)?,
+        max_pending: parsed.get_or("max-pending", 64)?,
+        cache_capacity: parsed.get_or("cache", 256)?,
+        threads,
+        ..mc2ls_serve::ServerConfig::default()
+    };
+    let snapshot = mc2ls_serve::Snapshot::load(std::path::Path::new(path))?;
+    let name = snapshot.meta.name.clone();
+    let engine = mc2ls_serve::QueryEngine::new(snapshot, threads);
+    let server = mc2ls_serve::Server::start(config, engine)?;
+    writeln!(out, "serving snapshot {} on {}", name, server.addr())?;
+    // Scripts (and the CI smoke job) poll this file to learn the bound
+    // port when `--addr` ends in `:0`.
+    if let Some(port_file) = parsed.get("port-file") {
+        std::fs::write(port_file, server.addr().to_string())?;
+    }
+    out.flush()?;
+    server.join();
+    writeln!(out, "server stopped")?;
+    Ok(())
+}
+
+fn query_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let addr = parsed.require("addr")?;
+    let mut client = mc2ls_serve::Client::connect(addr)?;
+
+    if parsed.switch("shutdown") {
+        writeln!(out, "{}", client.shutdown()?)?;
+        return Ok(());
+    }
+    if let Some(path) = parsed.get("reload") {
+        writeln!(out, "{}", client.reload(path)?)?;
+        return Ok(());
+    }
+    if parsed.switch("stats") {
+        let report = client.stats()?;
+        if parsed.switch("json") {
+            writeln!(out, "{}", serde_json::to_string_pretty(&report)?)?;
+            return Ok(());
+        }
+        writeln!(out, "snapshot:     {}", report.meta.name)?;
+        writeln!(
+            out,
+            "instance:     {} users, {} candidates, tau {}",
+            report.meta.n_users, report.meta.n_candidates, report.meta.tau
+        )?;
+        writeln!(out, "requests:     {}", report.requests)?;
+        writeln!(out, "queries:      {}", report.queries)?;
+        writeln!(
+            out,
+            "cache:        {} hits / {} misses ({} of {} entries)",
+            report.cache_hits, report.cache_misses, report.cache_len, report.cache_capacity
+        )?;
+        writeln!(out, "rejected:     {}", report.rejected)?;
+        writeln!(out, "errors:       {}", report.errors)?;
+        writeln!(out, "reloads:      {}", report.reloads)?;
+        writeln!(out, "queue depth:  {}", report.queue_depth)?;
+        writeln!(
+            out,
+            "latency:      p50 {}us, p99 {}us",
+            report.p50_us, report.p99_us
+        )?;
+        return Ok(());
+    }
+
+    // Pull the snapshot's parameters so a plain `query --addr …` just
+    // works; explicit flags override (and are validated server-side).
+    let meta = client.stats()?.meta;
+    let candidates = match parsed.get("candidates") {
+        None => None,
+        Some(list) => {
+            let ids: Result<Vec<u32>, _> = list
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::parse)
+                .collect();
+            Some(ids.map_err(|_| ArgError::BadValue("candidates".into(), list.into()))?)
+        }
+    };
+    let request = mc2ls_serve::QueryRequest {
+        candidates,
+        k: parsed.get_or("k", meta.default_k)?,
+        tau: parsed.get_or("tau", meta.tau)?,
+        block_size: parsed.get_or("block-size", meta.block_size)?,
+        selector: match parsed.get("selector") {
+            Some(name) => parse_selector(name)?,
+            None => Selector::Auto,
+        },
+    };
+    let answer = client.query(&request)?;
+    if parsed.switch("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&answer)?)?;
+        return Ok(());
+    }
+    writeln!(out, "selected: {:?}", answer.solution.selected)?;
+    writeln!(out, "cinf(G):  {:.4}", answer.solution.cinf)?;
+    writeln!(
+        out,
+        "covered:  {} of {} users",
+        answer.selection.covered_users, meta.n_users
+    )?;
+    writeln!(
+        out,
+        "cached:   {} (key {:016x})",
+        answer.cached, answer.key_hash
     )?;
     Ok(())
 }
@@ -458,5 +625,111 @@ mod tests {
         let (code, out) = call("generate --preset california");
         assert_eq!(code, 1);
         assert!(out.contains("--out") || out.contains("required"));
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_actions() {
+        let (code, out) = call("snapshot");
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("<action>"));
+        let (code, out) = call("snapshot frobnicate --out x.mc2s");
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("bad value"));
+    }
+
+    #[test]
+    fn snapshot_save_load_pipeline() {
+        let file = tmp("pipeline.mc2s");
+        let (code, out) = call(&format!(
+            "snapshot save --preset new-york --scale 0.05 --candidates 15 \
+             --facilities 20 -k 3 --tau 0.6 --out {file}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("wrote"), "{out}");
+
+        let (code, out) = call(&format!("snapshot load --file {file}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("candidates:  15"), "{out}");
+        assert!(out.contains("verified OK"), "{out}");
+
+        // Corrupt one payload byte: load must fail cleanly, not panic.
+        let mut bytes = std::fs::read(&file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let bad = tmp("pipeline-bad.mc2s");
+        std::fs::write(&bad, bytes).unwrap();
+        let (code, out) = call(&format!("snapshot load --file {bad}"));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("error:"), "{out}");
+    }
+
+    #[test]
+    fn serve_query_stats_shutdown_pipeline() {
+        // End-to-end through the real binary surface: save a snapshot,
+        // serve it on an ephemeral port, and drive it with `query`.
+        let instance = "--preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
+        let file = tmp("serve-e2e.mc2s");
+        let (code, out) = call(&format!("snapshot save {instance} --out {file}"));
+        assert_eq!(code, 0, "{out}");
+
+        let port_file = tmp("serve-e2e.port");
+        let _ = std::fs::remove_file(&port_file);
+        let serve_line =
+            format!("serve --snapshot {file} --addr 127.0.0.1:0 --port-file {port_file}");
+        let server = std::thread::spawn(move || call(&serve_line));
+
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                    break addr;
+                }
+                assert!(waited < 30_000, "server never wrote its port file");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                waited += 20;
+            }
+        };
+
+        // A served query answers bit-for-bit like the direct solve of the
+        // same instance (the snapshot was built from identical flags).
+        let (code, direct) = call(&format!("solve {instance} --selector auto"));
+        assert_eq!(code, 0, "{direct}");
+        let (code, served) = call(&format!("query --addr {addr}"));
+        assert_eq!(code, 0, "{served}");
+        let pick = |s: &str, prefix: &str| {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap()
+                .to_owned()
+        };
+        for prefix in ["selected", "cinf", "covered"] {
+            assert_eq!(pick(&direct, prefix), pick(&served, prefix));
+        }
+
+        // Second identical query hits the cache; stats must show it.
+        let (code, served2) = call(&format!("query --addr {addr}"));
+        assert_eq!(code, 0, "{served2}");
+        assert_eq!(pick(&direct, "selected"), pick(&served2, "selected"));
+        assert!(served2.contains("cached:   true"), "{served2}");
+        let (code, stats) = call(&format!("query --addr {addr} --stats"));
+        assert_eq!(code, 0, "{stats}");
+        assert!(stats.contains("queries:      2"), "{stats}");
+        assert!(stats.contains("1 hits"), "{stats}");
+
+        let (code, bye) = call(&format!("query --addr {addr} --shutdown"));
+        assert_eq!(code, 0, "{bye}");
+        assert!(bye.contains("shutting down"), "{bye}");
+        let (code, out) = server.join().unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("server stopped"), "{out}");
+    }
+
+    #[test]
+    fn query_reports_connection_failures_cleanly() {
+        // Nothing listens on this port; the client must fail with a typed
+        // error and exit code 1, never a panic.
+        let (code, out) = call("query --addr 127.0.0.1:1 --stats");
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("error:"), "{out}");
     }
 }

@@ -123,8 +123,11 @@ pub fn resolve_selector(selector: Selector, sets: &InfluenceSets, k: usize) -> S
 }
 
 /// Runs the (resolved) selector, returning the solution plus its
-/// [`SelectionStats`] work counters.
-fn run_selector(
+/// [`SelectionStats`] work counters. Public so callers holding
+/// pre-computed (or deserialized) [`InfluenceSets`] — notably the
+/// `mc2ls-serve` query engine — can run the selection phase alone without
+/// re-deriving the influence relationships.
+pub fn run_selector(
     selector: Selector,
     sets: &InfluenceSets,
     k: usize,

@@ -1,4 +1,5 @@
 use crate::Bitset;
+use mc2ls_geo::{ByteReader, ByteWriter, CodecError};
 
 /// The influence relationships an algorithm's pruning + verification phases
 /// produce, and everything the greedy selection phase needs:
@@ -185,6 +186,88 @@ impl InfluenceSets {
         // lint:allow(float-accum): serial sum over the sorted union in fixed ascending user order
         self.omega_of_set(set).iter().map(|&o| self.weight(o)).sum()
     }
+
+    /// The influence sets restricted to the candidate subset `cands`
+    /// (global candidate ids, in the given order): row `i` of the result is
+    /// this structure's row `cands[i]`, and `f_count` is shared unchanged.
+    ///
+    /// Because every pruning rule decides candidates independently, this
+    /// equals the `InfluenceSets` a from-scratch solve over the same
+    /// candidate subset would compute — the query-serving layer relies on
+    /// exactly that to answer subset queries without re-verification (the
+    /// serve tests assert the resulting solutions bit-identical).
+    ///
+    /// # Panics
+    /// Panics when a candidate id is out of range — serving code validates
+    /// ids against `n_candidates` before calling.
+    pub fn subset(&self, cands: &[u32]) -> InfluenceSets {
+        let mut offsets = Vec::with_capacity(cands.len() + 1);
+        offsets.push(0u32);
+        let total: usize = cands.iter().map(|&c| self.omega(c as usize).len()).sum();
+        let mut user_ids = Vec::with_capacity(total);
+        for &c in cands {
+            user_ids.extend_from_slice(self.omega(c as usize));
+            // lint:allow(narrowing-cast): the subset adjacency is no longer than the full adjacency, which fits u32
+            offsets.push(user_ids.len() as u32);
+        }
+        InfluenceSets {
+            offsets,
+            user_ids,
+            f_count: self.f_count.clone(),
+        }
+    }
+
+    /// Encodes the structure into the pinned little-endian byte layout
+    /// (`offsets`, `user_ids`, `f_count`, each length-prefixed) used by the
+    /// `.mc2s` snapshot format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(
+            24 + 4 * (self.offsets.len() + self.user_ids.len() + self.f_count.len()),
+        );
+        w.put_u32_slice(&self.offsets);
+        w.put_u32_slice(&self.user_ids);
+        w.put_u32_slice(&self.f_count);
+        w.into_bytes()
+    }
+
+    /// Decodes [`InfluenceSets::to_bytes`] output, checking every CSR
+    /// invariant the accessors rely on. Corrupt input yields a typed
+    /// [`CodecError`], never a panic.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`]/[`CodecError::BadLength`] on short or
+    /// length-corrupt input, [`CodecError::Invalid`] when the decoded
+    /// arrays violate a CSR invariant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let offsets = r.get_u32_vec("InfluenceSets.offsets")?;
+        let user_ids = r.get_u32_vec("InfluenceSets.user_ids")?;
+        let f_count = r.get_u32_vec("InfluenceSets.f_count")?;
+        r.expect_end()?;
+        if offsets.first() != Some(&0) {
+            return Err(CodecError::Invalid("offsets must start at 0"));
+        }
+        if offsets[offsets.len() - 1] as usize != user_ids.len() {
+            return Err(CodecError::Invalid("offsets must end at user_ids.len()"));
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(CodecError::Invalid("offsets not non-decreasing"));
+        }
+        for w in offsets.windows(2) {
+            let row = &user_ids[w[0] as usize..w[1] as usize];
+            if !row.windows(2).all(|x| x[0] < x[1]) {
+                return Err(CodecError::Invalid("omega_c row not strictly sorted"));
+            }
+            if row.last().is_some_and(|&u| u as usize >= f_count.len()) {
+                return Err(CodecError::Invalid("user id out of the f_count range"));
+            }
+        }
+        Ok(InfluenceSets {
+            offsets,
+            user_ids,
+            f_count,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -297,5 +380,53 @@ mod tests {
     #[should_panic(expected = "offsets must start at 0")]
     fn csr_with_bad_leading_offset_is_rejected() {
         InfluenceSets::from_csr(vec![1, 3], vec![0, 1, 2], vec![0; 3]);
+    }
+
+    #[test]
+    fn subset_slices_rows_in_request_order() {
+        let s = paper_example();
+        let sub = s.subset(&[2, 0]);
+        assert_eq!(sub.n_candidates(), 2);
+        assert_eq!(sub.omega(0), s.omega(2));
+        assert_eq!(sub.omega(1), s.omega(0));
+        assert_eq!(sub.f_count, s.f_count);
+        let empty = s.subset(&[]);
+        assert_eq!(empty.n_candidates(), 0);
+        assert_eq!(empty.total_influences(), 0);
+    }
+
+    #[test]
+    fn byte_codec_round_trips_bit_identically() {
+        let s = paper_example();
+        let decoded = InfluenceSets::from_bytes(&s.to_bytes()).expect("round trip");
+        assert_eq!(decoded, s);
+        let empty = InfluenceSets::new(vec![vec![]], vec![]);
+        assert_eq!(
+            InfluenceSets::from_bytes(&empty.to_bytes()).expect("empty"),
+            empty
+        );
+    }
+
+    #[test]
+    fn byte_codec_rejects_corruption_without_panicking() {
+        let s = paper_example();
+        let bytes = s.to_bytes();
+        // Truncations at every prefix length fail with a typed error.
+        for cut in 0..bytes.len() {
+            assert!(InfluenceSets::from_bytes(&bytes[..cut]).is_err(), "{cut}");
+        }
+        // An unsorted row is caught by the invariant check: swap the two
+        // user ids of candidate 0 (offsets block is 4 entries + prefix).
+        let mut swapped = bytes.clone();
+        let row_start = 8 + 4 * 4 + 8; // offsets prefix+payload, ids prefix
+        swapped.swap(row_start, row_start + 4);
+        swapped.swap(row_start + 1, row_start + 5);
+        swapped.swap(row_start + 2, row_start + 6);
+        swapped.swap(row_start + 3, row_start + 7);
+        assert!(InfluenceSets::from_bytes(&swapped).is_err());
+        // Trailing garbage is rejected too.
+        let mut long = bytes;
+        long.push(0);
+        assert!(InfluenceSets::from_bytes(&long).is_err());
     }
 }

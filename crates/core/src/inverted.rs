@@ -15,6 +15,7 @@
 
 use crate::parallel::map_chunks;
 use crate::InfluenceSets;
+use mc2ls_geo::{ByteReader, ByteWriter, CodecError};
 
 /// CSR mapping each user to the sorted candidates that influence them.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +107,47 @@ impl InvertedIndex {
     #[inline]
     pub fn candidates_of(&self, o: u32) -> &[u32] {
         &self.cand_ids[self.offsets[o as usize] as usize..self.offsets[o as usize + 1] as usize]
+    }
+
+    /// Encodes the structure into the pinned little-endian byte layout
+    /// (`offsets` then `cand_ids`, each length-prefixed) used by the
+    /// `.mc2s` snapshot format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(16 + 4 * (self.offsets.len() + self.cand_ids.len()));
+        w.put_u32_slice(&self.offsets);
+        w.put_u32_slice(&self.cand_ids);
+        w.into_bytes()
+    }
+
+    /// Decodes [`InvertedIndex::to_bytes`] output, checking every CSR
+    /// invariant the accessors rely on. Corrupt input yields a typed
+    /// [`CodecError`], never a panic.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`]/[`CodecError::BadLength`] on short or
+    /// length-corrupt input, [`CodecError::Invalid`] when the decoded
+    /// arrays violate a CSR invariant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let offsets = r.get_u32_vec("InvertedIndex.offsets")?;
+        let cand_ids = r.get_u32_vec("InvertedIndex.cand_ids")?;
+        r.expect_end()?;
+        if offsets.first() != Some(&0) {
+            return Err(CodecError::Invalid("offsets must start at 0"));
+        }
+        if offsets[offsets.len() - 1] as usize != cand_ids.len() {
+            return Err(CodecError::Invalid("offsets must end at cand_ids.len()"));
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(CodecError::Invalid("offsets not non-decreasing"));
+        }
+        for w in offsets.windows(2) {
+            let row = &cand_ids[w[0] as usize..w[1] as usize];
+            if !row.windows(2).all(|x| x[0] < x[1]) {
+                return Err(CodecError::Invalid("candidate row not strictly sorted"));
+            }
+        }
+        Ok(InvertedIndex { offsets, cand_ids })
     }
 
     /// Structural sanitizer: checks every CSR invariant the accessors rely
@@ -216,6 +258,20 @@ mod tests {
                 assert_eq!(serial, InvertedIndex::build(&sets, threads), "t={threads}");
             }
         }
+    }
+
+    #[test]
+    fn byte_codec_round_trips_and_rejects_corruption() {
+        let inv = InvertedIndex::build(&paper_sets(), 2);
+        let bytes = inv.to_bytes();
+        assert_eq!(InvertedIndex::from_bytes(&bytes).expect("round trip"), inv);
+        for cut in 0..bytes.len() {
+            assert!(InvertedIndex::from_bytes(&bytes[..cut]).is_err(), "{cut}");
+        }
+        // Corrupting the row-pointer monotonicity is a typed error.
+        let mut bad = bytes;
+        bad[8] = 0xFF; // first offset entry becomes nonzero
+        assert!(InvertedIndex::from_bytes(&bad).is_err());
     }
 
     #[test]

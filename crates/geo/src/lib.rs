@@ -16,6 +16,8 @@
 //! * [`Extent`] — incremental bounding-box accumulation for datasets.
 //! * [`morton_code`] — z-order codes over quad subdivisions, shared by the
 //!   IQuad-tree builder and the blocked verification substrate.
+//! * [`codec`] — the little-endian binary reader/writer (plus CRC-32) the
+//!   snapshot persistence layer pins every artifact's byte layout on.
 //!
 //! All distances are Euclidean in km. The substrate is `f64` throughout; the
 //! algorithms never require exact arithmetic because every pruning rule is
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod circle;
+pub mod codec;
 mod extent;
 mod morton;
 mod point;
@@ -33,6 +36,7 @@ mod rect;
 mod square;
 
 pub use circle::Circle;
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use extent::Extent;
 pub use morton::morton_code;
 pub use point::Point;

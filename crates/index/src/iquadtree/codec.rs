@@ -1,0 +1,356 @@
+//! Byte codec for [`IQuadTree`] — the `IQTR` section payload of the
+//! `.mc2s` snapshot container.
+//!
+//! The encoding pins the *built* shape of the tree: node squares, levels,
+//! sparse child links (`u32::MAX` = no child), per-user position counts and
+//! leaf position lists, plus the derived scalars (`depth`, `r_max`,
+//! `n_users`, `NIR`, the per-level `⌈η⌉` table). The lazy traversal caches
+//! (`Ω_inf`/`Ω_vrf`) and the dedup stamp are **runtime state** and are not
+//! serialized — a loaded tree starts cold, exactly like a freshly built
+//! one, and re-derives them on first traversal.
+//!
+//! Decoding re-checks every structural invariant the traversal code relies
+//! on (child links strictly forward ⇒ acyclic, levels consistent, user ids
+//! in range, counts consistent with children/points), so a corrupt snapshot
+//! yields a typed [`CodecError`] instead of an out-of-bounds panic or an
+//! infinite recursion.
+
+use super::node::IqtNode;
+use super::{IQuadTree, Stamp};
+use mc2ls_geo::{ByteReader, ByteWriter, CodecError, Point, Square};
+
+/// Child-slot sentinel for "no child" (node indices are dense and far
+/// below `u32::MAX`).
+const NO_CHILD: u32 = u32::MAX;
+
+impl IQuadTree {
+    /// Encodes the built tree into the pinned little-endian byte layout
+    /// used by the `.mc2s` snapshot format. Lazy caches are not encoded,
+    /// so the bytes depend only on the indexed data — encoding is
+    /// deterministic across traversal histories.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(64 + 64 * self.nodes.len());
+        w.put_f64(self.root_square.origin.x);
+        w.put_f64(self.root_square.origin.y);
+        w.put_f64(self.root_square.side);
+        w.put_len(self.depth);
+        w.put_len(self.r_max);
+        w.put_len(self.n_users);
+        match self.nir {
+            Some(nir) => {
+                w.put_u8(1);
+                w.put_f64(nir);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_len(self.eta_by_level.len());
+        for eta in &self.eta_by_level {
+            match eta {
+                Some(e) => {
+                    w.put_u8(1);
+                    w.put_len(*e);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        w.put_len(self.nodes.len());
+        for node in &self.nodes {
+            w.put_f64(node.square.origin.x);
+            w.put_f64(node.square.origin.y);
+            w.put_f64(node.square.side);
+            w.put_len(node.level);
+            for child in node.children {
+                w.put_u32(child.unwrap_or(NO_CHILD));
+            }
+            w.put_len(node.counts.len());
+            for &(u, c) in &node.counts {
+                w.put_u32(u);
+                w.put_u32(c);
+            }
+            w.put_len(node.points.len());
+            for &(u, p) in &node.points {
+                w.put_u32(u);
+                w.put_f64(p.x);
+                w.put_f64(p.y);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes [`IQuadTree::to_bytes`] output, re-checking the structural
+    /// invariants traversal relies on. The loaded tree carries fresh
+    /// (empty) caches and a fresh dedup stamp.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`]/[`CodecError::BadLength`] on short or
+    /// length-corrupt input, [`CodecError::Invalid`] when a decoded field
+    /// violates a tree invariant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let root_square = read_square(&mut r)?;
+        let depth = read_usize(&mut r, "IQuadTree.depth")?;
+        if depth > 31 {
+            return Err(CodecError::Invalid("depth exceeds the Morton budget"));
+        }
+        let r_max = read_usize(&mut r, "IQuadTree.r_max")?;
+        let n_users = read_usize(&mut r, "IQuadTree.n_users")?;
+        let nir = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let v = r.get_f64()?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(CodecError::Invalid("NIR must be finite and positive"));
+                }
+                Some(v)
+            }
+            _ => return Err(CodecError::Invalid("NIR flag must be 0 or 1")),
+        };
+        let n_eta = r.get_len("IQuadTree.eta_by_level", 1)?;
+        if n_eta != depth + 1 {
+            return Err(CodecError::Invalid("eta table must have depth + 1 entries"));
+        }
+        let mut eta_by_level = Vec::with_capacity(n_eta);
+        for _ in 0..n_eta {
+            eta_by_level.push(match r.get_u8()? {
+                0 => None,
+                1 => Some(read_usize(&mut r, "IQuadTree.eta")?),
+                _ => return Err(CodecError::Invalid("eta flag must be 0 or 1")),
+            });
+        }
+
+        // 44 bytes = the fixed prefix of a node (square + level + children).
+        let n_nodes = r.get_len("IQuadTree.nodes", 44)?;
+        if n_nodes == 0 {
+            return Err(CodecError::Invalid("tree must have a root node"));
+        }
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for idx in 0..n_nodes {
+            let square = read_square(&mut r)?;
+            let level = read_usize(&mut r, "IqtNode.level")?;
+            if level > depth {
+                return Err(CodecError::Invalid("node level below the leaf level"));
+            }
+            let mut children = [None; 4];
+            for slot in &mut children {
+                let c = r.get_u32()?;
+                if c != NO_CHILD {
+                    // Child links point strictly forward (build order), so
+                    // bounded indices imply an acyclic, finite hierarchy.
+                    if c as usize >= n_nodes || c as usize <= idx {
+                        return Err(CodecError::Invalid("child index out of order"));
+                    }
+                    *slot = Some(c);
+                }
+            }
+            let n_counts = r.get_len("IqtNode.counts", 8)?;
+            let mut counts = Vec::with_capacity(n_counts);
+            for _ in 0..n_counts {
+                let u = r.get_u32()?;
+                let c = r.get_u32()?;
+                if u as usize >= n_users {
+                    return Err(CodecError::Invalid("count entry user out of range"));
+                }
+                if c == 0 {
+                    return Err(CodecError::Invalid("zero count entry"));
+                }
+                if counts.last().is_some_and(|&(last, _)| last >= u) {
+                    return Err(CodecError::Invalid("counts not sorted by user id"));
+                }
+                counts.push((u, c));
+            }
+            let n_points = r.get_len("IqtNode.points", 20)?;
+            if level < depth && n_points != 0 {
+                return Err(CodecError::Invalid("inner node stores points"));
+            }
+            let mut points = Vec::with_capacity(n_points);
+            for _ in 0..n_points {
+                let u = r.get_u32()?;
+                if u as usize >= n_users {
+                    return Err(CodecError::Invalid("leaf position user out of range"));
+                }
+                points.push((u, Point::new(r.get_f64()?, r.get_f64()?)));
+            }
+            nodes.push(IqtNode {
+                square,
+                level,
+                children,
+                counts,
+                points,
+                omega_inf: None,
+                omega_vrf: None,
+            });
+        }
+        r.expect_end()?;
+
+        // Cross-node pass: child levels step by one, and every node's count
+        // total matches its children (inner) or its stored points (leaf).
+        for node in &nodes {
+            let own_total: u64 = node.counts.iter().map(|&(_, c)| u64::from(c)).sum();
+            if node.level == depth {
+                if !node.is_leaf() {
+                    return Err(CodecError::Invalid("leaf-level node with children"));
+                }
+                if own_total != node.points.len() as u64 {
+                    return Err(CodecError::Invalid("leaf counts disagree with points"));
+                }
+                // Per-user multiplicities must match exactly: traversal
+                // trusts counts for the IS rule and points for NIR.
+                let mut by_user = std::collections::BTreeMap::new();
+                for &(u, _) in &node.points {
+                    *by_user.entry(u).or_insert(0u64) += 1;
+                }
+                if by_user.len() != node.counts.len()
+                    || node
+                        .counts
+                        .iter()
+                        .any(|&(u, c)| by_user.get(&u) != Some(&u64::from(c)))
+                {
+                    return Err(CodecError::Invalid("leaf counts disagree with points"));
+                }
+            } else {
+                let mut child_total = 0u64;
+                for child in node.children.into_iter().flatten() {
+                    let child = &nodes[child as usize];
+                    if child.level != node.level + 1 {
+                        return Err(CodecError::Invalid("child skips a level"));
+                    }
+                    child_total += child.counts.iter().map(|&(_, c)| u64::from(c)).sum::<u64>();
+                }
+                if own_total != child_total {
+                    return Err(CodecError::Invalid("node counts disagree with children"));
+                }
+            }
+        }
+
+        Ok(IQuadTree {
+            nodes,
+            root_square,
+            depth,
+            eta_by_level,
+            nir,
+            r_max,
+            n_users,
+            seen: std::sync::Mutex::new(Stamp {
+                mark: vec![0; n_users],
+                epoch: 0,
+            }),
+            last_removed_mbr: None,
+        })
+    }
+}
+
+fn read_square(r: &mut ByteReader<'_>) -> Result<Square, CodecError> {
+    let x = r.get_f64()?;
+    let y = r.get_f64()?;
+    let side = r.get_f64()?;
+    if !(x.is_finite() && y.is_finite() && side.is_finite() && side >= 0.0) {
+        return Err(CodecError::Invalid("square must be finite with side >= 0"));
+    }
+    Ok(Square::new(Point::new(x, y), side))
+}
+
+fn read_usize(r: &mut ByteReader<'_>, what: &'static str) -> Result<usize, CodecError> {
+    let v = r.get_u64()?;
+    usize::try_from(v).map_err(|_| CodecError::BadLength { what, claimed: v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc2ls_influence::{MovingUser, Sigmoid};
+
+    fn users_grid() -> Vec<MovingUser> {
+        (0..30)
+            .map(|i| {
+                let cx = (i % 6) as f64 * 3.0;
+                let cy = (i / 6) as f64 * 3.0;
+                MovingUser::new(
+                    (0..5)
+                        .map(|j| Point::new(cx + 0.1 * j as f64, cy + 0.07 * j as f64))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn byte_codec_round_trips_the_built_tree() {
+        let users = users_grid();
+        let pf = Sigmoid::paper_default();
+        let tree = IQuadTree::build(&users, &pf, 0.5, 2.0);
+        let bytes = tree.to_bytes();
+        let loaded = IQuadTree::from_bytes(&bytes).expect("round trip");
+        loaded.validate();
+        assert_eq!(loaded.stats(), tree.stats());
+        assert_eq!(loaded.nir(), tree.nir());
+        assert_eq!(loaded.r_max(), tree.r_max());
+        assert_eq!(loaded.eta_table(), tree.eta_table());
+        // Re-encoding is bit-identical: the codec pins a canonical layout.
+        assert_eq!(loaded.to_bytes(), bytes);
+        // Traversal outcomes are identical for probes inside and outside
+        // the indexed region.
+        let mut a = tree;
+        let mut b = loaded;
+        for v in [
+            Point::new(0.2, 0.2),
+            Point::new(7.5, 7.5),
+            Point::new(15.0, 12.0),
+            Point::new(-3.0, -3.0),
+        ] {
+            let want = a.traverse(&v);
+            let got = b.traverse(&v);
+            assert_eq!(got.influenced, want.influenced, "probe {v:?}");
+            assert_eq!(got.to_verify, want.to_verify, "probe {v:?}");
+        }
+    }
+
+    #[test]
+    fn encoding_ignores_traversal_caches() {
+        let users = users_grid();
+        let pf = Sigmoid::paper_default();
+        let mut tree = IQuadTree::build(&users, &pf, 0.5, 2.0);
+        let cold = tree.to_bytes();
+        let _ = tree.traverse(&Point::new(0.2, 0.2));
+        let _ = tree.traverse(&Point::new(7.5, 7.5));
+        assert_eq!(tree.to_bytes(), cold, "caches must not leak into bytes");
+    }
+
+    #[test]
+    fn byte_codec_rejects_corruption_without_panicking() {
+        let users: Vec<MovingUser> = (0..4)
+            .map(|i| {
+                MovingUser::new(vec![
+                    Point::new(i as f64, 0.0),
+                    Point::new(i as f64 + 0.1, 0.2),
+                ])
+            })
+            .collect();
+        let pf = Sigmoid::paper_default();
+        let tree = IQuadTree::build(&users, &pf, 0.5, 2.0);
+        let bytes = tree.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(IQuadTree::from_bytes(&bytes[..cut]).is_err(), "{cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(IQuadTree::from_bytes(&trailing).is_err());
+        // A cycle-forming child index is rejected (slot 0 of the root's
+        // child array lives right after the root's square + level).
+        let mut cyclic = bytes.clone();
+        let mut root_children = 24 + 8 + 8 + 8 + 1; // header up to the NIR flag
+        if tree.nir.is_some() {
+            root_children += 8;
+        }
+        root_children += 8; // eta table length prefix
+        for eta in &tree.eta_by_level {
+            root_children += 1 + if eta.is_some() { 8 } else { 0 };
+        }
+        root_children += 8 + 24 + 8; // node count, root square, root level
+        cyclic[root_children..root_children + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(IQuadTree::from_bytes(&cyclic).is_err());
+        // Flipping the depth invalidates the eta table length.
+        let mut bad_depth = bytes;
+        bad_depth[24] ^= 0xFF;
+        assert!(IQuadTree::from_bytes(&bad_depth).is_err());
+    }
+}

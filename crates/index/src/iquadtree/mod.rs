@@ -16,6 +16,7 @@
 //! sharing a node are handled batch-wise: the second and later facilities
 //! in a node pay one cache lookup instead of a scan.
 
+mod codec;
 mod node;
 
 // `morton_code` lives in `mc2ls_geo`: it performs the same `quadrant_of`

@@ -31,7 +31,7 @@
 //! experiment and asserted by the property tests).
 
 use crate::{CountEvals, ProbabilityFunction};
-use mc2ls_geo::{morton_code, Point, Rect, Square};
+use mc2ls_geo::{morton_code, ByteReader, ByteWriter, CodecError, Point, Rect, Square};
 use std::cell::Cell;
 
 /// Default positions per block (CLI `--block-size`).
@@ -50,7 +50,7 @@ const MORTON_DEPTH: usize = 16;
 /// owns blocks `user_offsets[o]..user_offsets[o+1]`. All arrays are
 /// immutable after [`PositionBlocks::build`], so the structure is `Sync`
 /// and shared by reference across verification workers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PositionBlocks {
     xs: Vec<f64>,
     ys: Vec<f64>,
@@ -214,6 +214,105 @@ impl PositionBlocks {
                 }
             }
         }
+    }
+
+    /// Encodes the structure into the pinned little-endian byte layout
+    /// (block size, SoA coordinate arrays, per-block MBRs as four `f64`s,
+    /// both offset arrays) used by the `.mc2s` snapshot format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(
+            48 + 16 * self.xs.len()
+                + 32 * self.rects.len()
+                + 4 * (self.block_offsets.len() + self.user_offsets.len()),
+        );
+        w.put_u64(self.block_size as u64);
+        w.put_f64_slice(&self.xs);
+        w.put_f64_slice(&self.ys);
+        w.put_len(self.rects.len());
+        for rect in &self.rects {
+            w.put_f64(rect.min.x);
+            w.put_f64(rect.min.y);
+            w.put_f64(rect.max.x);
+            w.put_f64(rect.max.y);
+        }
+        w.put_u32_slice(&self.block_offsets);
+        w.put_u32_slice(&self.user_offsets);
+        w.into_bytes()
+    }
+
+    /// Decodes [`PositionBlocks::to_bytes`] output, checking the SoA and
+    /// offset invariants the blocked kernel relies on (including that every
+    /// position sits inside its block's MBR, so corrupt coordinate or MBR
+    /// bits cannot silently change kernel decisions). Corrupt input yields
+    /// a typed [`CodecError`], never a panic.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`]/[`CodecError::BadLength`] on short or
+    /// length-corrupt input, [`CodecError::Invalid`] on violated
+    /// structural invariants.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let block_size_raw = r.get_u64()?;
+        let block_size = usize::try_from(block_size_raw)
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or(CodecError::Invalid("block_size must be a positive usize"))?;
+        let xs = r.get_f64_vec("PositionBlocks.xs")?;
+        let ys = r.get_f64_vec("PositionBlocks.ys")?;
+        let n_rects = r.get_len("PositionBlocks.rects", 32)?;
+        let mut rects = Vec::with_capacity(n_rects);
+        for _ in 0..n_rects {
+            let min = Point::new(r.get_f64()?, r.get_f64()?);
+            let max = Point::new(r.get_f64()?, r.get_f64()?);
+            if !(min.is_finite() && max.is_finite() && min.x <= max.x && min.y <= max.y) {
+                return Err(CodecError::Invalid("block MBR is not a finite rectangle"));
+            }
+            rects.push(Rect { min, max });
+        }
+        let block_offsets = r.get_u32_vec("PositionBlocks.block_offsets")?;
+        let user_offsets = r.get_u32_vec("PositionBlocks.user_offsets")?;
+        r.expect_end()?;
+
+        if xs.len() != ys.len() {
+            return Err(CodecError::Invalid("xs/ys length mismatch"));
+        }
+        if block_offsets.len() != rects.len() + 1 || block_offsets.first() != Some(&0) {
+            return Err(CodecError::Invalid("malformed block offsets"));
+        }
+        if block_offsets[rects.len()] as usize != xs.len()
+            || !block_offsets.windows(2).all(|w| w[0] <= w[1])
+        {
+            return Err(CodecError::Invalid("block offsets do not cover the SoA"));
+        }
+        if user_offsets.first() != Some(&0)
+            || user_offsets[user_offsets.len() - 1] as usize != rects.len()
+            || !user_offsets.windows(2).all(|w| w[0] <= w[1])
+        {
+            return Err(CodecError::Invalid("malformed user offsets"));
+        }
+        for (b, w) in block_offsets.windows(2).enumerate() {
+            let len = (w[1] - w[0]) as usize;
+            if len == 0 || len > block_size {
+                return Err(CodecError::Invalid("block length outside 1..=block_size"));
+            }
+            let rect = &rects[b];
+            let range = w[0] as usize..w[1] as usize;
+            if !xs[range.clone()]
+                .iter()
+                .zip(&ys[range])
+                .all(|(&x, &y)| rect.contains(&Point { x, y }))
+            {
+                return Err(CodecError::Invalid("position outside its block MBR"));
+            }
+        }
+        Ok(PositionBlocks {
+            xs,
+            ys,
+            rects,
+            block_offsets,
+            user_offsets,
+            block_size,
+        })
     }
 }
 
@@ -687,5 +786,49 @@ mod tests {
         );
         assert!(got);
         assert_eq!(evals.get(), 0);
+    }
+
+    #[test]
+    fn byte_codec_round_trips_bit_identically() {
+        let users = vec![
+            MovingUser::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 1.0),
+                Point::new(-2.0, 4.0),
+                Point::new(0.5, 0.5),
+                Point::new(2.5, 2.5),
+            ]),
+            MovingUser::new(vec![Point::new(10.0, 10.0)]),
+        ];
+        for block_size in [1usize, 2, 16] {
+            let blocks = PositionBlocks::build(&users, block_size);
+            let decoded = PositionBlocks::from_bytes(&blocks.to_bytes()).expect("round trip");
+            assert_eq!(decoded, blocks);
+            decoded.validate();
+        }
+    }
+
+    #[test]
+    fn byte_codec_rejects_corruption_without_panicking() {
+        let users = vec![MovingUser::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(1.0, 2.0),
+        ])];
+        let bytes = PositionBlocks::build(&users, 2).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(PositionBlocks::from_bytes(&bytes[..cut]).is_err(), "{cut}");
+        }
+        // A NaN coordinate can never sit inside its block's MBR.
+        let mut bad = bytes.clone();
+        let x0 = 8 + 8; // block_size, xs length prefix
+        bad[x0..x0 + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(PositionBlocks::from_bytes(&bad).is_err());
+        // A zero block size is structurally invalid.
+        let mut zero = bytes;
+        for b in &mut zero[..8] {
+            *b = 0;
+        }
+        assert!(PositionBlocks::from_bytes(&zero).is_err());
     }
 }

@@ -40,8 +40,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code produces results (solutions, stats, influence
-/// sets) — the R1 scope.
-const RESULT_CRATES: [&str; 4] = ["core", "index", "influence", "geo"];
+/// sets) — the R1 scope. `serve` is included: cache keys, snapshot
+/// sections and stats reports must not depend on hash-iteration order.
+const RESULT_CRATES: [&str; 5] = ["core", "index", "influence", "geo", "serve"];
 
 /// Crates exempt from R2: binaries and the bench harness may shortcut.
 const PANIC_EXEMPT_CRATES: [&str; 2] = ["cli", "bench"];
@@ -234,6 +235,12 @@ mod tests {
 
         let cli = classify("crates/cli/src/commands.rs").expect("in scope");
         assert!(!cli.panic_path && !cli.nondet_iteration);
+
+        // The serving layer hands out results over the wire: both the
+        // determinism rule and the no-panic rule apply in full.
+        let serve = classify("crates/serve/src/server.rs").expect("in scope");
+        assert!(serve.nondet_iteration && serve.panic_path);
+        assert!(!serve.narrowing_cast && !serve.float_accum);
 
         let data_root = classify("crates/data/src/lib.rs").expect("in scope");
         assert!(data_root.crate_root && data_root.panic_path);

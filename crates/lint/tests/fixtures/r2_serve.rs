@@ -1,0 +1,21 @@
+//! R2 fixture: panicking shortcuts on serve-style network/file paths.
+//! A query server must degrade to typed errors, never abort a worker.
+
+use std::io::Read;
+use std::sync::Mutex;
+
+fn read_frame(stream: &mut std::net::TcpStream) -> Vec<u8> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).unwrap();
+    let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut payload).expect("peer hung up");
+    payload
+}
+
+fn load_snapshot(path: &str) -> Vec<u8> {
+    std::fs::read(path).expect("snapshot file present")
+}
+
+fn cache_len(cache: &Mutex<Vec<u8>>) -> usize {
+    cache.lock().unwrap().len()
+}

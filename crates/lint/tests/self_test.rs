@@ -53,6 +53,22 @@ fn r2_flags_each_panicking_shortcut() {
 }
 
 #[test]
+fn r2_flags_serve_style_network_and_file_shortcuts() {
+    // Serving code is the R2 scope's reason to exist: a worker thread that
+    // unwraps a socket read or a lock takes the whole server down.
+    let got = hits("r2_serve.rs", FileClass::strict());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::PanicPath, 9),  // .unwrap() on a socket read
+            (Rule::PanicPath, 11), // .expect(…) on a socket read
+            (Rule::PanicPath, 16), // .expect(…) on a file read
+            (Rule::PanicPath, 20), // .unwrap() on a mutex lock
+        ]
+    );
+}
+
+#[test]
 fn r2_is_off_for_panic_exempt_classes() {
     let got = hits("r2_panic.rs", FileClass::default());
     assert!(got.is_empty(), "{got:?}");
@@ -131,6 +147,7 @@ fn every_violation_fixture_is_nonempty_under_its_class() {
     for name in [
         "r1_nondet.rs",
         "r2_panic.rs",
+        "r2_serve.rs",
         "r4_narrowing.rs",
         "r5_float.rs",
         "waivers.rs",

@@ -1,0 +1,105 @@
+//! A blocking client for the query protocol, used by the CLI and the
+//! benchmark load generator.
+
+use crate::error::ServeError;
+use crate::protocol::{
+    recv_message, send_message, QueryAnswer, QueryRequest, Request, Response, StatsReport,
+};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One persistent connection to a query server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7171`).
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the connection cannot be established.
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A generous dead-peer bound; the server answers between requests,
+        // never mid-silence.
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ServeError> {
+        send_message(&mut self.stream, request)?;
+        match recv_message(&mut self.stream)? {
+            Some(response) => Ok(response),
+            None => Err(ServeError::ConnectionClosed),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Remote`] on an error response.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Runs one selection query.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Remote`] when the server rejects
+    /// the query (mismatched τ/block size, bad budget, busy, …).
+    pub fn query(&mut self, request: &QueryRequest) -> Result<QueryAnswer, ServeError> {
+        match self.round_trip(&Request::Query(request.clone()))? {
+            Response::Answer(answer) => Ok(answer),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the live counters and snapshot metadata.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Remote`] on an error response.
+    pub fn stats(&mut self) -> Result<StatsReport, ServeError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to swap in the snapshot at `path`; returns the
+    /// server's acknowledgement message.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Remote`] when the server could
+    /// not load the snapshot (the old one stays live).
+    pub fn reload(&mut self, path: &str) -> Result<String, ServeError> {
+        match self.round_trip(&Request::Reload {
+            path: path.to_string(),
+        })? {
+            Response::Done { message } => Ok(message),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to shut down; returns its acknowledgement message.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Remote`] on an error response.
+    pub fn shutdown(&mut self) -> Result<String, ServeError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Done { message } => Ok(message),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> ServeError {
+    match response {
+        Response::Error { kind, message } => ServeError::Remote { kind, message },
+        other => ServeError::Protocol(format!("unexpected response variant: {other:?}")),
+    }
+}

@@ -1,0 +1,375 @@
+//! The query engine: replays the selection phase over a loaded snapshot.
+//!
+//! Queries never re-derive influence relationships — the snapshot's CSR is
+//! the ground truth, so a full-set query is exactly the selection phase of
+//! `solve_threaded` and a subset query slices the CSR with
+//! [`InfluenceSets::subset`] (lossless per candidate, so the slice equals a
+//! from-scratch solve on the sub-instance). Both paths therefore return
+//! solutions byte-identical to a direct solve at any thread count, with
+//! [`mc2ls_core::PruneStats::default`] pruning counters — the visible proof
+//! that zero influence-set evaluations ran.
+
+use crate::cache::canonical_subset;
+use crate::protocol::{QueryAnswer, QueryRequest};
+use crate::snapshot::{Snapshot, SnapshotMeta};
+use mc2ls_core::algorithms::run_selector;
+use mc2ls_core::{InfluenceSets, PruneStats};
+
+/// A query rejected before selection ran.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Requested τ differs (bit-wise) from the snapshot's τ. Influence
+    /// sets are τ-specific; answering anyway would silently be wrong.
+    TauMismatch {
+        /// τ in the request.
+        requested: f64,
+        /// τ the snapshot was built with.
+        snapshot: f64,
+    },
+    /// Requested block size differs from the snapshot's.
+    BlockSizeMismatch {
+        /// Block size in the request.
+        requested: usize,
+        /// Block size the snapshot was built with.
+        snapshot: usize,
+    },
+    /// `k` is zero or exceeds the available candidates.
+    BadBudget {
+        /// Requested budget.
+        k: usize,
+        /// Candidates available to this query (subset or full set).
+        available: usize,
+    },
+    /// A subset id is not a candidate of the snapshot.
+    UnknownCandidate {
+        /// The offending id.
+        id: u32,
+        /// Number of candidates in the snapshot.
+        n_candidates: usize,
+    },
+    /// The candidate subset is empty after canonicalisation.
+    EmptySubset,
+}
+
+impl QueryError {
+    /// Stable machine-readable kind for the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryError::TauMismatch { .. } => "tau-mismatch",
+            QueryError::BlockSizeMismatch { .. } => "block-size-mismatch",
+            QueryError::BadBudget { .. } => "bad-budget",
+            QueryError::UnknownCandidate { .. } => "unknown-candidate",
+            QueryError::EmptySubset => "empty-subset",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::TauMismatch {
+                requested,
+                snapshot,
+            } => write!(
+                f,
+                "query tau {requested} does not match snapshot tau {snapshot}"
+            ),
+            QueryError::BlockSizeMismatch {
+                requested,
+                snapshot,
+            } => write!(
+                f,
+                "query block size {requested} does not match snapshot block size {snapshot}"
+            ),
+            QueryError::BadBudget { k, available } => {
+                write!(f, "budget k = {k} outside 1..={available}")
+            }
+            QueryError::UnknownCandidate { id, n_candidates } => {
+                write!(f, "candidate {id} outside 0..{n_candidates}")
+            }
+            QueryError::EmptySubset => write!(f, "candidate subset is empty"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A loaded snapshot plus the worker-thread count selection runs with.
+#[derive(Debug)]
+pub struct QueryEngine {
+    snapshot: Snapshot,
+    threads: usize,
+}
+
+impl QueryEngine {
+    /// Wraps `snapshot`; selection fans out over `threads` workers
+    /// (clamped to at least one). Thread count never changes answers, only
+    /// wall-clock.
+    pub fn new(snapshot: Snapshot, threads: usize) -> Self {
+        QueryEngine {
+            snapshot,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The loaded snapshot's metadata.
+    pub fn meta(&self) -> &SnapshotMeta {
+        &self.snapshot.meta
+    }
+
+    /// The loaded snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Validates `req` against the snapshot and runs the selection phase.
+    ///
+    /// # Errors
+    /// A typed [`QueryError`] when the request disagrees with the snapshot
+    /// (τ / block size), addresses an unknown candidate, or carries an
+    /// out-of-range budget. Never panics on malformed requests.
+    pub fn answer(&self, req: &QueryRequest) -> Result<QueryAnswer, QueryError> {
+        let meta = &self.snapshot.meta;
+        if req.tau.to_bits() != meta.tau.to_bits() {
+            return Err(QueryError::TauMismatch {
+                requested: req.tau,
+                snapshot: meta.tau,
+            });
+        }
+        if req.block_size != meta.block_size {
+            return Err(QueryError::BlockSizeMismatch {
+                requested: req.block_size,
+                snapshot: meta.block_size,
+            });
+        }
+
+        let sets = &self.snapshot.sets;
+        match req.candidates.as_deref() {
+            None => {
+                check_budget(req.k, sets.n_candidates())?;
+                let (solution, selection) = run_selector(req.selector, sets, req.k, self.threads);
+                Ok(answer_of(solution, selection))
+            }
+            Some(raw) => {
+                let canon = canonical_subset(raw);
+                if canon.is_empty() {
+                    return Err(QueryError::EmptySubset);
+                }
+                if let Some(&max) = canon.last() {
+                    if max as usize >= sets.n_candidates() {
+                        return Err(QueryError::UnknownCandidate {
+                            id: max,
+                            n_candidates: sets.n_candidates(),
+                        });
+                    }
+                }
+                check_budget(req.k, canon.len())?;
+                let sub: InfluenceSets = sets.subset(&canon);
+                let (mut solution, selection) =
+                    run_selector(req.selector, &sub, req.k, self.threads);
+                // The selector saw local (subset-positional) ids; map back.
+                for id in &mut solution.selected {
+                    *id = canon[*id as usize];
+                }
+                Ok(answer_of(solution, selection))
+            }
+        }
+    }
+}
+
+fn check_budget(k: usize, available: usize) -> Result<(), QueryError> {
+    if k == 0 || k > available {
+        return Err(QueryError::BadBudget { k, available });
+    }
+    Ok(())
+}
+
+fn answer_of(solution: mc2ls_core::Solution, selection: mc2ls_core::SelectionStats) -> QueryAnswer {
+    QueryAnswer {
+        solution,
+        selection,
+        // Serving touches no influence-set evaluation: the counters stay
+        // at their defaults, and tests assert exactly that.
+        prune: PruneStats::default(),
+        cached: false,
+        key_hash: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc2ls_core::algorithms::{solve_threaded, IqtConfig, Method, Selector};
+    use mc2ls_core::Problem;
+    use mc2ls_geo::Point;
+    use mc2ls_influence::{MovingUser, Sigmoid};
+    use rand::prelude::*;
+
+    fn random_problem(seed: u64, n_users: usize, n_cands: usize) -> Problem<Sigmoid> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pt = |r: &mut StdRng| Point::new(r.gen_range(-8.0..8.0), r.gen_range(-8.0..8.0));
+        let users = (0..n_users)
+            .map(|_| {
+                let n = rng.gen_range(1..4);
+                MovingUser::new((0..n).map(|_| pt(&mut rng)).collect())
+            })
+            .collect();
+        let facilities = (0..5).map(|_| pt(&mut rng)).collect();
+        let candidates = (0..n_cands).map(|_| pt(&mut rng)).collect();
+        Problem::new(
+            users,
+            facilities,
+            candidates,
+            3,
+            0.6,
+            Sigmoid::paper_default(),
+        )
+    }
+
+    fn engine_for(problem: &Problem<Sigmoid>, threads: usize) -> QueryEngine {
+        let (snap, _) = Snapshot::build("test", problem, 2.0, threads);
+        QueryEngine::new(snap, threads)
+    }
+
+    fn query(problem: &Problem<Sigmoid>, candidates: Option<Vec<u32>>, k: usize) -> QueryRequest {
+        QueryRequest {
+            candidates,
+            k,
+            tau: problem.tau,
+            block_size: problem.block_size,
+            selector: Selector::Auto,
+        }
+    }
+
+    #[test]
+    fn full_set_answers_match_direct_solve_bit_for_bit() {
+        let problem = random_problem(11, 60, 20);
+        let direct = solve_threaded(
+            &problem,
+            Method::Iqt(IqtConfig::iqt(2.0)),
+            Selector::Auto,
+            1,
+        );
+        for threads in [1usize, 2, 5] {
+            let engine = engine_for(&problem, threads);
+            let ans = engine
+                .answer(&query(&problem, None, problem.k))
+                .expect("answer");
+            assert_eq!(ans.solution.selected, direct.solution.selected);
+            assert_eq!(
+                ans.solution.cinf.to_bits(),
+                direct.solution.cinf.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(ans.prune, PruneStats::default());
+        }
+    }
+
+    #[test]
+    fn subset_answers_match_a_solve_on_the_subinstance() {
+        let problem = random_problem(23, 50, 16);
+        let engine = engine_for(&problem, 2);
+        let subset = vec![14u32, 3, 7, 3, 11, 0];
+        let ans = engine
+            .answer(&query(&problem, Some(subset.clone()), 2))
+            .expect("answer");
+
+        // Direct solve on the sub-instance with the same candidate order as
+        // the canonical subset.
+        let canon = canonical_subset(&subset);
+        let sub_problem = Problem::new(
+            problem.users.clone(),
+            problem.facilities.clone(),
+            canon
+                .iter()
+                .map(|&c| problem.candidates[c as usize])
+                .collect(),
+            2,
+            problem.tau,
+            problem.pf,
+        )
+        .with_block_size(problem.block_size);
+        let direct = solve_threaded(
+            &sub_problem,
+            Method::Iqt(IqtConfig::iqt(2.0)),
+            Selector::Auto,
+            1,
+        );
+        let mapped: Vec<u32> = direct
+            .solution
+            .selected
+            .iter()
+            .map(|&l| canon[l as usize])
+            .collect();
+        assert_eq!(ans.solution.selected, mapped);
+        assert_eq!(ans.solution.cinf.to_bits(), direct.solution.cinf.to_bits());
+    }
+
+    #[test]
+    fn all_selectors_agree_on_the_engine_path() {
+        let problem = random_problem(37, 40, 12);
+        let engine = engine_for(&problem, 3);
+        let selectors = [
+            Selector::Greedy,
+            Selector::LazyGreedy,
+            Selector::Decremental,
+            Selector::Auto,
+        ];
+        let answers: Vec<_> = selectors
+            .iter()
+            .map(|&s| {
+                let mut q = query(&problem, Some(vec![0, 1, 2, 3, 4, 5]), 3);
+                q.selector = s;
+                engine.answer(&q).expect("answer")
+            })
+            .collect();
+        for pair in answers.windows(2) {
+            assert_eq!(pair[0].solution.selected, pair[1].solution.selected);
+            assert_eq!(
+                pair[0].solution.cinf.to_bits(),
+                pair[1].solution.cinf.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_typed_errors() {
+        let problem = random_problem(5, 30, 10);
+        let engine = engine_for(&problem, 1);
+
+        let mut q = query(&problem, None, 3);
+        q.tau = 0.5;
+        assert!(matches!(
+            engine.answer(&q),
+            Err(QueryError::TauMismatch { .. })
+        ));
+
+        let mut q = query(&problem, None, 3);
+        q.block_size += 1;
+        assert!(matches!(
+            engine.answer(&q),
+            Err(QueryError::BlockSizeMismatch { .. })
+        ));
+
+        assert!(matches!(
+            engine.answer(&query(&problem, None, 0)),
+            Err(QueryError::BadBudget { .. })
+        ));
+        assert!(matches!(
+            engine.answer(&query(&problem, None, 11)),
+            Err(QueryError::BadBudget { .. })
+        ));
+        assert!(matches!(
+            engine.answer(&query(&problem, Some(vec![1, 2]), 3)),
+            Err(QueryError::BadBudget { .. })
+        ));
+        assert!(matches!(
+            engine.answer(&query(&problem, Some(vec![]), 1)),
+            Err(QueryError::EmptySubset)
+        ));
+        assert!(matches!(
+            engine.answer(&query(&problem, Some(vec![0, 10]), 1)),
+            Err(QueryError::UnknownCandidate { id: 10, .. })
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! Typed errors for the snapshot codec and the query service.
+//!
+//! Both error families implement `std::error::Error`; nothing in this crate
+//! panics on malformed bytes, a dropped socket, or a missing file — those
+//! are runtime conditions a server must survive (lint rule R2).
+
+use mc2ls_geo::CodecError;
+
+/// Failure loading or decoding a `.mc2s` snapshot container.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// File-system failure reading or writing the container.
+    Io(std::io::Error),
+    /// The first four bytes are not the `MC2S` magic.
+    BadMagic([u8; 4]),
+    /// The container version is newer (or older) than this build understands.
+    UnsupportedVersion(u32),
+    /// A section arrived out of order or with an unknown tag.
+    SectionOrder {
+        /// The tag the fixed layout expects at this point.
+        expected: &'static str,
+        /// The four tag bytes actually found.
+        found: [u8; 4],
+    },
+    /// A section's payload does not match its stored CRC-32.
+    ChecksumMismatch {
+        /// Which section failed.
+        section: &'static str,
+        /// CRC recorded in the section header.
+        stored: u32,
+        /// CRC computed over the payload actually read.
+        computed: u32,
+    },
+    /// A section payload failed its artifact codec or the container framing
+    /// itself was malformed (`section == "container"`).
+    Codec {
+        /// Which section failed to decode.
+        section: &'static str,
+        /// The underlying codec error.
+        source: CodecError,
+    },
+    /// Bytes remain after the final section.
+    TrailingData(usize),
+    /// The decoded artifacts disagree with each other or with the metadata
+    /// header (e.g. differing user counts).
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic(m) => {
+                write!(f, "not an mc2s snapshot (magic {m:02x?})")
+            }
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::SectionOrder { expected, found } => {
+                write!(f, "expected section {expected:?}, found tag {found:02x?}")
+            }
+            SnapshotError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section {section} checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            SnapshotError::Codec { section, source } => {
+                write!(f, "section {section} failed to decode: {source}")
+            }
+            SnapshotError::TrailingData(n) => {
+                write!(f, "{n} trailing bytes after the final section")
+            }
+            SnapshotError::Inconsistent(what) => {
+                write!(f, "snapshot artifacts disagree: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Codec { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Failure in the wire protocol, the client, or the server runtime.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (connect, read, write, timeouts).
+    Io(std::io::Error),
+    /// A frame announced a length beyond the protocol maximum.
+    FrameTooLarge(u64),
+    /// The peer closed the connection mid-conversation.
+    ConnectionClosed,
+    /// A frame's payload was not the JSON message shape expected.
+    Protocol(String),
+    /// The server answered with a typed error response.
+    Remote {
+        /// Stable machine-readable error kind (e.g. `busy`, `query`).
+        kind: String,
+        /// Human-readable explanation from the server.
+        message: String,
+    },
+    /// Loading or saving a snapshot failed.
+    Snapshot(SnapshotError),
+    /// A query was rejected by the engine before selection ran.
+    Query(crate::engine::QueryError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the protocol maximum")
+            }
+            ServeError::ConnectionClosed => write!(f, "connection closed by peer"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Remote { kind, message } => {
+                write!(f, "server error [{kind}]: {message}")
+            }
+            ServeError::Snapshot(e) => write!(f, "{e}"),
+            ServeError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<crate::engine::QueryError> for ServeError {
+    fn from(e: crate::engine::QueryError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SnapshotError::ChecksumMismatch {
+            section: "ISET",
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("ISET"));
+        let e = ServeError::Remote {
+            kind: "busy".into(),
+            message: "queue full".into(),
+        };
+        assert!(e.to_string().contains("busy"));
+        let io = ServeError::from(std::io::Error::other("boom"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

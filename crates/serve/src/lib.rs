@@ -1,0 +1,48 @@
+//! `mc2ls-serve`: snapshot persistence and a concurrent query-serving
+//! subsystem for MC²LS.
+//!
+//! The crate splits into two halves:
+//!
+//! * **Snapshot persistence** ([`snapshot`]): the versioned, little-endian
+//!   `.mc2s` container bundling every index artifact a query needs — the
+//!   [`mc2ls_core::InfluenceSets`] CSR, the [`mc2ls_core::InvertedIndex`],
+//!   the [`mc2ls_influence::PositionBlocks`] SoA and the
+//!   [`mc2ls_index::IQuadTree`] — each in its own CRC-checked section.
+//!   Loading a snapshot restores the full serving state with **zero**
+//!   influence-set evaluations.
+//! * **Query service** ([`server`]): a dependency-free thread-per-worker TCP
+//!   server speaking length-prefixed JSON ([`protocol`]), with a bounded
+//!   admission queue (connections beyond the bound are rejected with a
+//!   typed `busy` error), a deterministic LRU result cache ([`cache`]),
+//!   live counters and a latency histogram ([`metrics`]), snapshot
+//!   hot-reload, and a graceful drain on shutdown.
+//!
+//! Answers are byte-identical to a direct [`mc2ls_core::algorithms::
+//! solve_threaded`] run on the same instance: the engine ([`engine`])
+//! replays the selection phase over the persisted CSR (or a canonical
+//! candidate-subset slice of it), which the workspace guarantees is
+//! bit-equal at every thread count.
+//!
+//! Everything on a network or file error path returns a typed error
+//! ([`ServeError`] / [`SnapshotError`]) — no panicking shortcuts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use engine::{QueryEngine, QueryError};
+pub use error::{ServeError, SnapshotError};
+pub use metrics::Metrics;
+pub use protocol::{QueryAnswer, QueryRequest, Request, Response, StatsReport};
+pub use server::{Server, ServerConfig};
+pub use snapshot::{Snapshot, SnapshotMeta};

@@ -1,0 +1,136 @@
+//! Live server counters and a fixed-bucket latency histogram.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering): counters
+//! are monotonic and independently meaningful, so no cross-counter
+//! consistency is needed. The histogram uses power-of-two microsecond
+//! buckets — bucket `i` covers `[2^(i-1), 2^i)` µs (bucket 0 is `< 1` µs) —
+//! and reports quantiles as the upper bound of the bucket where the
+//! cumulative count crosses the requested rank. That makes `p50`/`p99`
+//! cheap, allocation-free and monotone, at the cost of ≤ 2× bucket
+//! granularity, which is plenty for a serving dashboard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: covers sub-µs through > 9 h latencies.
+const BUCKETS: usize = 40;
+
+/// A fixed power-of-two latency histogram in microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(us: u64) -> usize {
+        let bits = 64 - us.leading_zeros() as usize;
+        bits.min(BUCKETS - 1)
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper bound (µs) of the bucket holding the `q`-quantile
+    /// observation, or `0` when nothing was recorded. `q` is clamped to
+    /// `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let clamped = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; ceil avoids rank 0.
+        let rank = ((clamped * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// The server's live counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total frames received (all verbs).
+    pub requests: AtomicU64,
+    /// Query frames received.
+    pub queries: AtomicU64,
+    /// Connections rejected by admission control.
+    pub rejected: AtomicU64,
+    /// Requests answered with an error response.
+    pub errors: AtomicU64,
+    /// Successful snapshot reloads.
+    pub reloads: AtomicU64,
+    /// Query latency distribution (µs, measured inside the worker).
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Relaxed increment helper for the counter fields.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper for the counter fields.
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_data() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+        for us in [3u64, 5, 9, 17, 33, 65, 129, 1025, 4097, 100_000] {
+            h.record(us);
+        }
+        let p50 = h.quantile_upper_bound(0.5);
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!(p50 >= 33, "p50 {p50}");
+        assert!(p99 >= 100_000, "p99 {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn counters_bump_and_read() {
+        let m = Metrics::default();
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.rejected);
+        assert_eq!(Metrics::read(&m.requests), 2);
+        assert_eq!(Metrics::read(&m.rejected), 1);
+        assert_eq!(Metrics::read(&m.errors), 0);
+    }
+}

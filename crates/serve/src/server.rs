@@ -1,0 +1,428 @@
+//! The concurrent TCP query server.
+//!
+//! Architecture: one non-blocking **acceptor** thread feeds accepted
+//! connections into a bounded queue guarded by a mutex + condvar; `workers`
+//! **worker** threads pop connections and serve them for their whole
+//! lifetime (the protocol is request/response over a persistent
+//! connection). Admission control happens at the queue: when it already
+//! holds `max_pending` waiting connections, new arrivals are answered with
+//! a typed `busy` error and closed — bounded memory, no silent drops.
+//!
+//! Shutdown (a [`Request::Shutdown`] frame or [`Server::shutdown`]) flips
+//! one atomic flag. The acceptor stops accepting; workers finish the
+//! request they are on, **drain the queue** (every already-admitted
+//! connection still gets served), then exit. Workers notice the flag
+//! between requests via the per-connection read timeout, so a quiet client
+//! delays shutdown by at most `poll_interval`.
+//!
+//! Nothing here panics on socket errors: failed writes to a dying peer are
+//! dropped on the floor (the peer is gone; there is nobody to tell) and
+//! every other failure path returns through [`ServeError`].
+
+use crate::cache::{self, ResultCache};
+use crate::engine::QueryEngine;
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::protocol::{recv_message, send_message, QueryRequest, Request, Response, StatsReport};
+use crate::snapshot::Snapshot;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` to let the OS pick a free port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Admission bound: connections allowed to wait for a worker. Arrivals
+    /// beyond this are rejected with a `busy` error.
+    pub max_pending: usize,
+    /// Result-cache capacity in answers (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Worker threads the selection phase fans out over per query.
+    pub threads: usize,
+    /// Socket read timeout; also the cadence at which idle workers notice
+    /// the shutdown flag.
+    pub poll_interval: Duration,
+    /// Per-request deadline: a connection that goes this long without
+    /// completing a request is answered with a `timeout` error and torn
+    /// down, so a stalled peer cannot hold a worker forever.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_pending: 64,
+            cache_capacity: 256,
+            threads: 1,
+            poll_interval: Duration::from_millis(50),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Shared {
+    engine: RwLock<Arc<QueryEngine>>,
+    cache: Mutex<ResultCache>,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+/// Recovers the guard from a poisoned mutex: every structure behind these
+/// locks is valid after any interleaving of the (panic-free) operations
+/// performed under them, so continuing is safe and keeps the server up.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A running query server. Dropping the handle without calling
+/// [`Server::shutdown`] leaves the threads running detached.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the acceptor plus worker threads.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the bind fails or the listener cannot be
+    /// configured.
+    pub fn start(config: ServerConfig, engine: QueryEngine) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(Arc::new(engine)),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            metrics: Metrics::default(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown has been requested (by a client or locally).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the server has shut down (a client sent
+    /// [`Request::Shutdown`]) and every thread has drained and exited.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// Requests shutdown locally and blocks until every thread has drained
+    /// and exited.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted handshake): keep
+                // listening rather than killing the server.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn admit(mut stream: TcpStream, shared: &Shared) {
+    let mut queue = lock(&shared.queue);
+    if queue.len() >= shared.config.max_pending {
+        drop(queue);
+        Metrics::bump(&shared.metrics.rejected);
+        // Best effort: the peer may already be gone.
+        let _ = send_message(
+            &mut stream,
+            &Response::Error {
+                kind: "busy".to_string(),
+                message: "admission queue full, retry later".to_string(),
+            },
+        );
+        return;
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shared.queue_cv.notify_one();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = next_connection(shared);
+        match conn {
+            Some(stream) => serve_connection(stream, shared),
+            None => return,
+        }
+    }
+}
+
+/// Pops the next admitted connection, waiting on the condvar. Returns
+/// `None` only when shutdown is flagged **and** the queue is drained, so
+/// every admitted connection is served before workers exit.
+fn next_connection(shared: &Shared) -> Option<TcpStream> {
+    let mut queue = lock(&shared.queue);
+    loop {
+        if let Some(stream) = queue.pop_front() {
+            return Some(stream);
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        queue = match shared
+            .queue_cv
+            .wait_timeout(queue, shared.config.poll_interval)
+        {
+            Ok((guard, _timeout)) => guard,
+            Err(poisoned) => poisoned.into_inner().0,
+        };
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let mut deadline = Instant::now() + shared.config.idle_timeout;
+    loop {
+        let request: Request = match recv_message(&mut stream) {
+            Ok(Some(req)) => {
+                deadline = Instant::now() + shared.config.idle_timeout;
+                req
+            }
+            Ok(None) => return, // peer closed cleanly
+            Err(ServeError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if Instant::now() >= deadline {
+                    // Graceful teardown: tell the peer why, then free the
+                    // worker for admitted connections that are alive.
+                    let _ = send_message(
+                        &mut stream,
+                        &Response::Error {
+                            kind: "timeout".to_string(),
+                            message: "request deadline exceeded, closing connection".to_string(),
+                        },
+                    );
+                    return;
+                }
+                continue;
+            }
+            Err(ServeError::ConnectionClosed) => return,
+            Err(e) => {
+                Metrics::bump(&shared.metrics.errors);
+                let _ = send_message(
+                    &mut stream,
+                    &Response::Error {
+                        kind: "protocol".to_string(),
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        Metrics::bump(&shared.metrics.requests);
+        let (response, close) = dispatch(request, shared);
+        if send_message(&mut stream, &response).is_err() {
+            return; // peer vanished mid-response
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// Routes one request; the `bool` asks the connection loop to close after
+/// responding.
+fn dispatch(request: Request, shared: &Shared) -> (Response, bool) {
+    match request {
+        Request::Ping => (Response::Pong, false),
+        Request::Query(query) => (handle_query(&query, shared), false),
+        Request::Stats => (Response::Stats(stats_report(shared)), false),
+        Request::Reload { path } => (handle_reload(&path, shared), false),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            shared.queue_cv.notify_all();
+            (
+                Response::Done {
+                    message: "shutting down: draining admitted connections".to_string(),
+                },
+                true,
+            )
+        }
+    }
+}
+
+fn handle_query(query: &QueryRequest, shared: &Shared) -> Response {
+    let started = Instant::now();
+    Metrics::bump(&shared.metrics.queries);
+
+    let canon = query.candidates.as_deref().map(cache::canonical_subset);
+    let key = cache::key_bytes(
+        canon.as_deref(),
+        query.k,
+        query.tau,
+        query.block_size,
+        query.selector,
+    );
+    let key_hash = cache::fnv1a64(&key);
+
+    if let Some(mut answer) = lock(&shared.cache).get(&key) {
+        answer.cached = true;
+        record_latency(shared, started);
+        return Response::Answer(answer);
+    }
+
+    // Clone the Arc so a concurrent reload never blocks behind a running
+    // selection (and vice versa).
+    let engine = match shared.engine.read() {
+        Ok(guard) => Arc::clone(&guard),
+        Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+    };
+    match engine.answer(query) {
+        Ok(mut answer) => {
+            answer.key_hash = key_hash;
+            lock(&shared.cache).put(key, answer.clone());
+            record_latency(shared, started);
+            Response::Answer(answer)
+        }
+        Err(e) => {
+            Metrics::bump(&shared.metrics.errors);
+            Response::Error {
+                kind: format!("query:{}", e.kind()),
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+fn record_latency(shared: &Shared, started: Instant) {
+    let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.latency.record(us);
+}
+
+fn handle_reload(path: &str, shared: &Shared) -> Response {
+    match Snapshot::load(std::path::Path::new(path)) {
+        Ok(snapshot) => {
+            let meta = snapshot.meta.clone();
+            let engine = QueryEngine::new(snapshot, shared.config.threads);
+            match shared.engine.write() {
+                Ok(mut guard) => *guard = Arc::new(engine),
+                Err(poisoned) => *poisoned.into_inner() = Arc::new(engine),
+            }
+            // Cached answers belong to the old snapshot.
+            lock(&shared.cache).clear();
+            Metrics::bump(&shared.metrics.reloads);
+            Response::Done {
+                message: format!(
+                    "snapshot {:?} loaded: {} users, {} candidates, tau {}",
+                    meta.name, meta.n_users, meta.n_candidates, meta.tau
+                ),
+            }
+        }
+        Err(e) => {
+            Metrics::bump(&shared.metrics.errors);
+            Response::Error {
+                kind: "snapshot".to_string(),
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+fn stats_report(shared: &Shared) -> StatsReport {
+    let engine = match shared.engine.read() {
+        Ok(guard) => Arc::clone(&guard),
+        Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+    };
+    let (cache_hits, cache_misses, cache_len, cache_capacity) = {
+        let cache = lock(&shared.cache);
+        let (h, m) = cache.counters();
+        (h, m, cache.len() as u64, cache.capacity() as u64)
+    };
+    StatsReport {
+        meta: engine.meta().clone(),
+        requests: Metrics::read(&shared.metrics.requests),
+        queries: Metrics::read(&shared.metrics.queries),
+        cache_hits,
+        cache_misses,
+        rejected: Metrics::read(&shared.metrics.rejected),
+        errors: Metrics::read(&shared.metrics.errors),
+        reloads: Metrics::read(&shared.metrics.reloads),
+        queue_depth: lock(&shared.queue).len() as u64,
+        workers: shared.config.workers.max(1) as u64,
+        cache_capacity,
+        cache_len,
+        p50_us: shared.metrics.latency.quantile_upper_bound(0.5),
+        p99_us: shared.metrics.latency.quantile_upper_bound(0.99),
+    }
+}

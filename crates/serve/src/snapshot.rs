@@ -1,0 +1,463 @@
+//! The `.mc2s` snapshot container: every index artifact the query engine
+//! needs, persisted in one versioned, checksummed, little-endian file.
+//!
+//! # Format
+//!
+//! ```text
+//! magic    [u8; 4] = b"MC2S"
+//! version  u32     = 1
+//! section × 5, fixed order META, ISET, IINV, PBLK, IQTR:
+//!     tag      [u8; 4]
+//!     len      u64            payload length in bytes
+//!     crc      u32            CRC-32 (IEEE) of the payload
+//!     payload  [u8; len]      artifact codec output
+//! ```
+//!
+//! Every scalar is little-endian (the workspace codec convention, see
+//! `mc2ls_geo::codec`). The five payloads are the `to_bytes` encodings of
+//! [`SnapshotMeta`], [`InfluenceSets`], [`InvertedIndex`],
+//! [`PositionBlocks`] and [`IQuadTree`] respectively. Decoding verifies the
+//! magic, the version, each section's tag/CRC, each artifact's own
+//! invariants, and finally that the artifacts agree with each other on the
+//! instance shape — any violation is a typed [`SnapshotError`], never a
+//! panic.
+
+use crate::error::SnapshotError;
+use mc2ls_core::algorithms::{influence_sets_threaded, IqtConfig, Method};
+use mc2ls_core::{InfluenceSets, InvertedIndex, Problem, PruneStats};
+use mc2ls_geo::codec::crc32;
+use mc2ls_geo::{ByteReader, ByteWriter, CodecError};
+use mc2ls_index::IQuadTree;
+use mc2ls_influence::{PositionBlocks, Sigmoid};
+
+/// File magic: "MC2S".
+pub const MAGIC: [u8; 4] = *b"MC2S";
+/// Current container version.
+pub const VERSION: u32 = 1;
+
+/// The fixed section order: (tag bytes, human name).
+const SECTIONS: [(&[u8; 4], &str); 5] = [
+    (b"META", "META"),
+    (b"ISET", "ISET"),
+    (b"IINV", "IINV"),
+    (b"PBLK", "PBLK"),
+    (b"IQTR", "IQTR"),
+];
+
+/// Instance-shape metadata pinned into the snapshot so the server can
+/// validate queries (τ and block size must match bit-for-bit) and report
+/// itself over `STATS` without touching the heavyweight artifacts.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SnapshotMeta {
+    /// Free-form snapshot name (e.g. the preset it was built from).
+    pub name: String,
+    /// `|Ω|` — number of moving users.
+    pub n_users: usize,
+    /// `|C|` — number of candidate locations.
+    pub n_candidates: usize,
+    /// `|F|` — number of competitor facilities.
+    pub n_facilities: usize,
+    /// Influence threshold τ the influence sets were computed with.
+    pub tau: f64,
+    /// Verification block size the instance was configured with.
+    pub block_size: usize,
+    /// Sigmoid ρ parameter of the probability function.
+    pub rho: f64,
+    /// Leaf-square diagonal `d̂` (km) of the persisted IQuad-tree.
+    pub leaf_diagonal: f64,
+    /// Default selection budget `k` for queries that do not override it.
+    pub default_k: usize,
+}
+
+impl SnapshotMeta {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(64 + self.name.len());
+        w.put_str(&self.name);
+        w.put_len(self.n_users);
+        w.put_len(self.n_candidates);
+        w.put_len(self.n_facilities);
+        w.put_f64(self.tau);
+        w.put_len(self.block_size);
+        w.put_f64(self.rho);
+        w.put_f64(self.leaf_diagonal);
+        w.put_len(self.default_k);
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let name = r.get_string("SnapshotMeta.name")?;
+        let n_users = read_usize(&mut r, "SnapshotMeta.n_users")?;
+        let n_candidates = read_usize(&mut r, "SnapshotMeta.n_candidates")?;
+        let n_facilities = read_usize(&mut r, "SnapshotMeta.n_facilities")?;
+        let tau = r.get_f64()?;
+        let block_size = read_usize(&mut r, "SnapshotMeta.block_size")?;
+        let rho = r.get_f64()?;
+        let leaf_diagonal = r.get_f64()?;
+        let default_k = read_usize(&mut r, "SnapshotMeta.default_k")?;
+        r.expect_end()?;
+        if !(tau > 0.0 && tau < 1.0) {
+            return Err(CodecError::Invalid("tau must lie in (0, 1)"));
+        }
+        if !(rho > 0.0 && rho <= 1.0) {
+            return Err(CodecError::Invalid("rho must lie in (0, 1]"));
+        }
+        if !(leaf_diagonal > 0.0 && leaf_diagonal.is_finite()) {
+            return Err(CodecError::Invalid("leaf diagonal must be positive"));
+        }
+        if default_k == 0 || default_k > n_candidates {
+            return Err(CodecError::Invalid("default_k out of range"));
+        }
+        Ok(SnapshotMeta {
+            name,
+            n_users,
+            n_candidates,
+            n_facilities,
+            tau,
+            block_size,
+            rho,
+            leaf_diagonal,
+            default_k,
+        })
+    }
+}
+
+fn read_usize(r: &mut ByteReader<'_>, what: &'static str) -> Result<usize, CodecError> {
+    let v = r.get_u64()?;
+    usize::try_from(v).map_err(|_| CodecError::BadLength { what, claimed: v })
+}
+
+/// Everything the query engine serves from: the instance metadata plus the
+/// four persisted index artifacts.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Instance-shape metadata (validated against the artifacts on load).
+    pub meta: SnapshotMeta,
+    /// Forward influence CSR `c → Ω_c`.
+    pub sets: InfluenceSets,
+    /// Inverted CSR `o → {c : o ∈ Ω_c}`.
+    pub inverted: InvertedIndex,
+    /// Blocked SoA position layout of every user trajectory.
+    pub blocks: PositionBlocks,
+    /// The IQuad-tree over the users.
+    pub tree: IQuadTree,
+}
+
+impl Snapshot {
+    /// Builds every artifact from `problem` across `threads` workers using
+    /// the paper's recommended `IQT` influence pipeline, returning the
+    /// snapshot plus the pruning counters of the build (so callers can
+    /// compare a later load against the work it saved).
+    ///
+    /// # Panics
+    /// Panics when `threads == 0` (programming error, mirroring
+    /// [`influence_sets_threaded`]).
+    pub fn build(
+        name: &str,
+        problem: &Problem<Sigmoid>,
+        leaf_diagonal: f64,
+        threads: usize,
+    ) -> (Snapshot, PruneStats) {
+        let method = Method::Iqt(IqtConfig::iqt(leaf_diagonal));
+        let (sets, stats, _times) = influence_sets_threaded(problem, method, threads);
+        let inverted = InvertedIndex::build(&sets, threads);
+        let blocks = PositionBlocks::build(&problem.users, problem.block_size.max(1));
+        let tree = IQuadTree::build(&problem.users, &problem.pf, problem.tau, leaf_diagonal);
+        let meta = SnapshotMeta {
+            name: name.to_string(),
+            n_users: problem.n_users(),
+            n_candidates: problem.n_candidates(),
+            n_facilities: problem.n_facilities(),
+            tau: problem.tau,
+            block_size: problem.block_size,
+            rho: problem.pf.rho,
+            leaf_diagonal,
+            default_k: problem.k,
+        };
+        (
+            Snapshot {
+                meta,
+                sets,
+                inverted,
+                blocks,
+                tree,
+            },
+            stats,
+        )
+    }
+
+    /// Encodes the container (magic, version, five checksummed sections).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payloads = [
+            self.meta.to_bytes(),
+            self.sets.to_bytes(),
+            self.inverted.to_bytes(),
+            self.blocks.to_bytes(),
+            self.tree.to_bytes(),
+        ];
+        let total: usize = payloads.iter().map(|p| p.len() + 16).sum();
+        let mut w = ByteWriter::with_capacity(8 + total);
+        w.put_bytes(&MAGIC);
+        w.put_u32(VERSION);
+        for ((tag, _), payload) in SECTIONS.iter().zip(payloads.iter()) {
+            w.put_bytes(*tag);
+            w.put_u64(payload.len() as u64);
+            w.put_u32(crc32(payload));
+            w.put_bytes(payload);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes [`Snapshot::to_bytes`] output.
+    ///
+    /// # Errors
+    /// Every malformation maps to a typed [`SnapshotError`]: wrong magic or
+    /// version, section tags out of order, CRC mismatches, per-artifact
+    /// codec violations, trailing bytes, or artifacts that disagree on the
+    /// instance shape.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let container = |source| SnapshotError::Codec {
+            section: "container",
+            source,
+        };
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(4).map_err(container)?;
+        if magic != MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(magic);
+            return Err(SnapshotError::BadMagic(m));
+        }
+        let version = r.get_u32().map_err(container)?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+
+        let mut payloads: [&[u8]; 5] = [&[]; 5];
+        for (slot, (tag, name)) in payloads.iter_mut().zip(SECTIONS.iter()) {
+            let found = r.take(4).map_err(container)?;
+            if found != *tag {
+                let mut m = [0u8; 4];
+                m.copy_from_slice(found);
+                return Err(SnapshotError::SectionOrder {
+                    expected: name,
+                    found: m,
+                });
+            }
+            let len = r.get_u64().map_err(container)?;
+            let stored = r.get_u32().map_err(container)?;
+            let claimed = usize::try_from(len).map_err(|_| {
+                container(CodecError::BadLength {
+                    what: "section length",
+                    claimed: len,
+                })
+            })?;
+            let payload = r.take(claimed).map_err(container)?;
+            let computed = crc32(payload);
+            if computed != stored {
+                return Err(SnapshotError::ChecksumMismatch {
+                    section: name,
+                    stored,
+                    computed,
+                });
+            }
+            *slot = payload;
+        }
+        if r.remaining() > 0 {
+            return Err(SnapshotError::TrailingData(r.remaining()));
+        }
+
+        let section = |name: &'static str| {
+            move |source| SnapshotError::Codec {
+                section: name,
+                source,
+            }
+        };
+        let meta = SnapshotMeta::from_bytes(payloads[0]).map_err(section("META"))?;
+        let sets = InfluenceSets::from_bytes(payloads[1]).map_err(section("ISET"))?;
+        let inverted = InvertedIndex::from_bytes(payloads[2]).map_err(section("IINV"))?;
+        let blocks = PositionBlocks::from_bytes(payloads[3]).map_err(section("PBLK"))?;
+        let tree = IQuadTree::from_bytes(payloads[4]).map_err(section("IQTR"))?;
+
+        let snapshot = Snapshot {
+            meta,
+            sets,
+            inverted,
+            blocks,
+            tree,
+        };
+        snapshot.check_consistency()?;
+        Ok(snapshot)
+    }
+
+    /// Cross-artifact shape checks run after every decode. Separated out so
+    /// the engine can also assert a freshly built snapshot is coherent.
+    pub fn check_consistency(&self) -> Result<(), SnapshotError> {
+        let m = &self.meta;
+        if self.sets.n_users() != m.n_users {
+            return Err(SnapshotError::Inconsistent("ISET user count vs META"));
+        }
+        if self.sets.n_candidates() != m.n_candidates {
+            return Err(SnapshotError::Inconsistent("ISET candidate count vs META"));
+        }
+        if self.inverted.n_users() != m.n_users {
+            return Err(SnapshotError::Inconsistent("IINV user count vs META"));
+        }
+        if self.inverted.len() != self.sets.total_influences() {
+            return Err(SnapshotError::Inconsistent("IINV entry count vs ISET"));
+        }
+        if self.blocks.n_users() != m.n_users {
+            return Err(SnapshotError::Inconsistent("PBLK user count vs META"));
+        }
+        if self.tree.stats().users != m.n_users {
+            return Err(SnapshotError::Inconsistent("IQTR user count vs META"));
+        }
+        if m.default_k == 0 || m.default_k > m.n_candidates {
+            return Err(SnapshotError::Inconsistent("default_k out of range"));
+        }
+        Ok(())
+    }
+
+    /// Writes the container to `path` (the conventional extension is
+    /// `.mc2s`).
+    ///
+    /// # Errors
+    /// Propagates file-system failures as [`SnapshotError::Io`].
+    pub fn save(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes()).map_err(SnapshotError::Io)
+    }
+
+    /// Reads and decodes a container from `path`.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] on file-system failure, otherwise every decode
+    /// error [`Snapshot::from_bytes`] produces.
+    pub fn load(path: &std::path::Path) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc2ls_geo::Point;
+    use mc2ls_influence::MovingUser;
+
+    fn tiny_problem() -> Problem<Sigmoid> {
+        let users = vec![
+            MovingUser::new(vec![Point::new(0.0, 0.0), Point::new(0.4, 0.2)]),
+            MovingUser::new(vec![Point::new(2.0, 2.0)]),
+            MovingUser::new(vec![Point::new(-1.0, 1.5), Point::new(-0.8, 1.2)]),
+        ];
+        let facilities = vec![Point::new(5.0, 5.0)];
+        let candidates = vec![
+            Point::new(0.1, 0.1),
+            Point::new(2.1, 2.1),
+            Point::new(-0.9, 1.3),
+        ];
+        Problem::new(
+            users,
+            facilities,
+            candidates,
+            2,
+            0.6,
+            Sigmoid::paper_default(),
+        )
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let (snap, _stats) = Snapshot::build("tiny", &tiny_problem(), 2.0, 2);
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.meta, snap.meta);
+        assert_eq!(back.sets, snap.sets);
+        assert_eq!(back.inverted, snap.inverted);
+        assert_eq!(back.blocks, snap.blocks);
+        // Re-encoding the decoded snapshot is bit-identical.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let (snap, _) = Snapshot::build("tiny", &tiny_problem(), 2.0, 1);
+        let bytes = snap.to_bytes();
+        // Stride through prefixes (every length near section boundaries is
+        // covered by the container framing checks).
+        for cut in (0..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+            assert!(Snapshot::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_checksum_are_typed() {
+        let (snap, _) = Snapshot::build("tiny", &tiny_problem(), 2.0, 1);
+        let bytes = snap.to_bytes();
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::BadMagic(_))
+        ));
+
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+
+        // Flip one payload byte: the META payload starts 24 bytes in
+        // (magic 4 + version 4 + tag 4 + len 8 + crc 4).
+        let mut bad = bytes.clone();
+        bad[24] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::ChecksumMismatch {
+                section: "META",
+                ..
+            })
+        ));
+
+        // Swap a section tag.
+        let mut bad = bytes;
+        bad[8..12].copy_from_slice(b"XXXX");
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::SectionOrder {
+                expected: "META",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (snap, _) = Snapshot::build("tiny", &tiny_problem(), 2.0, 1);
+        let mut bytes = snap.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::TrailingData(1))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_the_filesystem() {
+        let (snap, _) = Snapshot::build("tiny", &tiny_problem(), 2.0, 1);
+        let dir = std::env::temp_dir().join("mc2ls-serve-snapshot-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("tiny.mc2s");
+        snap.save(&path).expect("save");
+        let back = Snapshot::load(&path).expect("load");
+        assert_eq!(back.meta, snap.meta);
+        assert_eq!(back.sets, snap.sets);
+        std::fs::remove_file(&path).ok();
+        // A missing file is an Io error, not a panic.
+        assert!(matches!(
+            Snapshot::load(&dir.join("absent.mc2s")),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+}
