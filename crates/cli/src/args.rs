@@ -13,22 +13,24 @@ commands:
   solve      --data FILE | --preset P [--scale S]
              [--candidates N] [--facilities M] [-k K] [--tau T]
              [--method baseline|kcifp|iqt|iqt-c|iqt-pino] [--threads T]
-             [--block-size B] [--lazy-greedy true|false]
+             [--block-size auto|plain|B] [--pf-exact]
+             [--lazy-greedy true|false]
              [--selector rescan|celf|decremental|auto]
              [--svg FILE] [--json]
   analyze    --data FILE | --preset P [--scale S]
              [--candidates N] [--facilities M] [-k K] [--tau T]
-             [--block-size B] [--lazy-greedy true|false]
+             [--block-size auto|plain|B] [--pf-exact]
+             [--lazy-greedy true|false]
   convert    --checkins FILE --out FILE [--bounds ny|ca] [--min-positions N]
   snapshot   save --preset P | --data FILE [--scale S] [--candidates N]
-             [--facilities M] [-k K] [--tau T] [--block-size B]
+             [--facilities M] [-k K] [--tau T] [--block-size auto|plain|B]
              [--threads T] [--site-seed N] --out FILE.mc2s
              load --file FILE.mc2s  (verify + print metadata)
   serve      --snapshot FILE.mc2s [--addr HOST:PORT] [--workers N]
              [--threads T] [--cache N] [--max-pending N] [--port-file FILE]
   query      --addr HOST:PORT [--candidates 1,2,3] [-k K]
              [--selector rescan|celf|decremental|auto] [--tau T]
-             [--block-size B] [--json]
+             [--block-size auto|plain|B] [--pf-exact] [--json]
              [--stats] [--reload FILE.mc2s] [--shutdown]
   help";
 
@@ -76,7 +78,7 @@ const COMMANDS: &[&str] = &[
     "generate", "stats", "solve", "analyze", "convert", "snapshot", "serve", "query", "help",
 ];
 /// Boolean flags that take no value.
-const SWITCHES: &[&str] = &["json", "stats", "shutdown"];
+const SWITCHES: &[&str] = &["json", "stats", "shutdown", "pf-exact"];
 /// Commands taking a positional action token before their flags, with the
 /// actions each admits.
 const ACTIONS: &[(&str, &[&str])] = &[("snapshot", &["save", "load"])];

@@ -99,6 +99,29 @@ fn parse_selector(name: &str) -> Result<Selector, ArgError> {
     })
 }
 
+/// Parses a `--block-size` value (shared by `solve`, `analyze`, `snapshot
+/// save` and `query`): `auto` (the default, also spelled `0`) derives the
+/// size per dataset from the density probe, `plain` disables blocking and
+/// runs the per-position kernel, a number fixes the size.
+fn parse_block_size(value: Option<&str>) -> Result<usize, ArgError> {
+    match value {
+        None | Some("auto") => Ok(BLOCK_SIZE_AUTO),
+        Some("plain") => Ok(BLOCK_SIZE_PLAIN),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ArgError::BadValue("block-size".into(), v.into())),
+    }
+}
+
+/// Renders a stored `block_size` for humans, naming the sentinels.
+fn show_block_size(block_size: usize) -> String {
+    match block_size {
+        BLOCK_SIZE_AUTO => "auto".to_string(),
+        BLOCK_SIZE_PLAIN => "plain".to_string(),
+        b => b.to_string(),
+    }
+}
+
 /// Builds the MC²LS instance shared by `solve`, `analyze` and `snapshot
 /// save`: dataset (file or preset), disjoint site sampling, and the
 /// standard instance flags. Returns the dataset name alongside.
@@ -109,7 +132,7 @@ fn problem_from_flags(parsed: &Parsed) -> Result<(Problem<Sigmoid>, String), Box
     let k: usize = parsed.get_or("k", 10)?;
     let tau: f64 = parsed.get_or("tau", 0.7)?;
     let seed: u64 = parsed.get_or("site-seed", 42)?;
-    let block_size: usize = parsed.get_or("block-size", DEFAULT_BLOCK_SIZE)?;
+    let block_size = parse_block_size(parsed.get("block-size"))?;
     let name = dataset.name.clone();
     let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
     let problem = Problem::new(
@@ -120,7 +143,8 @@ fn problem_from_flags(parsed: &Parsed) -> Result<(Problem<Sigmoid>, String), Box
         tau,
         Sigmoid::paper_default(),
     )
-    .with_block_size(block_size);
+    .with_block_size(block_size)
+    .with_pf_exact(parsed.switch("pf-exact"));
     Ok((problem, name))
 }
 
@@ -288,7 +312,7 @@ fn snapshot_load<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     writeln!(out, "candidates:  {}", meta.n_candidates)?;
     writeln!(out, "facilities:  {}", meta.n_facilities)?;
     writeln!(out, "tau:         {}", meta.tau)?;
-    writeln!(out, "block size:  {}", meta.block_size)?;
+    writeln!(out, "block size:  {}", show_block_size(meta.block_size))?;
     writeln!(out, "default k:   {}", meta.default_k)?;
     writeln!(out, "influences:  {}", snapshot.sets.total_influences())?;
     writeln!(out, "iqt nodes:   {}", snapshot.tree.stats().nodes)?;
@@ -387,7 +411,11 @@ fn query_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         candidates,
         k: parsed.get_or("k", meta.default_k)?,
         tau: parsed.get_or("tau", meta.tau)?,
-        block_size: parsed.get_or("block-size", meta.block_size)?,
+        block_size: match parsed.get("block-size") {
+            None => meta.block_size,
+            flag => parse_block_size(flag)?,
+        },
+        pf_exact: parsed.switch("pf-exact"),
         selector: match parsed.get("selector") {
             Some(name) => parse_selector(name)?,
             None => Selector::Auto,
@@ -525,20 +553,46 @@ mod tests {
 
     #[test]
     fn block_size_flag_does_not_change_the_answer() {
-        // The blocked kernel (default) and the plain kernel (--block-size 0)
-        // make identical decisions, so the solution must match exactly.
+        // A fixed block size, the auto-tuned default and the plain kernel
+        // (--block-size plain) make identical decisions, so the solution
+        // must match exactly.
         let base = "solve --preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
-        let (code, blocked) = call(&format!("{base} --block-size 8"));
-        assert_eq!(code, 0, "{blocked}");
-        let (code, plain) = call(&format!("{base} --block-size 0"));
-        assert_eq!(code, 0, "{plain}");
         let line = |s: &str| {
             s.lines()
                 .find(|l| l.starts_with("selected"))
                 .unwrap()
                 .to_owned()
         };
-        assert_eq!(line(&blocked), line(&plain));
+        let (code, plain) = call(&format!("{base} --block-size plain"));
+        assert_eq!(code, 0, "{plain}");
+        for flag in ["--block-size 8", "--block-size auto", ""] {
+            let (code, got) = call(&format!("{base} {flag}"));
+            assert_eq!(code, 0, "{got}");
+            assert_eq!(line(&got), line(&plain), "{flag}");
+        }
+        let (code, out) = call(&format!("{base} --block-size eleven"));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("bad value"), "{out}");
+    }
+
+    #[test]
+    fn pf_exact_flag_does_not_change_the_answer() {
+        // --pf-exact forces the exact exp path; the fast path's error-band
+        // fallback guarantees the same decisions, hence the same solution.
+        let base = "solve --preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
+        let (code, fast) = call(base);
+        assert_eq!(code, 0, "{fast}");
+        let (code, exact) = call(&format!("{base} --pf-exact"));
+        assert_eq!(code, 0, "{exact}");
+        let pick = |s: &str, prefix: &str| {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap()
+                .to_owned()
+        };
+        for prefix in ["selected", "cinf", "covered"] {
+            assert_eq!(pick(&fast, prefix), pick(&exact, prefix));
+        }
     }
 
     #[test]

@@ -120,7 +120,8 @@ mod tests {
     fn blocked_and_plain_kernels_agree() {
         let p = small_problem();
         let (blocked, b_stats, _) = influence_sets(&p);
-        let (plain, p_stats, _) = influence_sets(&p.clone().with_block_size(0));
+        let (plain, p_stats, _) =
+            influence_sets(&p.clone().with_block_size(mc2ls_influence::BLOCK_SIZE_PLAIN));
         assert_eq!(blocked, plain);
         // Plain kernel records no block activity; on this clustered instance
         // the block bounds decide pairs cheaper than the per-position walk.

@@ -23,10 +23,19 @@ pub struct Problem<PF: ProbabilityFunction = Sigmoid> {
     /// The distance-based probability function.
     pub pf: PF,
     /// Positions per block of the blocked verification substrate
-    /// ([`mc2ls_influence::PositionBlocks`]). `0` disables blocking and runs
-    /// the plain per-position kernel; the decisions are identical either
-    /// way, only the evaluation count differs.
+    /// ([`mc2ls_influence::PositionBlocks`]).
+    /// [`BLOCK_SIZE_AUTO`](mc2ls_influence::BLOCK_SIZE_AUTO) (`0`, the
+    /// default) derives the size per dataset from the density probe;
+    /// [`BLOCK_SIZE_PLAIN`](mc2ls_influence::BLOCK_SIZE_PLAIN) disables
+    /// blocking and runs the plain per-position kernel. Decisions are
+    /// identical in every mode, only the evaluation count differs.
     pub block_size: usize,
+    /// Force the exact `exp` path of the verification kernel, disabling the
+    /// bounded-error fast PF evaluation (the `--pf-exact` debugging/A-B
+    /// mode). Decisions are identical either way — the fast path falls back
+    /// to exact `exp` whenever a decision lands inside its error band — so
+    /// this only trades speed for directly-exact arithmetic.
+    pub pf_exact: bool,
 }
 
 impl<PF: ProbabilityFunction> Problem<PF> {
@@ -71,13 +80,24 @@ impl<PF: ProbabilityFunction> Problem<PF> {
             k,
             tau,
             pf,
-            block_size: mc2ls_influence::DEFAULT_BLOCK_SIZE,
+            block_size: mc2ls_influence::BLOCK_SIZE_AUTO,
+            pf_exact: false,
         }
     }
 
-    /// Sets the verification block size (`0` = plain per-position kernel).
+    /// Sets the verification block size
+    /// ([`BLOCK_SIZE_AUTO`](mc2ls_influence::BLOCK_SIZE_AUTO) = density
+    /// probe, [`BLOCK_SIZE_PLAIN`](mc2ls_influence::BLOCK_SIZE_PLAIN) =
+    /// plain per-position kernel).
     pub fn with_block_size(mut self, block_size: usize) -> Self {
         self.block_size = block_size;
+        self
+    }
+
+    /// Forces the exact `exp` path of the verification kernel (see
+    /// [`Problem::pf_exact`]).
+    pub fn with_pf_exact(mut self, pf_exact: bool) -> Self {
+        self.pf_exact = pf_exact;
         self
     }
 

@@ -36,9 +36,15 @@ pub struct PruneStats {
     /// distance bounds decided the pair first (blocked kernel only; 0 when
     /// `block_size == 0`).
     pub blocks_bounded_out: u64,
-    /// Position blocks opened for exact per-position evaluation (blocked
-    /// kernel only).
+    /// Position blocks opened for in-block lane evaluation (blocked kernel
+    /// only). Users that fell back to the exact pass have their opened
+    /// blocks counted twice (once per pass).
     pub blocks_opened: u64,
+    /// Verified pairs whose fast-PF walk ended with the threshold inside
+    /// the error band and were re-decided on the exact `exp` path. Always 0
+    /// under `--pf-exact` or the plain kernel. The fast-path hit rate is
+    /// `1 − pf_fallbacks / verified`.
+    pub pf_fallbacks: u64,
 }
 
 impl PruneStats {
@@ -169,6 +175,7 @@ mod tests {
             prob_evals: 123,
             blocks_bounded_out: 4,
             blocks_opened: 2,
+            pf_fallbacks: 1,
         };
         assert!((s.pruned_fraction() - 0.85).abs() < 1e-12);
         assert!((s.is_fraction() - 0.30).abs() < 1e-12);

@@ -1,23 +1,32 @@
 //! The shared exact-verification kernel behind every algorithm's
 //! "line 13–17" phase.
 //!
-//! [`Verifier`] owns the problem's [`PositionBlocks`] (built once, immutable,
-//! `Sync` — shared by reference across all candidates and worker threads)
-//! and dispatches each `Pr_v(o) ≥ τ` decision to either the blocked kernel
-//! ([`influences_blocked_counted`]) or, when `Problem::block_size == 0`, the
-//! plain per-position kernel. Decisions are identical either way; only the
+//! [`Verifier`] owns the problem's [`PositionBlocks`] (built once at the
+//! block size [`resolve_block_size`] derives from the configuration —
+//! fixed, auto-probed, or disabled — immutable, `Sync`, shared by reference
+//! across all candidates and worker threads) and dispatches each
+//! `Pr_v(o) ≥ τ` decision to the lane kernel
+//! ([`influences_blocked_counted`]), its exact-`exp` twin when
+//! `Problem::pf_exact` is set, or the plain per-position kernel when
+//! blocking is disabled. Decisions are identical in every mode; only the
 //! instrumented evaluation counts differ.
 //!
 //! Workers carry a private [`VerifyScratch`] (bound buffers + counters, all
 //! `!Sync` by construction) and the per-worker counts are summed at join —
 //! addition commutes, so the reported [`PruneStats`](crate::PruneStats)
-//! counters are identical for every thread count.
+//! counters are identical for every thread count. That includes the
+//! fast-path fallback count: whether a user's decision lands inside the
+//! error band depends only on geometry and τ, never on which worker
+//! verifies it.
+//!
+//! [`resolve_block_size`]: mc2ls_influence::resolve_block_size
 
 use crate::Problem;
 use mc2ls_geo::Point;
 use mc2ls_influence::{
-    influences_blocked_counted, influences_counted, BlockCounters, BlockScratch, EvalCounter,
-    PositionBlocks, ProbabilityFunction,
+    influences_blocked_counted, influences_blocked_exact_counted, influences_counted,
+    resolve_block_size, BlockCounters, BlockScratch, EvalCounter, PositionBlocks,
+    ProbabilityFunction,
 };
 
 /// Per-problem verification state: the blocked substrate (if enabled) plus
@@ -28,11 +37,12 @@ pub(crate) struct Verifier<'a, PF: ProbabilityFunction> {
 }
 
 impl<'a, PF: ProbabilityFunction> Verifier<'a, PF> {
-    /// Builds the substrate for `problem` (a no-op when `block_size == 0`).
-    /// Callers time this under their indexing phase.
+    /// Builds the substrate for `problem` at the resolved block size (a
+    /// no-op for `BLOCK_SIZE_PLAIN`). Callers time this under their
+    /// indexing phase.
     pub fn build(problem: &'a Problem<PF>) -> Self {
-        let blocks = (problem.block_size > 0)
-            .then(|| PositionBlocks::build(&problem.users, problem.block_size));
+        let blocks = resolve_block_size(&problem.users, problem.block_size)
+            .map(|bs| PositionBlocks::build(&problem.users, bs));
         Verifier { problem, blocks }
     }
 
@@ -46,6 +56,16 @@ impl<'a, PF: ProbabilityFunction> Verifier<'a, PF> {
     #[inline]
     pub fn influences(&self, v: &Point, o: u32, s: &mut VerifyScratch) -> bool {
         match &self.blocks {
+            Some(blocks) if self.problem.pf_exact => influences_blocked_exact_counted(
+                &self.problem.pf,
+                v,
+                blocks,
+                o,
+                self.problem.tau,
+                &mut s.bounds,
+                &s.evals,
+                &s.blocks,
+            ),
             Some(blocks) => influences_blocked_counted(
                 &self.problem.pf,
                 v,
@@ -90,6 +110,7 @@ impl VerifyScratch {
             prob_evals: self.evals.get(),
             blocks_bounded_out: self.blocks.bounded_out(),
             blocks_opened: self.blocks.opened(),
+            pf_fallbacks: self.blocks.fast_fallbacks(),
         }
     }
 }
@@ -100,6 +121,7 @@ pub(crate) struct VerifyCounts {
     pub prob_evals: u64,
     pub blocks_bounded_out: u64,
     pub blocks_opened: u64,
+    pub pf_fallbacks: u64,
 }
 
 impl VerifyCounts {
@@ -108,6 +130,7 @@ impl VerifyCounts {
         self.prob_evals += other.prob_evals;
         self.blocks_bounded_out += other.blocks_bounded_out;
         self.blocks_opened += other.blocks_opened;
+        self.pf_fallbacks += other.pf_fallbacks;
     }
 
     /// Writes the counts into the matching `PruneStats` fields (adding).
@@ -115,5 +138,6 @@ impl VerifyCounts {
         stats.prob_evals += self.prob_evals;
         stats.blocks_bounded_out += self.blocks_bounded_out;
         stats.blocks_opened += self.blocks_opened;
+        stats.pf_fallbacks += self.pf_fallbacks;
     }
 }

@@ -1,17 +1,22 @@
 //! Blocked ≡ plain: the block-bounded verification kernel is a pure
 //! optimisation, so every pipeline must produce the same `InfluenceSets` —
 //! and the greedy phase the same `Solution` — whether verification runs
-//! through `influences_blocked` (any block size) or the plain per-position
-//! kernel (`block_size = 0`), at any thread count.
+//! through `influences_blocked` (any block size, auto-tuned included, fast
+//! or exact PF path, Morton or Hilbert ordering) or the plain per-position
+//! kernel (`BLOCK_SIZE_PLAIN`), at any thread count.
 
 use mc2ls_core::algorithms::{
     influence_sets_threaded, solve_threaded, IqtConfig, Method, Selector,
 };
 use mc2ls_core::Problem;
 use mc2ls_geo::Point;
-use mc2ls_influence::{MovingUser, Sigmoid};
+use mc2ls_influence::{
+    influences_blocked, BlockOrdering, BlockScratch, MovingUser, PositionBlocks, Sigmoid,
+    BLOCK_SIZE_AUTO, BLOCK_SIZE_PLAIN,
+};
 
-const BLOCK_SIZES: [usize; 4] = [1, 4, 16, 33];
+/// Fixed sizes plus the auto sentinel (`0`), which resolves per dataset.
+const BLOCK_SIZES: [usize; 5] = [1, 4, 16, 33, BLOCK_SIZE_AUTO];
 const THREAD_COUNTS: [usize; 2] = [1, 4];
 
 /// Deterministic xorshift64 stream in [0, 1).
@@ -81,17 +86,19 @@ fn influence_sets_identical_blocked_vs_plain() {
     for seed in 1..=12u64 {
         let base = random_problem(seed);
         for method in methods() {
-            let plain = base.clone().with_block_size(0);
+            let plain = base.clone().with_block_size(BLOCK_SIZE_PLAIN);
             let (want, _, _) = influence_sets_threaded(&plain, method, 1);
             for bs in BLOCK_SIZES {
-                let blocked = base.clone().with_block_size(bs);
-                for threads in THREAD_COUNTS {
-                    let (got, _, _) = influence_sets_threaded(&blocked, method, threads);
-                    assert_eq!(
-                        want, got,
-                        "InfluenceSets diverged: seed={seed} method={method:?} \
-                         block_size={bs} threads={threads}"
-                    );
+                for pf_exact in [false, true] {
+                    let blocked = base.clone().with_block_size(bs).with_pf_exact(pf_exact);
+                    for threads in THREAD_COUNTS {
+                        let (got, _, _) = influence_sets_threaded(&blocked, method, threads);
+                        assert_eq!(
+                            want, got,
+                            "InfluenceSets diverged: seed={seed} method={method:?} \
+                             block_size={bs} pf_exact={pf_exact} threads={threads}"
+                        );
+                    }
                 }
             }
         }
@@ -112,9 +119,9 @@ fn solutions_identical_blocked_vs_plain() {
     for seed in [3u64, 7, 11] {
         let base = random_problem(seed);
         for method in methods() {
-            let plain = base.clone().with_block_size(0);
+            let plain = base.clone().with_block_size(BLOCK_SIZE_PLAIN);
             let want = solve_threaded(&plain, method, Selector::LazyGreedy, 1).solution;
-            for bs in [4usize, 16] {
+            for bs in [4usize, 16, BLOCK_SIZE_AUTO] {
                 let blocked = base.clone().with_block_size(bs);
                 for threads in THREAD_COUNTS {
                     for selector in selectors {
@@ -132,6 +139,25 @@ fn solutions_identical_blocked_vs_plain() {
                         );
                     }
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn morton_and_hilbert_orderings_agree_on_every_decision() {
+    // The ordering is a build-time layout choice: block composition (and
+    // hence open rate) may differ, kernel decisions never do.
+    for seed in [2u64, 6, 10] {
+        let p = random_problem(seed);
+        let morton = PositionBlocks::build_ordered(&p.users, 8, BlockOrdering::Morton);
+        let hilbert = PositionBlocks::build_ordered(&p.users, 8, BlockOrdering::Hilbert);
+        let mut scratch = BlockScratch::new();
+        for v in p.candidates.iter().chain(&p.facilities) {
+            for o in 0..p.users.len() as u32 {
+                let m = influences_blocked(&p.pf, v, &morton, o, p.tau, &mut scratch);
+                let h = influences_blocked(&p.pf, v, &hilbert, o, p.tau, &mut scratch);
+                assert_eq!(m, h, "seed={seed} user={o} v={v:?}");
             }
         }
     }

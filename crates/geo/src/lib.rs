@@ -14,8 +14,10 @@
 //!   matching how the paper parameterises IQuad-tree nodes (`d̂` is always a
 //!   diagonal).
 //! * [`Extent`] — incremental bounding-box accumulation for datasets.
-//! * [`morton_code`] — z-order codes over quad subdivisions, shared by the
-//!   IQuad-tree builder and the blocked verification substrate.
+//! * [`morton_code`] / [`hilbert_code`] — z-order and Hilbert-curve codes
+//!   over quad subdivisions, shared by the IQuad-tree builder and the
+//!   blocked verification substrate (both orderings derive their grid cell
+//!   from the same [`grid_coords`] midpoint descent).
 //! * [`codec`] — the little-endian binary reader/writer (plus CRC-32) the
 //!   snapshot persistence layer pins every artifact's byte layout on.
 //!
@@ -29,6 +31,7 @@
 mod circle;
 pub mod codec;
 mod extent;
+mod hilbert;
 mod morton;
 mod point;
 pub mod project;
@@ -38,7 +41,8 @@ mod square;
 pub use circle::Circle;
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use extent::Extent;
-pub use morton::morton_code;
+pub use hilbert::hilbert_code;
+pub use morton::{grid_coords, morton_code};
 pub use point::Point;
 pub use rect::Rect;
 pub use square::Square;

@@ -46,6 +46,31 @@ pub fn morton_code(root: &Square, depth: usize, p: &Point) -> u64 {
     code
 }
 
+/// The `(column, row)` grid cell of `p` under the same `depth`-level quad
+/// subdivision [`morton_code`] walks — the per-level `east`/`north` bits
+/// accumulated as integer coordinates on the `2^depth × 2^depth` grid.
+///
+/// Because the descent evaluates the *identical* floating-point midpoint
+/// expressions, interleaving the returned coordinate bits reproduces
+/// `morton_code` exactly; the Hilbert ordering reuses these cells so the two
+/// orderings always agree on which grid cell a point occupies (only the
+/// ordering of cells differs).
+pub fn grid_coords(root: &Square, depth: usize, p: &Point) -> (u64, u64) {
+    let (mut ox, mut oy, mut side) = (root.origin.x, root.origin.y, root.side);
+    let (mut cx, mut cy) = (0u64, 0u64);
+    for _ in 0..depth {
+        let h = side * 0.5;
+        let east = (p.x >= ox + h) as u64;
+        let north = (p.y >= oy + h) as u64;
+        cx = (cx << 1) | east;
+        cy = (cy << 1) | north;
+        ox += east as f64 * h;
+        oy += north as f64 * h;
+        side = h;
+    }
+    (cx, cy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +111,27 @@ mod tests {
         let root = Square::new(Point::new(1.0, 1.0), 0.0);
         let c = morton_code(&root, 2, &Point::new(1.0, 1.0));
         assert_eq!(c, 0b1111);
+    }
+
+    #[test]
+    fn grid_coords_interleave_to_the_morton_code() {
+        let root = Square::new(Point::new(-3.0, 2.0), 8.0);
+        for p in [
+            Point::new(-2.5, 2.5),
+            Point::new(4.9, 9.9),
+            Point::new(1.0, 6.0),
+            Point::new(0.999, 6.001),
+        ] {
+            let depth = 6;
+            let (cx, cy) = grid_coords(&root, depth, &p);
+            let mut interleaved = 0u64;
+            for level in (0..depth).rev() {
+                let east = (cx >> level) & 1;
+                let north = (cy >> level) & 1;
+                interleaved = (interleaved << 2) | (north << 1) | east;
+            }
+            assert_eq!(interleaved, morton_code(&root, depth, &p), "{p:?}");
+        }
     }
 
     #[test]

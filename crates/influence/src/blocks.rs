@@ -22,24 +22,134 @@
 //!   user is influenced, when the lower bound is `> 1 − τ` they are not —
 //!   in either case **without touching a single position**. Inconclusive
 //!   users are resolved by visiting blocks closest-first and evaluating
-//!   exactly inside a block, with the early stops tightened from
-//!   `PF(0)^remaining` to the product of the *remaining blocks'* bounds.
+//!   inside a block over fixed-width SoA lanes, with the early stops
+//!   tightened from `PF(0)^remaining` to the product of the *remaining
+//!   blocks'* bounds.
 //!
-//! Every stop is justified by a true bound on the exact product, so the
-//! decision is identical to `cumulative_probability(..) ≥ τ`; only the
-//! number of evaluated positions shrinks (measured by the `BENCH_verify`
-//! experiment and asserted by the property tests).
+//! # The lane kernel and the fast-PF error band
+//!
+//! [`influences_blocked`] walks each opened block in [`LANE`]-wide chunks:
+//! distances land in a fixed `[f64; LANE]` scratch array with no
+//! per-element branching, `PF` is evaluated through
+//! [`ProbabilityFunction::prob_lanes`] (the sigmoid/exponential override
+//! replaces `exp` with the bounded-error `exp_neg` fast path), and the
+//! kernel maintains a *single* fast running product `prod` plus an additive
+//! error band `band` that grows by the PF's published [`lane_error_bound`]
+//! `ε` per evaluated position. Every keep factor — fast or true — lies in
+//! `[0, 1]`, so
+//!
+//! ```text
+//! |Π f̃ᵢ − Π fᵢ|  ≤  Σ |f̃ᵢ − fᵢ|  ≤  (positions evaluated) · ε
+//! ```
+//!
+//! and the bracket `[max(0, prod − band), min(1, prod + band)]` always
+//! contains the exact product. (A single multiply chain keeps the fast
+//! walk's serial FP latency identical to the exact walk's; maintaining two
+//! clamped per-element chains would double it and erase the fast path's
+//! win.) Both early stops use the conservative side of the bracket — upper
+//! for the success stop, lower for the failure stop — so a fast-path stop
+//! is always justified by a true bound on the exact product: the decision
+//! is the one the exact kernel would make. Only when the walk finishes with
+//! `1 − τ` strictly inside the bracket (the target fell inside the error
+//! band, which the `fast_fallbacks` counter records) does the kernel
+//! consult the exact `exp` path, re-running the user with `PF::prob` so the
+//! final decision is bit-identical to the exact kernel's.
+//!
+//! [`influences_blocked_scalar`] preserves the per-position scalar walk
+//! (exact `PF::prob`, per-position stops) as the reference kernel the
+//! `BENCH_verify` experiment A/Bs the lane kernel against.
+//!
+//! [`lane_error_bound`]: ProbabilityFunction::lane_error_bound
 
+use crate::lanes::{pow_n, LANE};
 use crate::{CountEvals, ProbabilityFunction};
-use mc2ls_geo::{morton_code, ByteReader, ByteWriter, CodecError, Point, Rect, Square};
+use mc2ls_geo::{
+    hilbert_code, morton_code, ByteReader, ByteWriter, CodecError, Point, Rect, Square,
+};
 use std::cell::Cell;
 
-/// Default positions per block (CLI `--block-size`).
+/// Default positions per block when a fixed size is requested without a
+/// value; the auto-tune probe ([`auto_block_size`]) clamps around it.
 pub const DEFAULT_BLOCK_SIZE: usize = 16;
 
-/// Morton-sort depth: 16 levels = a 65536² virtual grid over each user's
-/// MBR, far finer than any real block split needs.
-const MORTON_DEPTH: usize = 16;
+/// `Problem::block_size` sentinel: derive the block size per dataset from
+/// the one-pass density probe ([`auto_block_size`]). This is the default.
+pub const BLOCK_SIZE_AUTO: usize = 0;
+
+/// `Problem::block_size` sentinel: skip the blocked substrate entirely and
+/// run the plain per-position kernel (`influences`).
+pub const BLOCK_SIZE_PLAIN: usize = usize::MAX;
+
+/// Space-filling-curve depth: 16 levels = a 65536² virtual grid over each
+/// user's MBR, far finer than any real block split needs.
+const CURVE_DEPTH: usize = 16;
+
+/// Which space-filling curve orders each user's positions before they are
+/// chunked into blocks. A build-time choice: the ordering only affects
+/// which positions share a block (and hence MBR tightness and the kernel's
+/// open rate), never a decision — both orderings assign positions to grid
+/// cells through the identical [`mc2ls_geo::grid_coords`] descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockOrdering {
+    /// Morton (z-order): cheapest keys, takes diagonal jumps between
+    /// quadrants.
+    #[default]
+    Morton,
+    /// Hilbert curve: unit-step traversal, tighter runs of adjacent cells.
+    Hilbert,
+}
+
+/// Derives a block size from a one-pass density probe over `users`.
+///
+/// The probe balances two costs: more blocks mean more bound evaluations
+/// per user, larger blocks mean looser MBRs (weaker bounds, more opened
+/// positions). Starting point is `√r̄` (blocks ≈ positions per block at the
+/// average trajectory length `r̄`), rounded up to a full [`LANE`] multiple
+/// so chunks stay full-width; when most positions belong to *dense* users
+/// (trajectory MBR no larger in km than the position count — many revisits
+/// per km), blocks double: tight MBRs keep bounds sharp even when coarse.
+/// The result is clamped to `[LANE, 2 · DEFAULT_BLOCK_SIZE]`.
+///
+/// Deterministic (a pure fold over the user list), so every thread and
+/// every run resolves the same size.
+pub fn auto_block_size(users: &[crate::MovingUser]) -> usize {
+    let mut total = 0usize;
+    let mut dense = 0usize;
+    for u in users {
+        let r = u.len();
+        total += r;
+        let mbr = u.mbr();
+        let span = mbr.width().max(mbr.height());
+        if (r as f64) >= span {
+            dense += r;
+        }
+    }
+    if total == 0 {
+        return DEFAULT_BLOCK_SIZE;
+    }
+    let avg = total as f64 / users.len() as f64;
+    let rounded = match avg.sqrt().ceil() as usize {
+        0 => LANE,
+        t => t.div_ceil(LANE) * LANE,
+    };
+    let adjusted = if 2 * dense >= total {
+        rounded * 2
+    } else {
+        rounded
+    };
+    adjusted.clamp(LANE, 2 * DEFAULT_BLOCK_SIZE)
+}
+
+/// Maps a configured `Problem::block_size` to the size the substrate is
+/// actually built with: `None` for [`BLOCK_SIZE_PLAIN`] (no blocking), the
+/// probed size for [`BLOCK_SIZE_AUTO`], the value itself otherwise.
+pub fn resolve_block_size(users: &[crate::MovingUser], configured: usize) -> Option<usize> {
+    match configured {
+        BLOCK_SIZE_PLAIN => None,
+        BLOCK_SIZE_AUTO => Some(auto_block_size(users)),
+        fixed => Some(fixed),
+    }
+}
 
 /// All users' positions in Morton order, chunked into fixed-size blocks
 /// with per-block MBRs — the structure-of-arrays substrate the blocked
@@ -61,16 +171,33 @@ pub struct PositionBlocks {
 }
 
 impl PositionBlocks {
-    /// Builds the blocked layout for `users`, `block_size` positions per
-    /// block (the last block of a user may be smaller).
-    ///
-    /// Positions are ordered by their Morton code over the user's own MBR
-    /// (ties broken by original position index), so consecutive positions
-    /// are spatially close and block MBRs stay tight.
+    /// Builds the blocked layout for `users` in the default
+    /// [`BlockOrdering::Morton`] order, `block_size` positions per block
+    /// (the last block of a user may be smaller).
     ///
     /// # Panics
     /// Panics when `block_size == 0`.
     pub fn build(users: &[crate::MovingUser], block_size: usize) -> Self {
+        Self::build_ordered(users, block_size, BlockOrdering::default())
+    }
+
+    /// [`PositionBlocks::build`] with an explicit space-filling-curve
+    /// ordering.
+    ///
+    /// Positions are ordered by their curve code over the user's own MBR
+    /// (ties broken by original position index), so consecutive positions
+    /// are spatially close and block MBRs stay tight. The ordering changes
+    /// block composition only — every kernel decision is identical across
+    /// orderings (asserted by the equivalence tests); what moves is the
+    /// open rate, measured by `BENCH_verify`.
+    ///
+    /// # Panics
+    /// Panics when `block_size == 0`.
+    pub fn build_ordered(
+        users: &[crate::MovingUser],
+        block_size: usize,
+        ordering: BlockOrdering,
+    ) -> Self {
         assert!(block_size >= 1, "block_size must be at least 1");
         let total: usize = users.iter().map(crate::MovingUser::len).sum();
         let mut xs = Vec::with_capacity(total);
@@ -87,13 +214,14 @@ impl PositionBlocks {
             // positions then share one code and the original order holds).
             let root = Square::new(mbr.min, mbr.width().max(mbr.height()));
             keyed.clear();
-            keyed.extend(
-                u.positions()
-                    .iter()
-                    .enumerate()
-                    // lint:allow(narrowing-cast): i indexes one user's positions; r_max fits the u32 id space
-                    .map(|(i, p)| (morton_code(&root, MORTON_DEPTH, p), i as u32)),
-            );
+            keyed.extend(u.positions().iter().enumerate().map(|(i, p)| {
+                let code = match ordering {
+                    BlockOrdering::Morton => morton_code(&root, CURVE_DEPTH, p),
+                    BlockOrdering::Hilbert => hilbert_code(&root, CURVE_DEPTH, p),
+                };
+                // lint:allow(narrowing-cast): i indexes one user's positions; r_max fits the u32 id space
+                (code, i as u32)
+            }));
             keyed.sort_unstable();
             for chunk in keyed.chunks(block_size) {
                 let first = u.positions()[chunk[0].1 as usize];
@@ -329,6 +457,13 @@ pub struct BlockScratch {
     ub: Vec<f64>,
     suffix_lb: Vec<f64>,
     suffix_ub: Vec<f64>,
+    // Per-chunk-boundary remainder bounds of the block currently being
+    // walked (lane kernel only): entry c is the bound product for
+    // everything after chunk c — this block's remaining positions and all
+    // unopened blocks. Built backward with one multiply per chunk instead
+    // of a `pow_n` pair per stop check.
+    chunk_ub: Vec<f64>,
+    chunk_lb: Vec<f64>,
 }
 
 impl BlockScratch {
@@ -346,10 +481,11 @@ impl BlockScratch {
 pub struct BlockCounters {
     bounded_out: Cell<u64>,
     opened: Cell<u64>,
+    fallbacks: Cell<u64>,
 }
 
 impl BlockCounters {
-    /// A fresh zeroed counter pair.
+    /// A fresh zeroed counter set.
     pub fn new() -> Self {
         Self::default()
     }
@@ -360,9 +496,18 @@ impl BlockCounters {
         self.bounded_out.get()
     }
 
-    /// Blocks opened for exact per-position evaluation.
+    /// Blocks opened for in-block lane evaluation.
     pub fn opened(&self) -> u64 {
         self.opened.get()
+    }
+
+    /// Users whose fast-path walk ended with `1 − τ` inside the error band
+    /// and were re-decided on the exact `exp` path. Deterministic per user
+    /// (the band depends only on geometry and τ), so the total is
+    /// thread-count invariant. Such users' blocks are re-opened by the
+    /// exact pass, so `opened` counts them twice.
+    pub fn fast_fallbacks(&self) -> u64 {
+        self.fallbacks.get()
     }
 
     #[inline]
@@ -375,24 +520,32 @@ impl BlockCounters {
         self.opened.set(self.opened.get() + n);
     }
 
-    /// Adds another counter pair's totals into this one (per-worker
+    #[inline]
+    fn add_fallbacks(&self, n: u64) {
+        self.fallbacks.set(self.fallbacks.get() + n);
+    }
+
+    /// Adds another counter set's totals into this one (per-worker
     /// counters summed at join).
     pub fn merge(&self, other: &BlockCounters) {
         self.add_bounded(other.bounded_out());
         self.add_opened(other.opened());
+        self.add_fallbacks(other.fast_fallbacks());
     }
 
-    /// Resets both counters to zero.
+    /// Resets all counters to zero.
     pub fn reset(&self) {
         self.bounded_out.set(0);
         self.opened.set(0);
+        self.fallbacks.set(0);
     }
 }
 
 /// The blocked `Pr_v(o) ≥ τ` decision for `user` — identical to
 /// [`influences`](crate::influences) over the same positions, evaluating
-/// (usually far) fewer of them. See the module docs for the bound
-/// derivation.
+/// (usually far) fewer of them over [`LANE`]-wide chunks with the fast-PF
+/// error-band bracket. See the module docs for the bound derivation and
+/// the exactness argument.
 ///
 /// # Examples
 /// ```
@@ -414,12 +567,16 @@ pub fn influences_blocked<PF: ProbabilityFunction + ?Sized>(
     tau: f64,
     scratch: &mut BlockScratch,
 ) -> bool {
-    influences_blocked_impl::<PF, crate::EvalCounter>(pf, v, blocks, user, tau, scratch, None, None)
+    influences_blocked_impl::<PF, crate::EvalCounter>(
+        pf, v, blocks, user, tau, scratch, None, None, false,
+    )
 }
 
 /// [`influences_blocked`] that also counts evaluated positions (any
-/// [`CountEvals`] impl) and block outcomes (bounded out vs opened) for the
-/// verification-cost experiments.
+/// [`CountEvals`] impl; the lane kernel counts whole chunks, so a stop
+/// mid-block still charges the full chunk it evaluated) and block outcomes
+/// (bounded out / opened / fast fallbacks) for the verification-cost
+/// experiments.
 #[allow(clippy::too_many_arguments)] // mirrors influences_counted + block instrumentation
 pub fn influences_blocked_counted<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
     pf: &PF,
@@ -440,33 +597,116 @@ pub fn influences_blocked_counted<PF: ProbabilityFunction + ?Sized, C: CountEval
         scratch,
         Some(counter),
         Some(block_counters),
+        false,
     )
 }
 
-#[allow(clippy::too_many_arguments)]
-fn influences_blocked_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
+/// [`influences_blocked`] on the exact `exp` path only: the lane walk runs
+/// with `PF::prob` per position and an empty error band, never consulting
+/// the fast-PF approximation. The `--pf-exact` debugging/A-B mode.
+pub fn influences_blocked_exact<PF: ProbabilityFunction + ?Sized>(
     pf: &PF,
     v: &Point,
     blocks: &PositionBlocks,
     user: u32,
     tau: f64,
     scratch: &mut BlockScratch,
-    counter: Option<&C>,
-    block_counters: Option<&BlockCounters>,
 ) -> bool {
-    debug_assert!((0.0..=1.0).contains(&tau));
-    let target = 1.0 - tau;
-    let brange = blocks.user_blocks(user);
-    let nb = brange.len();
-    if nb == 0 {
-        // No positions: Pr = 0, influenced only when τ = 0 (target = 1).
-        return 1.0 <= target;
-    }
+    influences_blocked_impl::<PF, crate::EvalCounter>(
+        pf, v, blocks, user, tau, scratch, None, None, true,
+    )
+}
 
-    // Per-block factor bounds. For block j with n positions and per-position
-    // factor f = 1 − PF(d): f ∈ [flo, fhi] with flo = 1 − PF(dmin) and
-    // fhi = 1 − PF(dmax), so the block product lies in [floⁿ, fhiⁿ].
-    let s = scratch;
+/// [`influences_blocked_exact`] with evaluation and block counting.
+#[allow(clippy::too_many_arguments)] // mirrors influences_blocked_counted
+pub fn influences_blocked_exact_counted<
+    PF: ProbabilityFunction + ?Sized,
+    C: CountEvals + ?Sized,
+>(
+    pf: &PF,
+    v: &Point,
+    blocks: &PositionBlocks,
+    user: u32,
+    tau: f64,
+    scratch: &mut BlockScratch,
+    counter: &C,
+    block_counters: &BlockCounters,
+) -> bool {
+    influences_blocked_impl(
+        pf,
+        v,
+        blocks,
+        user,
+        tau,
+        scratch,
+        Some(counter),
+        Some(block_counters),
+        true,
+    )
+}
+
+/// The pre-lane blocked kernel: per-position scalar walk with exact
+/// `PF::prob` calls and per-position stops. Kept as the reference the
+/// `BENCH_verify` experiment A/Bs the lane kernel's throughput against;
+/// decisions are identical to [`influences_blocked`].
+pub fn influences_blocked_scalar<PF: ProbabilityFunction + ?Sized>(
+    pf: &PF,
+    v: &Point,
+    blocks: &PositionBlocks,
+    user: u32,
+    tau: f64,
+    scratch: &mut BlockScratch,
+) -> bool {
+    influences_blocked_scalar_impl::<PF, crate::EvalCounter>(
+        pf, v, blocks, user, tau, scratch, None, None,
+    )
+}
+
+/// [`influences_blocked_scalar`] with evaluation and block counting (this
+/// kernel counts per position, not per chunk).
+#[allow(clippy::too_many_arguments)] // mirrors influences_blocked_counted
+pub fn influences_blocked_scalar_counted<
+    PF: ProbabilityFunction + ?Sized,
+    C: CountEvals + ?Sized,
+>(
+    pf: &PF,
+    v: &Point,
+    blocks: &PositionBlocks,
+    user: u32,
+    tau: f64,
+    scratch: &mut BlockScratch,
+    counter: &C,
+    block_counters: &BlockCounters,
+) -> bool {
+    influences_blocked_scalar_impl(
+        pf,
+        v,
+        blocks,
+        user,
+        tau,
+        scratch,
+        Some(counter),
+        Some(block_counters),
+    )
+}
+
+/// Shared kernel prologue: per-block factor bounds, the closest-first visit
+/// order, and the suffix-product arrays, written into `scratch`.
+///
+/// For block j with n positions and per-position factor `f = 1 − PF(d)`:
+/// `f ∈ [flo, fhi]` with `flo = 1 − PF(dmin)` and `fhi = 1 − PF(dmax)`
+/// (block bounds always use the exact `PF::prob` — they are evaluated once
+/// per block, not per position, so the fast path buys nothing there and
+/// exactness keeps both kernels' bound arrays bit-identical), so the block
+/// product lies in `[powⁿ(flo), powⁿ(fhi)]`.
+fn fill_block_bounds<PF: ProbabilityFunction + ?Sized>(
+    pf: &PF,
+    v: &Point,
+    blocks: &PositionBlocks,
+    brange: &std::ops::Range<usize>,
+    s: &mut BlockScratch,
+) {
+    let nb = brange.len();
     s.order.clear();
     s.dmin.clear();
     s.flo.clear();
@@ -477,8 +717,7 @@ fn influences_blocked_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Si
         let rect = blocks.block_rect(b);
         let dmin = rect.min_distance(v);
         let dmax = rect.max_distance(v);
-        // lint:allow(narrowing-cast): a block holds at most BLOCK_CAP positions, far below i32::MAX
-        let n = blocks.block_len(b) as i32;
+        let n = blocks.block_len(b);
         let flo = 1.0 - pf.prob(dmin);
         let fhi = 1.0 - pf.prob(dmax);
         // lint:allow(narrowing-cast): local indexes the per-user block list, bounded by the u32 block count
@@ -486,8 +725,8 @@ fn influences_blocked_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Si
         s.dmin.push(dmin);
         s.flo.push(flo);
         s.fhi.push(fhi);
-        s.lb.push(flo.powi(n));
-        s.ub.push(fhi.powi(n));
+        s.lb.push(pow_n(flo, n));
+        s.ub.push(pow_n(fhi, n));
     }
 
     // Closest blocks first (ties toward the lower block index, which keeps
@@ -512,20 +751,221 @@ fn influences_blocked_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Si
         s.suffix_lb[t] = s.suffix_lb[t + 1] * s.lb[j];
         s.suffix_ub[t] = s.suffix_ub[t + 1] * s.ub[j];
     }
+}
 
-    // Aggregate bounds: decide the user without touching any position when
-    // conclusive (`product` is still 1 here).
-    if s.suffix_ub[0] <= target {
+/// Aggregate-bounds early decision: decides the user without touching any
+/// position when the whole-product bracket is already conclusive.
+#[inline]
+fn aggregate_decision(
+    s: &BlockScratch,
+    nb: usize,
+    target: f64,
+    block_counters: Option<&BlockCounters>,
+) -> Option<bool> {
+    let decided = if s.suffix_ub[0] <= target {
+        Some(true)
+    } else if s.suffix_lb[0] > target {
+        Some(false)
+    } else {
+        None
+    };
+    if decided.is_some() {
         if let Some(bc) = block_counters {
             bc.add_bounded(nb as u64);
         }
+    }
+    decided
+}
+
+#[allow(clippy::too_many_arguments)]
+fn influences_blocked_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
+    pf: &PF,
+    v: &Point,
+    blocks: &PositionBlocks,
+    user: u32,
+    tau: f64,
+    scratch: &mut BlockScratch,
+    counter: Option<&C>,
+    block_counters: Option<&BlockCounters>,
+    pf_exact: bool,
+) -> bool {
+    debug_assert!((0.0..=1.0).contains(&tau));
+    let target = 1.0 - tau;
+    let brange = blocks.user_blocks(user);
+    let nb = brange.len();
+    if nb == 0 {
+        // No positions: Pr = 0, influenced only when τ = 0 (target = 1).
+        return 1.0 <= target;
+    }
+
+    let s = scratch;
+    fill_block_bounds(pf, v, blocks, &brange, s);
+    if let Some(decided) = aggregate_decision(s, nb, target, block_counters) {
+        return decided;
+    }
+
+    // The lane walk. `prod` carries one running keep-product; in fast mode
+    // its distance to the exact product is bounded *additively*: every
+    // factor — fast or true — lies in [0, 1], so
+    // `|Π fast − Π true| ≤ Σ |fastᵢ − trueᵢ| ≤ evals · ε`
+    // with ε the PF's published lane error bound. The bracket
+    // `[prod − band, prod + band]` is therefore derived only at chunk
+    // boundaries, keeping the inner loop to a single multiply chain (the
+    // dual per-element clamped chains this replaces doubled the serial
+    // latency and made the fast path slower than the exact one). In exact
+    // mode (and for PFs with no fast path, ε = 0) the band is zero and
+    // `prod` is the exact kernel's product.
+    let err = if pf_exact { 0.0 } else { pf.lane_error_bound() };
+    let mut prod = 1.0f64;
+    let mut band = 0.0f64;
+    let mut d = [0.0f64; LANE];
+    let mut p = [0.0f64; LANE];
+    for t in 0..nb {
+        let j = s.order[t] as usize;
+        if let Some(bc) = block_counters {
+            bc.add_opened(1);
+        }
+        let (xs, ys) = blocks.block_positions(brange.start + j);
+        let n = xs.len();
+        let (flo, fhi) = (s.flo[j], s.fhi[j]);
+        // Remainder bounds per chunk boundary, built backward with one
+        // multiply per chunk: entry c bounds the product of everything
+        // after chunk c (this block's remaining positions, then the
+        // unopened blocks). Replaces a `pow_n` pair inside every stop
+        // check with a table lookup.
+        let nc = n.div_ceil(LANE);
+        s.chunk_ub.resize(nc, 0.0);
+        s.chunk_lb.resize(nc, 0.0);
+        s.chunk_ub[nc - 1] = s.suffix_ub[t + 1];
+        s.chunk_lb[nc - 1] = s.suffix_lb[t + 1];
+        if nc > 1 {
+            // The last chunk may be partial; every earlier one is LANE wide.
+            let tail = n - LANE * (nc - 1);
+            s.chunk_ub[nc - 2] = s.chunk_ub[nc - 1] * pow_n(fhi, tail);
+            s.chunk_lb[nc - 2] = s.chunk_lb[nc - 1] * pow_n(flo, tail);
+            if nc > 2 {
+                let fhi_lane = pow_n(fhi, LANE);
+                let flo_lane = pow_n(flo, LANE);
+                for c in (0..nc - 2).rev() {
+                    s.chunk_ub[c] = s.chunk_ub[c + 1] * fhi_lane;
+                    s.chunk_lb[c] = s.chunk_lb[c + 1] * flo_lane;
+                }
+            }
+        }
+        let mut i = 0;
+        let mut chunk = 0;
+        while i < n {
+            let m = LANE.min(n - i);
+            // Distance lanes: fixed-width, branch-free over the chunk, so
+            // the compiler can vectorise the subtract/multiply/sqrt run.
+            for ((dd, &px), &py) in d[..m].iter_mut().zip(&xs[i..i + m]).zip(&ys[i..i + m]) {
+                let dx = px - v.x;
+                let dy = py - v.y;
+                *dd = (dx * dx + dy * dy).sqrt();
+            }
+            if pf_exact {
+                for &dist in &d[..m] {
+                    prod *= 1.0 - pf.prob(dist);
+                }
+            } else {
+                // Full chunks pass the whole fixed-width arrays: after
+                // inlining, the trip count is the constant `LANE`, which is
+                // what actually unlocks the vectorised `prob_lanes` body
+                // (a runtime-length tail slice compiles to the scalar loop).
+                // The chunk's keep product is reduced as a pairwise tree —
+                // depth log₂ LANE instead of a LANE-long serial multiply
+                // chain. The association order only changes which rounding
+                // the *fast* product carries (≤ LANE·2⁻⁵³ per chunk, five
+                // orders below the ε·evals band); the exact-mode chain
+                // below keeps the strict left-to-right order that the
+                // fallback path and `influences_blocked_exact` share.
+                if m == LANE {
+                    pf.prob_lanes(&d, &mut p);
+                    let f = [
+                        (1.0 - p[0]) * (1.0 - p[1]),
+                        (1.0 - p[2]) * (1.0 - p[3]),
+                        (1.0 - p[4]) * (1.0 - p[5]),
+                        (1.0 - p[6]) * (1.0 - p[7]),
+                    ];
+                    prod *= (f[0] * f[1]) * (f[2] * f[3]);
+                } else {
+                    pf.prob_lanes(&d[..m], &mut p[..m]);
+                    for &q in &p[..m] {
+                        prod *= 1.0 - q;
+                    }
+                }
+                band += m as f64 * err;
+            }
+            if let Some(c) = counter {
+                c.add(m as u64);
+            }
+            i += m;
+            // Two-sided stops at chunk boundaries, each on the conservative
+            // side of the bracket: the unvisited remainder is bracketed by
+            // this block's per-position bounds to the power of its
+            // remaining count times the unopened blocks' bound products —
+            // much tighter than the global `PF(0)^remaining` budget.
+            if (prod + band).min(1.0) * s.chunk_ub[chunk] <= target {
+                if let Some(bc) = block_counters {
+                    bc.add_bounded((nb - t - 1) as u64);
+                }
+                return true;
+            }
+            if (prod - band).max(0.0) * s.chunk_lb[chunk] > target {
+                if let Some(bc) = block_counters {
+                    bc.add_bounded((nb - t - 1) as u64);
+                }
+                return false;
+            }
+            chunk += 1;
+        }
+    }
+    // Walk finished without a conclusive stop. With a zero band the
+    // product is the exact kernel's full product and `≤ target` is the
+    // decision itself. Otherwise decide only when the bracket clears the
+    // target on one side; a target inside the error band is the one case
+    // the fast kernel cannot decide, so re-run this user on the exact path
+    // (terminates: the exact pass has pf_exact = true).
+    if pf_exact || band == 0.0 {
+        return prod <= target;
+    }
+    if (prod + band).min(1.0) <= target {
         return true;
     }
-    if s.suffix_lb[0] > target {
-        if let Some(bc) = block_counters {
-            bc.add_bounded(nb as u64);
-        }
+    if (prod - band).max(0.0) > target {
         return false;
+    }
+    if let Some(bc) = block_counters {
+        bc.add_fallbacks(1);
+    }
+    influences_blocked_impl(pf, v, blocks, user, tau, s, counter, block_counters, true)
+}
+
+/// The scalar reference walk: identical bounds and visit order, exact
+/// `PF::prob` per position, stops checked after every position.
+#[allow(clippy::too_many_arguments)]
+fn influences_blocked_scalar_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
+    pf: &PF,
+    v: &Point,
+    blocks: &PositionBlocks,
+    user: u32,
+    tau: f64,
+    scratch: &mut BlockScratch,
+    counter: Option<&C>,
+    block_counters: Option<&BlockCounters>,
+) -> bool {
+    debug_assert!((0.0..=1.0).contains(&tau));
+    let target = 1.0 - tau;
+    let brange = blocks.user_blocks(user);
+    let nb = brange.len();
+    if nb == 0 {
+        return 1.0 <= target;
+    }
+
+    let s = scratch;
+    fill_block_bounds(pf, v, blocks, &brange, s);
+    if let Some(decided) = aggregate_decision(s, nb, target, block_counters) {
+        return decided;
     }
 
     let mut product = 1.0f64;
@@ -544,19 +984,14 @@ fn influences_blocked_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Si
             let dx = xs[i] - v.x;
             let dy = ys[i] - v.y;
             product *= 1.0 - pf.prob((dx * dx + dy * dy).sqrt());
-            // lint:allow(narrowing-cast): n is a block length (<= BLOCK_CAP) and i < n, so the difference fits i32
-            let rem = (n - i - 1) as i32;
-            // Two-sided stops: the unvisited remainder is bracketed by this
-            // block's per-position bounds to the power of its remaining
-            // count times the unopened blocks' bound products — much
-            // tighter than the global `PF(0)^remaining` budget.
-            if product * fhi.powi(rem) * s.suffix_ub[t + 1] <= target {
+            let rem = n - i - 1;
+            if product * pow_n(fhi, rem) * s.suffix_ub[t + 1] <= target {
                 if let Some(bc) = block_counters {
                     bc.add_bounded((nb - t - 1) as u64);
                 }
                 return true;
             }
-            if product * flo.powi(rem) * s.suffix_lb[t + 1] > target {
+            if product * pow_n(flo, rem) * s.suffix_lb[t + 1] > target {
                 if let Some(bc) = block_counters {
                     bc.add_bounded((nb - t - 1) as u64);
                 }
@@ -806,6 +1241,152 @@ mod tests {
             assert_eq!(decoded, blocks);
             decoded.validate();
         }
+    }
+
+    #[test]
+    fn lane_scalar_and_exact_kernels_agree_everywhere() {
+        let users = users_ring(6, 31);
+        let pf = Sigmoid::paper_default();
+        let mut scratch = BlockScratch::new();
+        for bs in [1usize, 4, 16, 33] {
+            let blocks = PositionBlocks::build(&users, bs);
+            for tau in [0.0, 0.05, 0.3, 0.5, 0.7, 0.95, 1.0] {
+                for (o, u) in users.iter().enumerate() {
+                    for v in [Point::ORIGIN, Point::new(o as f64 * 3.0, 0.5)] {
+                        let want = influences(&pf, &v, u.positions(), tau);
+                        let o = o as u32;
+                        let lane = influences_blocked(&pf, &v, &blocks, o, tau, &mut scratch);
+                        let exact =
+                            influences_blocked_exact(&pf, &v, &blocks, o, tau, &mut scratch);
+                        let scalar =
+                            influences_blocked_scalar(&pf, &v, &blocks, o, tau, &mut scratch);
+                        assert_eq!(lane, want, "lane: user {o} tau {tau} bs {bs} v {v:?}");
+                        assert_eq!(exact, want, "exact: user {o} tau {tau} bs {bs} v {v:?}");
+                        assert_eq!(scalar, want, "scalar: user {o} tau {tau} bs {bs} v {v:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_ordering_changes_layout_but_never_a_decision() {
+        let users = users_ring(6, 29);
+        let pf = Sigmoid::paper_default();
+        let morton = PositionBlocks::build_ordered(&users, 8, BlockOrdering::Morton);
+        let hilbert = PositionBlocks::build_ordered(&users, 8, BlockOrdering::Hilbert);
+        hilbert.validate();
+        // Same partition granularity either way.
+        assert_eq!(morton.n_blocks(), hilbert.n_blocks());
+        for (o, u) in users.iter().enumerate() {
+            let total: usize = hilbert
+                .user_blocks(o as u32)
+                .map(|b| hilbert.block_len(b))
+                .sum();
+            assert_eq!(total, u.len(), "user {o}");
+        }
+        let mut scratch = BlockScratch::new();
+        for tau in [0.05, 0.5, 0.95] {
+            for (o, u) in users.iter().enumerate() {
+                for v in [Point::new(1.0, -1.0), Point::new(o as f64 * 3.0, 0.5)] {
+                    let want = influences(&pf, &v, u.positions(), tau);
+                    for blocks in [&morton, &hilbert] {
+                        assert_eq!(
+                            influences_blocked(&pf, &v, blocks, o as u32, tau, &mut scratch),
+                            want,
+                            "user {o} tau {tau} v {v:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_block_size_is_deterministic_and_lane_aligned() {
+        let sparse = users_ring(5, 23);
+        let a = auto_block_size(&sparse);
+        assert_eq!(a, auto_block_size(&sparse), "pure fold must be stable");
+        assert!((LANE..=2 * DEFAULT_BLOCK_SIZE).contains(&a));
+        assert_eq!(a % LANE, 0, "auto size {a} must fill whole lanes");
+        // Dense users (many positions inside a tiny MBR) double the size.
+        let dense = vec![MovingUser::new(vec![Point::new(2.0, 2.0); 23]); 5];
+        assert!(auto_block_size(&dense) >= a);
+        assert_eq!(auto_block_size(&[]), DEFAULT_BLOCK_SIZE);
+    }
+
+    #[test]
+    fn resolve_block_size_maps_the_sentinels() {
+        let users = users_ring(3, 9);
+        assert_eq!(resolve_block_size(&users, BLOCK_SIZE_PLAIN), None);
+        assert_eq!(
+            resolve_block_size(&users, BLOCK_SIZE_AUTO),
+            Some(auto_block_size(&users))
+        );
+        assert_eq!(resolve_block_size(&users, 7), Some(7));
+    }
+
+    /// A PF that advertises a deliberately huge lane error band and biases
+    /// its lane path low: the fast walk must end inconclusive for some
+    /// users, fall back to the exact pass (fallbacks > 0), and still return
+    /// exactly the plain kernel's decisions.
+    struct SloppyPf(Sigmoid);
+
+    impl ProbabilityFunction for SloppyPf {
+        fn prob(&self, d: f64) -> f64 {
+            self.0.prob(d)
+        }
+
+        fn prob_lanes(&self, d: &[f64], out: &mut [f64]) {
+            for (o, &x) in out.iter_mut().zip(d) {
+                *o = (self.0.prob(x) - 0.02).max(0.0);
+            }
+        }
+
+        fn lane_error_bound(&self) -> f64 {
+            0.05
+        }
+
+        fn inverse(&self, p: f64) -> Option<f64> {
+            self.0.inverse(p)
+        }
+
+        fn max_probability(&self) -> f64 {
+            self.0.max_probability()
+        }
+    }
+
+    #[test]
+    fn error_band_fallback_keeps_decisions_exact() {
+        let users = users_ring(6, 31);
+        let pf = SloppyPf(Sigmoid::paper_default());
+        let blocks = PositionBlocks::build(&users, 8);
+        let mut scratch = BlockScratch::new();
+        let evals = EvalCounter::new();
+        let bc = BlockCounters::new();
+        let mut decided = 0u64;
+        for tau in [0.05, 0.3, 0.5, 0.7, 0.95] {
+            for (o, u) in users.iter().enumerate() {
+                for v in [Point::ORIGIN, Point::new(o as f64 * 3.0, 0.5)] {
+                    let want = influences(&pf.0, &v, u.positions(), tau);
+                    let got = influences_blocked_counted(
+                        &pf,
+                        &v,
+                        &blocks,
+                        o as u32,
+                        tau,
+                        &mut scratch,
+                        &evals,
+                        &bc,
+                    );
+                    assert_eq!(got, want, "user {o} tau {tau} v {v:?}");
+                    decided += 1;
+                }
+            }
+        }
+        let fb = bc.fast_fallbacks();
+        assert!(fb > 0, "a 0.05-wide band must trap some decisions");
+        assert!(fb <= decided);
     }
 
     #[test]

@@ -177,7 +177,8 @@ fn influences_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
     let mut product = 1.0f64;
     let r = positions.len();
     // Failure-stop budget `max_keep^remaining`, maintained as a running
-    // product: one `powi` up front, then one multiply per iteration. Division
+    // product: one binary exponentiation up front, then one multiply per
+    // iteration. Division
     // by `max_keep` would be unsound (rounding could inflate the budget past
     // its true value and fire a wrong reject), so the tail is *multiplied* by
     // `1/max_keep` and clamped to 1.0 — the mathematical ceiling for any
@@ -186,7 +187,7 @@ fn influences_impl<PF: ProbabilityFunction + ?Sized, C: CountEvals + ?Sized>(
     // decision. `max_keep == 0` (PF(0) = 1) degrades the same way: tail 0
     // suppresses the stop and the loop decides exactly.
     let mut tail = if r > 1 {
-        max_keep.powi(r as i32 - 1)
+        crate::lanes::pow_n(max_keep, r - 1)
     } else {
         1.0
     };

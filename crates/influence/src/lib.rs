@@ -16,27 +16,37 @@
 //!   behind the IA, NIB, IS and NIR pruning rules.
 //! * [`MovingUser`] — a multi-position user with its cached MBR.
 //! * [`PositionBlocks`] / [`influences_blocked`] — the blocked SoA
-//!   verification substrate: Morton-sorted fixed-size position blocks with
-//!   per-block MBR distance bounds that decide most users without touching
-//!   their positions (same decisions, far fewer evaluations).
+//!   verification substrate: curve-sorted fixed-size position blocks
+//!   ([`BlockOrdering`]: Morton or Hilbert) with per-block MBR distance
+//!   bounds that decide most users without touching their positions, and a
+//!   [`LANE`]-wide chunked walk whose fast-PF error band is folded into
+//!   the two-sided stops (same decisions, far fewer and far cheaper
+//!   evaluations). `block_size` is self-tuned per dataset by
+//!   [`auto_block_size`] when configured as [`BLOCK_SIZE_AUTO`].
+//! * [`lanes`] — the bounded-error `exp` fast path ([`exp_neg`]) and its
+//!   published error constants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod blocks;
 mod cumulative;
+pub mod lanes;
 mod pf;
 mod radius;
 mod user;
 
 pub use blocks::{
-    influences_blocked, influences_blocked_counted, BlockCounters, BlockScratch, PositionBlocks,
-    DEFAULT_BLOCK_SIZE,
+    auto_block_size, influences_blocked, influences_blocked_counted, influences_blocked_exact,
+    influences_blocked_exact_counted, influences_blocked_scalar, influences_blocked_scalar_counted,
+    resolve_block_size, BlockCounters, BlockOrdering, BlockScratch, PositionBlocks,
+    BLOCK_SIZE_AUTO, BLOCK_SIZE_PLAIN, DEFAULT_BLOCK_SIZE,
 };
 pub use cumulative::{
     cumulative_probability, influences, influences_counted, AtomicEvalCounter, CountEvals,
     EvalCounter,
 };
+pub use lanes::{exp_neg, pow_n, EXP_NEG_EPS, FAST_PF_EPS, LANE};
 pub use pf::{Exponential, Linear, ProbabilityFunction, Sigmoid, Step};
 pub use radius::{eta, eta_count, min_max_radius, non_influence_radius};
 pub use user::{MovingUser, UserId};

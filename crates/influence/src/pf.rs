@@ -6,6 +6,7 @@
 //! monotonically non-increasing in distance; pruning correctness depends on
 //! exactly that property, so it is asserted by the property tests.
 
+use crate::lanes::{exp_neg, FAST_PF_EPS};
 use serde::{Deserialize, Serialize};
 
 /// A monotonically non-increasing distance→probability mapping.
@@ -15,6 +16,26 @@ use serde::{Deserialize, Serialize};
 pub trait ProbabilityFunction: Send + Sync {
     /// Influence probability of one position at distance `d` km (`d ≥ 0`).
     fn prob(&self, d: f64) -> f64;
+
+    /// Evaluates [`prob`](Self::prob) over a lane of distances, writing into
+    /// `out` (`out.len() == d.len()`, at most [`LANE`](crate::LANE) wide in
+    /// the kernel). The default is the exact per-element evaluation; fast
+    /// overrides may deviate by at most [`lane_error_bound`](Self::lane_error_bound)
+    /// per element. The branch-free loop shape is what lets the compiler
+    /// auto-vectorise the verification hot path.
+    fn prob_lanes(&self, d: &[f64], out: &mut [f64]) {
+        for (o, &x) in out.iter_mut().zip(d) {
+            *o = self.prob(x);
+        }
+    }
+
+    /// Absolute per-element error bound of [`prob_lanes`](Self::prob_lanes)
+    /// against [`prob`](Self::prob); `0.0` means the lane path is exact.
+    /// The blocked kernel brackets every keep factor by this half-width and
+    /// consults the exact path only when a τ decision falls inside the band.
+    fn lane_error_bound(&self) -> f64 {
+        0.0
+    }
 
     /// The largest achievable single-position probability, `prob(0)`.
     fn max_probability(&self) -> f64 {
@@ -59,6 +80,27 @@ impl ProbabilityFunction for Sigmoid {
         self.rho / (1.0 + d.exp())
     }
 
+    // ρ/(1 + e^d) = ρ·t/(1 + t) with t = e^{−d}, evaluated through the
+    // bounded-error fast path. With t̃ = t(1 ± ε) and dp/dt = ρ/(1+t)² ≤ ρ,
+    // the probability error is ≤ ρ·ε·t/(1+t)² ≤ ρ·ε/4 — comfortably inside
+    // the published ρ·FAST_PF_EPS budget together with formula rounding.
+    //
+    // `#[inline]` is load-bearing: the kernel lives in a downstream
+    // monomorphisation, and only an inlined body lets the compiler see the
+    // constant `LANE` trip count of full chunks and vectorise the loop
+    // (a cross-crate call also costs more than the polynomial itself).
+    #[inline]
+    fn prob_lanes(&self, d: &[f64], out: &mut [f64]) {
+        for (o, &x) in out.iter_mut().zip(d) {
+            let t = exp_neg(-x);
+            *o = self.rho * t / (1.0 + t);
+        }
+    }
+
+    fn lane_error_bound(&self) -> f64 {
+        self.rho * FAST_PF_EPS
+    }
+
     fn inverse(&self, p: f64) -> Option<f64> {
         if p <= 0.0 || p > self.max_probability() {
             return None;
@@ -93,6 +135,21 @@ impl ProbabilityFunction for Exponential {
     fn prob(&self, d: f64) -> f64 {
         debug_assert!(d >= 0.0);
         self.rho * (-d / self.sigma).exp()
+    }
+
+    // ρ·e^{−d/σ} through the fast path: with ẽ = e^{−d/σ}(1 ± ε) the
+    // probability error is ≤ ρ·ε·e^{−d/σ} ≤ ρ·ε, inside ρ·FAST_PF_EPS.
+    // `#[inline]` for the same reason as the sigmoid override: the constant
+    // trip count of full chunks is only visible to the vectoriser inline.
+    #[inline]
+    fn prob_lanes(&self, d: &[f64], out: &mut [f64]) {
+        for (o, &x) in out.iter_mut().zip(d) {
+            *o = self.rho * exp_neg(-x / self.sigma);
+        }
+    }
+
+    fn lane_error_bound(&self) -> f64 {
+        self.rho * FAST_PF_EPS
     }
 
     fn inverse(&self, p: f64) -> Option<f64> {
@@ -238,5 +295,63 @@ mod tests {
     #[should_panic(expected = "rho must be in (0, 1]")]
     fn sigmoid_rejects_bad_rho() {
         Sigmoid::new(1.5);
+    }
+
+    fn lane_grid() -> Vec<f64> {
+        let mut d = Vec::new();
+        let mut x = 0.0f64;
+        while x <= 60.0 {
+            d.push(x);
+            x += 0.013;
+        }
+        d.extend([0.0, 1e-9, 700.0, 710.0, 1e6]);
+        d
+    }
+
+    #[test]
+    fn sigmoid_lanes_stay_inside_their_error_bound() {
+        for pf in [Sigmoid::paper_default(), Sigmoid::new(0.4)] {
+            let d = lane_grid();
+            let mut out = vec![0.0; d.len()];
+            pf.prob_lanes(&d, &mut out);
+            let bound = pf.lane_error_bound();
+            assert!(bound > 0.0);
+            for (&x, &fast) in d.iter().zip(&out) {
+                let exact = pf.prob(x);
+                assert!(
+                    (fast - exact).abs() <= bound,
+                    "d={x} fast={fast} exact={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_lanes_stay_inside_their_error_bound() {
+        for pf in [Exponential::new(1.0, 2.0), Exponential::new(0.6, 0.5)] {
+            let d = lane_grid();
+            let mut out = vec![0.0; d.len()];
+            pf.prob_lanes(&d, &mut out);
+            let bound = pf.lane_error_bound();
+            for (&x, &fast) in d.iter().zip(&out) {
+                let exact = pf.prob(x);
+                assert!(
+                    (fast - exact).abs() <= bound,
+                    "d={x} fast={fast} exact={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_lane_path_is_exact() {
+        let pf = Linear::new(1.0, 2.0);
+        assert_eq!(pf.lane_error_bound(), 0.0);
+        let d = [0.0, 0.5, 1.0, 1.9, 2.5, 100.0];
+        let mut out = [0.0; 6];
+        pf.prob_lanes(&d, &mut out);
+        for (&x, &fast) in d.iter().zip(&out) {
+            assert_eq!(fast.to_bits(), pf.prob(x).to_bits());
+        }
     }
 }

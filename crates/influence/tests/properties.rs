@@ -3,10 +3,46 @@
 
 use mc2ls_geo::Point;
 use mc2ls_influence::{
-    cumulative_probability, eta_count, influences, influences_blocked, min_max_radius,
-    BlockScratch, Exponential, MovingUser, PositionBlocks, ProbabilityFunction, Sigmoid,
+    cumulative_probability, eta_count, influences, influences_blocked, influences_blocked_exact,
+    influences_blocked_scalar, min_max_radius, resolve_block_size, BlockScratch, Exponential,
+    MovingUser, PositionBlocks, ProbabilityFunction, Sigmoid, BLOCK_SIZE_AUTO,
 };
 use proptest::prelude::*;
+
+/// Block sizes the kernel-equivalence properties sweep: the degenerate
+/// one-position block, a sub-lane size, the old default, and the auto
+/// sentinel (resolved per generated dataset).
+const KERNEL_BLOCK_SIZES: [usize; 4] = [1, 4, 16, BLOCK_SIZE_AUTO];
+
+/// Asserts the lane (fast-PF), exact-`exp`, and scalar blocked kernels all
+/// return the same decision for `user` across a τ sweep that includes both
+/// boundaries and τ sitting *exactly on* the user's cumulative probability
+/// (the knife edge where the fast path's error band is guaranteed to
+/// matter, forcing the exact fallback). Interior τ is additionally checked
+/// against the plain per-position kernel.
+fn assert_kernel_trio_agrees<PF: ProbabilityFunction>(
+    pf: &PF,
+    v: &Point,
+    user: &MovingUser,
+    blocks: &PositionBlocks,
+    o: u32,
+    interior_tau: f64,
+    scratch: &mut BlockScratch,
+) {
+    let pr = cumulative_probability(pf, v, user.positions());
+    for t in [0.0, interior_tau, pr.clamp(0.0, 1.0), 1.0] {
+        let lane = influences_blocked(pf, v, blocks, o, t, scratch);
+        let exact = influences_blocked_exact(pf, v, blocks, o, t, scratch);
+        let scalar = influences_blocked_scalar(pf, v, blocks, o, t, scratch);
+        assert_eq!(lane, exact, "fast vs exact diverged: user {o} tau {t}");
+        assert_eq!(lane, scalar, "fast vs scalar diverged: user {o} tau {t}");
+    }
+    assert_eq!(
+        influences_blocked(pf, v, blocks, o, interior_tau, scratch),
+        influences(pf, v, user.positions(), interior_tau),
+        "fast vs plain diverged: user {o} tau {interior_tau}"
+    );
+}
 
 fn pt() -> impl Strategy<Value = Point> {
     (-20.0f64..20.0, -20.0f64..20.0).prop_map(|(x, y)| Point::new(x, y))
@@ -177,6 +213,37 @@ proptest! {
             let t = 1.0 - 1e-9;
             let exact = cumulative_probability(&pf, &v, user.positions()) >= t;
             prop_assert_eq!(influences_blocked(&pf, &v, &blocks, u as u32, t, &mut scratch), exact);
+        }
+    }
+
+    /// The lane kernel's fast-PF decisions are bit-identical to the exact
+    /// kernel's (and the scalar reference's) for the sigmoid PF, across
+    /// boundary and knife-edge τ and the block-size sweep including auto.
+    #[test]
+    fn fast_pf_decisions_bit_identical_sigmoid(v in pt(), us in users(), t in tau()) {
+        let pf = Sigmoid::paper_default();
+        let mut scratch = BlockScratch::new();
+        for bs in KERNEL_BLOCK_SIZES {
+            let resolved = resolve_block_size(&us, bs).expect("fixed/auto always resolve");
+            let blocks = PositionBlocks::build(&us, resolved);
+            for (u, user) in us.iter().enumerate() {
+                assert_kernel_trio_agrees(&pf, &v, user, &blocks, u as u32, t, &mut scratch);
+            }
+        }
+    }
+
+    /// Same bit-identity sweep for the exponential PF (the other fast-path
+    /// override, exercising the `exp_neg(−d/σ)` lane).
+    #[test]
+    fn fast_pf_decisions_bit_identical_exponential(v in pt(), us in users(), t in tau()) {
+        let pf = Exponential::new(0.9, 1.5);
+        let mut scratch = BlockScratch::new();
+        for bs in KERNEL_BLOCK_SIZES {
+            let resolved = resolve_block_size(&us, bs).expect("fixed/auto always resolve");
+            let blocks = PositionBlocks::build(&us, resolved);
+            for (u, user) in us.iter().enumerate() {
+                assert_kernel_trio_agrees(&pf, &v, user, &blocks, u as u32, t, &mut scratch);
+            }
         }
     }
 

@@ -49,24 +49,28 @@ const PANIC_EXEMPT_CRATES: [&str; 2] = ["cli", "bench"];
 
 /// Hot-path files for R4 (CSR layouts, Morton codes, selection heaps),
 /// workspace-relative with `/` separators.
-const NARROWING_SCOPE: [&str; 7] = [
+const NARROWING_SCOPE: [&str; 9] = [
     "crates/core/src/influence_sets.rs",
     "crates/core/src/inverted.rs",
     "crates/core/src/bitset.rs",
     "crates/core/src/greedy.rs",
     "crates/core/src/algorithms/iqt.rs",
     "crates/geo/src/morton.rs",
+    "crates/geo/src/hilbert.rs",
     "crates/influence/src/blocks.rs",
+    "crates/influence/src/lanes.rs",
 ];
 
-/// Files containing parallel-join or gain-materialisation code for R5.
-const FLOAT_SCOPE: [&str; 6] = [
+/// Files containing parallel-join, gain-materialisation, or lane-kernel
+/// float accumulation code for R5.
+const FLOAT_SCOPE: [&str; 7] = [
     "crates/core/src/greedy.rs",
     "crates/core/src/parallel.rs",
     "crates/core/src/inverted.rs",
     "crates/core/src/verify.rs",
     "crates/core/src/influence_sets.rs",
     "crates/core/src/algorithms/iqt.rs",
+    "crates/influence/src/lanes.rs",
 ];
 
 /// Classifies a workspace-relative path (always `/`-separated) into the
@@ -241,6 +245,15 @@ mod tests {
         let serve = classify("crates/serve/src/server.rs").expect("in scope");
         assert!(serve.nondet_iteration && serve.panic_path);
         assert!(!serve.narrowing_cast && !serve.float_accum);
+
+        // The lane module carries both hot-path rule sets: its bit-level
+        // exponent assembly must not hide narrowing casts, and its running
+        // products/bands are float accumulation. The Hilbert curve joins
+        // the Morton code under the narrowing rule.
+        let lanes = classify("crates/influence/src/lanes.rs").expect("in scope");
+        assert!(lanes.narrowing_cast && lanes.float_accum);
+        let hilbert = classify("crates/geo/src/hilbert.rs").expect("in scope");
+        assert!(hilbert.narrowing_cast && !hilbert.float_accum);
 
         let data_root = classify("crates/data/src/lib.rs").expect("in scope");
         assert!(data_root.crate_root && data_root.panic_path);

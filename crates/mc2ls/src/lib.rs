@@ -67,7 +67,8 @@ pub mod prelude {
     pub use mc2ls_geo::{Circle, Point, Rect, Square};
     pub use mc2ls_index::{IQuadTree, RTree};
     pub use mc2ls_influence::{
-        cumulative_probability, influences, influences_blocked, BlockScratch, MovingUser,
-        PositionBlocks, ProbabilityFunction, Sigmoid, DEFAULT_BLOCK_SIZE,
+        auto_block_size, cumulative_probability, influences, influences_blocked,
+        resolve_block_size, BlockOrdering, BlockScratch, MovingUser, PositionBlocks,
+        ProbabilityFunction, Sigmoid, BLOCK_SIZE_AUTO, BLOCK_SIZE_PLAIN, DEFAULT_BLOCK_SIZE,
     };
 }

@@ -2,7 +2,7 @@
 //!
 //! Keys are byte strings derived from the *canonical* form of a query
 //! (sorted-deduped candidate subset, τ bits, `k`, block size, selector
-//! tag), so two requests that mean the same query always collide regardless
+//! tag, exact-PF flag), so two requests that mean the same query always collide regardless
 //! of candidate order or duplicates. Storage is `BTreeMap`-based — ordered,
 //! so iteration and eviction are deterministic (lint rule R1 applies to
 //! this crate) — with an explicit recency sequence implementing
@@ -43,12 +43,14 @@ pub fn key_bytes(
     tau: f64,
     block_size: usize,
     selector: Selector,
+    pf_exact: bool,
 ) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(32 + 4 * subset.map_or(0, <[u32]>::len));
     w.put_u64(tau.to_bits());
     w.put_len(k);
     w.put_len(block_size);
     w.put_u8(selector_tag(selector));
+    w.put_u8(u8::from(pf_exact));
     match subset {
         None => w.put_u8(0),
         Some(ids) => {
@@ -198,6 +200,7 @@ mod tests {
             0.7,
             8,
             Selector::Auto,
+            false,
         );
         let b = key_bytes(
             Some(&canonical_subset(&[2, 3, 1])),
@@ -205,18 +208,21 @@ mod tests {
             0.7,
             8,
             Selector::Auto,
+            false,
         );
         assert_eq!(a, b);
         // Any parameter change separates the keys.
-        assert_ne!(a, key_bytes(Some(&[1, 2, 3]), 3, 0.7, 8, Selector::Auto));
-        assert_ne!(a, key_bytes(Some(&[1, 2, 3]), 2, 0.71, 8, Selector::Auto));
-        assert_ne!(a, key_bytes(Some(&[1, 2, 3]), 2, 0.7, 9, Selector::Auto));
-        assert_ne!(a, key_bytes(Some(&[1, 2, 3]), 2, 0.7, 8, Selector::Greedy));
-        assert_ne!(a, key_bytes(None, 2, 0.7, 8, Selector::Auto));
+        let s = Some(&[1u32, 2, 3][..]);
+        assert_ne!(a, key_bytes(s, 3, 0.7, 8, Selector::Auto, false));
+        assert_ne!(a, key_bytes(s, 2, 0.71, 8, Selector::Auto, false));
+        assert_ne!(a, key_bytes(s, 2, 0.7, 9, Selector::Auto, false));
+        assert_ne!(a, key_bytes(s, 2, 0.7, 8, Selector::Greedy, false));
+        assert_ne!(a, key_bytes(s, 2, 0.7, 8, Selector::Auto, true));
+        assert_ne!(a, key_bytes(None, 2, 0.7, 8, Selector::Auto, false));
         // An empty subset is not the same key as "full set".
         assert_ne!(
-            key_bytes(Some(&[]), 2, 0.7, 8, Selector::Auto),
-            key_bytes(None, 2, 0.7, 8, Selector::Auto)
+            key_bytes(Some(&[]), 2, 0.7, 8, Selector::Auto, false),
+            key_bytes(None, 2, 0.7, 8, Selector::Auto, false)
         );
     }
 

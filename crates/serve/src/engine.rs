@@ -238,6 +238,7 @@ mod tests {
             tau: problem.tau,
             block_size: problem.block_size,
             selector: Selector::Auto,
+            pf_exact: false,
         }
     }
 

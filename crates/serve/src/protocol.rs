@@ -60,6 +60,12 @@ pub struct QueryRequest {
     /// Which selector runs the greedy selection. All selectors return
     /// byte-identical solutions; they differ only in work counters.
     pub selector: Selector,
+    /// Whether the client solved (or will solve) its side of an A/B
+    /// comparison with the exact-`exp` PF kernel. Serving runs zero PF
+    /// evaluations — influence sets are precomputed — so this is a
+    /// parity/debug field: it separates cache keys and is echoed back,
+    /// but never changes an answer.
+    pub pf_exact: bool,
 }
 
 /// A solved query as returned to the client.
@@ -226,6 +232,7 @@ mod tests {
             tau: 0.7,
             block_size: 8,
             selector: Selector::Auto,
+            pf_exact: true,
         });
         match round_trip(&req) {
             Request::Query(q) => {
@@ -233,6 +240,7 @@ mod tests {
                 assert_eq!(q.k, 2);
                 assert_eq!(q.tau.to_bits(), 0.7f64.to_bits());
                 assert_eq!(q.selector, Selector::Auto);
+                assert!(q.pf_exact);
             }
             other => panic!("wrong variant: {other:?}"),
         }

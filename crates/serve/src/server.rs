@@ -333,6 +333,7 @@ fn handle_query(query: &QueryRequest, shared: &Shared) -> Response {
         query.tau,
         query.block_size,
         query.selector,
+        query.pf_exact,
     );
     let key_hash = cache::fnv1a64(&key);
 

@@ -28,7 +28,7 @@ use mc2ls_core::{InfluenceSets, InvertedIndex, Problem, PruneStats};
 use mc2ls_geo::codec::crc32;
 use mc2ls_geo::{ByteReader, ByteWriter, CodecError};
 use mc2ls_index::IQuadTree;
-use mc2ls_influence::{PositionBlocks, Sigmoid};
+use mc2ls_influence::{auto_block_size, resolve_block_size, PositionBlocks, Sigmoid};
 
 /// File magic: "MC2S".
 pub const MAGIC: [u8; 4] = *b"MC2S";
@@ -161,7 +161,14 @@ impl Snapshot {
         let method = Method::Iqt(IqtConfig::iqt(leaf_diagonal));
         let (sets, stats, _times) = influence_sets_threaded(problem, method, threads);
         let inverted = InvertedIndex::build(&sets, threads);
-        let blocks = PositionBlocks::build(&problem.users, problem.block_size.max(1));
+        // PBLK always stores real blocks: the auto sentinel resolves via
+        // the density probe, and the plain sentinel (which disables blocked
+        // verification locally but has no meaning inside a snapshot) falls
+        // back to the same auto-tuned size. META keeps the *configured*
+        // value so queries validate against what the user asked for.
+        let resolved = resolve_block_size(&problem.users, problem.block_size)
+            .unwrap_or_else(|| auto_block_size(&problem.users));
+        let blocks = PositionBlocks::build(&problem.users, resolved);
         let tree = IQuadTree::build(&problem.users, &problem.pf, problem.tau, leaf_diagonal);
         let meta = SnapshotMeta {
             name: name.to_string(),

@@ -49,6 +49,7 @@ fn query_for(problem: &Problem<Sigmoid>, candidates: Option<Vec<u32>>, k: usize)
         tau: problem.tau,
         block_size: problem.block_size,
         selector: Selector::Auto,
+        pf_exact: false,
     }
 }
 
