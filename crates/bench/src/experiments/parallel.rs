@@ -16,6 +16,13 @@
 //!   This measures the decomposition's load balance, not a model — the
 //!   same work, same memory layout, same chunk boundaries.
 //!
+//! **Reading the numbers:** every row carries a `wall_unreliable` flag
+//! that is `true` whenever the runner exposes a single core — the
+//! `speedupT_wall` columns then carry no parallel signal at all, and the
+//! headline metric is the critical-path `speedupT` (and `qps_crit` in
+//! `BENCH_serve`), which replays the exact chunk decomposition and stays
+//! meaningful at any core count.
+//!
 //! Every threaded run is also checked bit-identical to the serial sets
 //! (the pipeline's core invariant).
 
@@ -140,6 +147,7 @@ pub fn parallel(ctx: &Ctx) -> ExperimentResult {
                 .set("dataset", json!(name))
                 .set("pipeline", json!(pipeline))
                 .set("cores", json!(cores))
+                .set("wall_unreliable", json!(cores == 1))
                 .set("t1_ms", super::ms(t1));
             for threads in THREADS {
                 let tn = timed(threads);

@@ -1,16 +1,31 @@
-//! `BENCH_serve` — snapshot cold-start vs in-process rebuild, and loopback
-//! serving throughput with the result cache on and off (written to
-//! `BENCH_serve.json`).
+//! `BENCH_serve` — snapshot cold-start (rebuild vs full decode vs
+//! zero-copy view load), loopback serving throughput, and shard-scaling
+//! of the scatter/gather engine (written to `BENCH_serve.json`).
 //!
-//! Two row kinds per dataset:
+//! Three row kinds per dataset:
 //!
 //! * `coldstart` — wall-clock of `Snapshot::build` (the full influence
-//!   pipeline) vs `Snapshot::from_bytes` over the encoded container. The
-//!   load path is asserted faster than the rebuild: that is the whole
-//!   point of persisting the indexes.
+//!   pipeline) vs `Snapshot::from_bytes` (full decode into owned
+//!   artifacts) vs `LoadedSnapshot::from_bytes` (the zero-copy serving
+//!   view: CRC sweep + CSR validation, no position/tree decode, no array
+//!   copies). Asserted: view < decode < build — each tier exists because
+//!   it beats the one below.
 //! * `serving` — a real `Server` on an ephemeral loopback port, driven by
 //!   `clients` concurrent `Client` connections issuing full-instance
 //!   queries. Reported: queries/s and the server-side cache hit rate.
+//! * `shardscale` — the same loopback harness over snapshots saved with
+//!   1, 2 and 4 shards, cache off. The headline column is `qps_crit`,
+//!   computed from the per-answer `GatherStats::critical_path_ns` (what a
+//!   fleet with one free core per shard would wait for); the max-shard
+//!   row is asserted to strictly beat the 1-shard row, with a
+//!   no-regression floor between adjacent points.
+//!
+//! **Reading the numbers:** wall-clock rows carry a `wall_unreliable`
+//! flag that is `true` whenever the runner exposes a single core — there
+//! is no parallel wall-clock signal to measure on such a box, so the
+//! headline metrics are the critical-path ones (`qps_crit` here,
+//! `speedupT` in `BENCH_parallel`), which replay the exact decomposition
+//! and stay meaningful at any core count.
 //!
 //! Every served answer is asserted bit-identical to the direct
 //! `solve_threaded` run of the same instance, and every answer's pruning
@@ -20,13 +35,25 @@
 use crate::{Ctx, ExperimentResult};
 use mc2ls::core::PruneStats;
 use mc2ls::prelude::*;
-use mc2ls_serve::{Client, QueryEngine, QueryRequest, Server, ServerConfig, Snapshot};
+use mc2ls_serve::{
+    Client, LoadedSnapshot, QueryEngine, QueryRequest, Server, ServerConfig, Snapshot,
+};
 use serde_json::json;
 use std::time::{Duration, Instant};
 
 const QUERIES_PER_CLIENT: usize = 8;
 const CLIENTS: [usize; 2] = [1, 4];
 const CACHE_CAPACITIES: [usize; 2] = [0, 64];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const SHARDSCALE_QUERIES: usize = 12;
+/// Minimum per-query scatter events for the shard-scaling assert to be
+/// meaningful: below this the per-round scatter is a handful of timer
+/// spans and the critical path is ~`rounds × span-overhead` noise. The
+/// count is a deterministic instance property (the decrement stream of
+/// the deep-k selection), so the gate never flaps run-to-run: full-scale
+/// presets sit at 185 (C) / 9453 (N) events, a `--scale 0.25` C instance
+/// collapses to 37 and is skipped.
+const SCATTER_EVENT_FLOOR: u64 = 100;
 
 /// Median wall-clock of `reps` runs of `f`.
 fn median_of<F: FnMut() -> Duration>(reps: usize, mut f: F) -> Duration {
@@ -35,12 +62,40 @@ fn median_of<F: FnMut() -> Duration>(reps: usize, mut f: F) -> Duration {
     times[times.len() / 2]
 }
 
+/// One blank-cell row template so all three row kinds share a column set
+/// (the table printer takes its columns from the first row).
+fn blank_row(kind: &str, dataset: &str, cores: usize, threads: usize) -> crate::RowBuilder {
+    crate::RowBuilder::new()
+        .set("kind", json!(kind))
+        .set("dataset", json!(dataset))
+        .set("cores", json!(cores))
+        .set("wall_unreliable", json!(cores == 1))
+        .set("threads", json!(threads))
+        .set("shards", json!("-"))
+        .set("clients", json!("-"))
+        .set("cache", json!("-"))
+        .set("snapshot_bytes", json!("-"))
+        .set("build_ms", json!("-"))
+        .set("load_ms", json!("-"))
+        .set("view_ms", json!("-"))
+        .set("speedup", json!("-"))
+        .set("view_speedup", json!("-"))
+        .set("queries", json!("-"))
+        .set("wall_ms", json!("-"))
+        .set("qps", json!("-"))
+        .set("qps_crit", json!("-"))
+        .set("scatter_evts", json!("-"))
+        .set("hit_rate", json!("-"))
+}
+
 /// Runs the experiment; see the module docs for the row kinds.
 pub fn serve(ctx: &Ctx) -> ExperimentResult {
     let cores = crate::detected_cores();
-    // Engine solve threads: the serving rows measure dispatch/cache
-    // overhead and concurrency, not solver scaling (BENCH_greedy covers
-    // that), so one solver thread keeps the numbers comparable.
+    // Engine solve threads for the serving rows: they measure
+    // dispatch/cache overhead and concurrency, not solver scaling
+    // (BENCH_greedy covers that), so one solver thread keeps the numbers
+    // comparable. The shardscale rows use one thread per shard instead —
+    // the scatter decomposition is exactly what they measure.
     let threads = 1usize;
     let mut rows = Vec::new();
 
@@ -50,7 +105,7 @@ pub fn serve(ctx: &Ctx) -> ExperimentResult {
     ] {
         let problem = crate::default_problem(&dataset);
 
-        // --- cold start vs rebuild -------------------------------------
+        // --- cold start: rebuild vs decode vs zero-copy view -----------
         let build_wall = {
             let t = Instant::now();
             let (snap, _) = Snapshot::build(name, &problem, crate::defaults::D_HAT, threads);
@@ -67,29 +122,30 @@ pub fn serve(ctx: &Ctx) -> ExperimentResult {
             std::hint::black_box(&s);
             elapsed
         });
+        let view_wall = median_of(ctx.reps.max(3), || {
+            let owned = bytes.clone();
+            let t = Instant::now();
+            let v = LoadedSnapshot::from_bytes(owned).expect("view loads");
+            let elapsed = t.elapsed();
+            std::hint::black_box(&v);
+            elapsed
+        });
         assert!(
             load_wall < build_wall,
             "{name}: cold load ({load_wall:?}) must beat rebuild ({build_wall:?})"
         );
-        // Both row kinds share one column set (the table printer takes
-        // its columns from the first row); cells that do not apply to a
-        // kind hold "-".
+        assert!(
+            view_wall < load_wall,
+            "{name}: zero-copy view ({view_wall:?}) must beat full decode ({load_wall:?})"
+        );
         rows.push(
-            crate::RowBuilder::new()
-                .set("kind", json!("coldstart"))
-                .set("dataset", json!(name))
-                .set("cores", json!(cores))
-                .set("threads", json!(threads))
-                .set("clients", json!("-"))
-                .set("cache", json!("-"))
+            blank_row("coldstart", name, cores, threads)
                 .set("snapshot_bytes", json!(bytes.len()))
                 .set("build_ms", super::ms(build_wall))
                 .set("load_ms", super::ms(load_wall))
-                .set("speedup", json!(ratio(build_wall, load_wall)))
-                .set("queries", json!("-"))
-                .set("wall_ms", json!("-"))
-                .set("qps", json!("-"))
-                .set("hit_rate", json!("-"))
+                .set("view_ms", super::ms(view_wall))
+                .set("speedup", json!(ratio_f(build_wall, load_wall)))
+                .set("view_speedup", json!(ratio_f(load_wall, view_wall)))
                 .build(),
         );
 
@@ -175,17 +231,11 @@ pub fn serve(ctx: &Ctx) -> ExperimentResult {
                     stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
                 };
                 rows.push(
-                    crate::RowBuilder::new()
-                        .set("kind", json!("serving"))
-                        .set("dataset", json!(name))
-                        .set("cores", json!(cores))
-                        .set("threads", json!(threads))
+                    blank_row("serving", name, cores, threads)
+                        .set("shards", json!(1))
                         .set("clients", json!(clients))
                         .set("cache", json!(cache_capacity))
                         .set("snapshot_bytes", json!(bytes.len()))
-                        .set("build_ms", json!("-"))
-                        .set("load_ms", json!("-"))
-                        .set("speedup", json!("-"))
                         .set("queries", json!(clients * QUERIES_PER_CLIENT))
                         .set("wall_ms", super::ms(wall))
                         .set(
@@ -197,16 +247,183 @@ pub fn serve(ctx: &Ctx) -> ExperimentResult {
                 );
             }
         }
+
+        // --- shard scaling ---------------------------------------------
+        // Cache off so every query pays the full scatter/gather. Engine
+        // threads are `min(shards, cores)`: never oversubscribe, because
+        // an oversubscribed scatter worker's in-thread span includes the
+        // time it sat descheduled, which corrupts the critical path — on
+        // a one-core runner this degrades to the same serial replay
+        // `BENCH_parallel` uses (each shard chunk timed on the calling
+        // thread), which is exactly the clean measurement. A deep
+        // selection (large k) keeps the per-round scatter well above
+        // timer granularity — the shallow default-k scatter finishes in
+        // microseconds, which is the point of epoch sharing but measures
+        // only noise. The headline `qps_crit` divides by the *minimum*
+        // per-query critical path instead of the wall clock, so it
+        // measures the decomposition on any runner.
+        let deep_k = problem
+            .n_candidates()
+            .min(crate::defaults::N_CANDIDATES / 2);
+        let mut deep_problem = problem.clone();
+        deep_problem.k = deep_k;
+        let deep_reference = solve_threaded(
+            &deep_problem,
+            Method::Iqt(IqtConfig::iqt(crate::defaults::D_HAT)),
+            Selector::Auto,
+            threads,
+        )
+        .solution;
+        let deep_request = QueryRequest {
+            k: deep_k,
+            ..request.clone()
+        };
+        // All shard counts are measured *interleaved* against live servers
+        // so they see the same machine state (frequency, cache pressure,
+        // background load) — measuring them in separate back-to-back
+        // phases lets state drift between phases masquerade as a scaling
+        // difference.
+        let mut servers = Vec::with_capacity(SHARD_COUNTS.len());
+        for shards in SHARD_COUNTS {
+            let (sharded, _) =
+                Snapshot::build_sharded(name, &problem, crate::defaults::D_HAT, threads, shards);
+            assert_eq!(sharded.n_shards(), shards, "{name}: shard clamp hit");
+            let snapshot_bytes = sharded.to_bytes().len();
+            let engine_threads = shards.min(cores);
+            let engine = QueryEngine::new(sharded, engine_threads);
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 1,
+                max_pending: 4 + SHARDSCALE_QUERIES,
+                cache_capacity: 0,
+                threads: engine_threads,
+                ..ServerConfig::default()
+            };
+            let server = Server::start(config, engine).expect("server binds loopback");
+            let addr = server.addr().to_string();
+            let client = Client::connect(&addr).expect("client connects");
+            servers.push((shards, snapshot_bytes, server, client));
+        }
+        // One discarded warmup each: materialises the shared epoch counts
+        // and faults in the CSR views before anything is timed.
+        for (_, _, _, client) in &mut servers {
+            client.query(&deep_request).expect("warmup answered");
+        }
+        let mut crit_ns = vec![Vec::with_capacity(SHARDSCALE_QUERIES); SHARD_COUNTS.len()];
+        let mut walls = vec![Duration::ZERO; SHARD_COUNTS.len()];
+        let mut scatter_events = vec![0u64; SHARD_COUNTS.len()];
+        for _ in 0..SHARDSCALE_QUERIES {
+            for (i, (shards, _, _, client)) in servers.iter_mut().enumerate() {
+                let t = Instant::now();
+                let answer = client.query(&deep_request).expect("query answered");
+                walls[i] += t.elapsed();
+                assert_eq!(
+                    answer.solution.selected, deep_reference.selected,
+                    "{name}/{shards}: sharded selection diverged from direct solve"
+                );
+                assert_eq!(
+                    answer.solution.cinf.to_bits(),
+                    deep_reference.cinf.to_bits(),
+                    "{name}/{shards}: sharded cinf diverged from direct solve"
+                );
+                assert_eq!(answer.prune, PruneStats::default());
+                assert_eq!(answer.gather.shards as usize, *shards);
+                scatter_events[i] = answer.gather.scatter_events;
+                crit_ns[i].push(answer.gather.critical_path_ns.max(1));
+            }
+        }
+        // The decrement stream is an instance property — sharding only
+        // re-buckets it across user ranges — so the per-query event total
+        // must be identical at every shard count.
+        for i in 1..SHARD_COUNTS.len() {
+            assert_eq!(
+                scatter_events[i], scatter_events[0],
+                "{name}: scatter-event totals must be shard-count-invariant"
+            );
+        }
+        let mut first_qps_crit = 0.0f64;
+        let mut prev_qps_crit = 0.0f64;
+        let mut measurable = false;
+        let last = SHARD_COUNTS.len() - 1;
+        for (i, (shards, snapshot_bytes, server, mut client)) in servers.into_iter().enumerate() {
+            client.shutdown().expect("shutdown acknowledged");
+            server.join();
+            crit_ns[i].sort_unstable();
+            // Minimum, not median: the scatter replay is deterministic, so
+            // the fastest of the repeated identical queries is the estimate
+            // least contaminated by per-span timer jitter (a deschedule
+            // inside any one shard's span inflates that round's max, and
+            // more shards mean more spans for a spike to land in — a
+            // median would bias *against* higher shard counts on a noisy
+            // runner).
+            let best_crit_s = crit_ns[i][0] as f64 / 1e9;
+            let qps_crit = (1.0 / best_crit_s * 100.0).round() / 100.0;
+            // The scaling claim is endpoint-to-endpoint: max shards must
+            // strictly beat one shard. Adjacent points only get a
+            // no-regression floor — once the per-round scatter shrinks to
+            // a handful of timer spans, the tail of the curve flattens
+            // into span-overhead territory and strict adjacent ordering
+            // would assert on timer noise. And on heavily down-scaled
+            // smoke instances the *whole* 1-shard critical path collapses
+            // toward `rounds × span-overhead` ns, at which point there is
+            // no signal left to order the endpoints either, so the
+            // asserts are gated on the instance's scatter work — the same
+            // reason BENCH_greedy gates its work-bound assert on instance
+            // size. A skipped assert is announced, never silent.
+            if i == 0 {
+                first_qps_crit = qps_crit;
+                measurable = scatter_events[i] >= SCATTER_EVENT_FLOOR;
+                if !measurable {
+                    println!(
+                        "    [{name}] shardscale: {} scatter events/query \
+                         < {SCATTER_EVENT_FLOOR} floor — scaling assert skipped \
+                         (down-scaled instance, timer-granularity regime)",
+                        scatter_events[i]
+                    );
+                }
+            } else if measurable {
+                assert!(
+                    qps_crit >= 0.9 * prev_qps_crit,
+                    "{name}: critical-path qps regressed with shards \
+                     ({shards} shards: {qps_crit} < 0.9 * {prev_qps_crit})"
+                );
+                if i == last {
+                    assert!(
+                        qps_crit > first_qps_crit,
+                        "{name}: critical-path qps must rise from 1 to {shards} shards \
+                         ({qps_crit} <= {first_qps_crit})"
+                    );
+                }
+            }
+            prev_qps_crit = qps_crit;
+            let total = SHARDSCALE_QUERIES as f64;
+            rows.push(
+                blank_row("shardscale", name, cores, shards)
+                    .set("shards", json!(shards))
+                    .set("clients", json!(1))
+                    .set("cache", json!(0))
+                    .set("snapshot_bytes", json!(snapshot_bytes))
+                    .set("queries", json!(SHARDSCALE_QUERIES))
+                    .set("wall_ms", super::ms(walls[i]))
+                    .set(
+                        "qps",
+                        json!(((total / walls[i].as_secs_f64().max(1e-9)) * 100.0).round() / 100.0),
+                    )
+                    .set("qps_crit", json!(qps_crit))
+                    .set("scatter_evts", json!(scatter_events[i]))
+                    .build(),
+            );
+        }
     }
 
     ExperimentResult {
         id: "BENCH_serve",
-        title: "Serving: snapshot cold-start vs rebuild, loopback throughput, cache hit rate",
+        title: "Serving: cold-start tiers, loopback throughput, shard scaling (qps_crit)",
         rows,
     }
 }
 
 /// `a / b` rounded to 2 decimals.
-fn ratio(a: Duration, b: Duration) -> f64 {
+fn ratio_f(a: Duration, b: Duration) -> f64 {
     ((a.as_secs_f64() / b.as_secs_f64().max(1e-9)) * 100.0).round() / 100.0
 }

@@ -24,10 +24,12 @@ commands:
   convert    --checkins FILE --out FILE [--bounds ny|ca] [--min-positions N]
   snapshot   save --preset P | --data FILE [--scale S] [--candidates N]
              [--facilities M] [-k K] [--tau T] [--block-size auto|plain|B]
-             [--threads T] [--site-seed N] --out FILE.mc2s
+             [--threads T] [--shards N] [--site-seed N] --out FILE.mc2s
              load --file FILE.mc2s  (verify + print metadata)
+             diff --base FILE.mc2s --target FILE.mc2s --out FILE.mc2d
   serve      --snapshot FILE.mc2s [--addr HOST:PORT] [--workers N]
-             [--threads T] [--cache N] [--max-pending N] [--port-file FILE]
+             [--threads T] [--shards N] [--cache N] [--max-pending N]
+             [--coalesce-us N] [--port-file FILE]
   query      --addr HOST:PORT [--candidates 1,2,3] [-k K]
              [--selector rescan|celf|decremental|auto] [--tau T]
              [--block-size auto|plain|B] [--pf-exact] [--json]
@@ -81,7 +83,7 @@ const COMMANDS: &[&str] = &[
 const SWITCHES: &[&str] = &["json", "stats", "shutdown", "pf-exact"];
 /// Commands taking a positional action token before their flags, with the
 /// actions each admits.
-const ACTIONS: &[(&str, &[&str])] = &[("snapshot", &["save", "load"])];
+const ACTIONS: &[(&str, &[&str])] = &[("snapshot", &["save", "load", "diff"])];
 
 impl Parsed {
     /// Parses `args` (without the program name).

@@ -272,6 +272,7 @@ fn snapshot_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     match parsed.action.as_deref() {
         Some("save") => snapshot_save(parsed, out),
         Some("load") => snapshot_load(parsed, out),
+        Some("diff") => snapshot_diff(parsed, out),
         other => unreachable!("parser admitted snapshot action {other:?}"),
     }
 }
@@ -283,20 +284,30 @@ fn snapshot_save<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
     }
     let leaf_diagonal: f64 = parsed.get_or("leaf-diagonal", 2.0)?;
+    let shards: usize = parsed.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err(Box::new(ArgError::BadValue("shards".into(), "0".into())));
+    }
     let (problem, name) = problem_from_flags(parsed)?;
-    let (snapshot, stats) = mc2ls_serve::Snapshot::build(&name, &problem, leaf_diagonal, threads);
+    let (snapshot, stats) =
+        mc2ls_serve::Snapshot::build_sharded(&name, &problem, leaf_diagonal, threads, shards);
     let bytes = snapshot.to_bytes();
     std::fs::write(path, &bytes)?;
     let meta = &snapshot.meta;
     writeln!(
         out,
-        "snapshot {}: {} users, {} candidates, {} facilities, tau {}",
-        meta.name, meta.n_users, meta.n_candidates, meta.n_facilities, meta.tau
+        "snapshot {}: {} users, {} candidates, {} facilities, {} shards, tau {}",
+        meta.name,
+        meta.n_users,
+        meta.n_candidates,
+        meta.n_facilities,
+        snapshot.n_shards(),
+        meta.tau
     )?;
     writeln!(
         out,
         "influences: {} entries ({:.1}% of pairs pruned)",
-        snapshot.sets.total_influences(),
+        snapshot.total_influences(),
         stats.pruned_fraction() * 100.0
     )?;
     writeln!(out, "wrote {} bytes to {path}", bytes.len())?;
@@ -314,9 +325,33 @@ fn snapshot_load<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     writeln!(out, "tau:         {}", meta.tau)?;
     writeln!(out, "block size:  {}", show_block_size(meta.block_size))?;
     writeln!(out, "default k:   {}", meta.default_k)?;
-    writeln!(out, "influences:  {}", snapshot.sets.total_influences())?;
+    writeln!(out, "shards:      {}", snapshot.n_shards())?;
+    writeln!(out, "influences:  {}", snapshot.total_influences())?;
     writeln!(out, "iqt nodes:   {}", snapshot.tree.stats().nodes)?;
     writeln!(out, "verified OK (magic, version, section checksums)")?;
+    Ok(())
+}
+
+fn snapshot_diff<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let base_path = parsed.require("base")?;
+    let target_path = parsed.require("target")?;
+    let out_path = parsed.require("out")?;
+    let base = std::fs::read(base_path)?;
+    let target = std::fs::read(target_path)?;
+    // Validate both endpoints up front so a bad input is a decode error
+    // here, not a confusing RELOAD failure later.
+    mc2ls_serve::Snapshot::from_bytes(&base)?;
+    mc2ls_serve::Snapshot::from_bytes(&target)?;
+    let delta = mc2ls_serve::delta::diff(&base, &target)?;
+    std::fs::write(out_path, &delta)?;
+    writeln!(
+        out,
+        "delta {}: {} bytes ({} base, {} target)",
+        out_path,
+        delta.len(),
+        base.len(),
+        target.len()
+    )?;
     Ok(())
 }
 
@@ -331,10 +366,25 @@ fn serve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         workers: parsed.get_or("workers", 4)?,
         max_pending: parsed.get_or("max-pending", 64)?,
         cache_capacity: parsed.get_or("cache", 256)?,
+        coalesce_window: std::time::Duration::from_micros(parsed.get_or("coalesce-us", 0u64)?),
         threads,
         ..mc2ls_serve::ServerConfig::default()
     };
     let snapshot = mc2ls_serve::Snapshot::load(std::path::Path::new(path))?;
+    // `--shards` is a guard, not a transform: serving always uses the
+    // snapshot's own layout, so a mismatch means the operator saved the
+    // wrong file for this fleet and deserves a hard error.
+    if let Some(want) = parsed.get("shards") {
+        let want: usize = want
+            .parse()
+            .map_err(|_| ArgError::BadValue("shards".into(), want.into()))?;
+        if want != snapshot.n_shards() {
+            return Err(Box::new(ArgError::BadValue(
+                "shards".into(),
+                format!("{want} (snapshot has {})", snapshot.n_shards()),
+            )));
+        }
+    }
     let name = snapshot.meta.name.clone();
     let engine = mc2ls_serve::QueryEngine::new(snapshot, threads);
     let server = mc2ls_serve::Server::start(config, engine)?;
@@ -383,7 +433,13 @@ fn query_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         )?;
         writeln!(out, "rejected:     {}", report.rejected)?;
         writeln!(out, "errors:       {}", report.errors)?;
-        writeln!(out, "reloads:      {}", report.reloads)?;
+        writeln!(
+            out,
+            "reloads:      {} ({} via delta)",
+            report.reloads, report.delta_reloads
+        )?;
+        writeln!(out, "coalesced:    {}", report.coalesced)?;
+        writeln!(out, "shards:       {}", report.shards)?;
         writeln!(out, "queue depth:  {}", report.queue_depth)?;
         writeln!(
             out,
@@ -715,6 +771,48 @@ mod tests {
         let (code, out) = call(&format!("snapshot load --file {bad}"));
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("error:"), "{out}");
+    }
+
+    #[test]
+    fn sharded_save_and_diff_pipeline() {
+        let instance = "--preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
+        let base = tmp("diff-base.mc2s");
+        let (code, out) = call(&format!(
+            "snapshot save {instance} --tau 0.6 --shards 3 --out {base}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("3 shards"), "{out}");
+
+        let (code, out) = call(&format!("snapshot load --file {base}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("shards:      3"), "{out}");
+
+        // A target differing only in tau: the delta must be far smaller
+        // than the full container (META + ISET groups change; PBLK/IQTR
+        // do not).
+        let target = tmp("diff-target.mc2s");
+        let (code, out) = call(&format!(
+            "snapshot save {instance} --tau 0.7 --shards 3 --out {target}"
+        ));
+        assert_eq!(code, 0, "{out}");
+
+        let delta = tmp("diff-out.mc2d");
+        let (code, out) = call(&format!(
+            "snapshot diff --base {base} --target {target} --out {delta}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("delta "), "{out}");
+        let delta_bytes = std::fs::read(&delta).unwrap();
+        let target_bytes = std::fs::read(&target).unwrap();
+        assert!(delta_bytes.len() < target_bytes.len(), "delta not smaller");
+        let patched =
+            mc2ls_serve::delta::apply(&std::fs::read(&base).unwrap(), &delta_bytes).unwrap();
+        assert_eq!(patched, target_bytes, "apply(base, diff) != target");
+
+        // The serve-side guard: demanding a different shard layout fails.
+        let (code, out) = call(&format!("serve --snapshot {base} --shards 2"));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("snapshot has 3"), "{out}");
     }
 
     #[test]

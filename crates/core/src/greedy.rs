@@ -42,7 +42,7 @@ use std::collections::BinaryHeap;
 /// saves the divisions). Every selector funnels gains through this one
 /// function, so equal counts give bit-identical gains everywhere.
 #[inline]
-fn canonical_gain(counts: &[u32]) -> f64 {
+pub(crate) fn canonical_gain(counts: &[u32]) -> f64 {
     let mut total = 0.0;
     for (w, &n) in counts.iter().enumerate() {
         if n != 0 {
@@ -164,10 +164,10 @@ pub fn select_counted(sets: &InfluenceSets, k: usize) -> (Solution, SelectionSta
 /// smallest id pops first (the shared tie-break) and a candidate's current
 /// entry pops before its stale ones.
 #[derive(PartialEq)]
-struct Entry {
-    gain: f64,
-    cand: u32,
-    version: u32,
+pub(crate) struct Entry {
+    pub(crate) gain: f64,
+    pub(crate) cand: u32,
+    pub(crate) version: u32,
 }
 
 impl Eq for Entry {}

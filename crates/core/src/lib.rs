@@ -35,6 +35,7 @@ mod inverted;
 pub mod parallel;
 mod problem;
 pub mod pruning;
+pub mod shard;
 pub mod sketch;
 mod solution;
 mod stats;
@@ -45,6 +46,7 @@ pub use cinf::{cinf_of_set, competitive_weight};
 pub use influence_sets::InfluenceSets;
 pub use inverted::InvertedIndex;
 pub use problem::Problem;
+pub use shard::GatherStats;
 pub use solution::Solution;
 pub use stats::{PhaseTimes, PruneStats, RunReport, SelectionStats};
 

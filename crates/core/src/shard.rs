@@ -1,0 +1,781 @@
+//! User-sharded scatter/gather selection over zero-copy CSR views.
+//!
+//! The competitive influence objective is **additive over users**
+//! (Equation 1 sums an independent weight `1/(|F_o|+1)` per influenced
+//! user), so every per-candidate per-weight-class count
+//! `counts[c][w] = #{uncovered o ∈ Ω_c : |F_o| = w}` splits exactly across
+//! any partition of the user id space:
+//!
+//! ```text
+//! counts[c][w] = Σ_shards #{uncovered o ∈ Ω_c ∩ shard : |F_o| = w}
+//! ```
+//!
+//! Integer counts sum associatively, and the canonical gain
+//! (`greedy::canonical_gain`) is a pure function of the merged counts —
+//! so a **gather** over per-shard count vectors materialises the exact
+//! `f64` gain bits the unsharded selector computes, and the selection
+//! loop ([`gather_select`]) replays `select_decremental_counted`'s
+//! decisions byte-for-byte at any shard count and any worker count.
+//!
+//! The module has three layers:
+//!
+//! * [`shard_starts`] / [`split_sets`] — build-time partitioning of an
+//!   [`InfluenceSets`] by contiguous user-id range (users rebased to
+//!   shard-local ids, candidate rows kept global).
+//! * [`CsrView`] / [`ShardView`] / [`parse_shard_view`] — zero-copy views
+//!   over the canonical CSR wire encoding ([`InfluenceSets::to_bytes`],
+//!   `InvertedIndex::to_bytes`), validated once at parse time so query
+//!   paths index without re-checking.
+//! * [`materialise_counts`] / [`gather_select`] — the scatter/gather
+//!   query plane: one **scatter** per selection round walks each shard's
+//!   forward row of the picked candidate, covers the shard's users and
+//!   emits per-class decrement events from the shard's inverted rows; the
+//!   **gather** applies the events to the merged count matrix and
+//!   refreshes gains through the shared lazy-bucket heap.
+
+use crate::greedy::{canonical_gain, Entry};
+use crate::{Bitset, InfluenceSets, SelectionStats, Solution};
+use mc2ls_geo::{ByteReader, CodecError, U32View};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Balanced contiguous shard boundaries over `0..n_users`: a vector of
+/// `s + 1` cut points starting at 0 and ending at `n_users`, where
+/// `s = clamp(n_shards, 1, max(n_users, 1))`. The first `n_users mod s`
+/// shards hold one extra user. Deterministic in its inputs.
+pub fn shard_starts(n_users: usize, n_shards: usize) -> Vec<u32> {
+    let s = n_shards.clamp(1, n_users.max(1));
+    let base = n_users / s;
+    let extra = n_users % s;
+    let mut starts = Vec::with_capacity(s + 1);
+    let mut at = 0usize;
+    starts.push(0u32);
+    for i in 0..s {
+        at += base + usize::from(i < extra);
+        // lint:allow(narrowing-cast): at <= n_users, which InfluenceSets caps at the u32 id space
+        starts.push(at as u32);
+    }
+    starts
+}
+
+/// Splits `sets` by the user ranges in `starts` (a [`shard_starts`]-shaped
+/// boundary vector): shard `s` receives users `starts[s]..starts[s+1]`
+/// rebased to local ids `0..len`, every candidate keeps its global row
+/// (possibly empty in a shard), and `f_count` is sliced per shard.
+///
+/// # Panics
+/// Panics when `starts` is not a monotone boundary vector over the user
+/// id space.
+pub fn split_sets(sets: &InfluenceSets, starts: &[u32]) -> Vec<InfluenceSets> {
+    assert!(starts.len() >= 2, "need at least one shard");
+    assert_eq!(starts[0], 0, "shard boundaries must start at 0");
+    assert_eq!(
+        starts[starts.len() - 1] as usize,
+        sets.n_users(),
+        "shard boundaries must end at the user count"
+    );
+    (0..starts.len() - 1)
+        .map(|s| {
+            let (lo, hi) = (starts[s], starts[s + 1]);
+            assert!(lo <= hi, "shard boundaries must be monotone");
+            let rows: Vec<Vec<u32>> = (0..sets.n_candidates())
+                .map(|c| {
+                    let row = sets.omega(c);
+                    let a = row.partition_point(|&o| o < lo);
+                    let b = row.partition_point(|&o| o < hi);
+                    row[a..b].iter().map(|&o| o - lo).collect()
+                })
+                .collect();
+            InfluenceSets::new(rows, sets.f_count[lo as usize..hi as usize].to_vec())
+        })
+        .collect()
+}
+
+/// A validated zero-copy CSR: `offsets` (one leading 0, one entry past the
+/// last row) and `ids` both borrowed from encoded bytes. Construction
+/// checks every structural invariant once — monotone offsets bracketing
+/// the id array, strictly sorted rows, ids below `id_bound` — so accessors
+/// index without re-validating.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrView<'a> {
+    offsets: U32View<'a>,
+    ids: U32View<'a>,
+}
+
+impl<'a> CsrView<'a> {
+    /// Validates and wraps an offsets/ids pair.
+    pub fn new(
+        offsets: U32View<'a>,
+        ids: U32View<'a>,
+        id_bound: u32,
+    ) -> Result<CsrView<'a>, &'static str> {
+        if offsets.is_empty() {
+            return Err("CSR offsets need a leading 0 entry");
+        }
+        if offsets.get(0) != 0 {
+            return Err("CSR offsets must start at 0");
+        }
+        if ids.len() > u32::MAX as usize {
+            return Err("CSR id count exceeds the u32 offset space");
+        }
+        let mut prev_off = 0u32;
+        for off in offsets.iter() {
+            if off < prev_off {
+                return Err("CSR offsets must be non-decreasing");
+            }
+            prev_off = off;
+        }
+        if prev_off as usize != ids.len() {
+            return Err("CSR offsets must end at the id count");
+        }
+        let view = CsrView { offsets, ids };
+        for r in 0..view.n_rows() {
+            let mut prev: Option<u32> = None;
+            for id in view.row(r) {
+                if id >= id_bound {
+                    return Err("CSR id out of range");
+                }
+                if prev.is_some_and(|p| id <= p) {
+                    return Err("CSR rows must be strictly sorted");
+                }
+                prev = Some(id);
+            }
+        }
+        Ok(view)
+    }
+
+    /// Wraps an offsets/ids pair **without** re-running the structural
+    /// checks. Only for payload bytes a previous [`CsrView::new`] on the
+    /// same bytes already validated (e.g. re-deriving views from a loaded
+    /// snapshot each query): handing unvalidated bytes here trades the
+    /// typed errors for row accessors that may panic or misread.
+    pub fn trusted(offsets: U32View<'a>, ids: U32View<'a>) -> CsrView<'a> {
+        CsrView { offsets, ids }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total ids across all rows.
+    #[inline]
+    pub fn total_ids(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of ids in row `r`.
+    #[inline]
+    pub fn row_len(&self, r: usize) -> usize {
+        (self.offsets.get(r + 1) - self.offsets.get(r)) as usize
+    }
+
+    /// Iterates row `r`'s ids in sorted order.
+    #[inline]
+    pub fn row(&self, r: usize) -> impl Iterator<Item = u32> + 'a {
+        self.ids.iter_range(
+            self.offsets.get(r) as usize,
+            self.offsets.get(r + 1) as usize,
+        )
+    }
+}
+
+/// One user shard's read plane, borrowed from snapshot bytes: the forward
+/// candidate → local-user CSR, the per-local-user weight classes, and the
+/// inverted local-user → global-candidate CSR.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    /// Global id of the shard's local user 0.
+    pub user_base: u32,
+    /// Users in this shard.
+    pub n_users: u32,
+    /// Candidate → sorted local user ids (rows are global candidates).
+    pub fwd: CsrView<'a>,
+    /// `|F_o|` per local user.
+    pub f_count: U32View<'a>,
+    /// Local user → sorted global candidate ids.
+    pub inv: CsrView<'a>,
+}
+
+/// Parses one shard's forward payload (`InfluenceSets::to_bytes` of the
+/// shard-local sets) and inverted payload (`InvertedIndex::to_bytes`) into
+/// a fully validated [`ShardView`] without copying any array.
+///
+/// # Errors
+/// [`CodecError`] when either payload is malformed, truncated, carries
+/// trailing bytes, or violates a CSR/cross-array invariant.
+pub fn parse_shard_view<'a>(
+    user_base: u32,
+    fwd_payload: &'a [u8],
+    inv_payload: &'a [u8],
+    n_candidates: u32,
+) -> Result<ShardView<'a>, CodecError> {
+    let mut r = ByteReader::new(fwd_payload);
+    let offsets = r.get_u32_view("InfluenceSets.offsets")?;
+    let ids = r.get_u32_view("InfluenceSets.user_ids")?;
+    let f_count = r.get_u32_view("InfluenceSets.f_count")?;
+    r.expect_end()?;
+    if f_count.len() > u32::MAX as usize {
+        return Err(CodecError::Invalid("shard user count exceeds u32"));
+    }
+    // lint:allow(narrowing-cast): bounded by the u32::MAX check above
+    let n_users = f_count.len() as u32;
+    let fwd = CsrView::new(offsets, ids, n_users).map_err(CodecError::Invalid)?;
+    if fwd.n_rows() != n_candidates as usize {
+        return Err(CodecError::Invalid("shard candidate row count mismatch"));
+    }
+
+    let mut r = ByteReader::new(inv_payload);
+    let offsets = r.get_u32_view("InvertedIndex.offsets")?;
+    let cand_ids = r.get_u32_view("InvertedIndex.cand_ids")?;
+    r.expect_end()?;
+    let inv = CsrView::new(offsets, cand_ids, n_candidates).map_err(CodecError::Invalid)?;
+    if inv.n_rows() != f_count.len() {
+        return Err(CodecError::Invalid("inverted row count mismatch"));
+    }
+    if inv.total_ids() != fwd.total_ids() {
+        return Err(CodecError::Invalid("inverted entry count mismatch"));
+    }
+
+    Ok(ShardView {
+        user_base,
+        n_users,
+        fwd,
+        f_count,
+        inv,
+    })
+}
+
+/// Re-parses shard payloads that a previous [`parse_shard_view`] over the
+/// same bytes already validated, skipping the `O(edges)` structural
+/// re-checks — the per-query fast path of a zero-copy snapshot load. The
+/// only remaining failure mode is array framing (lengths), which stays
+/// `O(1)`.
+///
+/// # Errors
+/// [`CodecError`] when either payload's array framing is malformed — but
+/// CSR invariants are **assumed**, per the [`CsrView::trusted`] contract.
+pub fn trusted_shard_view<'a>(
+    user_base: u32,
+    fwd_payload: &'a [u8],
+    inv_payload: &'a [u8],
+) -> Result<ShardView<'a>, CodecError> {
+    let mut r = ByteReader::new(fwd_payload);
+    let offsets = r.get_u32_view("InfluenceSets.offsets")?;
+    let ids = r.get_u32_view("InfluenceSets.user_ids")?;
+    let f_count = r.get_u32_view("InfluenceSets.f_count")?;
+    if f_count.len() > u32::MAX as usize {
+        return Err(CodecError::Invalid("shard user count exceeds u32"));
+    }
+    // lint:allow(narrowing-cast): bounded by the u32::MAX check above
+    let n_users = f_count.len() as u32;
+    let fwd = CsrView::trusted(offsets, ids);
+    let mut r = ByteReader::new(inv_payload);
+    let offsets = r.get_u32_view("InvertedIndex.offsets")?;
+    let cand_ids = r.get_u32_view("InvertedIndex.cand_ids")?;
+    let inv = CsrView::trusted(offsets, cand_ids);
+    Ok(ShardView {
+        user_base,
+        n_users,
+        fwd,
+        f_count,
+        inv,
+    })
+}
+
+/// Scatter/gather execution counters for one query. Unlike
+/// [`SelectionStats`] (deterministic work units), the nanosecond fields
+/// are measured wall-clock: `busy_ns` sums every shard's scatter time and
+/// `critical_path_ns` sums each round's **slowest** shard — what a fleet
+/// of free cores would wait for, measurable even when the shards actually
+/// ran serially on a one-core host.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatherStats {
+    /// User shards in the snapshot.
+    pub shards: u32,
+    /// Scatter worker threads used (`min(threads, shards)`).
+    pub workers: u32,
+    /// Selection rounds executed (`k`).
+    pub rounds: u32,
+    /// Per-class decrement events gathered across all rounds.
+    pub scatter_events: u64,
+    /// Total scatter time summed over every shard, nanoseconds.
+    pub busy_ns: u64,
+    /// Per-round maximum shard scatter time, summed over rounds.
+    pub critical_path_ns: u64,
+    /// Whether the initial count matrix came from the engine's shared
+    /// per-epoch materialisation rather than a private pass.
+    pub shared_epoch: bool,
+}
+
+/// Materialises the merged initial count matrix
+/// `counts[c * n_classes + w] = #{o ∈ Ω_c : |F_o| = w}` from per-shard
+/// views, fanning shards out over `threads` workers. Per-shard partial
+/// matrices are summed in shard order; integer addition makes the merge
+/// independent of the chunking, so the result is bit-identical to the
+/// unsharded pass for any shard or thread count.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn materialise_counts(
+    shards: &[ShardView<'_>],
+    n_candidates: usize,
+    n_classes: usize,
+    threads: usize,
+) -> Vec<u32> {
+    let mut counts = vec![0u32; n_candidates * n_classes];
+    let parts = crate::parallel::map_chunks(shards.len(), threads, |range| {
+        let mut part = vec![0u32; n_candidates * n_classes];
+        for view in &shards[range] {
+            for c in 0..n_candidates {
+                for o in view.fwd.row(c) {
+                    part[c * n_classes + view.f_count.get(o as usize) as usize] += 1;
+                }
+            }
+        }
+        part
+    });
+    for part in parts {
+        for (t, p) in counts.iter_mut().zip(part) {
+            *t += p;
+        }
+    }
+    counts
+}
+
+/// Gathers the rows of `subset` (global candidate ids) out of a full
+/// `n_classes`-wide count matrix — the cheap epoch-shared path for subset
+/// queries.
+pub fn subset_counts(full: &[u32], n_classes: usize, subset: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(subset.len() * n_classes);
+    for &c in subset {
+        let cu = c as usize;
+        out.extend_from_slice(&full[cu * n_classes..(cu + 1) * n_classes]);
+    }
+    out
+}
+
+/// Per-shard mutable selection state. Shards partition the user space, so
+/// each worker owns its shard's coverage bitset exclusively.
+struct ShardState {
+    covered: Bitset,
+}
+
+/// One shard's scatter for a selected candidate: cover the shard's not-yet
+/// covered users of `Ω_c` and emit one `(row, weight_class)` decrement
+/// event per affected un-taken candidate row. `pos_of` (when querying a
+/// subset) maps global candidate ids to subset rows, `u32::MAX` marking
+/// non-members.
+fn scatter_one(
+    view: &ShardView<'_>,
+    state: &mut ShardState,
+    global_c: u32,
+    pos_of: Option<&[u32]>,
+    taken: &[bool],
+) -> (Vec<(u32, u32)>, u64) {
+    let t = Instant::now();
+    let mut events = Vec::new();
+    for o in view.fwd.row(global_c as usize) {
+        if state.covered.contains(o) {
+            continue;
+        }
+        state.covered.insert(o);
+        let w = view.f_count.get(o as usize);
+        for c2 in view.inv.row(o as usize) {
+            let row = match pos_of {
+                Some(map) => {
+                    let p = map[c2 as usize];
+                    if p == u32::MAX {
+                        continue;
+                    }
+                    p
+                }
+                None => c2,
+            };
+            if taken[row as usize] {
+                continue;
+            }
+            events.push((row, w));
+        }
+    }
+    // Truncation-safe: a scatter pass lasts far below u64 nanoseconds.
+    (events, t.elapsed().as_nanos() as u64)
+}
+
+/// Scatters one round across all shards on up to `workers` threads,
+/// returning per-shard `(events, busy_ns)` **in shard order** (contiguous
+/// shard chunks, stitched in chunk order — the event stream any worker
+/// count produces is identical).
+fn scatter_round(
+    shards: &[ShardView<'_>],
+    states: &mut [ShardState],
+    global_c: u32,
+    pos_of: Option<&[u32]>,
+    taken: &[bool],
+    workers: usize,
+) -> Vec<(Vec<(u32, u32)>, u64)> {
+    let n_shards = shards.len();
+    let workers = workers.min(n_shards).max(1);
+    if workers == 1 {
+        return shards
+            .iter()
+            .zip(states.iter_mut())
+            .map(|(view, state)| scatter_one(view, state, global_c, pos_of, taken))
+            .collect();
+    }
+    let chunk = n_shards.div_ceil(workers);
+    let mut out = Vec::with_capacity(n_shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .chunks(chunk)
+            .zip(states.chunks_mut(chunk))
+            .map(|(views, sts)| {
+                scope.spawn(move || {
+                    views
+                        .iter()
+                        .zip(sts.iter_mut())
+                        .map(|(view, state)| scatter_one(view, state, global_c, pos_of, taken))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // lint:allow(panic-path): join only fails when the worker panicked; re-raising on the spawner is intended
+            out.extend(h.join().expect("scatter worker panicked"));
+        }
+    });
+    out
+}
+
+/// The sharded selection loop: a faithful replay of
+/// `greedy::select_decremental_counted` whose decrement phase is scattered
+/// across user shards and gathered back into the merged count matrix.
+///
+/// * `counts` is the initial matrix — [`materialise_counts`] for the full
+///   candidate set, or [`subset_counts`] rows when `subset` is `Some`
+///   (then rows are subset positions and the returned `selected` ids are
+///   positions into `subset`, exactly like solving the sub-instance).
+/// * `total_influences` is `Σ_c |Ω_c|` of the (sub-)instance, feeding the
+///   same `users_scanned`/`inverted_entries` counters the decremental
+///   selector reports.
+///
+/// Returns the [`Solution`] (byte-identical to the unsharded selectors),
+/// the decremental-selector-shaped [`SelectionStats`], and the
+/// [`GatherStats`] execution counters.
+///
+/// # Panics
+/// Panics when `k` exceeds the row count, the matrix shape disagrees with
+/// `subset`/`n_candidates`/`n_classes`, or `threads == 0`.
+#[allow(clippy::too_many_arguments)] // mirrors select_decremental_counted + the scatter inputs
+pub fn gather_select(
+    shards: &[ShardView<'_>],
+    n_candidates: usize,
+    n_classes: usize,
+    mut counts: Vec<u32>,
+    subset: Option<&[u32]>,
+    total_influences: u64,
+    k: usize,
+    threads: usize,
+) -> (Solution, SelectionStats, GatherStats) {
+    let n = subset.map_or(n_candidates, <[u32]>::len);
+    assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
+    assert!(threads >= 1, "need at least one worker thread");
+    assert_eq!(counts.len(), n * n_classes, "count matrix shape mismatch");
+
+    let mut stats = SelectionStats {
+        inverted_entries: total_influences,
+        users_scanned: total_influences,
+        ..SelectionStats::default()
+    };
+    let workers = threads.min(shards.len()).max(1);
+    let mut gather = GatherStats {
+        // lint:allow(narrowing-cast): shard counts are operator-configured small integers
+        shards: shards.len() as u32,
+        // lint:allow(narrowing-cast): workers <= shards
+        workers: workers as u32,
+        ..GatherStats::default()
+    };
+
+    // Subset queries remap the scatter's global candidate ids to rows.
+    let pos_of: Option<Vec<u32>> = subset.map(|cands| {
+        let mut map = vec![u32::MAX; n_candidates];
+        for (i, &c) in cands.iter().enumerate() {
+            // lint:allow(narrowing-cast): i < n <= n_candidates, which fits the u32 id space
+            map[c as usize] = i as u32;
+        }
+        map
+    });
+
+    // Seed the lazy-bucket heap exactly like the decremental selector.
+    let mut version = vec![0u32; n];
+    let mut heap: BinaryHeap<Entry> = (0..n)
+        .map(|c| Entry {
+            gain: canonical_gain(&counts[c * n_classes..(c + 1) * n_classes]),
+            // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
+            cand: c as u32,
+            version: 0,
+        })
+        .collect();
+    stats.gain_evals += n as u64;
+    stats.heap_pushes += n as u64;
+
+    let mut states: Vec<ShardState> = shards
+        .iter()
+        .map(|v| ShardState {
+            covered: Bitset::new(v.n_users as usize),
+        })
+        .collect();
+    let mut taken = vec![false; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut stamp = vec![u32::MAX; n];
+    let mut selected = Vec::with_capacity(k);
+    let mut gains = Vec::with_capacity(k);
+    let mut total = 0.0;
+
+    // lint:allow(narrowing-cast): k <= n_candidates, which fits the u32 id space
+    for round in 0..k as u32 {
+        // Pop until the entry is current — the shared lazy-bucket
+        // discipline (see `select_decremental_counted`).
+        let (c, gain) = loop {
+            // lint:allow(panic-path): every untaken candidate re-pushes its current-version entry before this pop
+            let top = heap.pop().expect("a current entry exists per candidate");
+            let c = top.cand as usize;
+            if taken[c] || top.version != version[c] {
+                continue;
+            }
+            break (c, top.gain);
+        };
+        taken[c] = true;
+        // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
+        selected.push(c as u32);
+        gains.push(gain);
+        total += gain;
+
+        // Scatter: each shard covers its users of Ω_c and reports the
+        // decrements; shards partition the users, so the per-shard event
+        // streams are disjoint slices of the serial decrement stream.
+        let global_c = subset.map_or(
+            // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
+            c as u32,
+            |cands| cands[c],
+        );
+        let results = scatter_round(
+            shards,
+            &mut states,
+            global_c,
+            pos_of.as_deref(),
+            &taken,
+            workers,
+        );
+
+        // Gather: apply events in shard order. The count updates commute
+        // (integer decrements) and `touched` membership is order-stamped,
+        // so any scatter schedule yields the same refreshed gains.
+        touched.clear();
+        let mut round_max_ns = 0u64;
+        for (events, busy_ns) in results {
+            gather.busy_ns += busy_ns;
+            round_max_ns = round_max_ns.max(busy_ns);
+            gather.scatter_events += events.len() as u64;
+            for (row, w) in events {
+                let ru = row as usize;
+                counts[ru * n_classes + w as usize] -= 1;
+                stats.gain_updates += 1;
+                if stamp[ru] != round {
+                    stamp[ru] = round;
+                    touched.push(row);
+                }
+            }
+        }
+        gather.critical_path_ns += round_max_ns;
+        gather.rounds += 1;
+
+        // Refresh: one canonical re-materialisation and one heap push per
+        // affected candidate; older entries die by version.
+        for &c2 in &touched {
+            let c2u = c2 as usize;
+            version[c2u] += 1;
+            heap.push(Entry {
+                gain: canonical_gain(&counts[c2u * n_classes..(c2u + 1) * n_classes]),
+                cand: c2,
+                version: version[c2u],
+            });
+            stats.gain_evals += 1;
+            stats.heap_pushes += 1;
+        }
+    }
+
+    stats.covered_users = states
+        .iter()
+        .map(|s| s.covered.count_ones() as u64)
+        .sum::<u64>();
+    (
+        Solution {
+            selected,
+            marginal_gains: gains,
+            cinf: total,
+        },
+        stats,
+        gather,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::select_decremental_counted;
+    use crate::InvertedIndex;
+
+    fn random_sets(seed: u64, n_users: usize, n_cands: usize) -> InfluenceSets {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let f_count: Vec<u32> = (0..n_users).map(|_| (next() % 4) as u32).collect();
+        let omega: Vec<Vec<u32>> = (0..n_cands)
+            .map(|_| {
+                let mut v: Vec<u32> = (0..n_users as u32).filter(|_| next() % 3 == 0).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        InfluenceSets::new(omega, f_count)
+    }
+
+    /// Encodes the shard-local artifacts so views can borrow from them.
+    fn shard_payloads(sets: &InfluenceSets, starts: &[u32]) -> Vec<(u32, Vec<u8>, Vec<u8>)> {
+        split_sets(sets, starts)
+            .into_iter()
+            .enumerate()
+            .map(|(s, local)| {
+                let inv = InvertedIndex::build(&local, 1);
+                (starts[s], local.to_bytes(), inv.to_bytes())
+            })
+            .collect()
+    }
+
+    fn views<'a>(
+        payloads: &'a [(u32, Vec<u8>, Vec<u8>)],
+        n_candidates: usize,
+    ) -> Vec<ShardView<'a>> {
+        payloads
+            .iter()
+            .map(|(base, fwd, inv)| {
+                parse_shard_view(*base, fwd, inv, n_candidates as u32).expect("valid shard")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_starts_are_balanced_boundaries() {
+        assert_eq!(shard_starts(10, 4), vec![0, 3, 6, 8, 10]);
+        assert_eq!(shard_starts(3, 8), vec![0, 1, 2, 3]);
+        assert_eq!(shard_starts(5, 1), vec![0, 5]);
+        assert_eq!(shard_starts(0, 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn split_rebases_users_and_preserves_rows() {
+        let sets = random_sets(7, 23, 6);
+        let starts = shard_starts(23, 3);
+        let locals = split_sets(&sets, &starts);
+        assert_eq!(locals.len(), 3);
+        for c in 0..6 {
+            let mut stitched: Vec<u32> = Vec::new();
+            for (s, l) in locals.iter().enumerate() {
+                stitched.extend(l.omega(c).iter().map(|&o| o + starts[s]));
+            }
+            assert_eq!(stitched, sets.omega(c));
+        }
+        let stitched_f: Vec<u32> = locals.iter().flat_map(|l| l.f_count.clone()).collect();
+        assert_eq!(stitched_f, sets.f_count);
+    }
+
+    #[test]
+    fn gather_select_is_bit_identical_to_decremental_for_any_sharding() {
+        for seed in [3u64, 11, 42] {
+            let sets = random_sets(seed, 40, 9);
+            let k = 4;
+            let (want, want_stats) = select_decremental_counted(&sets, k, 1);
+            for n_shards in [1usize, 2, 3, 5, 40] {
+                let starts = shard_starts(sets.n_users(), n_shards);
+                let payloads = shard_payloads(&sets, &starts);
+                let shards = views(&payloads, sets.n_candidates());
+                let n_classes = sets.n_weight_classes();
+                for threads in [1usize, 4] {
+                    let counts =
+                        materialise_counts(&shards, sets.n_candidates(), n_classes, threads);
+                    let (got, got_stats, gather) = gather_select(
+                        &shards,
+                        sets.n_candidates(),
+                        n_classes,
+                        counts,
+                        None,
+                        sets.total_influences() as u64,
+                        k,
+                        threads,
+                    );
+                    assert_eq!(want.selected, got.selected, "seed={seed} shards={n_shards}");
+                    let want_bits: Vec<u64> =
+                        want.marginal_gains.iter().map(|g| g.to_bits()).collect();
+                    let got_bits: Vec<u64> =
+                        got.marginal_gains.iter().map(|g| g.to_bits()).collect();
+                    assert_eq!(want_bits, got_bits, "seed={seed} shards={n_shards}");
+                    assert_eq!(want.cinf.to_bits(), got.cinf.to_bits());
+                    assert_eq!(want_stats, got_stats, "seed={seed} shards={n_shards}");
+                    assert_eq!(gather.rounds, k as u32);
+                    assert_eq!(gather.scatter_events, got_stats.gain_updates);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_gather_matches_the_subinstance_solve() {
+        let sets = random_sets(5, 30, 8);
+        let subset: Vec<u32> = vec![1, 3, 4, 6];
+        let sub = sets.subset(&subset);
+        let (want, want_stats) = select_decremental_counted(&sub, 2, 1);
+
+        let starts = shard_starts(sets.n_users(), 3);
+        let payloads = shard_payloads(&sets, &starts);
+        let shards = views(&payloads, sets.n_candidates());
+        let n_classes = sets.n_weight_classes();
+        let full = materialise_counts(&shards, sets.n_candidates(), n_classes, 2);
+        let counts = subset_counts(&full, n_classes, &subset);
+        let (got, got_stats, _) = gather_select(
+            &shards,
+            sets.n_candidates(),
+            n_classes,
+            counts,
+            Some(&subset),
+            sub.total_influences() as u64,
+            2,
+            2,
+        );
+        assert_eq!(want.selected, got.selected);
+        assert_eq!(want.cinf.to_bits(), got.cinf.to_bits());
+        assert_eq!(want_stats, got_stats);
+    }
+
+    #[test]
+    fn parse_rejects_structural_corruption() {
+        let sets = random_sets(9, 12, 4);
+        let starts = shard_starts(12, 2);
+        let payloads = shard_payloads(&sets, &starts);
+        // Wrong candidate count.
+        assert!(parse_shard_view(0, &payloads[0].1, &payloads[0].2, 5).is_err());
+        // A forward payload in the inverted slot has a trailing array.
+        assert!(parse_shard_view(0, &payloads[0].1, &payloads[0].1, 4).is_err());
+        // Truncation anywhere is a typed error, never a panic.
+        for cut in 0..payloads[0].1.len() {
+            assert!(parse_shard_view(0, &payloads[0].1[..cut], &payloads[0].2, 4).is_err());
+        }
+    }
+}

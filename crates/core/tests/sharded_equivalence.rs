@@ -1,0 +1,120 @@
+//! The sharded scatter/gather selection must be byte-identical to every
+//! unsharded selector, for any shard count, worker count, and subset —
+//! the gather correctness guarantee the serving layer builds on.
+
+use mc2ls_core::algorithms::{run_selector, Selector};
+use mc2ls_core::shard::{
+    gather_select, materialise_counts, parse_shard_view, shard_starts, split_sets, subset_counts,
+    ShardView,
+};
+use mc2ls_core::{InfluenceSets, InvertedIndex};
+
+fn random_sets(seed: u64, n_users: usize, n_cands: usize) -> InfluenceSets {
+    let mut s = seed.max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let f_count: Vec<u32> = (0..n_users).map(|_| (next() % 5) as u32).collect();
+    let omega: Vec<Vec<u32>> = (0..n_cands)
+        .map(|_| {
+            let mut v: Vec<u32> = (0..n_users as u32).filter(|_| next() % 4 != 0).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    InfluenceSets::new(omega, f_count)
+}
+
+fn shard_payloads(sets: &InfluenceSets, n_shards: usize) -> Vec<(u32, Vec<u8>, Vec<u8>)> {
+    let starts = shard_starts(sets.n_users(), n_shards);
+    split_sets(sets, &starts)
+        .into_iter()
+        .enumerate()
+        .map(|(s, local)| {
+            let inv = InvertedIndex::build(&local, 1);
+            (starts[s], local.to_bytes(), inv.to_bytes())
+        })
+        .collect()
+}
+
+fn views(payloads: &[(u32, Vec<u8>, Vec<u8>)], n_candidates: usize) -> Vec<ShardView<'_>> {
+    payloads
+        .iter()
+        .map(|(base, fwd, inv)| {
+            parse_shard_view(*base, fwd, inv, n_candidates as u32).expect("valid shard payloads")
+        })
+        .collect()
+}
+
+#[test]
+fn gather_matches_every_selector_across_shard_and_thread_counts() {
+    for seed in [1u64, 8, 21, 77] {
+        let sets = random_sets(seed, 60, 12);
+        let k = 5;
+        for n_shards in [1usize, 2, 4, 7] {
+            let payloads = shard_payloads(&sets, n_shards);
+            let shards = views(&payloads, sets.n_candidates());
+            let n_classes = sets.n_weight_classes();
+            for threads in [1usize, 3] {
+                let counts = materialise_counts(&shards, sets.n_candidates(), n_classes, threads);
+                let (got, _, _) = gather_select(
+                    &shards,
+                    sets.n_candidates(),
+                    n_classes,
+                    counts,
+                    None,
+                    sets.total_influences() as u64,
+                    k,
+                    threads,
+                );
+                for selector in [
+                    Selector::Greedy,
+                    Selector::LazyGreedy,
+                    Selector::Decremental,
+                    Selector::Auto,
+                ] {
+                    let (want, _) = run_selector(selector, &sets, k, threads);
+                    assert_eq!(
+                        want.selected, got.selected,
+                        "seed={seed} shards={n_shards} threads={threads} {selector:?}"
+                    );
+                    let want_bits: Vec<u64> =
+                        want.marginal_gains.iter().map(|g| g.to_bits()).collect();
+                    let got_bits: Vec<u64> =
+                        got.marginal_gains.iter().map(|g| g.to_bits()).collect();
+                    assert_eq!(want_bits, got_bits, "seed={seed} {selector:?}");
+                    assert_eq!(want.cinf.to_bits(), got.cinf.to_bits(), "seed={seed}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn subset_gather_matches_subinstance_selectors() {
+    let sets = random_sets(13, 45, 10);
+    let subset: Vec<u32> = vec![0, 2, 5, 6, 9];
+    let sub = sets.subset(&subset);
+    let payloads = shard_payloads(&sets, 3);
+    let shards = views(&payloads, sets.n_candidates());
+    let n_classes = sets.n_weight_classes();
+    let full = materialise_counts(&shards, sets.n_candidates(), n_classes, 2);
+    let counts = subset_counts(&full, n_classes, &subset);
+    let (got, _, _) = gather_select(
+        &shards,
+        sets.n_candidates(),
+        n_classes,
+        counts,
+        Some(&subset),
+        sub.total_influences() as u64,
+        3,
+        2,
+    );
+    let (want, _) = run_selector(Selector::Auto, &sub, 3, 1);
+    assert_eq!(want.selected, got.selected);
+    assert_eq!(want.cinf.to_bits(), got.cinf.to_bits());
+}

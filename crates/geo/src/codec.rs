@@ -256,6 +256,86 @@ impl<'a> ByteReader<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid("string is not UTF-8"))
     }
+
+    /// Reads a length-prefixed `u32` array **without copying**: the
+    /// returned [`U32View`] borrows the element bytes directly from the
+    /// input slice. The wire layout is identical to
+    /// [`ByteWriter::put_u32_slice`] / [`ByteReader::get_u32_vec`]; only
+    /// the ownership differs.
+    pub fn get_u32_view(&mut self, what: &'static str) -> Result<U32View<'a>, CodecError> {
+        let len = self.get_len(what, 4)?;
+        // `get_len` proved `len * 4 <= remaining`, so neither the multiply
+        // nor the take can fail here.
+        let bytes = self.take(len * 4)?;
+        Ok(U32View { bytes, len })
+    }
+}
+
+/// A zero-copy view of a little-endian `u32` array borrowed from encoded
+/// bytes (the element payload of [`ByteWriter::put_u32_slice`]).
+///
+/// Element access decodes through [`u32::from_le_bytes`] on a 4-byte
+/// chunk — safe Rust, no alignment requirement on the backing slice, and
+/// on little-endian targets it compiles to a plain load. This is the
+/// substrate of the snapshot zero-copy load path: CSR offset/id arrays are
+/// *viewed* in place instead of being copied into owned `Vec<u32>`s.
+#[derive(Debug, Clone, Copy)]
+pub struct U32View<'a> {
+    /// Exactly `4 * len` bytes.
+    bytes: &'a [u8],
+    len: usize,
+}
+
+impl<'a> U32View<'a> {
+    /// A view over `bytes`, which must hold a whole number of `u32`s.
+    pub fn over(bytes: &'a [u8]) -> Result<U32View<'a>, CodecError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(CodecError::Invalid("u32 view over a non-multiple-of-4"));
+        }
+        Ok(U32View {
+            bytes,
+            len: bytes.len() / 4,
+        })
+    }
+
+    /// Number of `u32` elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element `i`. Panics when `i >= len()`, like slice indexing.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&self.bytes[4 * i..4 * i + 4]);
+        u32::from_le_bytes(a)
+    }
+
+    /// Iterates the elements of `start..end` in order. Panics when the
+    /// range is out of bounds, like slice indexing.
+    #[inline]
+    pub fn iter_range(&self, start: usize, end: usize) -> impl Iterator<Item = u32> + 'a {
+        self.bytes[4 * start..4 * end]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    /// Iterates all elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        self.iter_range(0, self.len)
+    }
+
+    /// Copies the elements into an owned vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
 }
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes` —
@@ -264,15 +344,33 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
 }
 
+/// The 256-entry lookup table for the reflected polynomial `0xEDB88320`,
+/// generated at compile time. One table lookup per input byte replaces the
+/// 8-iteration bit loop; with per-section CRC on the zero-copy load path,
+/// checksumming must not dominate a load that no longer decodes payloads.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            let mask = 0u32.wrapping_sub(c & 1);
+            c = (c >> 1) ^ (0xEDB8_8320 & mask);
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
 /// Streaming CRC-32 state update: feed `state = 0xFFFF_FFFF`, then chunks,
 /// then XOR the result with `0xFFFF_FFFF` (what [`crc32`] does in one go).
 pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
-        state ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = 0u32.wrapping_sub(state & 1);
-            state = (state >> 1) ^ (0xEDB8_8320 & mask);
-        }
+        let idx = ((state ^ u32::from(b)) & 0xFF) as usize;
+        state = (state >> 8) ^ CRC32_TABLE[idx];
     }
     state
 }
@@ -354,6 +452,43 @@ mod tests {
         state = crc32_update(state, b"1234");
         state = crc32_update(state, b"56789");
         assert_eq!(state ^ 0xFFFF_FFFF, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn u32_view_reads_in_place_and_matches_the_owned_decode() {
+        let vs: Vec<u32> = (0..37).map(|i| (i * 0x0101_0101) ^ 0xA5).collect();
+        let mut w = ByteWriter::new();
+        w.put_u32_slice(&vs);
+        w.put_u8(0xEE); // trailing field the view must not swallow
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        let view = r.get_u32_view("vs").unwrap();
+        assert_eq!(view.len(), vs.len());
+        assert_eq!(view.to_vec(), vs);
+        assert_eq!(view.get(0), vs[0]);
+        assert_eq!(view.get(36), vs[36]);
+        assert_eq!(view.iter_range(5, 9).collect::<Vec<_>>(), vs[5..9]);
+        assert_eq!(r.get_u8(), Ok(0xEE));
+        assert_eq!(r.expect_end(), Ok(()));
+
+        // The owned decode of the same bytes agrees.
+        let mut r2 = ByteReader::new(&bytes);
+        assert_eq!(r2.get_u32_vec("vs").unwrap(), vs);
+    }
+
+    #[test]
+    fn u32_view_rejects_bad_lengths() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.get_u32_view("vs"),
+            Err(CodecError::BadLength { what: "vs", .. })
+        ));
+        assert!(U32View::over(&[1, 2, 3]).is_err());
+        assert_eq!(U32View::over(&[1, 0, 0, 0]).unwrap().get(0), 1);
     }
 
     #[test]

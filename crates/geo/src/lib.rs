@@ -39,7 +39,7 @@ mod rect;
 mod square;
 
 pub use circle::Circle;
-pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use codec::{ByteReader, ByteWriter, CodecError, U32View};
 pub use extent::Extent;
 pub use hilbert::hilbert_code;
 pub use morton::{grid_coords, morton_code};

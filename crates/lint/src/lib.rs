@@ -47,29 +47,33 @@ const RESULT_CRATES: [&str; 5] = ["core", "index", "influence", "geo", "serve"];
 /// Crates exempt from R2: binaries and the bench harness may shortcut.
 const PANIC_EXEMPT_CRATES: [&str; 2] = ["cli", "bench"];
 
-/// Hot-path files for R4 (CSR layouts, Morton codes, selection heaps),
-/// workspace-relative with `/` separators.
-const NARROWING_SCOPE: [&str; 9] = [
+/// Hot-path files for R4 (CSR layouts, Morton codes, selection heaps,
+/// shard views and the delta splice's frame indices), workspace-relative
+/// with `/` separators.
+const NARROWING_SCOPE: [&str; 11] = [
     "crates/core/src/influence_sets.rs",
     "crates/core/src/inverted.rs",
     "crates/core/src/bitset.rs",
     "crates/core/src/greedy.rs",
+    "crates/core/src/shard.rs",
     "crates/core/src/algorithms/iqt.rs",
     "crates/geo/src/morton.rs",
     "crates/geo/src/hilbert.rs",
     "crates/influence/src/blocks.rs",
     "crates/influence/src/lanes.rs",
+    "crates/serve/src/delta.rs",
 ];
 
 /// Files containing parallel-join, gain-materialisation, or lane-kernel
 /// float accumulation code for R5.
-const FLOAT_SCOPE: [&str; 7] = [
+const FLOAT_SCOPE: [&str; 8] = [
     "crates/core/src/greedy.rs",
     "crates/core/src/parallel.rs",
     "crates/core/src/inverted.rs",
     "crates/core/src/verify.rs",
     "crates/core/src/influence_sets.rs",
     "crates/core/src/algorithms/iqt.rs",
+    "crates/core/src/shard.rs",
     "crates/influence/src/lanes.rs",
 ];
 
@@ -245,6 +249,15 @@ mod tests {
         let serve = classify("crates/serve/src/server.rs").expect("in scope");
         assert!(serve.nondet_iteration && serve.panic_path);
         assert!(!serve.narrowing_cast && !serve.float_accum);
+        // The delta splice indexes frames with u32 — narrowing is audited.
+        let delta = classify("crates/serve/src/delta.rs").expect("in scope");
+        assert!(delta.narrowing_cast && !delta.float_accum);
+
+        // The scatter/gather replay carries both hot-path rule sets: shard
+        // ids and candidate rows narrow to u32, and its gain accumulation
+        // must stay in the canonical serial order.
+        let shard = classify("crates/core/src/shard.rs").expect("in scope");
+        assert!(shard.narrowing_cast && shard.float_accum);
 
         // The lane module carries both hot-path rule sets: its bit-level
         // exponent assembly must not hide narrowing casts, and its running

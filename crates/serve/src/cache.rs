@@ -3,7 +3,12 @@
 //! Keys are byte strings derived from the *canonical* form of a query
 //! (sorted-deduped candidate subset, τ bits, `k`, block size, selector
 //! tag, exact-PF flag), so two requests that mean the same query always collide regardless
-//! of candidate order or duplicates. Storage is `BTreeMap`-based — ordered,
+//! of candidate order or duplicates. The block size passed to
+//! [`key_bytes`] must be the *canonical* one — the server resolves the
+//! `auto` sentinel to the snapshot's resolved block size via
+//! [`crate::engine::QueryEngine::canonical_block_size`] before keying, so
+//! `auto` and an explicit spelling of the resolved value share one
+//! entry. Storage is `BTreeMap`-based — ordered,
 //! so iteration and eviction are deterministic (lint rule R1 applies to
 //! this crate) — with an explicit recency sequence implementing
 //! least-recently-used eviction.
@@ -176,7 +181,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mc2ls_core::{PruneStats, SelectionStats, Solution};
+    use mc2ls_core::{GatherStats, PruneStats, SelectionStats, Solution};
 
     fn answer(tag: u32) -> QueryAnswer {
         QueryAnswer {
@@ -187,6 +192,7 @@ mod tests {
             },
             selection: SelectionStats::default(),
             prune: PruneStats::default(),
+            gather: GatherStats::default(),
             cached: false,
             key_hash: 0,
         }

@@ -1,19 +1,31 @@
-//! The query engine: replays the selection phase over a loaded snapshot.
+//! The shard-per-worker query engine: scatter/gather selection over a
+//! zero-copy loaded snapshot.
 //!
-//! Queries never re-derive influence relationships — the snapshot's CSR is
-//! the ground truth, so a full-set query is exactly the selection phase of
-//! `solve_threaded` and a subset query slices the CSR with
-//! [`InfluenceSets::subset`] (lossless per candidate, so the slice equals a
-//! from-scratch solve on the sub-instance). Both paths therefore return
-//! solutions byte-identical to a direct solve at any thread count, with
-//! [`mc2ls_core::PruneStats::default`] pruning counters — the visible proof
-//! that zero influence-set evaluations ran.
+//! Queries never re-derive influence relationships — the snapshot's
+//! per-shard CSRs are the ground truth. Every query runs the
+//! scatter/gather plan ([`mc2ls_core::shard::gather_select`]): per-shard
+//! gain scatter on up to `min(threads, shards)` workers, gathered through
+//! the canonical selection loop, which is **byte-identical** to every
+//! unsharded selector at any shard and thread count (the workspace
+//! invariant, asserted by the loopback suites). Answers carry
+//! [`mc2ls_core::PruneStats::default`] pruning counters — the visible
+//! proof that zero influence evaluations ran.
+//!
+//! The initial per-candidate count matrix is materialised **once per
+//! snapshot epoch** (lazily, on the first query) and shared: a full-set
+//! query clones it, a subset query gathers its rows. Concurrent queries on
+//! the same epoch therefore share one gain-materialisation pass — the
+//! engine half of request batching (the server adds single-flight
+//! coalescing on top).
 
 use crate::cache::canonical_subset;
 use crate::protocol::{QueryAnswer, QueryRequest};
 use crate::snapshot::{Snapshot, SnapshotMeta};
-use mc2ls_core::algorithms::run_selector;
-use mc2ls_core::{InfluenceSets, PruneStats};
+use crate::view::LoadedSnapshot;
+use mc2ls_core::shard::{gather_select, materialise_counts, subset_counts};
+use mc2ls_core::{GatherStats, PruneStats};
+use mc2ls_influence::BLOCK_SIZE_AUTO;
+use std::sync::{Arc, OnceLock};
 
 /// A query rejected before selection ran.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +38,9 @@ pub enum QueryError {
         /// τ the snapshot was built with.
         snapshot: f64,
     },
-    /// Requested block size differs from the snapshot's.
+    /// Requested block size differs from the snapshot's after
+    /// canonicalisation (the auto sentinel resolves to the snapshot's
+    /// stored block size before comparing).
     BlockSizeMismatch {
         /// Block size in the request.
         requested: usize,
@@ -94,61 +108,127 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
-/// A loaded snapshot plus the worker-thread count selection runs with.
+/// A zero-copy loaded snapshot plus the scatter worker count and the
+/// epoch-shared count matrix.
 #[derive(Debug)]
 pub struct QueryEngine {
-    snapshot: Snapshot,
+    loaded: LoadedSnapshot,
     threads: usize,
+    /// Initial count matrix of the full candidate set, materialised once
+    /// per engine (= snapshot epoch) on first use and shared by every
+    /// query until the next reload.
+    epoch_counts: OnceLock<Arc<Vec<u32>>>,
 }
 
 impl QueryEngine {
-    /// Wraps `snapshot`; selection fans out over `threads` workers
-    /// (clamped to at least one). Thread count never changes answers, only
-    /// wall-clock.
+    /// Wraps a decoded snapshot by re-encoding it into the zero-copy view
+    /// form; selection scatters over up to `threads` workers (clamped to
+    /// at least one). Thread count never changes answers, only wall-clock.
     pub fn new(snapshot: Snapshot, threads: usize) -> Self {
+        let bytes = snapshot.to_bytes();
+        // lint:allow(panic-path): encoding a consistent snapshot and re-validating it cannot fail
+        let loaded = LoadedSnapshot::from_bytes(bytes).expect("snapshot re-validates");
         QueryEngine {
-            snapshot,
+            loaded,
             threads: threads.max(1),
+            epoch_counts: OnceLock::new(),
         }
+    }
+
+    /// Builds an engine straight from container bytes via the zero-copy
+    /// load path — the cold-start and reload entry point.
+    ///
+    /// # Errors
+    /// Every validation error [`LoadedSnapshot::from_bytes`] produces.
+    pub fn from_bytes(bytes: Vec<u8>, threads: usize) -> Result<Self, crate::error::SnapshotError> {
+        Ok(QueryEngine {
+            loaded: LoadedSnapshot::from_bytes(bytes)?,
+            threads: threads.max(1),
+            epoch_counts: OnceLock::new(),
+        })
     }
 
     /// The loaded snapshot's metadata.
     pub fn meta(&self) -> &SnapshotMeta {
-        &self.snapshot.meta
+        self.loaded.meta()
     }
 
-    /// The loaded snapshot.
-    pub fn snapshot(&self) -> &Snapshot {
-        &self.snapshot
+    /// The raw container bytes this engine serves from — the base a delta
+    /// reload applies onto.
+    pub fn snapshot_bytes(&self) -> &[u8] {
+        self.loaded.bytes()
     }
 
-    /// Validates `req` against the snapshot and runs the selection phase.
+    /// Number of user shards the engine scatters over.
+    pub fn n_shards(&self) -> usize {
+        self.loaded.n_shards()
+    }
+
+    /// Canonicalises a requested block size: the auto sentinel resolves to
+    /// the block size the snapshot's PBLK sections actually store, so
+    /// `auto` and the explicit resolved value are the same query (and the
+    /// same cache key).
+    pub fn canonical_block_size(&self, requested: usize) -> usize {
+        if requested == BLOCK_SIZE_AUTO {
+            self.loaded.meta().resolved_block_size
+        } else {
+            requested
+        }
+    }
+
+    fn epoch_counts(&self) -> &Arc<Vec<u32>> {
+        self.epoch_counts.get_or_init(|| {
+            let views = self.loaded.shard_views();
+            Arc::new(materialise_counts(
+                &views,
+                self.loaded.meta().n_candidates,
+                self.loaded.n_classes(),
+                self.threads,
+            ))
+        })
+    }
+
+    /// Validates `req` against the snapshot and runs the scatter/gather
+    /// selection.
     ///
     /// # Errors
     /// A typed [`QueryError`] when the request disagrees with the snapshot
-    /// (τ / block size), addresses an unknown candidate, or carries an
-    /// out-of-range budget. Never panics on malformed requests.
+    /// (τ / canonical block size), addresses an unknown candidate, or
+    /// carries an out-of-range budget. Never panics on malformed requests.
     pub fn answer(&self, req: &QueryRequest) -> Result<QueryAnswer, QueryError> {
-        let meta = &self.snapshot.meta;
+        let meta = self.loaded.meta();
         if req.tau.to_bits() != meta.tau.to_bits() {
             return Err(QueryError::TauMismatch {
                 requested: req.tau,
                 snapshot: meta.tau,
             });
         }
-        if req.block_size != meta.block_size {
+        if self.canonical_block_size(req.block_size) != self.canonical_block_size(meta.block_size) {
             return Err(QueryError::BlockSizeMismatch {
                 requested: req.block_size,
                 snapshot: meta.block_size,
             });
         }
 
-        let sets = &self.snapshot.sets;
+        let n_candidates = meta.n_candidates;
+        let n_classes = self.loaded.n_classes();
+        let views = self.loaded.shard_views();
         match req.candidates.as_deref() {
             None => {
-                check_budget(req.k, sets.n_candidates())?;
-                let (solution, selection) = run_selector(req.selector, sets, req.k, self.threads);
-                Ok(answer_of(solution, selection))
+                check_budget(req.k, n_candidates)?;
+                let counts = self.epoch_counts().as_ref().clone();
+                let (solution, selection, mut gather) = gather_select(
+                    &views,
+                    n_candidates,
+                    n_classes,
+                    counts,
+                    None,
+                    self.loaded.total_influences(),
+                    req.k,
+                    self.threads,
+                );
+                gather.shared_epoch = true;
+                Ok(answer_of(solution, selection, gather))
             }
             Some(raw) => {
                 let canon = canonical_subset(raw);
@@ -156,22 +236,40 @@ impl QueryEngine {
                     return Err(QueryError::EmptySubset);
                 }
                 if let Some(&max) = canon.last() {
-                    if max as usize >= sets.n_candidates() {
+                    if max as usize >= n_candidates {
                         return Err(QueryError::UnknownCandidate {
                             id: max,
-                            n_candidates: sets.n_candidates(),
+                            n_candidates,
                         });
                     }
                 }
                 check_budget(req.k, canon.len())?;
-                let sub: InfluenceSets = sets.subset(&canon);
-                let (mut solution, selection) =
-                    run_selector(req.selector, &sub, req.k, self.threads);
-                // The selector saw local (subset-positional) ids; map back.
+                let counts = subset_counts(self.epoch_counts(), n_classes, &canon);
+                let total: u64 = views
+                    .iter()
+                    .map(|v| {
+                        canon
+                            .iter()
+                            .map(|&c| v.fwd.row_len(c as usize) as u64)
+                            .sum::<u64>()
+                    })
+                    .sum();
+                let (mut solution, selection, mut gather) = gather_select(
+                    &views,
+                    n_candidates,
+                    n_classes,
+                    counts,
+                    Some(&canon),
+                    total,
+                    req.k,
+                    self.threads,
+                );
+                // The selector saw subset-positional ids; map back.
                 for id in &mut solution.selected {
                     *id = canon[*id as usize];
                 }
-                Ok(answer_of(solution, selection))
+                gather.shared_epoch = true;
+                Ok(answer_of(solution, selection, gather))
             }
         }
     }
@@ -184,13 +282,18 @@ fn check_budget(k: usize, available: usize) -> Result<(), QueryError> {
     Ok(())
 }
 
-fn answer_of(solution: mc2ls_core::Solution, selection: mc2ls_core::SelectionStats) -> QueryAnswer {
+fn answer_of(
+    solution: mc2ls_core::Solution,
+    selection: mc2ls_core::SelectionStats,
+    gather: GatherStats,
+) -> QueryAnswer {
     QueryAnswer {
         solution,
         selection,
         // Serving touches no influence-set evaluation: the counters stay
         // at their defaults, and tests assert exactly that.
         prune: PruneStats::default(),
+        gather,
         cached: false,
         key_hash: 0,
     }
@@ -226,8 +329,8 @@ mod tests {
         )
     }
 
-    fn engine_for(problem: &Problem<Sigmoid>, threads: usize) -> QueryEngine {
-        let (snap, _) = Snapshot::build("test", problem, 2.0, threads);
+    fn engine_for(problem: &Problem<Sigmoid>, threads: usize, n_shards: usize) -> QueryEngine {
+        let (snap, _) = Snapshot::build_sharded("test", problem, 2.0, threads, n_shards);
         QueryEngine::new(snap, threads)
     }
 
@@ -251,8 +354,8 @@ mod tests {
             Selector::Auto,
             1,
         );
-        for threads in [1usize, 2, 5] {
-            let engine = engine_for(&problem, threads);
+        for (threads, n_shards) in [(1usize, 1usize), (2, 3), (5, 4)] {
+            let engine = engine_for(&problem, threads, n_shards);
             let ans = engine
                 .answer(&query(&problem, None, problem.k))
                 .expect("answer");
@@ -260,16 +363,19 @@ mod tests {
             assert_eq!(
                 ans.solution.cinf.to_bits(),
                 direct.solution.cinf.to_bits(),
-                "threads={threads}"
+                "threads={threads} shards={n_shards}"
             );
             assert_eq!(ans.prune, PruneStats::default());
+            assert_eq!(ans.gather.shards as usize, engine.n_shards());
+            assert!(ans.gather.shared_epoch);
+            assert_eq!(ans.gather.rounds as usize, problem.k);
         }
     }
 
     #[test]
     fn subset_answers_match_a_solve_on_the_subinstance() {
         let problem = random_problem(23, 50, 16);
-        let engine = engine_for(&problem, 2);
+        let engine = engine_for(&problem, 2, 3);
         let subset = vec![14u32, 3, 7, 3, 11, 0];
         let ans = engine
             .answer(&query(&problem, Some(subset.clone()), 2))
@@ -309,7 +415,7 @@ mod tests {
     #[test]
     fn all_selectors_agree_on_the_engine_path() {
         let problem = random_problem(37, 40, 12);
-        let engine = engine_for(&problem, 3);
+        let engine = engine_for(&problem, 3, 2);
         let selectors = [
             Selector::Greedy,
             Selector::LazyGreedy,
@@ -334,9 +440,25 @@ mod tests {
     }
 
     #[test]
+    fn auto_and_resolved_block_sizes_are_the_same_query() {
+        let problem = random_problem(51, 30, 10);
+        let engine = engine_for(&problem, 1, 2);
+        let resolved = engine.meta().resolved_block_size;
+        assert_eq!(engine.canonical_block_size(BLOCK_SIZE_AUTO), resolved);
+        assert_eq!(engine.canonical_block_size(resolved), resolved);
+
+        let mut q = query(&problem, None, 3);
+        q.block_size = BLOCK_SIZE_AUTO;
+        let a = engine.answer(&q).expect("auto accepted");
+        q.block_size = resolved;
+        let b = engine.answer(&q).expect("resolved accepted");
+        assert_eq!(a.solution.selected, b.solution.selected);
+    }
+
+    #[test]
     fn invalid_queries_are_typed_errors() {
         let problem = random_problem(5, 30, 10);
-        let engine = engine_for(&problem, 1);
+        let engine = engine_for(&problem, 1, 1);
 
         let mut q = query(&problem, None, 3);
         q.tau = 0.5;
@@ -346,7 +468,8 @@ mod tests {
         ));
 
         let mut q = query(&problem, None, 3);
-        q.block_size += 1;
+        // A fixed size no resolution maps to: canonically distinct.
+        q.block_size = usize::MAX - 1;
         assert!(matches!(
             engine.answer(&q),
             Err(QueryError::BlockSizeMismatch { .. })

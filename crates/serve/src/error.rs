@@ -44,6 +44,12 @@ pub enum SnapshotError {
     /// The decoded artifacts disagree with each other or with the metadata
     /// header (e.g. differing user counts).
     Inconsistent(&'static str),
+    /// A delta file (`.mc2d`) is structurally malformed, or a diff was
+    /// requested between containers with different section structures.
+    BadDelta(&'static str),
+    /// A delta's base fingerprint (length + CRC) does not match the
+    /// container it was applied to.
+    DeltaBaseMismatch,
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -75,6 +81,10 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::Inconsistent(what) => {
                 write!(f, "snapshot artifacts disagree: {what}")
+            }
+            SnapshotError::BadDelta(what) => write!(f, "bad delta snapshot: {what}"),
+            SnapshotError::DeltaBaseMismatch => {
+                write!(f, "delta does not apply to this base snapshot (fingerprint mismatch)")
             }
         }
     }

@@ -1,27 +1,33 @@
-//! `mc2ls-serve`: snapshot persistence and a concurrent query-serving
-//! subsystem for MC²LS.
+//! `mc2ls-serve`: sharded snapshot persistence and a concurrent
+//! scatter/gather query-serving subsystem for MC²LS.
 //!
 //! The crate splits into two halves:
 //!
-//! * **Snapshot persistence** ([`snapshot`]): the versioned, little-endian
-//!   `.mc2s` container bundling every index artifact a query needs — the
-//!   [`mc2ls_core::InfluenceSets`] CSR, the [`mc2ls_core::InvertedIndex`],
-//!   the [`mc2ls_influence::PositionBlocks`] SoA and the
+//! * **Snapshot persistence** ([`snapshot`], [`view`], [`delta`]): the
+//!   versioned, little-endian `.mc2s` container bundling every index
+//!   artifact a query needs — per user shard, the
+//!   [`mc2ls_core::InfluenceSets`] CSR, the [`mc2ls_core::InvertedIndex`]
+//!   and the [`mc2ls_influence::PositionBlocks`] SoA, plus the global
 //!   [`mc2ls_index::IQuadTree`] — each in its own CRC-checked section.
-//!   Loading a snapshot restores the full serving state with **zero**
-//!   influence-set evaluations.
+//!   [`view::LoadedSnapshot`] loads it **zero-copy**: CSR arrays are
+//!   borrowed straight from the file bytes (safe Rust, validated once), so
+//!   cold start is I/O-dominated, with **zero** influence-set evaluations
+//!   and no position/tree decode. [`delta`] ships only changed section
+//!   groups, fingerprinted against a base container.
 //! * **Query service** ([`server`]): a dependency-free thread-per-worker TCP
 //!   server speaking length-prefixed JSON ([`protocol`]), with a bounded
 //!   admission queue (connections beyond the bound are rejected with a
-//!   typed `busy` error), a deterministic LRU result cache ([`cache`]),
+//!   typed `busy` error), a deterministic LRU result cache ([`cache`])
+//!   keyed on canonicalised queries, single-flight request batching,
 //!   live counters and a latency histogram ([`metrics`]), snapshot
-//!   hot-reload, and a graceful drain on shutdown.
+//!   hot-reload (full or delta), and a graceful drain on shutdown.
 //!
 //! Answers are byte-identical to a direct [`mc2ls_core::algorithms::
 //! solve_threaded`] run on the same instance: the engine ([`engine`])
-//! replays the selection phase over the persisted CSR (or a canonical
-//! candidate-subset slice of it), which the workspace guarantees is
-//! bit-equal at every thread count.
+//! replays the selection phase through the scatter/gather plan
+//! ([`mc2ls_core::shard`]) over the persisted per-shard CSRs (or a
+//! canonical candidate-subset slice of them), which the workspace
+//! guarantees is bit-equal at every shard and thread count.
 //!
 //! Everything on a network or file error path returns a typed error
 //! ([`ServeError`] / [`SnapshotError`]) — no panicking shortcuts.
@@ -31,12 +37,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
+pub mod view;
 
 pub use cache::ResultCache;
 pub use client::Client;
@@ -45,4 +53,5 @@ pub use error::{ServeError, SnapshotError};
 pub use metrics::Metrics;
 pub use protocol::{QueryAnswer, QueryRequest, Request, Response, StatsReport};
 pub use server::{Server, ServerConfig};
-pub use snapshot::{Snapshot, SnapshotMeta};
+pub use snapshot::{ShardArtifacts, Snapshot, SnapshotMeta};
+pub use view::LoadedSnapshot;

@@ -79,6 +79,11 @@ pub struct Metrics {
     pub errors: AtomicU64,
     /// Successful snapshot reloads.
     pub reloads: AtomicU64,
+    /// Reloads applied as delta snapshots (a subset of `reloads`).
+    pub delta_reloads: AtomicU64,
+    /// Queries that joined an in-flight identical query (request
+    /// batching) instead of running their own selection.
+    pub coalesced: AtomicU64,
     /// Query latency distribution (µs, measured inside the worker).
     pub latency: LatencyHistogram,
 }

@@ -15,7 +15,7 @@
 use crate::error::ServeError;
 use crate::snapshot::SnapshotMeta;
 use mc2ls_core::algorithms::Selector;
-use mc2ls_core::{PruneStats, SelectionStats, Solution};
+use mc2ls_core::{GatherStats, PruneStats, SelectionStats, Solution};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
@@ -55,7 +55,10 @@ pub struct QueryRequest {
     pub k: usize,
     /// Influence threshold τ; must equal the snapshot's τ bit-for-bit.
     pub tau: f64,
-    /// Verification block size; must equal the snapshot's value.
+    /// Verification block size; must equal the snapshot's value after
+    /// canonicalisation (the auto sentinel resolves to the block size the
+    /// snapshot stores, so `auto` and the resolved value are the same
+    /// query — and the same cache entry).
     pub block_size: usize,
     /// Which selector runs the greedy selection. All selectors return
     /// byte-identical solutions; they differ only in work counters.
@@ -80,6 +83,9 @@ pub struct QueryAnswer {
     /// [`PruneStats::default`] when served from a snapshot: loading runs
     /// zero influence-set evaluations.
     pub prune: PruneStats,
+    /// Scatter/gather execution counters: shard and worker counts, event
+    /// volume, and the busy/critical-path nanosecond split.
+    pub gather: GatherStats,
     /// Whether this answer came from the result cache.
     pub cached: bool,
     /// FNV-1a hash of the canonical cache key (diagnostic aid).
@@ -105,6 +111,13 @@ pub struct StatsReport {
     pub errors: u64,
     /// Successful snapshot reloads since start.
     pub reloads: u64,
+    /// Reloads applied as delta snapshots (a subset of `reloads`).
+    pub delta_reloads: u64,
+    /// Queries that joined another in-flight identical query instead of
+    /// computing (request batching).
+    pub coalesced: u64,
+    /// User shards in the currently loaded snapshot.
+    pub shards: u64,
     /// Connections currently waiting for a worker.
     pub queue_depth: u64,
     /// Worker-thread count.
@@ -264,6 +277,15 @@ mod tests {
             },
             selection: SelectionStats::default(),
             prune: PruneStats::default(),
+            gather: GatherStats {
+                shards: 2,
+                workers: 2,
+                rounds: 2,
+                scatter_events: 7,
+                busy_ns: 10,
+                critical_path_ns: 6,
+                shared_epoch: true,
+            },
             cached: true,
             key_hash: 0xDEAD_BEEF,
         };
@@ -276,6 +298,7 @@ mod tests {
                     bits(&ans.solution.marginal_gains)
                 );
                 assert_eq!(back.solution.cinf.to_bits(), ans.solution.cinf.to_bits());
+                assert_eq!(back.gather, ans.gather);
                 assert!(back.cached);
                 assert_eq!(back.key_hash, 0xDEAD_BEEF);
             }

@@ -15,17 +15,31 @@
 //! between requests via the per-connection read timeout, so a quiet client
 //! delays shutdown by at most `poll_interval`.
 //!
+//! Concurrent identical queries are **coalesced**: the first arrival of a
+//! canonical cache key becomes the *leader* (optionally sleeping a short
+//! coalesce window so near-simultaneous duplicates can pile on), runs the
+//! selection once, and publishes the answer to every *joiner* waiting on
+//! the same key — single-flight request batching on top of the engine's
+//! epoch-shared gain materialisation.
+//!
+//! `RELOAD` accepts either a full `.mc2s` container or a `.mc2d` delta;
+//! a delta is applied onto the raw bytes of the snapshot currently being
+//! served (fingerprint-checked) and the spliced result is validated
+//! exactly like a full snapshot before it replaces the engine.
+//!
 //! Nothing here panics on socket errors: failed writes to a dying peer are
 //! dropped on the floor (the peer is gone; there is nobody to tell) and
 //! every other failure path returns through [`ServeError`].
 
 use crate::cache::{self, ResultCache};
-use crate::engine::QueryEngine;
+use crate::engine::{QueryEngine, QueryError};
 use crate::error::ServeError;
 use crate::metrics::Metrics;
-use crate::protocol::{recv_message, send_message, QueryRequest, Request, Response, StatsReport};
-use crate::snapshot::Snapshot;
-use std::collections::VecDeque;
+use crate::protocol::{
+    recv_message, send_message, QueryAnswer, QueryRequest, Request, Response, StatsReport,
+};
+use crate::{delta, SnapshotError};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
@@ -53,6 +67,11 @@ pub struct ServerConfig {
     /// completing a request is answered with a `timeout` error and torn
     /// down, so a stalled peer cannot hold a worker forever.
     pub idle_timeout: Duration,
+    /// How long the leader of a fresh query lingers before computing, so
+    /// concurrent identical queries can join its flight instead of being
+    /// serialised behind the cache. Zero (the default) disables the wait
+    /// but keeps single-flight dedup.
+    pub coalesce_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +84,41 @@ impl Default for ServerConfig {
             threads: 1,
             poll_interval: Duration::from_millis(50),
             idle_timeout: Duration::from_secs(30),
+            coalesce_window: Duration::ZERO,
+        }
+    }
+}
+
+/// One in-flight computation of a canonical query key. The leader
+/// publishes exactly once; joiners block on the condvar until then.
+struct Flight {
+    done: Mutex<Option<Result<QueryAnswer, QueryError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<QueryAnswer, QueryError>) {
+        *lock(&self.done) = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<QueryAnswer, QueryError> {
+        let mut guard = lock(&self.done);
+        loop {
+            if let Some(result) = guard.as_ref() {
+                return result.clone();
+            }
+            guard = match self.cv.wait(guard) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
     }
 }
@@ -72,6 +126,8 @@ impl Default for ServerConfig {
 struct Shared {
     engine: RwLock<Arc<QueryEngine>>,
     cache: Mutex<ResultCache>,
+    /// Single-flight table: canonical key → the in-flight computation.
+    batcher: Mutex<BTreeMap<Vec<u8>, Arc<Flight>>>,
     metrics: Metrics,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
@@ -112,6 +168,7 @@ impl Server {
         let shared = Arc::new(Shared {
             engine: RwLock::new(Arc::new(engine)),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            batcher: Mutex::new(BTreeMap::new()),
             metrics: Metrics::default(),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -326,12 +383,22 @@ fn handle_query(query: &QueryRequest, shared: &Shared) -> Response {
     let started = Instant::now();
     Metrics::bump(&shared.metrics.queries);
 
+    // Clone the Arc so a concurrent reload never blocks behind a running
+    // selection (and vice versa).
+    let engine = match shared.engine.read() {
+        Ok(guard) => Arc::clone(&guard),
+        Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+    };
+
+    // The cache key uses the *canonical* block size: `auto` and the
+    // snapshot's resolved value name the same query, so they share one
+    // entry (and one flight).
     let canon = query.candidates.as_deref().map(cache::canonical_subset);
     let key = cache::key_bytes(
         canon.as_deref(),
         query.k,
         query.tau,
-        query.block_size,
+        engine.canonical_block_size(query.block_size),
         query.selector,
         query.pf_exact,
     );
@@ -343,16 +410,43 @@ fn handle_query(query: &QueryRequest, shared: &Shared) -> Response {
         return Response::Answer(answer);
     }
 
-    // Clone the Arc so a concurrent reload never blocks behind a running
-    // selection (and vice versa).
-    let engine = match shared.engine.read() {
-        Ok(guard) => Arc::clone(&guard),
-        Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+    // Single-flight: the first miss of a key becomes the leader; everyone
+    // else joins its flight and receives the leader's answer.
+    let (flight, leader) = {
+        let mut batcher = lock(&shared.batcher);
+        match batcher.get(&key) {
+            Some(flight) => (Arc::clone(flight), false),
+            None => {
+                let flight = Arc::new(Flight::new());
+                batcher.insert(key.clone(), Arc::clone(&flight));
+                (flight, true)
+            }
+        }
     };
-    match engine.answer(query) {
-        Ok(mut answer) => {
+
+    let result = if leader {
+        // Linger so near-simultaneous duplicates can pile onto the flight
+        // before the (much longer) selection starts.
+        if !shared.config.coalesce_window.is_zero() {
+            std::thread::sleep(shared.config.coalesce_window);
+        }
+        let result = engine.answer(query).map(|mut answer| {
             answer.key_hash = key_hash;
+            answer
+        });
+        flight.publish(result.clone());
+        lock(&shared.batcher).remove(&key);
+        if let Ok(answer) = &result {
             lock(&shared.cache).put(key, answer.clone());
+        }
+        result
+    } else {
+        Metrics::bump(&shared.metrics.coalesced);
+        flight.wait()
+    };
+
+    match result {
+        Ok(answer) => {
             record_latency(shared, started);
             Response::Answer(answer)
         }
@@ -372,21 +466,57 @@ fn record_latency(shared: &Shared, started: Instant) {
 }
 
 fn handle_reload(path: &str, shared: &Shared) -> Response {
-    match Snapshot::load(std::path::Path::new(path)) {
-        Ok(snapshot) => {
-            let meta = snapshot.meta.clone();
-            let engine = QueryEngine::new(snapshot, shared.config.threads);
+    let loaded: Result<(QueryEngine, bool), SnapshotError> = (|| {
+        let bytes = std::fs::read(std::path::Path::new(path)).map_err(SnapshotError::Io)?;
+        if delta::is_delta(&bytes) {
+            // Apply the delta onto the raw bytes of the snapshot being
+            // served; the spliced result re-runs full validation.
+            let base = match shared.engine.read() {
+                Ok(guard) => Arc::clone(&guard),
+                Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+            };
+            let spliced = delta::apply(base.snapshot_bytes(), &bytes)?;
+            Ok((
+                QueryEngine::from_bytes(spliced, shared.config.threads)?,
+                true,
+            ))
+        } else {
+            Ok((
+                QueryEngine::from_bytes(bytes, shared.config.threads)?,
+                false,
+            ))
+        }
+    })();
+    match loaded {
+        Ok((engine, was_delta)) => {
+            let meta = engine.meta().clone();
+            let shards = engine.n_shards();
             match shared.engine.write() {
                 Ok(mut guard) => *guard = Arc::new(engine),
                 Err(poisoned) => *poisoned.into_inner() = Arc::new(engine),
             }
-            // Cached answers belong to the old snapshot.
+            // Cached answers and pending flights belong to the old
+            // snapshot epoch (in-flight leaders still publish to their
+            // joiners; new arrivals start fresh flights).
             lock(&shared.cache).clear();
+            lock(&shared.batcher).clear();
             Metrics::bump(&shared.metrics.reloads);
+            if was_delta {
+                Metrics::bump(&shared.metrics.delta_reloads);
+            }
             Response::Done {
                 message: format!(
-                    "snapshot {:?} loaded: {} users, {} candidates, tau {}",
-                    meta.name, meta.n_users, meta.n_candidates, meta.tau
+                    "snapshot {:?} {}: {} users, {} candidates, {} shards, tau {}",
+                    meta.name,
+                    if was_delta {
+                        "patched via delta"
+                    } else {
+                        "loaded"
+                    },
+                    meta.n_users,
+                    meta.n_candidates,
+                    shards,
+                    meta.tau
                 ),
             }
         }
@@ -419,6 +549,9 @@ fn stats_report(shared: &Shared) -> StatsReport {
         rejected: Metrics::read(&shared.metrics.rejected),
         errors: Metrics::read(&shared.metrics.errors),
         reloads: Metrics::read(&shared.metrics.reloads),
+        delta_reloads: Metrics::read(&shared.metrics.delta_reloads),
+        coalesced: Metrics::read(&shared.metrics.coalesced),
+        shards: engine.n_shards() as u64,
         queue_depth: lock(&shared.queue).len() as u64,
         workers: shared.config.workers.max(1) as u64,
         cache_capacity,

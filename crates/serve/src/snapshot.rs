@@ -1,52 +1,191 @@
 //! The `.mc2s` snapshot container: every index artifact the query engine
-//! needs, persisted in one versioned, checksummed, little-endian file.
+//! needs, persisted in one versioned, checksummed, little-endian file —
+//! split into per-user-shard section groups so the serving layer can
+//! scatter work across shards and ship deltas at section granularity.
 //!
-//! # Format
+//! # Format (version 2)
 //!
 //! ```text
 //! magic    [u8; 4] = b"MC2S"
-//! version  u32     = 1
-//! section × 5, fixed order META, ISET, IINV, PBLK, IQTR:
-//!     tag      [u8; 4]
-//!     len      u64            payload length in bytes
-//!     crc      u32            CRC-32 (IEEE) of the payload
-//!     payload  [u8; len]      artifact codec output
+//! version  u32     = 2
+//! META section                         instance metadata + shard manifest
+//! per shard s in 0..n_shards, fixed order:
+//!     ISET section                     shard-local InfluenceSets CSR
+//!     IINV section                     shard-local InvertedIndex CSR
+//!     PBLK section                     shard-local PositionBlocks SoA
+//! IQTR section                         the global IQuad-tree
+//! ```
+//!
+//! Every section is framed identically:
+//!
+//! ```text
+//! tag      [u8; 4]
+//! len      u64            payload length in bytes
+//! crc      u32            CRC-32 (IEEE) of the payload
+//! payload  [u8; len]      artifact codec output
 //! ```
 //!
 //! Every scalar is little-endian (the workspace codec convention, see
-//! `mc2ls_geo::codec`). The five payloads are the `to_bytes` encodings of
-//! [`SnapshotMeta`], [`InfluenceSets`], [`InvertedIndex`],
-//! [`PositionBlocks`] and [`IQuadTree`] respectively. Decoding verifies the
-//! magic, the version, each section's tag/CRC, each artifact's own
-//! invariants, and finally that the artifacts agree with each other on the
-//! instance shape — any violation is a typed [`SnapshotError`], never a
-//! panic.
+//! `mc2ls_geo::codec`). The META payload carries the **shard manifest**
+//! (the user-id boundary vector, see [`mc2ls_core::shard::shard_starts`])
+//! so a reader learns the section count from META alone, plus the
+//! *resolved* verification block size so queries using the auto sentinel
+//! canonicalise without decoding PBLK. Shard sections reuse the v1 tags;
+//! the owning shard is implied by position. Decoding verifies the magic,
+//! the version, each section's tag/CRC, each artifact's own invariants,
+//! and finally that the artifacts agree with each other on the instance
+//! shape — any violation is a typed [`SnapshotError`], never a panic.
+//!
+//! Per-section CRC framing is what makes **delta snapshots**
+//! ([`crate::delta`]) safe: a delta splices whole frames, and every splice
+//! is re-verified by the same checks a full decode runs.
 
 use crate::error::SnapshotError;
 use mc2ls_core::algorithms::{influence_sets_threaded, IqtConfig, Method};
+use mc2ls_core::shard::{shard_starts, split_sets};
 use mc2ls_core::{InfluenceSets, InvertedIndex, Problem, PruneStats};
 use mc2ls_geo::codec::crc32;
 use mc2ls_geo::{ByteReader, ByteWriter, CodecError};
 use mc2ls_index::IQuadTree;
 use mc2ls_influence::{auto_block_size, resolve_block_size, PositionBlocks, Sigmoid};
+use std::ops::Range;
 
 /// File magic: "MC2S".
 pub const MAGIC: [u8; 4] = *b"MC2S";
 /// Current container version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+/// Container header length (magic + version) preceding the first section.
+pub(crate) const HEADER_LEN: usize = 8;
+/// Section frame header length (tag + len + crc) preceding each payload.
+pub(crate) const FRAME_HEADER_LEN: usize = 16;
 
-/// The fixed section order: (tag bytes, human name).
-const SECTIONS: [(&[u8; 4], &str); 5] = [
-    (b"META", "META"),
-    (b"ISET", "ISET"),
-    (b"IINV", "IINV"),
-    (b"PBLK", "PBLK"),
-    (b"IQTR", "IQTR"),
-];
+/// Maps a section tag to its human name for error reporting.
+pub(crate) fn section_name(tag: [u8; 4]) -> &'static str {
+    match &tag {
+        b"META" => "META",
+        b"ISET" => "ISET",
+        b"IINV" => "IINV",
+        b"PBLK" => "PBLK",
+        b"IQTR" => "IQTR",
+        _ => "unknown",
+    }
+}
+
+/// One CRC-verified section located inside a container byte buffer.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    /// The four tag bytes.
+    pub tag: [u8; 4],
+    /// Byte range of the whole frame (header through payload).
+    pub frame: Range<usize>,
+    /// Byte range of the payload.
+    pub payload: Range<usize>,
+}
+
+/// Walks the container framing: verifies the magic, the version, and every
+/// section's CRC, returning each section's location. Decodes **no**
+/// artifact payloads — this is the shared skeleton under full decode
+/// ([`Snapshot::from_bytes`]), zero-copy load ([`crate::view`]) and delta
+/// splicing ([`crate::delta`]).
+pub(crate) fn walk_frames(bytes: &[u8]) -> Result<Vec<Frame>, SnapshotError> {
+    let container = |source| SnapshotError::Codec {
+        section: "container",
+        source,
+    };
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take(4).map_err(container)?;
+    if magic != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(magic);
+        return Err(SnapshotError::BadMagic(m));
+    }
+    let version = r.get_u32().map_err(container)?;
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+
+    let mut frames = Vec::new();
+    while r.remaining() > 0 {
+        if r.remaining() < FRAME_HEADER_LEN {
+            return Err(SnapshotError::TrailingData(r.remaining()));
+        }
+        let start = r.position();
+        let mut tag = [0u8; 4];
+        tag.copy_from_slice(r.take(4).map_err(container)?);
+        let len = r.get_u64().map_err(container)?;
+        let stored = r.get_u32().map_err(container)?;
+        let claimed = usize::try_from(len).map_err(|_| {
+            container(CodecError::BadLength {
+                what: "section length",
+                claimed: len,
+            })
+        })?;
+        let payload_start = r.position();
+        let payload = r.take(claimed).map_err(container)?;
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: section_name(tag),
+                stored,
+                computed,
+            });
+        }
+        frames.push(Frame {
+            tag,
+            frame: start..r.position(),
+            payload: payload_start..r.position(),
+        });
+    }
+    Ok(frames)
+}
+
+/// The section tag the fixed v2 layout expects at position `i` of a
+/// container holding `n_sections` sections.
+pub(crate) fn expected_tag(i: usize, n_sections: usize) -> &'static str {
+    if i == 0 {
+        "META"
+    } else if i + 1 == n_sections {
+        "IQTR"
+    } else {
+        ["ISET", "IINV", "PBLK"][(i - 1) % 3]
+    }
+}
+
+/// Walks the frames and checks the tag sequence against the v2 layout
+/// (META first, whole shard trios, IQTR last) without decoding any
+/// payload.
+pub(crate) fn check_layout(bytes: &[u8]) -> Result<Vec<Frame>, SnapshotError> {
+    let frames = walk_frames(bytes)?;
+    if frames.is_empty() || frames[0].tag != *b"META" {
+        return Err(SnapshotError::SectionOrder {
+            expected: "META",
+            found: frames.first().map_or([0; 4], |f| f.tag),
+        });
+    }
+    // n_sections = 2 + 3 * n_shards, so the remainder after META and IQTR
+    // must fall into whole shard trios.
+    if frames.len() < 2 || (frames.len() - 2) % 3 != 0 {
+        return Err(SnapshotError::Inconsistent(
+            "section count is not META + shard groups + IQTR",
+        ));
+    }
+    for (i, frame) in frames.iter().enumerate() {
+        let expected = expected_tag(i, frames.len());
+        if section_name(frame.tag) != expected {
+            return Err(SnapshotError::SectionOrder {
+                expected,
+                found: frame.tag,
+            });
+        }
+    }
+    Ok(frames)
+}
 
 /// Instance-shape metadata pinned into the snapshot so the server can
-/// validate queries (τ and block size must match bit-for-bit) and report
-/// itself over `STATS` without touching the heavyweight artifacts.
+/// validate queries (τ and block size must match after canonicalisation)
+/// and report itself over `STATS` without touching the heavyweight
+/// artifacts. Carries the shard manifest: readers learn the section count
+/// from META alone.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SnapshotMeta {
     /// Free-form snapshot name (e.g. the preset it was built from).
@@ -59,7 +198,8 @@ pub struct SnapshotMeta {
     pub n_facilities: usize,
     /// Influence threshold τ the influence sets were computed with.
     pub tau: f64,
-    /// Verification block size the instance was configured with.
+    /// Verification block size the instance was *configured* with (may be
+    /// the auto or plain sentinel).
     pub block_size: usize,
     /// Sigmoid ρ parameter of the probability function.
     pub rho: f64,
@@ -67,11 +207,19 @@ pub struct SnapshotMeta {
     pub leaf_diagonal: f64,
     /// Default selection budget `k` for queries that do not override it.
     pub default_k: usize,
+    /// Shard manifest: user-id boundaries, `shard_starts[s]..shard_starts
+    /// [s + 1]` being shard `s`'s global user range (so `len - 1` shards,
+    /// starting at 0 and ending at `n_users`).
+    pub shard_starts: Vec<u32>,
+    /// The block size PBLK sections actually store — what the auto
+    /// sentinel resolved to at build time. Queries asking for `auto`
+    /// canonicalise to this value.
+    pub resolved_block_size: usize,
 }
 
 impl SnapshotMeta {
     fn to_bytes(&self) -> Vec<u8> {
-        let mut w = ByteWriter::with_capacity(64 + self.name.len());
+        let mut w = ByteWriter::with_capacity(96 + self.name.len() + 4 * self.shard_starts.len());
         w.put_str(&self.name);
         w.put_len(self.n_users);
         w.put_len(self.n_candidates);
@@ -81,10 +229,12 @@ impl SnapshotMeta {
         w.put_f64(self.rho);
         w.put_f64(self.leaf_diagonal);
         w.put_len(self.default_k);
+        w.put_u32_slice(&self.shard_starts);
+        w.put_len(self.resolved_block_size);
         w.into_bytes()
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+    pub(crate) fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = ByteReader::new(bytes);
         let name = r.get_string("SnapshotMeta.name")?;
         let n_users = read_usize(&mut r, "SnapshotMeta.n_users")?;
@@ -95,6 +245,8 @@ impl SnapshotMeta {
         let rho = r.get_f64()?;
         let leaf_diagonal = r.get_f64()?;
         let default_k = read_usize(&mut r, "SnapshotMeta.default_k")?;
+        let shard_starts = r.get_u32_vec("SnapshotMeta.shard_starts")?;
+        let resolved_block_size = read_usize(&mut r, "SnapshotMeta.resolved_block_size")?;
         r.expect_end()?;
         if !(tau > 0.0 && tau < 1.0) {
             return Err(CodecError::Invalid("tau must lie in (0, 1)"));
@@ -108,6 +260,18 @@ impl SnapshotMeta {
         if default_k == 0 || default_k > n_candidates {
             return Err(CodecError::Invalid("default_k out of range"));
         }
+        if shard_starts.len() < 2
+            || shard_starts[0] != 0
+            || shard_starts.windows(2).any(|w| w[0] > w[1])
+            || shard_starts[shard_starts.len() - 1] as usize != n_users
+        {
+            return Err(CodecError::Invalid(
+                "shard manifest is not a boundary vector over the users",
+            ));
+        }
+        if resolved_block_size == 0 {
+            return Err(CodecError::Invalid("resolved block size must be positive"));
+        }
         Ok(SnapshotMeta {
             name,
             n_users,
@@ -118,7 +282,19 @@ impl SnapshotMeta {
             rho,
             leaf_diagonal,
             default_k,
+            shard_starts,
+            resolved_block_size,
         })
+    }
+
+    /// Number of user shards in the manifest.
+    pub fn n_shards(&self) -> usize {
+        self.shard_starts.len().saturating_sub(1)
+    }
+
+    /// Total section count of a container with this manifest.
+    pub fn n_sections(&self) -> usize {
+        2 + 3 * self.n_shards()
     }
 }
 
@@ -127,27 +303,34 @@ fn read_usize(r: &mut ByteReader<'_>, what: &'static str) -> Result<usize, Codec
     usize::try_from(v).map_err(|_| CodecError::BadLength { what, claimed: v })
 }
 
-/// Everything the query engine serves from: the instance metadata plus the
-/// four persisted index artifacts.
+/// One user shard's persisted artifacts: the shard-local influence CSR
+/// (users rebased to `0..len`), its inverted index, and the shard's slice
+/// of the blocked position layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardArtifacts {
+    /// Forward influence CSR `c → Ω_c ∩ shard` (local user ids).
+    pub sets: InfluenceSets,
+    /// Inverted CSR `local o → {c : o ∈ Ω_c}`.
+    pub inverted: InvertedIndex,
+    /// Blocked SoA position layout of the shard's user trajectories.
+    pub blocks: PositionBlocks,
+}
+
+/// Everything the query engine serves from: the instance metadata, the
+/// per-shard index artifacts and the global IQuad-tree.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Instance-shape metadata (validated against the artifacts on load).
     pub meta: SnapshotMeta,
-    /// Forward influence CSR `c → Ω_c`.
-    pub sets: InfluenceSets,
-    /// Inverted CSR `o → {c : o ∈ Ω_c}`.
-    pub inverted: InvertedIndex,
-    /// Blocked SoA position layout of every user trajectory.
-    pub blocks: PositionBlocks,
-    /// The IQuad-tree over the users.
+    /// Per-user-shard artifacts, in manifest order.
+    pub shards: Vec<ShardArtifacts>,
+    /// The IQuad-tree over all users.
     pub tree: IQuadTree,
 }
 
 impl Snapshot {
-    /// Builds every artifact from `problem` across `threads` workers using
-    /// the paper's recommended `IQT` influence pipeline, returning the
-    /// snapshot plus the pruning counters of the build (so callers can
-    /// compare a later load against the work it saved).
+    /// Builds a single-shard snapshot — [`Snapshot::build_sharded`] with
+    /// one shard.
     ///
     /// # Panics
     /// Panics when `threads == 0` (programming error, mirroring
@@ -158,17 +341,54 @@ impl Snapshot {
         leaf_diagonal: f64,
         threads: usize,
     ) -> (Snapshot, PruneStats) {
+        Snapshot::build_sharded(name, problem, leaf_diagonal, threads, 1)
+    }
+
+    /// Builds every artifact from `problem` across `threads` workers using
+    /// the paper's recommended `IQT` influence pipeline, partitioning the
+    /// user space into `n_shards` balanced contiguous shards (clamped to
+    /// `1..=n_users`). Returns the snapshot plus the pruning counters of
+    /// the build (so callers can compare a later load against the work it
+    /// saved).
+    ///
+    /// Sharding never changes answers: the influence phase runs unsharded
+    /// and is then split losslessly ([`split_sets`]), and the
+    /// scatter/gather selection is byte-identical at any shard count.
+    ///
+    /// # Panics
+    /// Panics when `threads == 0`.
+    pub fn build_sharded(
+        name: &str,
+        problem: &Problem<Sigmoid>,
+        leaf_diagonal: f64,
+        threads: usize,
+        n_shards: usize,
+    ) -> (Snapshot, PruneStats) {
         let method = Method::Iqt(IqtConfig::iqt(leaf_diagonal));
         let (sets, stats, _times) = influence_sets_threaded(problem, method, threads);
-        let inverted = InvertedIndex::build(&sets, threads);
         // PBLK always stores real blocks: the auto sentinel resolves via
         // the density probe, and the plain sentinel (which disables blocked
         // verification locally but has no meaning inside a snapshot) falls
         // back to the same auto-tuned size. META keeps the *configured*
-        // value so queries validate against what the user asked for.
+        // value so queries validate against what the user asked for, plus
+        // the resolved value so `auto` queries canonicalise.
         let resolved = resolve_block_size(&problem.users, problem.block_size)
             .unwrap_or_else(|| auto_block_size(&problem.users));
-        let blocks = PositionBlocks::build(&problem.users, resolved);
+        let starts = shard_starts(problem.n_users(), n_shards);
+        let shards: Vec<ShardArtifacts> = split_sets(&sets, &starts)
+            .into_iter()
+            .enumerate()
+            .map(|(s, local)| {
+                let inverted = InvertedIndex::build(&local, threads);
+                let users = &problem.users[starts[s] as usize..starts[s + 1] as usize];
+                let blocks = PositionBlocks::build(users, resolved);
+                ShardArtifacts {
+                    sets: local,
+                    inverted,
+                    blocks,
+                }
+            })
+            .collect();
         let tree = IQuadTree::build(&problem.users, &problem.pf, problem.tau, leaf_diagonal);
         let meta = SnapshotMeta {
             name: name.to_string(),
@@ -180,34 +400,42 @@ impl Snapshot {
             rho: problem.pf.rho,
             leaf_diagonal,
             default_k: problem.k,
+            shard_starts: starts,
+            resolved_block_size: resolved,
         };
-        (
-            Snapshot {
-                meta,
-                sets,
-                inverted,
-                blocks,
-                tree,
-            },
-            stats,
-        )
+        (Snapshot { meta, shards, tree }, stats)
     }
 
-    /// Encodes the container (magic, version, five checksummed sections).
+    /// Number of user shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `Σ_c |Ω_c|` across all shards.
+    pub fn total_influences(&self) -> usize {
+        self.shards.iter().map(|s| s.sets.total_influences()).sum()
+    }
+
+    /// Encodes the container (magic, version, checksummed sections: META,
+    /// per-shard ISET/IINV/PBLK groups, IQTR).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let payloads = [
-            self.meta.to_bytes(),
-            self.sets.to_bytes(),
-            self.inverted.to_bytes(),
-            self.blocks.to_bytes(),
-            self.tree.to_bytes(),
-        ];
-        let total: usize = payloads.iter().map(|p| p.len() + 16).sum();
-        let mut w = ByteWriter::with_capacity(8 + total);
+        let mut payloads: Vec<([u8; 4], Vec<u8>)> = Vec::with_capacity(2 + 3 * self.shards.len());
+        payloads.push((*b"META", self.meta.to_bytes()));
+        for shard in &self.shards {
+            payloads.push((*b"ISET", shard.sets.to_bytes()));
+            payloads.push((*b"IINV", shard.inverted.to_bytes()));
+            payloads.push((*b"PBLK", shard.blocks.to_bytes()));
+        }
+        payloads.push((*b"IQTR", self.tree.to_bytes()));
+        let total: usize = payloads
+            .iter()
+            .map(|(_, p)| p.len() + FRAME_HEADER_LEN)
+            .sum();
+        let mut w = ByteWriter::with_capacity(HEADER_LEN + total);
         w.put_bytes(&MAGIC);
         w.put_u32(VERSION);
-        for ((tag, _), payload) in SECTIONS.iter().zip(payloads.iter()) {
-            w.put_bytes(*tag);
+        for (tag, payload) in &payloads {
+            w.put_bytes(tag);
             w.put_u64(payload.len() as u64);
             w.put_u32(crc32(payload));
             w.put_bytes(payload);
@@ -223,75 +451,39 @@ impl Snapshot {
     /// codec violations, trailing bytes, or artifacts that disagree on the
     /// instance shape.
     pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
-        let container = |source| SnapshotError::Codec {
-            section: "container",
-            source,
-        };
-        let mut r = ByteReader::new(bytes);
-        let magic = r.take(4).map_err(container)?;
-        if magic != MAGIC {
-            let mut m = [0u8; 4];
-            m.copy_from_slice(magic);
-            return Err(SnapshotError::BadMagic(m));
-        }
-        let version = r.get_u32().map_err(container)?;
-        if version != VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
-        }
-
-        let mut payloads: [&[u8]; 5] = [&[]; 5];
-        for (slot, (tag, name)) in payloads.iter_mut().zip(SECTIONS.iter()) {
-            let found = r.take(4).map_err(container)?;
-            if found != *tag {
-                let mut m = [0u8; 4];
-                m.copy_from_slice(found);
-                return Err(SnapshotError::SectionOrder {
-                    expected: name,
-                    found: m,
-                });
-            }
-            let len = r.get_u64().map_err(container)?;
-            let stored = r.get_u32().map_err(container)?;
-            let claimed = usize::try_from(len).map_err(|_| {
-                container(CodecError::BadLength {
-                    what: "section length",
-                    claimed: len,
-                })
-            })?;
-            let payload = r.take(claimed).map_err(container)?;
-            let computed = crc32(payload);
-            if computed != stored {
-                return Err(SnapshotError::ChecksumMismatch {
-                    section: name,
-                    stored,
-                    computed,
-                });
-            }
-            *slot = payload;
-        }
-        if r.remaining() > 0 {
-            return Err(SnapshotError::TrailingData(r.remaining()));
-        }
-
+        let frames = check_layout(bytes)?;
         let section = |name: &'static str| {
             move |source| SnapshotError::Codec {
                 section: name,
                 source,
             }
         };
-        let meta = SnapshotMeta::from_bytes(payloads[0]).map_err(section("META"))?;
-        let sets = InfluenceSets::from_bytes(payloads[1]).map_err(section("ISET"))?;
-        let inverted = InvertedIndex::from_bytes(payloads[2]).map_err(section("IINV"))?;
-        let blocks = PositionBlocks::from_bytes(payloads[3]).map_err(section("PBLK"))?;
-        let tree = IQuadTree::from_bytes(payloads[4]).map_err(section("IQTR"))?;
+        let meta =
+            SnapshotMeta::from_bytes(&bytes[frames[0].payload.clone()]).map_err(section("META"))?;
+        if frames.len() != meta.n_sections() {
+            return Err(SnapshotError::Inconsistent(
+                "section count vs META shard manifest",
+            ));
+        }
+        let mut shards = Vec::with_capacity(meta.n_shards());
+        for s in 0..meta.n_shards() {
+            let group = &frames[1 + 3 * s..4 + 3 * s];
+            let sets = InfluenceSets::from_bytes(&bytes[group[0].payload.clone()])
+                .map_err(section("ISET"))?;
+            let inverted = InvertedIndex::from_bytes(&bytes[group[1].payload.clone()])
+                .map_err(section("IINV"))?;
+            let blocks = PositionBlocks::from_bytes(&bytes[group[2].payload.clone()])
+                .map_err(section("PBLK"))?;
+            shards.push(ShardArtifacts {
+                sets,
+                inverted,
+                blocks,
+            });
+        }
+        let tree = IQuadTree::from_bytes(&bytes[frames[frames.len() - 1].payload.clone()])
+            .map_err(section("IQTR"))?;
 
-        let snapshot = Snapshot {
-            meta,
-            sets,
-            inverted,
-            blocks,
-            tree,
-        };
+        let snapshot = Snapshot { meta, shards, tree };
         snapshot.check_consistency()?;
         Ok(snapshot)
     }
@@ -300,20 +492,26 @@ impl Snapshot {
     /// the engine can also assert a freshly built snapshot is coherent.
     pub fn check_consistency(&self) -> Result<(), SnapshotError> {
         let m = &self.meta;
-        if self.sets.n_users() != m.n_users {
-            return Err(SnapshotError::Inconsistent("ISET user count vs META"));
+        if self.shards.len() != m.n_shards() {
+            return Err(SnapshotError::Inconsistent("shard count vs META manifest"));
         }
-        if self.sets.n_candidates() != m.n_candidates {
-            return Err(SnapshotError::Inconsistent("ISET candidate count vs META"));
-        }
-        if self.inverted.n_users() != m.n_users {
-            return Err(SnapshotError::Inconsistent("IINV user count vs META"));
-        }
-        if self.inverted.len() != self.sets.total_influences() {
-            return Err(SnapshotError::Inconsistent("IINV entry count vs ISET"));
-        }
-        if self.blocks.n_users() != m.n_users {
-            return Err(SnapshotError::Inconsistent("PBLK user count vs META"));
+        for (s, shard) in self.shards.iter().enumerate() {
+            let size = (m.shard_starts[s + 1] - m.shard_starts[s]) as usize;
+            if shard.sets.n_users() != size {
+                return Err(SnapshotError::Inconsistent("ISET user count vs manifest"));
+            }
+            if shard.sets.n_candidates() != m.n_candidates {
+                return Err(SnapshotError::Inconsistent("ISET candidate count vs META"));
+            }
+            if shard.inverted.n_users() != size {
+                return Err(SnapshotError::Inconsistent("IINV user count vs manifest"));
+            }
+            if shard.inverted.len() != shard.sets.total_influences() {
+                return Err(SnapshotError::Inconsistent("IINV entry count vs ISET"));
+            }
+            if shard.blocks.n_users() != size {
+                return Err(SnapshotError::Inconsistent("PBLK user count vs manifest"));
+            }
         }
         if self.tree.stats().users != m.n_users {
             return Err(SnapshotError::Inconsistent("IQTR user count vs META"));
@@ -378,11 +576,38 @@ mod tests {
         let bytes = snap.to_bytes();
         let back = Snapshot::from_bytes(&bytes).expect("round trip");
         assert_eq!(back.meta, snap.meta);
-        assert_eq!(back.sets, snap.sets);
-        assert_eq!(back.inverted, snap.inverted);
-        assert_eq!(back.blocks, snap.blocks);
+        assert_eq!(back.shards, snap.shards);
         // Re-encoding the decoded snapshot is bit-identical.
         assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn sharded_container_round_trips_and_stitches_the_instance() {
+        let problem = tiny_problem();
+        let (whole, _) = Snapshot::build("tiny", &problem, 2.0, 1);
+        for n_shards in [2usize, 3, 9] {
+            let (snap, _) = Snapshot::build_sharded("tiny", &problem, 2.0, 2, n_shards);
+            assert_eq!(snap.n_shards(), n_shards.min(problem.n_users()));
+            assert_eq!(snap.total_influences(), whole.total_influences());
+            let back = Snapshot::from_bytes(&snap.to_bytes()).expect("round trip");
+            assert_eq!(back.meta, snap.meta);
+            assert_eq!(back.shards, snap.shards);
+            // Stitching the shard-local rows (rebased to global user ids)
+            // reproduces the unsharded influence sets.
+            for c in 0..problem.n_candidates() {
+                let mut stitched: Vec<u32> = Vec::new();
+                for (s, shard) in back.shards.iter().enumerate() {
+                    stitched.extend(
+                        shard
+                            .sets
+                            .omega(c)
+                            .iter()
+                            .map(|&o| o + back.meta.shard_starts[s]),
+                    );
+                }
+                assert_eq!(stitched, whole.shards[0].sets.omega(c), "candidate {c}");
+            }
+        }
     }
 
     #[test]
@@ -459,7 +684,7 @@ mod tests {
         snap.save(&path).expect("save");
         let back = Snapshot::load(&path).expect("load");
         assert_eq!(back.meta, snap.meta);
-        assert_eq!(back.sets, snap.sets);
+        assert_eq!(back.shards, snap.shards);
         std::fs::remove_file(&path).ok();
         // A missing file is an Io error, not a panic.
         assert!(matches!(

@@ -1,0 +1,111 @@
+//! Delta snapshots must be a pure transport optimisation: applying a
+//! chain of deltas over a base container yields the target container
+//! **bit-for-bit**, and any corrupted delta — byte flip or truncation —
+//! is a typed [`SnapshotError`], never a panic and never a silently
+//! different snapshot.
+
+use mc2ls_core::Problem;
+use mc2ls_geo::Point;
+use mc2ls_influence::{MovingUser, Sigmoid};
+use mc2ls_serve::{delta, Snapshot, SnapshotError};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+/// A randomised but always-valid instance.
+fn random_problem(seed: u64, n_users: usize, n_cands: usize, tau: f64) -> Problem<Sigmoid> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pt = |r: &mut StdRng| Point::new(r.gen_range(-9.0..9.0), r.gen_range(-9.0..9.0));
+    let users = (0..n_users)
+        .map(|_| {
+            let n = rng.gen_range(1..4);
+            MovingUser::new((0..n).map(|_| pt(&mut rng)).collect())
+        })
+        .collect();
+    let facilities = (0..4).map(|_| pt(&mut rng)).collect();
+    let candidates = (0..n_cands).map(|_| pt(&mut rng)).collect();
+    Problem::new(
+        users,
+        facilities,
+        candidates,
+        2,
+        tau,
+        Sigmoid::paper_default(),
+    )
+}
+
+fn container(seed: u64, n_users: usize, n_cands: usize, tau: f64, shards: usize) -> Vec<u8> {
+    let problem = random_problem(seed, n_users, n_cands, tau);
+    let (snap, _) = Snapshot::build_sharded("delta-chain", &problem, 2.0, 1, shards);
+    snap.to_bytes()
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(8))]
+
+    /// A chain base → v1 → v2 of deltas, applied in order, reproduces the
+    /// final full container bit-for-bit, and each patched intermediate is
+    /// itself a fully decodable snapshot.
+    #[test]
+    fn delta_chains_reproduce_full_snapshots_bit_for_bit(
+        seed in 0u64..10_000,
+        n_users in 4usize..24,
+        n_cands in 2usize..8,
+        shards in 1usize..4,
+    ) {
+        let base = container(seed, n_users, n_cands, 0.5, shards);
+        // Same instance shape, different τ: META and influence sections
+        // move, position blocks and the tree stay put.
+        let v1 = container(seed, n_users, n_cands, 0.6, shards);
+        // A different instance entirely (same shard count): every section
+        // changes.
+        let v2 = container(seed.wrapping_add(1), n_users, n_cands, 0.6, shards);
+
+        let d1 = delta::diff(&base, &v1).expect("diff base→v1");
+        let d2 = delta::diff(&v1, &v2).expect("diff v1→v2");
+        prop_assert!(delta::is_delta(&d1) && delta::is_delta(&d2));
+        // The τ-only delta must beat shipping the whole container.
+        prop_assert!(d1.len() < v1.len(), "delta {} vs full {}", d1.len(), v1.len());
+
+        let p1 = delta::apply(&base, &d1).expect("apply d1");
+        prop_assert_eq!(&p1, &v1, "patched v1 differs");
+        Snapshot::from_bytes(&p1).expect("patched v1 decodes");
+
+        let p2 = delta::apply(&p1, &d2).expect("apply d2");
+        prop_assert_eq!(&p2, &v2, "patched v2 differs");
+        Snapshot::from_bytes(&p2).expect("patched v2 decodes");
+
+        // Out-of-order application is caught by the base fingerprint.
+        prop_assert!(matches!(
+            delta::apply(&base, &d2),
+            Err(SnapshotError::DeltaBaseMismatch)
+        ));
+    }
+
+    /// Corruption: every truncation of a delta is a typed error, and any
+    /// single-byte flip either fails to apply or produces a container
+    /// that fails full validation — a tampered delta can never smuggle a
+    /// silently different snapshot past the reload path.
+    #[test]
+    fn corrupted_deltas_are_rejected_with_typed_errors(seed in 0u64..10_000) {
+        let base = container(seed, 8, 4, 0.5, 2);
+        let target = container(seed, 8, 4, 0.7, 2);
+        let d = delta::diff(&base, &target).expect("diff");
+
+        for cut in 0..d.len() {
+            prop_assert!(delta::apply(&base, &d[..cut]).is_err(), "cut={}", cut);
+        }
+        for pos in 0..d.len() {
+            let mut bad = d.clone();
+            bad[pos] ^= 0x01;
+            // Every delta byte is load-bearing (fingerprint, framing, or
+            // verbatim frame bytes), so a flip must either fail to apply
+            // or yield a splice the container's own CRC/shape validation
+            // rejects — the reload path always re-validates.
+            let survived = match delta::apply(&base, &bad) {
+                Err(_) => false,
+                Ok(patched) => Snapshot::from_bytes(&patched).is_ok(),
+            };
+            prop_assert!(!survived, "flip at byte {} of {} went undetected", pos, d.len());
+        }
+    }
+}

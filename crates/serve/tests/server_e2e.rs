@@ -307,8 +307,10 @@ fn mismatched_query_parameters_are_typed_errors() {
         other => panic!("expected tau mismatch, got {other:?}"),
     }
 
+    // `auto` is canonicalised server-side, so probe with a concrete block
+    // size that can never equal the snapshot's resolved one.
     let mut bad_block = query_for(&problem, None, 2);
-    bad_block.block_size += 7;
+    bad_block.block_size = usize::MAX - 1;
     match client.query(&bad_block) {
         Err(ServeError::Remote { kind, .. }) => assert_eq!(kind, "query:block-size-mismatch"),
         other => panic!("expected block-size mismatch, got {other:?}"),

@@ -1,0 +1,255 @@
+//! Sharded serving must be invisible in the answers: over real loopback
+//! sockets, a server holding a sharded snapshot returns answers
+//! byte-identical to a direct `solve_threaded` run at every shard count,
+//! with the cache on and off, running **zero** influence-set evaluations.
+//! Also covers request batching (concurrent identical queries coalesce
+//! onto one selection pass) and delta hot-reload end to end.
+
+use mc2ls_core::algorithms::{solve_threaded, IqtConfig, Method, Selector};
+use mc2ls_core::{Problem, PruneStats, Solution};
+use mc2ls_geo::Point;
+use mc2ls_influence::{MovingUser, Sigmoid};
+use mc2ls_serve::{delta, Client, QueryEngine, QueryRequest, Server, ServerConfig, Snapshot};
+use rand::prelude::*;
+use std::time::Duration;
+
+fn random_problem(seed: u64, n_users: usize, n_cands: usize, tau: f64) -> Problem<Sigmoid> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pt = |r: &mut StdRng| Point::new(r.gen_range(-8.0..8.0), r.gen_range(-8.0..8.0));
+    let users = (0..n_users)
+        .map(|_| {
+            let n = rng.gen_range(1..4);
+            MovingUser::new((0..n).map(|_| pt(&mut rng)).collect())
+        })
+        .collect();
+    let facilities = (0..6).map(|_| pt(&mut rng)).collect();
+    let candidates = (0..n_cands).map(|_| pt(&mut rng)).collect();
+    Problem::new(
+        users,
+        facilities,
+        candidates,
+        3,
+        tau,
+        Sigmoid::paper_default(),
+    )
+}
+
+fn start_sharded(problem: &Problem<Sigmoid>, shards: usize, config: ServerConfig) -> Server {
+    let (snapshot, _) = Snapshot::build_sharded("loopback", problem, 2.0, 2, shards);
+    assert_eq!(snapshot.n_shards(), shards.min(problem.n_users()));
+    let engine = QueryEngine::new(snapshot, config.threads);
+    Server::start(config, engine).expect("bind loopback")
+}
+
+fn query_for(problem: &Problem<Sigmoid>, candidates: Option<Vec<u32>>, k: usize) -> QueryRequest {
+    QueryRequest {
+        candidates,
+        k,
+        tau: problem.tau,
+        block_size: problem.block_size,
+        selector: Selector::Auto,
+        pf_exact: false,
+    }
+}
+
+fn assert_solutions_bit_identical(a: &Solution, b: &Solution, what: &str) {
+    assert_eq!(a.selected, b.selected, "{what}: selected ids");
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&a.marginal_gains),
+        bits(&b.marginal_gains),
+        "{what}: marginal gain bits"
+    );
+    assert_eq!(a.cinf.to_bits(), b.cinf.to_bits(), "{what}: cinf bits");
+}
+
+/// The headline equivalence: shards {1, 2, 4} × cache {off, on}, full-set
+/// and subset queries, all byte-identical to the direct solve, all with
+/// default `PruneStats` (no influence evaluation happened server-side).
+#[test]
+fn sharded_answers_are_byte_identical_to_direct_solves() {
+    let problem = random_problem(91, 72, 16, 0.6);
+    let direct = solve_threaded(
+        &problem,
+        Method::Iqt(IqtConfig::iqt(2.0)),
+        Selector::Auto,
+        1,
+    );
+
+    for shards in [1usize, 2, 4] {
+        for cache_capacity in [0usize, 32] {
+            let server = start_sharded(
+                &problem,
+                shards,
+                ServerConfig {
+                    threads: 2,
+                    cache_capacity,
+                    workers: 2,
+                    ..ServerConfig::default()
+                },
+            );
+            let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+            for round in 0..2 {
+                let answer = client
+                    .query(&query_for(&problem, None, problem.k))
+                    .expect("query");
+                let what = format!("shards={shards} cache={cache_capacity} round={round}");
+                assert_solutions_bit_identical(&answer.solution, &direct.solution, &what);
+                assert_eq!(answer.prune, PruneStats::default(), "{what}");
+                assert_eq!(answer.gather.shards as usize, shards, "{what}");
+                assert!(answer.gather.shared_epoch, "{what}: epoch matrix shared");
+                assert_eq!(answer.cached, cache_capacity > 0 && round == 1, "{what}");
+            }
+
+            // A subset query through the same sharded plan.
+            let subset = vec![11u32, 3, 7, 3, 14, 0];
+            let mut canon = subset.clone();
+            canon.sort_unstable();
+            canon.dedup();
+            let answer = client
+                .query(&query_for(&problem, Some(subset), 2))
+                .expect("subset query");
+            let sub_problem = Problem::new(
+                problem.users.clone(),
+                problem.facilities.clone(),
+                canon
+                    .iter()
+                    .map(|&c| problem.candidates[c as usize])
+                    .collect(),
+                2,
+                problem.tau,
+                problem.pf,
+            )
+            .with_block_size(problem.block_size);
+            let sub_direct = solve_threaded(
+                &sub_problem,
+                Method::Iqt(IqtConfig::iqt(2.0)),
+                Selector::Auto,
+                1,
+            );
+            let mapped: Vec<u32> = sub_direct
+                .solution
+                .selected
+                .iter()
+                .map(|&l| canon[l as usize])
+                .collect();
+            assert_eq!(answer.solution.selected, mapped, "shards={shards} subset");
+            assert_eq!(
+                answer.solution.cinf.to_bits(),
+                sub_direct.solution.cinf.to_bits(),
+                "shards={shards} subset cinf"
+            );
+            server.shutdown();
+        }
+    }
+}
+
+/// Request batching: concurrent identical queries inside the coalesce
+/// window share one selection pass. The joiners' answers are the leader's,
+/// and the `coalesced` counter proves they never ran their own.
+#[test]
+fn concurrent_identical_queries_coalesce() {
+    let problem = random_problem(92, 60, 14, 0.6);
+    let server = start_sharded(
+        &problem,
+        2,
+        ServerConfig {
+            workers: 6,
+            threads: 1,
+            cache_capacity: 0, // joiners must come from the flight, not the cache
+            coalesce_window: Duration::from_millis(250),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr().to_string();
+
+    let n_clients = 4;
+    let answers: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let q = query_for(&problem, None, problem.k);
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    client.query(&q).expect("coalesced query")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    for (i, answer) in answers.iter().enumerate() {
+        assert_solutions_bit_identical(
+            &answer.solution,
+            &answers[0].solution,
+            &format!("client {i}"),
+        );
+    }
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.queries, n_clients as u64);
+    assert!(
+        stats.coalesced >= 1,
+        "expected at least one coalesced query, stats: {stats:?}"
+    );
+    assert_eq!(stats.shards, 2);
+    server.shutdown();
+}
+
+/// Delta hot-reload end to end: serve a base snapshot, RELOAD a `.mc2d`
+/// delta file, and verify the server now answers for the target instance
+/// — bit-identical to its direct solve — with `delta_reloads` counted.
+#[test]
+fn delta_reload_swaps_to_the_patched_snapshot() {
+    let base_problem = random_problem(93, 40, 12, 0.5);
+    let target_problem = random_problem(93, 40, 12, 0.7);
+    let (base_snap, _) = Snapshot::build_sharded("base", &base_problem, 2.0, 1, 2);
+    let (target_snap, _) = Snapshot::build_sharded("target", &target_problem, 2.0, 1, 2);
+    let base_bytes = base_snap.to_bytes();
+    let target_bytes = target_snap.to_bytes();
+    let patch = delta::diff(&base_bytes, &target_bytes).expect("diff");
+    assert!(patch.len() < target_bytes.len(), "delta should be smaller");
+
+    let dir = std::env::temp_dir().join(format!("mc2ls-sharded-loopback-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let patch_path = dir.join("update.mc2d");
+    delta::save(&patch, &patch_path).expect("save delta");
+
+    let engine = QueryEngine::new(base_snap, 1);
+    let server = Server::start(ServerConfig::default(), engine).expect("bind");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    assert_eq!(client.stats().expect("stats").meta.name, "base");
+
+    let message = client
+        .reload(&patch_path.to_string_lossy())
+        .expect("delta reload");
+    assert!(message.contains("patched via delta"), "ack: {message}");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.meta.name, "target");
+    assert_eq!(stats.reloads, 1);
+    assert_eq!(stats.delta_reloads, 1);
+
+    let direct = solve_threaded(
+        &target_problem,
+        Method::Iqt(IqtConfig::iqt(2.0)),
+        Selector::Auto,
+        1,
+    );
+    let answer = client
+        .query(&query_for(&target_problem, None, target_problem.k))
+        .expect("post-reload query");
+    assert_solutions_bit_identical(&answer.solution, &direct.solution, "post-delta-reload");
+
+    // A second RELOAD of the same delta no longer applies (the base
+    // changed) and must leave the target serving.
+    let err = client.reload(&patch_path.to_string_lossy());
+    assert!(err.is_err(), "stale delta must not re-apply");
+    assert_eq!(client.stats().expect("stats").meta.name, "target");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

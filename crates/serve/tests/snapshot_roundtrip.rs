@@ -6,7 +6,7 @@
 use mc2ls_core::Problem;
 use mc2ls_geo::Point;
 use mc2ls_influence::{MovingUser, Sigmoid};
-use mc2ls_serve::{Snapshot, SnapshotError};
+use mc2ls_serve::{ShardArtifacts, Snapshot, SnapshotError};
 use proptest::prelude::*;
 use rand::prelude::*;
 
@@ -36,9 +36,7 @@ fn random_problem(seed: u64, n_users: usize, n_cands: usize, n_facs: usize) -> P
 
 fn assert_snapshots_equal(a: &Snapshot, b: &Snapshot) {
     assert_eq!(a.meta, b.meta);
-    assert_eq!(a.sets, b.sets);
-    assert_eq!(a.inverted, b.inverted);
-    assert_eq!(a.blocks, b.blocks);
+    assert_eq!(a.shards, b.shards);
     // IQuadTree carries no PartialEq (it holds runtime caches); its codec
     // is canonical, so byte equality of re-encodes is the right check.
     assert_eq!(a.tree.to_bytes(), b.tree.to_bytes());
@@ -104,10 +102,10 @@ fn version_and_magic_skew_are_specific_errors() {
     let bytes = snap.to_bytes();
 
     let mut wrong_version = bytes.clone();
-    wrong_version[4] = 2;
+    wrong_version[4] = 99;
     assert!(matches!(
         Snapshot::from_bytes(&wrong_version),
-        Err(SnapshotError::UnsupportedVersion(2))
+        Err(SnapshotError::UnsupportedVersion(99))
     ));
 
     let mut wrong_magic = bytes.clone();
@@ -143,9 +141,11 @@ fn artifacts_that_disagree_are_rejected() {
     let (b, _) = Snapshot::build("b", &random_problem(4, 9, 3, 1), 2.0, 1);
     let spliced = Snapshot {
         meta: a.meta.clone(),
-        sets: b.sets.clone(),
-        inverted: a.inverted.clone(),
-        blocks: a.blocks.clone(),
+        shards: vec![ShardArtifacts {
+            sets: b.shards[0].sets.clone(),
+            inverted: a.shards[0].inverted.clone(),
+            blocks: a.shards[0].blocks.clone(),
+        }],
         tree: a.tree.clone(),
     };
     let bytes = spliced.to_bytes();
