@@ -1,0 +1,94 @@
+//! Microbench for the incremental update engine: events absorbed per
+//! second for each event kind (check-in move, insert, delete) plus the
+//! compaction fold, against the full influence rebuild the engine
+//! replaces. The engine state is reset per iteration batch via clone, so
+//! each measured event applies to an identical state.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc2ls::core::{UpdateEngine, UserUpdate};
+use mc2ls::prelude::*;
+use std::hint::black_box;
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let dataset = common::dataset_c();
+    let problem = common::problem(&dataset, 0.7);
+    let engine = UpdateEngine::new(&problem, 1);
+    let n = engine.n_slots() as u32;
+
+    let mut group = c.benchmark_group("update_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("checkin_move", |b| {
+        let mut fresh = engine.clone();
+        let mut o = 0u32;
+        b.iter(|| {
+            let mut positions = fresh.positions_of(o % n).expect("slot alive").to_vec();
+            let last = positions[positions.len() - 1];
+            positions.push(Point::new(last.x + 0.25, last.y - 0.25));
+            let r = fresh.apply(UserUpdate::Move {
+                user: o % n,
+                positions,
+            });
+            o += 1;
+            black_box(r).expect("move applies")
+        })
+    });
+
+    group.bench_function("insert", |b| {
+        let mut fresh = engine.clone();
+        b.iter(|| {
+            let r = fresh.apply(UserUpdate::Insert {
+                positions: vec![Point::new(0.5, -0.5), Point::new(1.0, 0.0)],
+            });
+            black_box(r).expect("insert applies")
+        })
+    });
+
+    group.bench_function("delete_insert_pair", |b| {
+        let mut fresh = engine.clone();
+        b.iter(|| {
+            let o = fresh
+                .apply(UserUpdate::Insert {
+                    positions: vec![Point::new(0.5, -0.5)],
+                })
+                .expect("insert applies");
+            black_box(fresh.apply(UserUpdate::Delete { user: o }).expect("alive"))
+        })
+    });
+
+    group.bench_function("compact_after_burst", |b| {
+        b.iter(|| {
+            let mut fresh = engine.clone();
+            for i in 0..8u32 {
+                let mut positions = fresh.positions_of(i % n).expect("slot alive").to_vec();
+                positions.push(Point::new(0.1 * f64::from(i), -0.1));
+                fresh
+                    .apply(UserUpdate::Move {
+                        user: i % n,
+                        positions,
+                    })
+                    .expect("move applies");
+            }
+            black_box(fresh.compact())
+        })
+    });
+
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let (sets, _, _) =
+                influence_sets_threaded(black_box(&problem), Method::Iqt(IqtConfig::default()), 1);
+            sets
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_throughput);
+criterion_main!(benches);

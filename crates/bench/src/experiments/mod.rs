@@ -18,6 +18,7 @@ mod quality;
 mod serve;
 mod table1;
 mod table2;
+mod update;
 mod verify;
 
 pub use fig07::fig7;
@@ -37,6 +38,7 @@ pub use quality::quality;
 pub use serve::serve;
 pub use table1::table1;
 pub use table2::table2;
+pub use update::update;
 pub use verify::verify;
 
 use crate::{Ctx, ExperimentResult};
@@ -65,6 +67,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("BENCH_verify", verify),
         ("BENCH_greedy", greedy),
         ("BENCH_serve", serve),
+        ("BENCH_update", update),
     ]
 }
 

@@ -30,10 +30,15 @@ commands:
   serve      --snapshot FILE.mc2s [--addr HOST:PORT] [--workers N]
              [--threads T] [--shards N] [--cache N] [--max-pending N]
              [--coalesce-us N] [--port-file FILE]
+             or: --live --preset P | --data FILE [instance flags]
+             [--leaf-diagonal D]  (accepts the UPDATE verb, no snapshot)
   query      --addr HOST:PORT [--candidates 1,2,3] [-k K]
              [--selector rescan|celf|decremental|auto] [--tau T]
              [--block-size auto|plain|B] [--pf-exact] [--json]
              [--stats] [--reload FILE.mc2s] [--shutdown]
+  update     --addr HOST:PORT --checkins FILE [--bounds ny|ca]
+             [--batch N] [--limit N] [--anchor-lat A] [--anchor-lon B]
+             (replays a timestamped SNAP check-in stream as UPDATE batches)
   help";
 
 /// A parsed command line: the subcommand plus flag key/value pairs.
@@ -77,10 +82,11 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 const COMMANDS: &[&str] = &[
-    "generate", "stats", "solve", "analyze", "convert", "snapshot", "serve", "query", "help",
+    "generate", "stats", "solve", "analyze", "convert", "snapshot", "serve", "query", "update",
+    "help",
 ];
 /// Boolean flags that take no value.
-const SWITCHES: &[&str] = &["json", "stats", "shutdown", "pf-exact"];
+const SWITCHES: &[&str] = &["json", "stats", "shutdown", "pf-exact", "live"];
 /// Commands taking a positional action token before their flags, with the
 /// actions each admits.
 const ACTIONS: &[(&str, &[&str])] = &[("snapshot", &["save", "load", "diff"])];

@@ -19,6 +19,7 @@ pub fn dispatch<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         "snapshot" => snapshot_cmd(parsed, out),
         "serve" => serve_cmd(parsed, out),
         "query" => query_cmd(parsed, out),
+        "update" => update_cmd(parsed, out),
         "help" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -356,7 +357,6 @@ fn snapshot_diff<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
 }
 
 fn serve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
-    let path = parsed.require("snapshot")?;
     let threads: usize = parsed.get_or("threads", 1)?;
     if threads == 0 {
         return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
@@ -370,6 +370,39 @@ fn serve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         threads,
         ..mc2ls_serve::ServerConfig::default()
     };
+
+    if parsed.switch("live") {
+        // Live mode: build the instance in-process (the influence phase
+        // runs once, shared between the update engine and the initial
+        // snapshot) and accept UPDATE batches with no reload ever.
+        let leaf_diagonal: f64 = parsed.get_or("leaf-diagonal", 2.0)?;
+        let shards: usize = parsed.get_or("shards", 1)?;
+        if shards == 0 {
+            return Err(Box::new(ArgError::BadValue("shards".into(), "0".into())));
+        }
+        let (problem, name) = problem_from_flags(parsed)?;
+        let (live, snapshot, _prune) =
+            mc2ls_serve::LiveUpdater::new(&name, &problem, leaf_diagonal, threads, shards);
+        let engine = mc2ls_serve::QueryEngine::new(snapshot, threads);
+        let server = mc2ls_serve::Server::start_live(config, engine, live)?;
+        writeln!(
+            out,
+            "serving live instance {} on {} ({} users, {} shards)",
+            name,
+            server.addr(),
+            problem.n_users(),
+            shards
+        )?;
+        if let Some(port_file) = parsed.get("port-file") {
+            std::fs::write(port_file, server.addr().to_string())?;
+        }
+        out.flush()?;
+        server.join();
+        writeln!(out, "server stopped")?;
+        return Ok(());
+    }
+
+    let path = parsed.require("snapshot")?;
     let snapshot = mc2ls_serve::Snapshot::load(std::path::Path::new(path))?;
     // `--shards` is a guard, not a transform: serving always uses the
     // snapshot's own layout, so a mismatch means the operator saved the
@@ -438,6 +471,11 @@ fn query_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
             "reloads:      {} ({} via delta)",
             report.reloads, report.delta_reloads
         )?;
+        writeln!(
+            out,
+            "updates:      {} applied ({} flips, {} compactions)",
+            report.updates_applied, report.flipped_candidates, report.compactions
+        )?;
         writeln!(out, "coalesced:    {}", report.coalesced)?;
         writeln!(out, "shards:       {}", report.shards)?;
         writeln!(out, "queue depth:  {}", report.queue_depth)?;
@@ -494,6 +532,89 @@ fn query_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         "cached:   {} (key {:016x})",
         answer.cached, answer.key_hash
     )?;
+    Ok(())
+}
+
+/// Replays a timestamped SNAP check-in stream against a live server as
+/// UPDATE batches: the first appearance of an external user id becomes an
+/// `insert`, every later record a `checkin` appended to that trajectory.
+fn update_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let addr = parsed.require("addr")?;
+    let input = parsed.require("checkins")?;
+    let batch_size: usize = parsed.get_or("batch", 100)?;
+    if batch_size == 0 {
+        return Err(Box::new(ArgError::BadValue("batch".into(), "0".into())));
+    }
+    let limit: usize = parsed.get_or("limit", usize::MAX)?;
+    let anchor_lat: f64 = parsed.get_or("anchor-lat", 40.7)?;
+    let anchor_lon: f64 = parsed.get_or("anchor-lon", -74.0)?;
+    let bounds = match parsed.get("bounds") {
+        None => None,
+        Some("ny") => Some(loader::GeoBounds::new_york()),
+        Some("ca") => Some(loader::GeoBounds::california()),
+        Some(other) => return Err(Box::new(ArgError::BadValue("bounds".into(), other.into()))),
+    };
+
+    // `events` sorts by timestamp, so the replay is the real arrival order.
+    let file = std::fs::File::open(input)?;
+    let mut events = loader::events(file, bounds)?;
+    events.truncate(limit);
+    let projection = mc2ls::geo::project::Equirectangular::new(anchor_lat, anchor_lon);
+
+    let mut client = mc2ls_serve::Client::connect(addr)?;
+    // External SNAP ids map onto the engine's dense slot space: ids beyond
+    // the served instance get fresh slots, numbered from the current count.
+    // Replay never deletes, so compaction keeps the numbering stable.
+    let mut ext_map: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+    let mut next_slot = client.stats()?.meta.n_users as u32;
+
+    let (mut applied, mut flipped, mut compactions, mut batches) = (0u64, 0u64, 0u64, 0u64);
+    let mut inserted = 0usize;
+    for chunk in events.chunks(batch_size) {
+        let mut wire = Vec::with_capacity(chunk.len());
+        for ev in chunk {
+            let p = projection.project(ev.lat, ev.lon);
+            match ext_map.get(&ev.user) {
+                Some(&slot) => wire.push(mc2ls_serve::WireEvent {
+                    op: "checkin".to_string(),
+                    user: slot,
+                    xs: vec![p.x],
+                    ys: vec![p.y],
+                }),
+                None => {
+                    ext_map.insert(ev.user, next_slot);
+                    next_slot += 1;
+                    inserted += 1;
+                    wire.push(mc2ls_serve::WireEvent {
+                        op: "insert".to_string(),
+                        user: 0,
+                        xs: vec![p.x],
+                        ys: vec![p.y],
+                    });
+                }
+            }
+        }
+        let report = client.update(&wire)?;
+        applied += report.applied;
+        flipped += report.flipped;
+        compactions += report.compactions;
+        batches += 1;
+        next_slot = report.next_user_id;
+    }
+
+    writeln!(
+        out,
+        "replayed {} events in {} batches ({} new users)",
+        applied, batches, inserted
+    )?;
+    writeln!(
+        out,
+        "flipped:      {} candidate memberships re-verified",
+        flipped
+    )?;
+    writeln!(out, "compactions:  {}", compactions)?;
+    let meta = client.stats()?.meta;
+    writeln!(out, "server now:   {} users live", meta.n_users)?;
     Ok(())
 }
 
@@ -874,6 +995,77 @@ mod tests {
         let (code, out) = server.join().unwrap();
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("server stopped"), "{out}");
+    }
+
+    #[test]
+    fn live_serve_absorbs_a_replayed_checkin_stream() {
+        // Start a live-mode server (no snapshot file anywhere), replay an
+        // exported SNAP check-in stream at it through `update`, and verify
+        // the counters — all through the real binary surface, zero reloads.
+        let instance = "--preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
+        let tsv = tmp("live-replay.tsv");
+        let d = mc2ls::prelude::presets::new_york_scaled(0.02).generate();
+        let mut buf = Vec::new();
+        mc2ls::data::serialize::export_checkins(&d, (40.7, -74.0), &mut buf).unwrap();
+        std::fs::write(&tsv, buf).unwrap();
+
+        let port_file = tmp("live-replay.port");
+        let _ = std::fs::remove_file(&port_file);
+        let serve_line = format!(
+            "serve --live {instance} --tau 0.6 --shards 2 --addr 127.0.0.1:0 \
+             --port-file {port_file}"
+        );
+        let server = std::thread::spawn(move || call(&serve_line));
+
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                    break addr;
+                }
+                assert!(waited < 60_000, "live server never wrote its port file");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                waited += 20;
+            }
+        };
+
+        let (code, replay) = call(&format!(
+            "update --addr {addr} --checkins {tsv} --limit 40 --batch 16"
+        ));
+        assert_eq!(code, 0, "{replay}");
+        assert!(
+            replay.contains("replayed 40 events in 3 batches"),
+            "{replay}"
+        );
+        assert!(replay.contains("compactions:  3"), "{replay}");
+
+        // The counters survive into STATS, and nothing was reloaded.
+        let (code, stats) = call(&format!("query --addr {addr} --stats"));
+        assert_eq!(code, 0, "{stats}");
+        assert!(stats.contains("updates:      40 applied"), "{stats}");
+        assert!(stats.contains("reloads:      0"), "{stats}");
+
+        // The mutated instance still answers queries.
+        let (code, served) = call(&format!("query --addr {addr}"));
+        assert_eq!(code, 0, "{served}");
+        assert!(served.contains("selected:"), "{served}");
+
+        let (code, bye) = call(&format!("query --addr {addr} --shutdown"));
+        assert_eq!(code, 0, "{bye}");
+        let (code, out) = server.join().unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("serving live instance"), "{out}");
+        assert!(out.contains("server stopped"), "{out}");
+    }
+
+    #[test]
+    fn update_rejects_bad_flags_cleanly() {
+        let (code, out) = call("update --addr 127.0.0.1:1 --checkins nope.tsv --batch 0");
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("bad value"), "{out}");
+        let (code, out) = call("update --checkins nope.tsv");
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("--addr") || out.contains("required"), "{out}");
     }
 
     #[test]

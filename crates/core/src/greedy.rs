@@ -163,7 +163,7 @@ pub fn select_counted(sets: &InfluenceSets, k: usize) -> (Solution, SelectionSta
 /// *smaller* candidate id, then by *newer* version — so on equal gains the
 /// smallest id pops first (the shared tie-break) and a candidate's current
 /// entry pops before its stale ones.
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 pub(crate) struct Entry {
     pub(crate) gain: f64,
     pub(crate) cand: u32,
@@ -319,16 +319,14 @@ pub fn select_decremental_counted(
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
     assert!(threads >= 1, "need at least one worker thread");
-    let mut stats = SelectionStats::default();
 
     let inverted = InvertedIndex::build(sets, threads);
-    stats.inverted_entries = inverted.len() as u64;
 
     // Per-candidate weight-class counts, flattened row-major. Built by
     // candidate chunks; stitching the chunk outputs in order reproduces the
     // serial layout exactly.
     let n_classes = sets.n_weight_classes();
-    let mut counts: Vec<u32> = crate::parallel::map_chunks(n, threads, |range| {
+    let counts: Vec<u32> = crate::parallel::map_chunks(n, threads, |range| {
         let mut part = vec![0u32; range.len() * n_classes];
         for (i, c) in range.enumerate() {
             let row = &mut part[i * n_classes..(i + 1) * n_classes];
@@ -339,7 +337,35 @@ pub fn select_decremental_counted(
         part
     })
     .concat();
+
+    let (solution, mut stats) = select_decremental_seeded(sets, &inverted, counts, n_classes, k);
     stats.users_scanned += sets.total_influences() as u64;
+    (solution, stats)
+}
+
+/// The decremental selection loop over **prebuilt** parts: the inverted CSR
+/// and an externally maintained per-candidate weight-class count matrix
+/// (row-major, `n_classes` stride, exactly what [`select_decremental_counted`]
+/// builds from scratch). This is the entry point of the incremental
+/// [`crate::update::UpdateEngine`]: after events patched `counts` in place, a
+/// followup solve seeds the heap directly from the patched matrix and never
+/// re-scans the forward CSR. Trailing all-zero columns beyond
+/// `sets.n_weight_classes()` are harmless — [`canonical_gain`] skips empty
+/// classes, so the gains stay bit-identical to the canonical-width matrix.
+pub(crate) fn select_decremental_seeded(
+    sets: &InfluenceSets,
+    inverted: &InvertedIndex,
+    mut counts: Vec<u32>,
+    n_classes: usize,
+    k: usize,
+) -> (Solution, SelectionStats) {
+    let n = sets.n_candidates();
+    assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
+    assert_eq!(counts.len(), n * n_classes, "counts matrix shape mismatch");
+    let mut stats = SelectionStats {
+        inverted_entries: inverted.len() as u64,
+        ..SelectionStats::default()
+    };
 
     // Seed the lazy-bucket heap with every candidate's canonical cinf.
     let mut version = vec![0u32; n];

@@ -39,6 +39,7 @@ pub mod shard;
 pub mod sketch;
 mod solution;
 mod stats;
+pub mod update;
 mod verify;
 
 pub use bitset::{Bitset, IterOnes};
@@ -46,8 +47,9 @@ pub use cinf::{cinf_of_set, competitive_weight};
 pub use influence_sets::InfluenceSets;
 pub use inverted::InvertedIndex;
 pub use problem::Problem;
-pub use shard::GatherStats;
+pub use shard::{GatherScratch, GatherStats};
 pub use solution::Solution;
 pub use stats::{PhaseTimes, PruneStats, RunReport, SelectionStats};
+pub use update::{UpdateEngine, UpdateError, UpdateStats, UserUpdate};
 
 pub use algorithms::{solve, IqtConfig, Method};

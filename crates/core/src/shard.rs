@@ -359,8 +359,62 @@ pub fn subset_counts(full: &[u32], n_classes: usize, subset: &[u32]) -> Vec<u32>
 
 /// Per-shard mutable selection state. Shards partition the user space, so
 /// each worker owns its shard's coverage bitset exclusively.
+#[derive(Debug)]
 struct ShardState {
     covered: Bitset,
+}
+
+/// Reusable allocation pool for [`gather_select_with_scratch`]: the
+/// lazy-bucket heap, the version/taken/stamp arrays, the touched list and
+/// the per-shard coverage bitsets ([`Bitset::clear`] is a short memset)
+/// survive across repeated selections — a serving loop answering many
+/// queries against one snapshot stops paying per-query allocation cost.
+#[derive(Debug, Default)]
+pub struct GatherScratch {
+    version: Vec<u32>,
+    taken: Vec<bool>,
+    stamp: Vec<u32>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<Entry>,
+    states: Vec<ShardState>,
+}
+
+impl GatherScratch {
+    /// An empty pool; every buffer grows to fit on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-shapes for `n` selection rows over `shards`, clearing in place
+    /// wherever the previous use already had the right shape.
+    fn reset(&mut self, n: usize, shards: &[ShardView<'_>]) {
+        self.version.clear();
+        self.version.resize(n, 0);
+        self.taken.clear();
+        self.taken.resize(n, false);
+        self.stamp.clear();
+        self.stamp.resize(n, u32::MAX);
+        self.touched.clear();
+        self.heap.clear();
+        let reusable = self.states.len() == shards.len()
+            && self
+                .states
+                .iter()
+                .zip(shards)
+                .all(|(s, v)| s.covered.len() == v.n_users as usize);
+        if reusable {
+            for s in &mut self.states {
+                s.covered.clear();
+            }
+        } else {
+            self.states = shards
+                .iter()
+                .map(|v| ShardState {
+                    covered: Bitset::new(v.n_users as usize),
+                })
+                .collect();
+        }
+    }
 }
 
 /// One shard's scatter for a selected candidate: cover the shard's not-yet
@@ -473,11 +527,40 @@ pub fn gather_select(
     shards: &[ShardView<'_>],
     n_candidates: usize,
     n_classes: usize,
+    counts: Vec<u32>,
+    subset: Option<&[u32]>,
+    total_influences: u64,
+    k: usize,
+    threads: usize,
+) -> (Solution, SelectionStats, GatherStats) {
+    gather_select_with_scratch(
+        shards,
+        n_candidates,
+        n_classes,
+        counts,
+        subset,
+        total_influences,
+        k,
+        threads,
+        &mut GatherScratch::new(),
+    )
+}
+
+/// [`gather_select`] with a caller-owned [`GatherScratch`]: identical
+/// output bit for bit (the heap is reseeded from `counts` every call, so
+/// reuse only recycles allocations), but repeated selections over the same
+/// shard shapes touch the allocator zero times.
+#[allow(clippy::too_many_arguments)] // mirrors select_decremental_counted + the scatter inputs
+pub fn gather_select_with_scratch(
+    shards: &[ShardView<'_>],
+    n_candidates: usize,
+    n_classes: usize,
     mut counts: Vec<u32>,
     subset: Option<&[u32]>,
     total_influences: u64,
     k: usize,
     threads: usize,
+    scratch: &mut GatherScratch,
 ) -> (Solution, SelectionStats, GatherStats) {
     let n = subset.map_or(n_candidates, <[u32]>::len);
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
@@ -508,28 +591,27 @@ pub fn gather_select(
         map
     });
 
-    // Seed the lazy-bucket heap exactly like the decremental selector.
-    let mut version = vec![0u32; n];
-    let mut heap: BinaryHeap<Entry> = (0..n)
-        .map(|c| Entry {
+    // Seed the lazy-bucket heap exactly like the decremental selector,
+    // recycling the pool's buffers wherever the shapes already match.
+    scratch.reset(n, shards);
+    let GatherScratch {
+        version,
+        taken,
+        stamp,
+        touched,
+        heap,
+        states,
+    } = scratch;
+    for c in 0..n {
+        heap.push(Entry {
             gain: canonical_gain(&counts[c * n_classes..(c + 1) * n_classes]),
             // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
             cand: c as u32,
             version: 0,
-        })
-        .collect();
+        });
+    }
     stats.gain_evals += n as u64;
     stats.heap_pushes += n as u64;
-
-    let mut states: Vec<ShardState> = shards
-        .iter()
-        .map(|v| ShardState {
-            covered: Bitset::new(v.n_users as usize),
-        })
-        .collect();
-    let mut taken = vec![false; n];
-    let mut touched: Vec<u32> = Vec::new();
-    let mut stamp = vec![u32::MAX; n];
     let mut selected = Vec::with_capacity(k);
     let mut gains = Vec::with_capacity(k);
     let mut total = 0.0;
@@ -561,14 +643,7 @@ pub fn gather_select(
             c as u32,
             |cands| cands[c],
         );
-        let results = scatter_round(
-            shards,
-            &mut states,
-            global_c,
-            pos_of.as_deref(),
-            &taken,
-            workers,
-        );
+        let results = scatter_round(shards, states, global_c, pos_of.as_deref(), taken, workers);
 
         // Gather: apply events in shard order. The count updates commute
         // (integer decrements) and `touched` membership is order-stamped,
@@ -594,7 +669,7 @@ pub fn gather_select(
 
         // Refresh: one canonical re-materialisation and one heap push per
         // affected candidate; older entries die by version.
-        for &c2 in &touched {
+        for &c2 in touched.iter() {
             let c2u = c2 as usize;
             version[c2u] += 1;
             heap.push(Entry {
@@ -731,6 +806,51 @@ mod tests {
                     assert_eq!(want_stats, got_stats, "seed={seed} shards={n_shards}");
                     assert_eq!(gather.rounds, k as u32);
                     assert_eq!(gather.scatter_events, got_stats.gain_updates);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_across_shapes() {
+        // One pool serves selections of different candidate counts and
+        // shardings back to back — both the clear-in-place path (same
+        // shapes) and the rebuild path (shape change) must reproduce the
+        // fresh-scratch wrapper exactly.
+        let mut scratch = GatherScratch::new();
+        for seed in [3u64, 11] {
+            for n_shards in [1usize, 3] {
+                for _rep in 0..2 {
+                    let sets = random_sets(seed, 40, 9);
+                    let starts = shard_starts(sets.n_users(), n_shards);
+                    let payloads = shard_payloads(&sets, &starts);
+                    let shards = views(&payloads, sets.n_candidates());
+                    let n_classes = sets.n_weight_classes();
+                    let counts = materialise_counts(&shards, sets.n_candidates(), n_classes, 2);
+                    let (want, want_stats, _) = gather_select(
+                        &shards,
+                        sets.n_candidates(),
+                        n_classes,
+                        counts.clone(),
+                        None,
+                        sets.total_influences() as u64,
+                        4,
+                        2,
+                    );
+                    let (got, got_stats, _) = gather_select_with_scratch(
+                        &shards,
+                        sets.n_candidates(),
+                        n_classes,
+                        counts,
+                        None,
+                        sets.total_influences() as u64,
+                        4,
+                        2,
+                        &mut scratch,
+                    );
+                    assert_eq!(want.selected, got.selected, "seed={seed} shards={n_shards}");
+                    assert_eq!(want.cinf.to_bits(), got.cinf.to_bits());
+                    assert_eq!(want_stats, got_stats);
                 }
             }
         }

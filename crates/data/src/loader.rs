@@ -176,6 +176,107 @@ pub fn load_checkins<R: Read>(
     ))
 }
 
+/// One timestamped check-in, surfaced as a replayable stream event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckinEvent {
+    /// Raw SNAP user id.
+    pub user: u64,
+    /// Check-in time as Unix seconds (parsed from the ISO-8601 column).
+    pub timestamp: i64,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+/// Parses a check-in stream into an **ordered event stream**: one
+/// [`CheckinEvent`] per well-formed record, sorted by timestamp (stable —
+/// records sharing a timestamp keep their file order). SNAP dumps store
+/// each user's records newest-first, so the raw file order is *not* replay
+/// order; this is the entry point for the streaming/update workloads.
+///
+/// The same hygiene as [`load_checkins`] applies — malformed lines,
+/// non-finite coordinates, the `0,0` unknown-location sentinel and
+/// unparseable timestamps are skipped, and an optional [`GeoBounds`] clips
+/// geographically.
+pub fn events<R: Read>(
+    reader: R,
+    bounds: Option<GeoBounds>,
+) -> Result<Vec<CheckinEvent>, LoadError> {
+    let reader = BufReader::new(reader);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let mut it = line.split('\t');
+        let (Some(user), Some(time), Some(lat), Some(lon)) =
+            (it.next(), it.next(), it.next(), it.next())
+        else {
+            continue;
+        };
+        let (Ok(user), Ok(lat), Ok(lon)) =
+            (user.parse::<u64>(), lat.parse::<f64>(), lon.parse::<f64>())
+        else {
+            continue;
+        };
+        let Some(timestamp) = parse_timestamp(time) else {
+            continue;
+        };
+        if !lat.is_finite() || !lon.is_finite() || (lat == 0.0 && lon == 0.0) {
+            continue;
+        }
+        if let Some(b) = &bounds {
+            if !b.contains(lat, lon) {
+                continue;
+            }
+        }
+        out.push(CheckinEvent {
+            user,
+            timestamp,
+            lat,
+            lon,
+        });
+    }
+    if out.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    out.sort_by_key(|e| e.timestamp); // stable: ties keep file order
+    Ok(out)
+}
+
+/// Parses the SNAP timestamp shape `YYYY-MM-DDThh:mm:ssZ` into Unix
+/// seconds (proleptic Gregorian, no timezone other than `Z`). Returns
+/// `None` for anything malformed.
+fn parse_timestamp(s: &str) -> Option<i64> {
+    let b = s.as_bytes();
+    if b.len() != 20 || b[4] != b'-' || b[7] != b'-' || b[10] != b'T' {
+        return None;
+    }
+    if b[13] != b':' || b[16] != b':' || b[19] != b'Z' {
+        return None;
+    }
+    let num = |range: std::ops::Range<usize>| -> Option<i64> {
+        let field = s.get(range)?;
+        if !field.bytes().all(|c| c.is_ascii_digit()) {
+            return None;
+        }
+        field.parse().ok()
+    };
+    let (y, m, d) = (num(0..4)?, num(5..7)?, num(8..10)?);
+    let (hh, mm, ss) = (num(11..13)?, num(14..16)?, num(17..19)?);
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) || hh > 23 || mm > 59 || ss > 59 {
+        return None;
+    }
+    // Days-from-civil (Howard Hinnant's algorithm), valid over the whole
+    // proleptic Gregorian calendar.
+    let y_adj = if m <= 2 { y - 1 } else { y };
+    let era = y_adj.div_euclid(400);
+    let yoe = y_adj - era * 400;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    let days = era * 146097 + doe - 719468;
+    Some(days * 86400 + hh * 3600 + mm * 60 + ss)
+}
+
 /// Loads a check-in file from disk; see [`load_checkins`].
 pub fn load_checkin_file<P: AsRef<Path>>(
     path: P,
@@ -242,5 +343,63 @@ malformed line without tabs\n\
     fn min_positions_one_keeps_singletons() {
         let d = load_checkins(SAMPLE.as_bytes(), "all", None, 1).unwrap();
         assert_eq!(d.users.len(), 4); // users 0, 1, 2, 3
+    }
+
+    #[test]
+    fn events_are_ordered_by_timestamp() {
+        // SAMPLE stores user 0's records newest-first (Oct 19, 18, 17) and
+        // interleaves other users: the event stream must come back sorted.
+        let evs = events(SAMPLE.as_bytes(), None).unwrap();
+        assert_eq!(evs.len(), 7); // malformed + 0,0-sentinel lines skipped
+        assert!(
+            evs.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
+            "events must be timestamp-ordered"
+        );
+        // Replay order: the oldest record is user 3's Oct 9 check-in, the
+        // newest is user 0's Oct 19 one.
+        assert_eq!(evs[0].user, 3);
+        assert_eq!(evs[6].user, 0);
+        assert!((evs[6].lat - 40.60).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_skip_malformed_timestamps() {
+        // The `badtime` line and a handful of near-miss shapes all drop.
+        let text = "\
+7\tbadtime\t40.6\t-73.9\t1\n\
+7\t2010-13-01T00:00:00Z\t40.6\t-73.9\t1\n\
+7\t2010-10-19T24:00:00Z\t40.6\t-73.9\t1\n\
+7\t2010-10-19 23:55:27Z\t40.6\t-73.9\t1\n\
+7\t2010-10-19T23:55:27\t40.6\t-73.9\t1\n\
+7\t2010-1-19T23:55:27ZZ\t40.6\t-73.9\t1\n\
+7\t2010-10-19T23:55:27Z\t40.6\t-73.9\t1\n";
+        let evs = events(text.as_bytes(), None).unwrap();
+        assert_eq!(evs.len(), 1, "only the well-formed line survives");
+        // 2010-10-19T23:55:27Z, checked against `date -d ... +%s`.
+        assert_eq!(evs[0].timestamp, 1287532527);
+    }
+
+    #[test]
+    fn out_of_order_records_are_stably_sorted() {
+        // Two records share a timestamp; the earlier line must stay first.
+        let text = "\
+1\t2010-10-19T00:00:00Z\t40.60\t-73.98\t1\n\
+2\t2010-10-18T00:00:00Z\t40.61\t-73.97\t2\n\
+3\t2010-10-18T00:00:00Z\t40.62\t-73.96\t3\n";
+        let evs = events(text.as_bytes(), None).unwrap();
+        assert_eq!(
+            evs.iter().map(|e| e.user).collect::<Vec<_>>(),
+            vec![2, 3, 1]
+        );
+    }
+
+    #[test]
+    fn events_respect_bounds_and_empty_errors() {
+        let evs = events(SAMPLE.as_bytes(), Some(GeoBounds::new_york())).unwrap();
+        assert!(evs.iter().all(|e| e.user != 2), "London record clipped");
+        assert!(matches!(
+            events("junk\n".as_bytes(), None),
+            Err(LoadError::Empty)
+        ));
     }
 }

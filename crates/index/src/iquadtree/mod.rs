@@ -432,15 +432,76 @@ impl IQuadTree {
             .mark
             .push(0);
 
-        // Growing r_max loosens NIR: every cached Ω_vrf may be too small.
-        if user.len() > self.r_max {
-            self.r_max = user.len();
+        self.raise_r_max(user.len(), pf, tau);
+        self.insert_positions(uid, user);
+
+        // Leaves whose NIR window now sees the new positions carry stale
+        // Ω_vrf caches: a leaf L is affected iff some new position lies in
+        // L.rect.inflate(NIR) ⟺ L.rect intersects position ± NIR.
+        if let Some(nir) = self.nir {
+            let window = user.mbr().inflate(nir);
+            self.invalidate_vrf_in(0, &window);
+        }
+        Ok(uid)
+    }
+
+    /// Replaces user `uid`'s trajectory: removes every indexed position of
+    /// the id, then re-inserts the new positions under the **same** id —
+    /// the check-in/move side of the streaming scenario, keeping ids
+    /// stable for the surrounding influence state. Subsequent traversals
+    /// behave exactly as if the tree had been built with the new
+    /// trajectory from the start. Returns the number of old positions
+    /// removed (0 when the id is unknown, in which case nothing is
+    /// inserted either).
+    ///
+    /// `pf`/`tau` must match the build-time values, as for
+    /// [`IQuadTree::insert_user`].
+    ///
+    /// # Errors
+    /// Returns `Err` with the offending position when any new position
+    /// falls outside the indexed root region; the tree is unchanged.
+    pub fn move_user<PF: ProbabilityFunction + ?Sized>(
+        &mut self,
+        uid: u32,
+        user: &MovingUser,
+        pf: &PF,
+        tau: f64,
+    ) -> Result<usize, Point> {
+        let root_rect = self.root_square.rect();
+        if let Some(p) = user.positions().iter().find(|p| !root_rect.contains(p)) {
+            return Err(*p);
+        }
+        if uid as usize >= self.n_users {
+            return Ok(0);
+        }
+        let removed = self.remove_user(uid);
+        self.raise_r_max(user.len(), pf, tau);
+        self.insert_positions(uid, user);
+        if let Some(nir) = self.nir {
+            let window = user.mbr().inflate(nir);
+            self.invalidate_vrf_in(0, &window);
+        }
+        Ok(removed)
+    }
+
+    /// Growing `r_max` loosens NIR: every cached Ω_vrf may be too small.
+    fn raise_r_max<PF: ProbabilityFunction + ?Sized>(&mut self, r: usize, pf: &PF, tau: f64) {
+        if r > self.r_max {
+            self.r_max = r;
             self.nir = non_influence_radius(pf, tau, self.r_max);
             for node in &mut self.nodes {
                 node.omega_vrf = None;
             }
         }
+    }
 
+    /// The shared position walk of [`IQuadTree::insert_user`] and
+    /// [`IQuadTree::move_user`]: threads every position down its root→leaf
+    /// path, updating node counts, storing leaf points, materialising
+    /// missing child nodes and dropping stale caches along the way.
+    /// Callers have already validated that every position lies inside the
+    /// root region and that `uid` is allocated.
+    fn insert_positions(&mut self, uid: u32, user: &MovingUser) {
         for p in user.positions() {
             let mut square = self.root_square;
             let mut idx = 0usize;
@@ -478,15 +539,6 @@ impl IQuadTree {
                 };
             }
         }
-
-        // Leaves whose NIR window now sees the new positions carry stale
-        // Ω_vrf caches: a leaf L is affected iff some new position lies in
-        // L.rect.inflate(NIR) ⟺ L.rect intersects position ± NIR.
-        if let Some(nir) = self.nir {
-            let window = user.mbr().inflate(nir);
-            self.invalidate_vrf_in(0, &window);
-        }
-        Ok(uid)
     }
 
     fn invalidate_vrf_in(&mut self, idx: usize, window: &Rect) {

@@ -193,6 +193,42 @@ proptest! {
         }
     }
 
+    /// Replacing a trajectory via move_user keeps the id stable and the
+    /// classification sound and complete for the *new* trajectory — with
+    /// caches warmed before and after the move.
+    #[test]
+    fn iquadtree_move_stays_sound(us in users(), v in pt(),
+                                  mover in 0usize..40, tau in 0.2f64..0.8,
+                                  to in pt()) {
+        let pf = Sigmoid::paper_default();
+        let mover = mover % us.len();
+        let mut t = IQuadTree::build(&us, &pf, tau, 2.0);
+        let _ = t.traverse(&v); // warm caches before the move
+        let replacement = MovingUser::new(vec![to]);
+        if !t.root_region().contains(&to) {
+            // Out-of-region targets are a rejected no-op.
+            prop_assert!(t.move_user(mover as u32, &replacement, &pf, tau).is_err());
+            return Ok(());
+        }
+        prop_assert_eq!(
+            t.move_user(mover as u32, &replacement, &pf, tau),
+            Ok(us[mover].len())
+        );
+        t.validate();
+        let out = t.traverse(&v);
+        t.validate();
+        for (uid, u) in us.iter().enumerate() {
+            let positions = if uid == mover { replacement.positions() } else { u.positions() };
+            let truth = influences(&pf, &v, positions, tau);
+            let uid = uid as u32;
+            if setops::contains(&out.influenced, uid) {
+                prop_assert!(truth, "IS admitted user {} wrongly after move", uid);
+            } else if !setops::contains(&out.to_verify, uid) {
+                prop_assert!(!truth, "pruned influenced user {} after move", uid);
+            }
+        }
+    }
+
     /// users_with_position_in agrees with a brute-force scan.
     #[test]
     fn iquadtree_user_query_matches_brute(us in users(), r in rect()) {

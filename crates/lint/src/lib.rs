@@ -48,25 +48,28 @@ const RESULT_CRATES: [&str; 5] = ["core", "index", "influence", "geo", "serve"];
 const PANIC_EXEMPT_CRATES: [&str; 2] = ["cli", "bench"];
 
 /// Hot-path files for R4 (CSR layouts, Morton codes, selection heaps,
-/// shard views and the delta splice's frame indices), workspace-relative
-/// with `/` separators.
-const NARROWING_SCOPE: [&str; 11] = [
+/// shard views, the update engine's slot/buffer arithmetic, the live
+/// batch's shard routing, and the delta splice's frame indices),
+/// workspace-relative with `/` separators.
+const NARROWING_SCOPE: [&str; 13] = [
     "crates/core/src/influence_sets.rs",
     "crates/core/src/inverted.rs",
     "crates/core/src/bitset.rs",
     "crates/core/src/greedy.rs",
     "crates/core/src/shard.rs",
+    "crates/core/src/update.rs",
     "crates/core/src/algorithms/iqt.rs",
     "crates/geo/src/morton.rs",
     "crates/geo/src/hilbert.rs",
     "crates/influence/src/blocks.rs",
     "crates/influence/src/lanes.rs",
     "crates/serve/src/delta.rs",
+    "crates/serve/src/live.rs",
 ];
 
 /// Files containing parallel-join, gain-materialisation, or lane-kernel
 /// float accumulation code for R5.
-const FLOAT_SCOPE: [&str; 8] = [
+const FLOAT_SCOPE: [&str; 9] = [
     "crates/core/src/greedy.rs",
     "crates/core/src/parallel.rs",
     "crates/core/src/inverted.rs",
@@ -74,6 +77,7 @@ const FLOAT_SCOPE: [&str; 8] = [
     "crates/core/src/influence_sets.rs",
     "crates/core/src/algorithms/iqt.rs",
     "crates/core/src/shard.rs",
+    "crates/core/src/update.rs",
     "crates/influence/src/lanes.rs",
 ];
 

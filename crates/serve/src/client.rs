@@ -4,6 +4,7 @@
 use crate::error::ServeError;
 use crate::protocol::{
     recv_message, send_message, QueryAnswer, QueryRequest, Request, Response, StatsReport,
+    UpdateReport, WireEvent,
 };
 use std::net::TcpStream;
 use std::time::Duration;
@@ -81,6 +82,20 @@ impl Client {
             path: path.to_string(),
         })? {
             Response::Done { message } => Ok(message),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends one batch of mobility events to a live-mode server.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Remote`] when the server is not
+    /// in live mode or rejects the batch (state is then untouched).
+    pub fn update(&mut self, events: &[WireEvent]) -> Result<UpdateReport, ServeError> {
+        match self.round_trip(&Request::Update {
+            events: events.to_vec(),
+        })? {
+            Response::Updated(report) => Ok(report),
             other => Err(unexpected(other)),
         }
     }

@@ -22,10 +22,10 @@ use crate::cache::canonical_subset;
 use crate::protocol::{QueryAnswer, QueryRequest};
 use crate::snapshot::{Snapshot, SnapshotMeta};
 use crate::view::LoadedSnapshot;
-use mc2ls_core::shard::{gather_select, materialise_counts, subset_counts};
-use mc2ls_core::{GatherStats, PruneStats};
+use mc2ls_core::shard::{gather_select_with_scratch, materialise_counts, subset_counts};
+use mc2ls_core::{GatherScratch, GatherStats, PruneStats};
 use mc2ls_influence::BLOCK_SIZE_AUTO;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A query rejected before selection ran.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +118,11 @@ pub struct QueryEngine {
     /// per engine (= snapshot epoch) on first use and shared by every
     /// query until the next reload.
     epoch_counts: OnceLock<Arc<Vec<u32>>>,
+    /// Pool of selection scratch buffers (heap, version/taken/stamp
+    /// arrays, coverage bitsets). Each query checks one out, selects with
+    /// it, and returns it — repeated queries against an epoch reuse the
+    /// same allocations instead of reallocating per call.
+    scratch_pool: Mutex<Vec<GatherScratch>>,
 }
 
 impl QueryEngine {
@@ -132,6 +137,7 @@ impl QueryEngine {
             loaded,
             threads: threads.max(1),
             epoch_counts: OnceLock::new(),
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -145,7 +151,25 @@ impl QueryEngine {
             loaded: LoadedSnapshot::from_bytes(bytes)?,
             threads: threads.max(1),
             epoch_counts: OnceLock::new(),
+            scratch_pool: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Checks a scratch out of the pool (or starts a fresh one when all
+    /// are in flight — concurrent queries never block on each other here).
+    fn take_scratch(&self) -> GatherScratch {
+        self.scratch_pool
+            .lock()
+            .map(|mut pool| pool.pop())
+            .unwrap_or_default()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch to the pool for the next query to reuse.
+    fn put_scratch(&self, scratch: GatherScratch) {
+        if let Ok(mut pool) = self.scratch_pool.lock() {
+            pool.push(scratch);
+        }
     }
 
     /// The loaded snapshot's metadata.
@@ -217,7 +241,8 @@ impl QueryEngine {
             None => {
                 check_budget(req.k, n_candidates)?;
                 let counts = self.epoch_counts().as_ref().clone();
-                let (solution, selection, mut gather) = gather_select(
+                let mut scratch = self.take_scratch();
+                let (solution, selection, mut gather) = gather_select_with_scratch(
                     &views,
                     n_candidates,
                     n_classes,
@@ -226,7 +251,9 @@ impl QueryEngine {
                     self.loaded.total_influences(),
                     req.k,
                     self.threads,
+                    &mut scratch,
                 );
+                self.put_scratch(scratch);
                 gather.shared_epoch = true;
                 Ok(answer_of(solution, selection, gather))
             }
@@ -254,7 +281,8 @@ impl QueryEngine {
                             .sum::<u64>()
                     })
                     .sum();
-                let (mut solution, selection, mut gather) = gather_select(
+                let mut scratch = self.take_scratch();
+                let (mut solution, selection, mut gather) = gather_select_with_scratch(
                     &views,
                     n_candidates,
                     n_classes,
@@ -263,7 +291,9 @@ impl QueryEngine {
                     total,
                     req.k,
                     self.threads,
+                    &mut scratch,
                 );
+                self.put_scratch(scratch);
                 // The selector saw subset-positional ids; map back.
                 for id in &mut solution.selected {
                     *id = canon[*id as usize];

@@ -40,6 +40,7 @@ pub mod client;
 pub mod delta;
 pub mod engine;
 pub mod error;
+pub mod live;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -50,8 +51,11 @@ pub use cache::ResultCache;
 pub use client::Client;
 pub use engine::{QueryEngine, QueryError};
 pub use error::{ServeError, SnapshotError};
+pub use live::{LiveUpdater, UpdateBatchError};
 pub use metrics::Metrics;
-pub use protocol::{QueryAnswer, QueryRequest, Request, Response, StatsReport};
+pub use protocol::{
+    QueryAnswer, QueryRequest, Request, Response, StatsReport, UpdateReport, WireEvent,
+};
 pub use server::{Server, ServerConfig};
 pub use snapshot::{ShardArtifacts, Snapshot, SnapshotMeta};
 pub use view::LoadedSnapshot;

@@ -84,6 +84,12 @@ pub struct Metrics {
     /// Queries that joined an in-flight identical query (request
     /// batching) instead of running their own selection.
     pub coalesced: AtomicU64,
+    /// Mobility events applied through the UPDATE verb.
+    pub updates_applied: AtomicU64,
+    /// Candidate sites whose membership flipped across applied updates.
+    pub flipped_candidates: AtomicU64,
+    /// Update-buffer compactions run.
+    pub compactions: AtomicU64,
     /// Query latency distribution (µs, measured inside the worker).
     pub latency: LatencyHistogram,
 }
@@ -92,6 +98,11 @@ impl Metrics {
     /// Relaxed increment helper for the counter fields.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed bulk-add helper for the counter fields.
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
     }
 
     /// Relaxed read helper for the counter fields.

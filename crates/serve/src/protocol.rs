@@ -36,8 +36,34 @@ pub enum Request {
         /// File-system path of the `.mc2s` container to load.
         path: String,
     },
+    /// Apply a batch of user-mobility events to a live-mode server. The
+    /// batch is all-or-nothing: it is validated up front and either every
+    /// event lands (the serving engine swaps to the refreshed state) or
+    /// none do. Answered with [`Response::Updated`].
+    Update {
+        /// Events in application order.
+        events: Vec<WireEvent>,
+    },
     /// Stop accepting connections, drain in-flight work and exit.
     Shutdown,
+}
+
+/// One user-mobility event on the wire.
+///
+/// `op` selects the shape: `"insert"` (new user from `xs`/`ys`, ignoring
+/// `user`), `"delete"` (tombstone `user`), `"move"` (replace `user`'s
+/// trajectory with `xs`/`ys`), `"checkin"` (append the single `xs[0]`,
+/// `ys[0]` position to `user`'s trajectory — the SNAP replay verb).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireEvent {
+    /// Event kind: `insert`, `delete`, `move` or `checkin`.
+    pub op: String,
+    /// Target user id (server-assigned, dense); ignored for `insert`.
+    pub user: u32,
+    /// Position x coordinates (projected plane).
+    pub xs: Vec<f64>,
+    /// Position y coordinates (projected plane).
+    pub ys: Vec<f64>,
 }
 
 /// Parameters of one selection query.
@@ -130,6 +156,35 @@ pub struct StatsReport {
     pub p50_us: u64,
     /// 99th-percentile query latency in microseconds (histogram upper bound).
     pub p99_us: u64,
+    /// Mobility events applied through the UPDATE verb since start.
+    pub updates_applied: u64,
+    /// Candidate sites whose membership actually flipped across all
+    /// applied updates (the flip-set sizes, summed).
+    pub flipped_candidates: u64,
+    /// Update-buffer compactions run (each refresh compacts once).
+    pub compactions: u64,
+}
+
+/// What one [`Request::Update`] batch did, as reported to the client.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpdateReport {
+    /// Events applied (equals the batch length on success).
+    pub applied: u64,
+    /// Candidate sites whose influence-set membership changed for some
+    /// touched user.
+    pub flipped: u64,
+    /// PF probability evaluations the flip-set re-verification spent.
+    pub prob_evals: u64,
+    /// Compactions run while absorbing this batch (the refresh runs one).
+    pub compactions: u64,
+    /// Shards (by the snapshot manifest in force *before* the batch) that
+    /// contained a touched user — the scatter targets of the refresh.
+    pub touched_shards: Vec<u32>,
+    /// Server-assigned id the *next* `insert` will receive — clients
+    /// replaying a stream map their external ids by counting from here.
+    pub next_user_id: u32,
+    /// Live users after the batch.
+    pub n_users: u64,
 }
 
 /// A server → client message.
@@ -141,6 +196,8 @@ pub enum Response {
     Answer(QueryAnswer),
     /// Answer to [`Request::Stats`].
     Stats(StatsReport),
+    /// Answer to [`Request::Update`].
+    Updated(UpdateReport),
     /// Success acknowledgement for verbs without a payload.
     Done {
         /// Human-readable description of what happened.

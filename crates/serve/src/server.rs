@@ -34,9 +34,11 @@
 use crate::cache::{self, ResultCache};
 use crate::engine::{QueryEngine, QueryError};
 use crate::error::ServeError;
+use crate::live::LiveUpdater;
 use crate::metrics::Metrics;
 use crate::protocol::{
     recv_message, send_message, QueryAnswer, QueryRequest, Request, Response, StatsReport,
+    WireEvent,
 };
 use crate::{delta, SnapshotError};
 use std::collections::{BTreeMap, VecDeque};
@@ -125,6 +127,9 @@ impl Flight {
 
 struct Shared {
     engine: RwLock<Arc<QueryEngine>>,
+    /// Live-mode update state; `None` on snapshot-serving servers (the
+    /// UPDATE verb is then a typed error).
+    live: Option<Mutex<LiveUpdater>>,
     cache: Mutex<ResultCache>,
     /// Single-flight table: canonical key → the in-flight computation.
     batcher: Mutex<BTreeMap<Vec<u8>, Arc<Flight>>>,
@@ -161,12 +166,37 @@ impl Server {
     /// [`ServeError::Io`] when the bind fails or the listener cannot be
     /// configured.
     pub fn start(config: ServerConfig, engine: QueryEngine) -> Result<Server, ServeError> {
+        Server::start_inner(config, engine, None)
+    }
+
+    /// Like [`Server::start`], but in **live mode**: the server also owns
+    /// an update engine and accepts the UPDATE verb, swapping the serving
+    /// snapshot after each absorbed batch — the influence phase never
+    /// re-runs.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the bind fails or the listener cannot be
+    /// configured.
+    pub fn start_live(
+        config: ServerConfig,
+        engine: QueryEngine,
+        live: LiveUpdater,
+    ) -> Result<Server, ServeError> {
+        Server::start_inner(config, engine, Some(live))
+    }
+
+    fn start_inner(
+        config: ServerConfig,
+        engine: QueryEngine,
+        live: Option<LiveUpdater>,
+    ) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
         let shared = Arc::new(Shared {
             engine: RwLock::new(Arc::new(engine)),
+            live: live.map(Mutex::new),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             batcher: Mutex::new(BTreeMap::new()),
             metrics: Metrics::default(),
@@ -366,6 +396,7 @@ fn dispatch(request: Request, shared: &Shared) -> (Response, bool) {
         Request::Query(query) => (handle_query(&query, shared), false),
         Request::Stats => (Response::Stats(stats_report(shared)), false),
         Request::Reload { path } => (handle_reload(&path, shared), false),
+        Request::Update { events } => (handle_update(&events, shared), false),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::Release);
             shared.queue_cv.notify_all();
@@ -530,6 +561,53 @@ fn handle_reload(path: &str, shared: &Shared) -> Response {
     }
 }
 
+/// Applies one UPDATE batch: validate + flip-set replay + compaction in
+/// the live engine, then swap the serving snapshot exactly like a reload
+/// (cache and flights belong to the old epoch). The influence phase never
+/// re-runs — assembling the refreshed snapshot reuses the engine's sets.
+fn handle_update(events: &[WireEvent], shared: &Shared) -> Response {
+    let Some(live) = shared.live.as_ref() else {
+        Metrics::bump(&shared.metrics.errors);
+        return Response::Error {
+            kind: "update:unsupported".to_string(),
+            message: "server is not in live mode (start with --live to accept updates)".to_string(),
+        };
+    };
+    // The manifest in force before the batch routes touched users to the
+    // shards a delta-shipping follow-up would have to touch.
+    let starts = {
+        let engine = match shared.engine.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        };
+        engine.meta().shard_starts.clone()
+    };
+    let applied = lock(live).apply_batch(events, &starts);
+    match applied {
+        Ok((report, snapshot)) => {
+            let engine = QueryEngine::new(snapshot, shared.config.threads);
+            match shared.engine.write() {
+                Ok(mut guard) => *guard = Arc::new(engine),
+                Err(poisoned) => *poisoned.into_inner() = Arc::new(engine),
+            }
+            // New epoch: cached answers and pending flights are stale.
+            lock(&shared.cache).clear();
+            lock(&shared.batcher).clear();
+            Metrics::add(&shared.metrics.updates_applied, report.applied);
+            Metrics::add(&shared.metrics.flipped_candidates, report.flipped);
+            Metrics::add(&shared.metrics.compactions, report.compactions);
+            Response::Updated(report)
+        }
+        Err(e) => {
+            Metrics::bump(&shared.metrics.errors);
+            Response::Error {
+                kind: "update:rejected".to_string(),
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
 fn stats_report(shared: &Shared) -> StatsReport {
     let engine = match shared.engine.read() {
         Ok(guard) => Arc::clone(&guard),
@@ -558,5 +636,8 @@ fn stats_report(shared: &Shared) -> StatsReport {
         cache_len,
         p50_us: shared.metrics.latency.quantile_upper_bound(0.5),
         p99_us: shared.metrics.latency.quantile_upper_bound(0.99),
+        updates_applied: Metrics::read(&shared.metrics.updates_applied),
+        flipped_candidates: Metrics::read(&shared.metrics.flipped_candidates),
+        compactions: Metrics::read(&shared.metrics.compactions),
     }
 }

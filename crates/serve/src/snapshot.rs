@@ -406,6 +406,53 @@ impl Snapshot {
         (Snapshot { meta, shards, tree }, stats)
     }
 
+    /// Assembles a snapshot from **already-computed** influence sets — the
+    /// live-update path: after an [`mc2ls_core::UpdateEngine`] compaction
+    /// the sets are current, so re-deriving them (the expensive influence
+    /// phase of [`Snapshot::build_sharded`]) would be pure waste. This
+    /// re-shards the sets, rebuilds the per-shard inverted/position
+    /// artifacts and the IQuad-tree, and refreshes the instance-shape
+    /// fields of `meta` (`n_users`, `n_candidates`, `shard_starts`,
+    /// `resolved_block_size`); every configuration field (`name`, `tau`,
+    /// `block_size`, `rho`, `leaf_diagonal`, `default_k`, `n_facilities`)
+    /// is taken from the template as-is.
+    ///
+    /// Zero PF verification evaluations run here; the IQuad-tree build only
+    /// derives its η tables from the PF.
+    pub fn assemble(
+        mut meta: SnapshotMeta,
+        users: &[mc2ls_influence::MovingUser],
+        pf: &Sigmoid,
+        sets: &InfluenceSets,
+        threads: usize,
+        n_shards: usize,
+    ) -> Snapshot {
+        assert_eq!(sets.n_users(), users.len(), "sets/users shape mismatch");
+        let resolved =
+            resolve_block_size(users, meta.block_size).unwrap_or_else(|| auto_block_size(users));
+        let starts = shard_starts(users.len(), n_shards);
+        let shards: Vec<ShardArtifacts> = split_sets(sets, &starts)
+            .into_iter()
+            .enumerate()
+            .map(|(s, local)| {
+                let inverted = InvertedIndex::build(&local, threads);
+                let slice = &users[starts[s] as usize..starts[s + 1] as usize];
+                let blocks = PositionBlocks::build(slice, resolved);
+                ShardArtifacts {
+                    sets: local,
+                    inverted,
+                    blocks,
+                }
+            })
+            .collect();
+        let tree = IQuadTree::build(users, pf, meta.tau, meta.leaf_diagonal);
+        meta.n_users = users.len();
+        meta.n_candidates = sets.n_candidates();
+        meta.shard_starts = starts;
+        meta.resolved_block_size = resolved;
+        Snapshot { meta, shards, tree }
+    }
+
     /// Number of user shards.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
