@@ -137,6 +137,7 @@ pub fn run_selector(
         Selector::Greedy => greedy::select_counted(sets, k),
         Selector::LazyGreedy => greedy::select_lazy_counted(sets, k, threads),
         Selector::Decremental => greedy::select_decremental_counted(sets, k, threads),
+        // lint:allow(panic-propagation): resolve_selector maps Auto to a concrete selector
         Selector::Auto => unreachable!("resolve_selector never returns Auto"),
     }
 }

@@ -173,6 +173,7 @@ impl RTree {
         match &self.nodes[node_idx].kind {
             NodeKind::Leaf(_) => {
                 let NodeKind::Leaf(entries) = &mut self.nodes[node_idx].kind else {
+                    // lint:allow(panic-propagation): the enclosing match arm just proved this node is a leaf
                     unreachable!()
                 };
                 entries.push((id, point));
@@ -212,6 +213,7 @@ impl RTree {
                 }
                 let new_child = self.insert_rec(best, id, point)?;
                 let NodeKind::Internal(children) = &mut self.nodes[node_idx].kind else {
+                    // lint:allow(panic-propagation): the enclosing match arm just proved this node is internal
                     unreachable!()
                 };
                 children.push(new_child);

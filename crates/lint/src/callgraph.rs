@@ -1,0 +1,474 @@
+//! The inter-procedural substrate: resolved call edges, the global lock
+//! graph, and the three reachability closures (locks, blocking, panics)
+//! that R6/R7/R8 consume — plus the `--graph-json` dump.
+//!
+//! All closures are computed over the *resolved* edge set, which is an
+//! under-approximation (see [`crate::symbols`]); the rules therefore err
+//! toward silence, never toward false findings.
+
+use crate::lockscope::PanicSite;
+use crate::rules::Rule;
+use crate::symbols::SymbolTable;
+use crate::FileAnal;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One edge of the global lock-acquisition graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock held at the acquisition.
+    pub from: String,
+    /// Lock acquired (directly, or inside the callee closure).
+    pub to: String,
+    /// Witness site (file path, 1-based line).
+    pub file: String,
+    /// Witness line.
+    pub line: u32,
+    /// For edges closed through a callee: the called function's name.
+    pub via: Option<String>,
+}
+
+/// A witness for "this function can reach X": the next callee on a
+/// shortest path, plus the base site description.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// Next function id on the path (`None`: the base site is in this
+    /// very function).
+    pub next: Option<u32>,
+    /// Base description, e.g. ``"`.join()`"`` or ``"`.unwrap()`"``.
+    pub what: String,
+    /// File of the base site.
+    pub file: String,
+    /// Line of the base site.
+    pub line: u32,
+}
+
+/// The built graph over one analysis set.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Symbols (function ids index into `table.fns`).
+    pub table: SymbolTable,
+    /// Resolved callees per function (deduplicated, sorted).
+    pub edges: Vec<Vec<u32>>,
+    /// Resolved target of each call site, aligned with
+    /// `files[f].fns[i].ops.calls`.
+    pub call_targets: Vec<Vec<Option<u32>>>,
+    /// Locks transitively acquirable per function.
+    pub locks_reach: Vec<BTreeSet<String>>,
+    /// Blocking reachability witness per function.
+    pub blocking_reach: Vec<Option<Witness>>,
+    /// Panic reachability witness per function (unwaived sources only).
+    pub panic_reach: Vec<Option<Witness>>,
+    /// The global lock graph.
+    pub lock_edges: Vec<LockEdge>,
+}
+
+impl Graph {
+    /// Builds the graph over `files`, marking panic-path /
+    /// panic-propagation waivers that suppress a panic source as used.
+    pub(crate) fn build(files: &mut [FileAnal]) -> Graph {
+        let table = SymbolTable::build(files);
+        let n = table.fns.len();
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut call_targets: Vec<Vec<Option<u32>>> = vec![Vec::new(); n];
+
+        for (id, meta) in table.fns.iter().enumerate() {
+            let ops = &files[meta.file_idx].fns[meta.fn_idx].ops;
+            let mut targets = Vec::with_capacity(ops.calls.len());
+            for call in &ops.calls {
+                let target = table.resolve(call, meta);
+                if let Some(t) = target {
+                    edges[id].push(t);
+                }
+                targets.push(target);
+            }
+            edges[id].sort_unstable();
+            edges[id].dedup();
+            call_targets[id] = targets;
+        }
+
+        // Panic sources: macro/indexing sites plus unresolved
+        // unwrap/expect calls, minus waived ones. A waiver consumed here
+        // counts as used even when R2 also fires on the same line.
+        let mut panic_sources: Vec<Vec<PanicSite>> = vec![Vec::new(); n];
+        for (id, meta) in table.fns.iter().enumerate() {
+            // Only panic-path-scoped files contribute sources: shims and
+            // binaries panic by design, exactly like the std methods the
+            // resolver refuses to alias.
+            if !files[meta.file_idx].class.panic_path {
+                continue;
+            }
+            let mut sites: Vec<PanicSite> = Vec::new();
+            {
+                let ops = &files[meta.file_idx].fns[meta.fn_idx].ops;
+                sites.extend(ops.panics.iter().cloned());
+                for (call, target) in ops.calls.iter().zip(&call_targets[id]) {
+                    if call.panicky && target.is_none() {
+                        sites.push(PanicSite {
+                            line: call.line,
+                            what: format!("`.{}()`", call.name),
+                        });
+                    }
+                }
+            }
+            let waivers = &mut files[meta.file_idx].waivers;
+            sites.retain(|s| {
+                let w = waivers.iter_mut().find(|w| {
+                    matches!(w.rule, Rule::PanicPath | Rule::PanicPropagation)
+                        && (w.line == s.line || w.line + 1 == s.line)
+                });
+                match w {
+                    Some(w) => {
+                        w.used = true;
+                        false
+                    }
+                    None => true,
+                }
+            });
+            panic_sources[id] = sites;
+        }
+
+        // Reverse adjacency for the multi-source BFS closures.
+        let mut redges: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (id, outs) in edges.iter().enumerate() {
+            for &t in outs {
+                redges[t as usize].push(id as u32);
+            }
+        }
+
+        let blocking_reach = reach(
+            &redges,
+            (0..n).filter_map(|id| {
+                let meta = &table.fns[id];
+                let ops = &files[meta.file_idx].fns[meta.fn_idx].ops;
+                let b = ops.blocking.first()?;
+                Some((
+                    id as u32,
+                    Witness {
+                        next: None,
+                        what: format!("`{}`", b.what),
+                        file: files[meta.file_idx].path.clone(),
+                        line: b.line,
+                    },
+                ))
+            }),
+        );
+        let panic_reach = reach(
+            &redges,
+            (0..n).filter_map(|id| {
+                let meta = &table.fns[id];
+                let s = panic_sources[id].first()?;
+                Some((
+                    id as u32,
+                    Witness {
+                        next: None,
+                        what: s.what.clone(),
+                        file: files[meta.file_idx].path.clone(),
+                        line: s.line,
+                    },
+                ))
+            }),
+        );
+
+        // Lock closure: fixpoint over own acquisitions ∪ callee closures.
+        let mut locks_reach: Vec<BTreeSet<String>> = (0..n)
+            .map(|id| {
+                let meta = &table.fns[id];
+                files[meta.file_idx].fns[meta.fn_idx]
+                    .ops
+                    .acquires
+                    .iter()
+                    .filter(|a| !a.param_rooted)
+                    .map(|a| a.lock.clone())
+                    .collect()
+            })
+            .collect();
+        let mut queue: VecDeque<u32> = (0..n as u32).collect();
+        let mut queued = vec![true; n];
+        while let Some(id) = queue.pop_front() {
+            queued[id as usize] = false;
+            let mut grown: Vec<String> = Vec::new();
+            for &t in &edges[id as usize] {
+                for l in &locks_reach[t as usize] {
+                    if !locks_reach[id as usize].contains(l) {
+                        grown.push(l.clone());
+                    }
+                }
+            }
+            if !grown.is_empty() {
+                locks_reach[id as usize].extend(grown);
+                for &c in &redges[id as usize] {
+                    if !queued[c as usize] {
+                        queued[c as usize] = true;
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+
+        // The global lock graph: direct held→acquired edges, plus edges
+        // closed through a resolved callee's lock closure.
+        let mut lock_edges: BTreeSet<LockEdge> = BTreeSet::new();
+        for (id, meta) in table.fns.iter().enumerate() {
+            let file = &files[meta.file_idx];
+            let ops = &file.fns[meta.fn_idx].ops;
+            for acq in &ops.acquires {
+                if acq.param_rooted {
+                    continue;
+                }
+                for h in &acq.held {
+                    lock_edges.insert(LockEdge {
+                        from: h.clone(),
+                        to: acq.lock.clone(),
+                        file: file.path.clone(),
+                        line: acq.line,
+                        via: None,
+                    });
+                }
+            }
+            for (call, target) in ops.calls.iter().zip(&call_targets[id]) {
+                let Some(t) = target else { continue };
+                if call.held.is_empty() {
+                    continue;
+                }
+                for l in &locks_reach[*t as usize] {
+                    for h in &call.held {
+                        lock_edges.insert(LockEdge {
+                            from: h.clone(),
+                            to: l.clone(),
+                            file: file.path.clone(),
+                            line: call.line,
+                            via: Some(table.fns[*t as usize].name.clone()),
+                        });
+                    }
+                }
+            }
+        }
+
+        Graph {
+            table,
+            edges,
+            call_targets,
+            locks_reach,
+            blocking_reach,
+            panic_reach,
+            lock_edges: lock_edges.into_iter().collect(),
+        }
+    }
+
+    /// The shortest witness call chain from `id` following `field`'s
+    /// next-hops, as function names (`id` first).
+    pub fn chain(&self, mut id: u32, field: &[Option<Witness>]) -> Vec<String> {
+        let mut names = vec![self.table.fns[id as usize].name.clone()];
+        let mut hops = 0usize;
+        while let Some(w) = &field[id as usize] {
+            let Some(next) = w.next else { break };
+            id = next;
+            names.push(self.table.fns[id as usize].name.clone());
+            hops += 1;
+            if hops > self.table.fns.len() {
+                break; // defensive: witness fields are acyclic by construction
+            }
+        }
+        names
+    }
+
+    /// Machine-readable dump of the call + lock graph.
+    pub(crate) fn to_json(&self, files: &[FileAnal]) -> String {
+        let esc = |s: &str| -> String {
+            let mut out = String::new();
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
+        };
+        let mut out = String::from("{\n  \"functions\": [");
+        for (id, meta) in self.table.fns.iter().enumerate() {
+            let file = &files[meta.file_idx];
+            let ops = &file.fns[meta.fn_idx].ops;
+            if id > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"id\":");
+            out.push_str(&id.to_string());
+            out.push_str(",\"name\":\"");
+            if let Some(ty) = &meta.self_type {
+                out.push_str(&esc(ty));
+                out.push_str("::");
+            }
+            out.push_str(&esc(&meta.name));
+            out.push_str("\",\"file\":\"");
+            out.push_str(&esc(&file.path));
+            out.push_str("\",\"line\":");
+            out.push_str(&meta.line.to_string());
+            out.push_str(",\"public\":");
+            out.push_str(if meta.is_public { "true" } else { "false" });
+            out.push_str(",\"calls\":[");
+            for (i, t) in self.edges[id].iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&t.to_string());
+            }
+            out.push_str("],\"acquires\":[");
+            let mut acqs: Vec<&str> = ops
+                .acquires
+                .iter()
+                .filter(|a| !a.param_rooted)
+                .map(|a| a.lock.as_str())
+                .collect();
+            acqs.sort_unstable();
+            acqs.dedup();
+            for (i, l) in acqs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&esc(l));
+                out.push('"');
+            }
+            out.push_str("],\"blocking\":[");
+            let mut blocks: Vec<&str> = ops.blocking.iter().map(|b| b.what.as_str()).collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            for (i, b) in blocks.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&esc(b));
+                out.push('"');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ],\n  \"lock_edges\": [");
+        for (i, e) in self.lock_edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"from\":\"");
+            out.push_str(&esc(&e.from));
+            out.push_str("\",\"to\":\"");
+            out.push_str(&esc(&e.to));
+            out.push_str("\",\"file\":\"");
+            out.push_str(&esc(&e.file));
+            out.push_str("\",\"line\":");
+            out.push_str(&e.line.to_string());
+            if let Some(via) = &e.via {
+                out.push_str(",\"via\":\"");
+                out.push_str(&esc(via));
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}");
+        out
+    }
+}
+
+/// Multi-source BFS over the reverse edge set: every function that can
+/// reach a base gets a [`Witness`] whose `next` hop walks a shortest
+/// path toward it. Deterministic: sources enqueue in id order.
+fn reach(
+    redges: &[Vec<u32>],
+    sources: impl Iterator<Item = (u32, Witness)>,
+) -> Vec<Option<Witness>> {
+    let mut field: Vec<Option<Witness>> = vec![None; redges.len()];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for (id, w) in sources {
+        if field[id as usize].is_none() {
+            field[id as usize] = Some(w);
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        let base = field[id as usize].clone();
+        let Some(base) = base else { continue };
+        for &caller in &redges[id as usize] {
+            if field[caller as usize].is_none() {
+                field[caller as usize] = Some(Witness {
+                    next: Some(id),
+                    what: base.what.clone(),
+                    file: base.file.clone(),
+                    line: base.line,
+                });
+                queue.push_back(caller);
+            }
+        }
+    }
+    field
+}
+
+/// Finds elementary cycles in the lock graph: one representative shortest
+/// cycle per strongly-connected component (self-loops included), in
+/// lexical node order. Returns `(cycle node list, edges along it)`.
+pub fn lock_cycles(edges: &[LockEdge]) -> Vec<Vec<LockEdge>> {
+    // Adjacency over lock names.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        adj.entry(&e.to).or_default();
+    }
+    let edge_of = |from: &str, to: &str| -> LockEdge {
+        edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .cloned()
+            .unwrap_or(LockEdge {
+                from: from.to_string(),
+                to: to.to_string(),
+                file: String::new(),
+                line: 0,
+                via: None,
+            })
+    };
+
+    let mut cycles: Vec<Vec<LockEdge>> = Vec::new();
+    let mut in_cycle: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys() {
+        if in_cycle.contains(start) {
+            continue;
+        }
+        // Shortest path start → start via BFS (length ≥ 1).
+        let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        queue.push_back(start);
+        let mut closing_hop: Option<&str> = None;
+        'bfs: while let Some(u) = queue.pop_front() {
+            if let Some(nexts) = adj.get(u) {
+                for &v in nexts {
+                    if v == start {
+                        closing_hop = Some(u);
+                        break 'bfs;
+                    }
+                    if !prev.contains_key(v) {
+                        prev.insert(v, u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        let Some(mut cur) = closing_hop else {
+            continue;
+        };
+        // Reconstruct start → … → start.
+        let mut rev: Vec<&str> = vec![start];
+        while cur != start {
+            rev.push(cur);
+            let Some(&p) = prev.get(cur) else { break };
+            cur = p;
+        }
+        rev.push(start);
+        rev.reverse(); // start, …, start
+        let cycle_edges: Vec<LockEdge> = rev.windows(2).map(|w| edge_of(w[0], w[1])).collect();
+        for n in &rev {
+            in_cycle.insert(n);
+        }
+        cycles.push(cycle_edges);
+    }
+    cycles
+}

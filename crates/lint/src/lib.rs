@@ -14,8 +14,18 @@
 //! | R3   | unsafe-code     | everywhere, plus crate-root audit      | `unsafe` tokens; missing `#![forbid(unsafe_code)]` |
 //! | R4   | narrowing-cast  | CSR/Morton/heap hot-path files         | unchecked `as u32`-style narrowing on index arithmetic |
 //! | R5   | float-accum     | parallel-join / gain files             | f64 reductions outside `canonical_gain` |
+//! | R6   | lock-order      | workspace lock graph                   | any cycle of lock-acquisition order, incl. through callees |
+//! | R7   | panic-propagation| public fns of panic-path crates       | transitive reach of an unwaived panic / unguarded indexing |
+//! | R8   | hold-across-blocking | `serve` worker files              | guard held across blocking I/O, joins, waits, or lock-taking calls |
 //! | W1   | bad-waiver      | everywhere                             | waiver without a reason / unknown rule |
 //! | W2   | unused-waiver   | everywhere                             | waiver that suppresses nothing |
+//!
+//! R1–R5 are token-level. R6–R8 are **inter-procedural**: an item-level
+//! parser ([`parser`]) feeds a workspace symbol table ([`symbols`]) and a
+//! per-function lock/call/blocking summary ([`lockscope`]); the call
+//! graph ([`callgraph`]) closes lock, blocking and panic reachability
+//! over resolved edges, and the three rules read those closures. The
+//! whole substrate dumps to JSON via `--graph-json` for CI diffing.
 //!
 //! Violations are waived inline with `// lint:allow(<rule>): <reason>` on
 //! the offending line or the line above; the reason is mandatory and
@@ -30,11 +40,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod lockscope;
+pub mod parser;
+mod r6_lock_order;
+mod r7_panic_prop;
+mod r8_hold_blocking;
 mod rules;
 pub mod scopes;
+pub mod symbols;
 
-pub use rules::{lint_source, Diagnostic, FileClass, Rule};
+pub use rules::{Diagnostic, FileClass, Rule};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -65,6 +82,18 @@ const NARROWING_SCOPE: [&str; 13] = [
     "crates/influence/src/lanes.rs",
     "crates/serve/src/delta.rs",
     "crates/serve/src/live.rs",
+];
+
+/// Serve request-path files where R7 treats unguarded slice indexing as a
+/// panic source: these run inside worker threads where a panic poisons
+/// the shared locks and wedges the whole accept loop.
+const INDEX_GUARD_SCOPE: [&str; 6] = [
+    "crates/serve/src/server.rs",
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/live.rs",
+    "crates/serve/src/cache.rs",
+    "crates/serve/src/metrics.rs",
+    "crates/serve/src/protocol.rs",
 ];
 
 /// Files containing parallel-join, gain-materialisation, or lane-kernel
@@ -104,6 +133,10 @@ pub fn classify(rel: &str) -> Option<FileClass> {
                 narrowing_cast: NARROWING_SCOPE.contains(&rel),
                 float_accum: FLOAT_SCOPE.contains(&rel),
                 crate_root: in_src == "lib.rs",
+                graph: true,
+                bin_crate: PANIC_EXEMPT_CRATES.contains(&name) || is_bin_target,
+                hold_across_blocking: name == "serve",
+                index_guard: INDEX_GUARD_SCOPE.contains(&rel),
             });
         }
         // Integration tests / benches of a crate: unsafe audit only.
@@ -117,8 +150,14 @@ pub fn classify(rel: &str) -> Option<FileClass> {
         let crate_root = rest
             .split_once('/')
             .is_some_and(|(_, tail)| tail == "src/lib.rs");
+        // Shims join the call graph (so calls into them resolve instead of
+        // dangling) but contribute no panic sources — like std itself.
+        let graph = rest
+            .split_once('/')
+            .is_some_and(|(_, t)| t.starts_with("src/"));
         return Some(FileClass {
             crate_root,
+            graph,
             ..FileClass::default()
         });
     }
@@ -156,12 +195,138 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()>
     Ok(())
 }
 
-/// Lints every in-scope `.rs` file under `root` (a workspace checkout).
-/// Returns all diagnostics sorted by file and line; empty means clean.
+/// One source file handed to [`lint_project`].
+pub struct ProjectFile {
+    /// Workspace-relative, `/`-separated path (used in diagnostics and
+    /// for symbol-table module derivation).
+    pub path: String,
+    /// The file's contents.
+    pub src: String,
+    /// Which rules apply.
+    pub class: FileClass,
+}
+
+/// Per-function analysis state: the parsed item plus its operation
+/// summary (calls, acquisitions, blocking sites, panic sites).
+pub(crate) struct FnAnal {
+    pub(crate) item: parser::FnItem,
+    pub(crate) ops: lockscope::FnOps,
+}
+
+/// Per-file analysis state shared between the token and graph phases.
+pub(crate) struct FileAnal {
+    pub(crate) path: String,
+    pub(crate) class: FileClass,
+    pub(crate) waivers: Vec<rules::Waiver>,
+    /// Raw (pre-waiver) diagnostics; the graph rules append here so one
+    /// waiver protocol covers R1–R8 uniformly.
+    pub(crate) raw: Vec<Diagnostic>,
+    pub(crate) fns: Vec<FnAnal>,
+}
+
+/// The result of a project-level lint run.
+pub struct ProjectReport {
+    /// All diagnostics, sorted by file and line; empty means clean.
+    pub diags: Vec<Diagnostic>,
+    /// The call-graph/lock-graph dump (the `--graph-json` payload).
+    pub graph_json: String,
+    /// Files analysed.
+    pub n_files: usize,
+    /// Functions in the call graph.
+    pub n_functions: usize,
+}
+
+/// Lints a set of files as **one project**: token rules (R1–R5) per file,
+/// then the inter-procedural rules (R6–R8) over the cross-file call
+/// graph, then waiver accounting (W1/W2) across all of it.
+pub fn lint_project(files: &[ProjectFile]) -> ProjectReport {
+    let mut anals: Vec<FileAnal> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    for pf in files {
+        let toks = lexer::lex(&pf.src);
+        let sc = scopes::analyze(&toks);
+        let code: Vec<usize> = (0..toks.len())
+            .filter(|&i| {
+                !matches!(
+                    toks[i].kind,
+                    lexer::TokKind::LineComment | lexer::TokKind::BlockComment
+                )
+            })
+            .collect();
+
+        let (waivers, mut bad) = rules::collect_waivers(&pf.path, &toks, &sc);
+        diags.append(&mut bad); // W1 is never waivable
+        let raw = rules::token_rules(&pf.path, &toks, &code, &sc, pf.class);
+
+        let mut fns: Vec<FnAnal> = Vec::new();
+        if pf.class.graph {
+            for item in parser::parse_items(&toks, &code, &sc) {
+                if item.is_test {
+                    continue;
+                }
+                let ops = lockscope::extract_ops(&toks, &code, &item, pf.class.index_guard);
+                fns.push(FnAnal { item, ops });
+            }
+        }
+        anals.push(FileAnal {
+            path: pf.path.clone(),
+            class: pf.class,
+            waivers,
+            raw,
+            fns,
+        });
+    }
+
+    let graph = callgraph::Graph::build(&mut anals);
+    let mut graph_raw = r6_lock_order::check(&graph);
+    graph_raw.extend(r7_panic_prop::check(&graph, &anals));
+    graph_raw.extend(r8_hold_blocking::check(&graph, &anals));
+    // Route each graph diagnostic into its file's raw list so the normal
+    // same-line / line-above waiver protocol applies to R6–R8 too.
+    for d in graph_raw {
+        match anals.iter_mut().find(|f| f.path == d.file) {
+            Some(f) => f.raw.push(d),
+            None => diags.push(d),
+        }
+    }
+
+    let n_functions = graph.table.fns.len();
+    let graph_json = graph.to_json(&anals);
+
+    for f in &mut anals {
+        let raw = std::mem::take(&mut f.raw);
+        rules::apply_waivers(raw, &mut f.waivers, &mut diags);
+        rules::unused_waiver_diags(&f.path, &f.waivers, &mut diags);
+    }
+    diags.sort();
+    ProjectReport {
+        diags,
+        graph_json,
+        n_files: anals.len(),
+        n_functions,
+    }
+}
+
+/// Lints one file standalone — the single-file view of [`lint_project`].
+/// Cross-file call edges obviously cannot form, but every rule that can
+/// fire within one file (including R6–R8 on local evidence) does.
+pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
+    lint_project(&[ProjectFile {
+        path: path.to_string(),
+        src: src.to_string(),
+        class,
+    }])
+    .diags
+}
+
+/// Builds the [`ProjectFile`] set for a workspace checkout: every
+/// in-scope `.rs` file under `crates/`, `shims/`, `tests/`, `examples/`,
+/// in sorted order.
 ///
 /// # Errors
 /// Propagates I/O errors from walking or reading the tree.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+pub fn workspace_files(root: &Path) -> io::Result<Vec<ProjectFile>> {
     let mut files: Vec<PathBuf> = Vec::new();
     for top in ["crates", "shims", "tests", "examples"] {
         let dir = root.join(top);
@@ -172,7 +337,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     // Deterministic order regardless of directory-entry order.
     files.sort();
 
-    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut out: Vec<ProjectFile> = Vec::new();
     for rel in &files {
         let rel_str = rel
             .to_string_lossy()
@@ -181,10 +346,81 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             continue;
         };
         let src = std::fs::read_to_string(root.join(rel))?;
-        diags.extend(lint_source(&rel_str, &src, class));
+        out.push(ProjectFile {
+            path: rel_str,
+            src,
+            class,
+        });
     }
-    diags.sort();
-    Ok(diags)
+    Ok(out)
+}
+
+/// Lints every in-scope `.rs` file under `root` (a workspace checkout)
+/// as one project. Returns the full report; [`lint_workspace`] is the
+/// diagnostics-only shorthand.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace_report(root: &Path) -> io::Result<ProjectReport> {
+    Ok(lint_project(&workspace_files(root)?))
+}
+
+/// Lints every in-scope `.rs` file under `root` (a workspace checkout).
+/// Returns all diagnostics sorted by file and line; empty means clean.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    Ok(lint_workspace_report(root)?.diags)
+}
+
+/// Deletes every **unused** waiver comment in the workspace (the W2
+/// findings): a waiver on its own line is removed whole; a trailing
+/// waiver is cut back to the code before it. Returns the edited
+/// workspace-relative paths with the number of waivers removed from each.
+///
+/// # Errors
+/// Propagates I/O errors from linting, re-reading, or rewriting files.
+pub fn fix_waivers(root: &Path) -> io::Result<Vec<(String, usize)>> {
+    let report = lint_workspace_report(root)?;
+    let mut by_file: std::collections::BTreeMap<String, Vec<u32>> =
+        std::collections::BTreeMap::new();
+    for d in &report.diags {
+        if d.rule == Rule::UnusedWaiver {
+            by_file.entry(d.file.clone()).or_default().push(d.line);
+        }
+    }
+
+    let mut edited: Vec<(String, usize)> = Vec::new();
+    for (rel, lines) in &by_file {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path)?;
+        let mut kept: Vec<&str> = Vec::new();
+        let mut removed = 0usize;
+        for (i, line) in src.lines().enumerate() {
+            let lineno = (i + 1) as u32;
+            if !lines.contains(&lineno) {
+                kept.push(line);
+                continue;
+            }
+            removed += 1;
+            let Some(at) = line.find("// lint:allow") else {
+                kept.push(line); // defensive: diagnostic without a comment
+                continue;
+            };
+            let head = line[..at].trim_end();
+            if !head.is_empty() {
+                kept.push(head); // trailing waiver: keep the code
+            }
+        }
+        let mut out = kept.join("\n");
+        if src.ends_with('\n') {
+            out.push('\n');
+        }
+        std::fs::write(&path, out)?;
+        edited.push((rel.clone(), removed));
+    }
+    Ok(edited)
 }
 
 /// Renders diagnostics as a machine-readable JSON array (`[]` when clean).

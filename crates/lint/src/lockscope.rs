@@ -1,0 +1,631 @@
+//! Per-function operation extraction: call sites, lock acquisitions and
+//! the guard hold regions they open, direct blocking primitives, and
+//! panic/indexing sites. The call graph consumes these summaries; nothing
+//! here looks across function boundaries.
+//!
+//! ## The hold-region model
+//!
+//! Guard lifetimes follow edition-2021 temporary rules, approximated:
+//!
+//! * `let g = <path>.lock();` / `let g = lock(&path);` — **bound**: held
+//!   until `drop(g)` or the enclosing block closes.
+//! * any other acquisition — **temporary**: held to the end of the
+//!   enclosing statement; for `match`/`if let` scrutinees that means
+//!   through the construct's arms/body (edition 2021 keeps scrutinee
+//!   temporaries alive that long).
+//!
+//! ## Acquisition forms
+//!
+//! * zero-argument `.lock()` / `.read()` / `.write()` method calls — the
+//!   zero-arg requirement keeps `io::Read::read(&mut buf)` and friends
+//!   out;
+//! * the workspace's poison-recovering helper `lock(&path)` — a free call
+//!   named exactly `lock` attributes the acquisition to the **caller**,
+//!   so the helper's own parameter lock never becomes a graph node.
+//!
+//! Lock identity is the last path segment of the receiver
+//! (`shared.queue` → `queue`); `self.x` receivers are qualified by the
+//! impl type (`Flight.done`) so same-named fields on different types stay
+//! distinct. An acquisition whose receiver is a bare function parameter
+//! is tracked locally but excluded from the function's summary: the
+//! caller-side attribution above covers it.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{is_keyword, FnItem};
+
+/// Method names that acquire a guard when called with zero arguments.
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Calls that block the current thread directly (I/O, sleeps, joins).
+/// `join` only counts when zero-argument (a method with an argument is
+/// `slice::join`); `wait`-family condvar calls are handled separately so
+/// the guard they consume can be exempted.
+const BLOCKING_CALLS: [&str; 10] = [
+    "read_exact",
+    "write_all",
+    "read_to_end",
+    "flush",
+    "accept",
+    "connect",
+    "sleep",
+    "recv",
+    "recv_timeout",
+    "park",
+];
+
+/// `std` method names the resolver must never map onto same-named
+/// workspace methods: calls with these names get no call-graph edges.
+/// Workspace methods deliberately avoid these names (and the linter's
+/// self-run keeps the list honest: a collision shows up as a missing edge
+/// in `--graph-json`, not a false diagnostic).
+pub(crate) const STD_METHODS: [&str; 104] = [
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "binary_search_by",
+    "bytes",
+    "ceil",
+    "chain",
+    "chars",
+    "chunks",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "dedup",
+    "drain",
+    "elapsed",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_init",
+    "hash",
+    "insert",
+    "into",
+    "into_inner",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "load",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "min",
+    "min_by",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partition_point",
+    "position",
+    "pop",
+    "push",
+    "push_str",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "skip",
+    "sqrt",
+    "store",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "truncate",
+    "try_into",
+    "zip",
+];
+
+/// One call expression, pre-resolution.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// The called name (last path segment / method name).
+    pub name: String,
+    /// Path segments before the name for free/qualified calls
+    /// (`mc2ls_core::algorithms::f` → `["mc2ls_core", "algorithms"]`).
+    pub qualifier: Vec<String>,
+    /// Dotted receiver path for method calls when it is a plain
+    /// ident/field chain (`"self"`, `"shared.engine"`); `None` for
+    /// complex receivers.
+    pub receiver: Option<String>,
+    /// The call used method syntax.
+    pub is_method: bool,
+    /// `unwrap`/`expect` — a panic source unless it resolves to a
+    /// workspace-defined method.
+    pub panicky: bool,
+    /// Lock names held at the call site (guards whose hold region covers
+    /// this token), minus any guard this very call consumes
+    /// (`Condvar::wait(guard)`).
+    pub held: Vec<String>,
+}
+
+/// One lock acquisition.
+#[derive(Debug, Clone)]
+pub struct AcqSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// Lock identity (see module docs).
+    pub lock: String,
+    /// Locks already held when this one is acquired — each is a
+    /// lock-order edge `held → lock`.
+    pub held: Vec<String>,
+    /// The receiver was a bare fn parameter: excluded from the summary.
+    pub param_rooted: bool,
+}
+
+/// A direct blocking primitive (not a user-function call).
+#[derive(Debug, Clone)]
+pub struct BlockSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// Which primitive (`read_exact`, `join`, `Condvar::wait`, …).
+    pub what: String,
+    /// Locks held across the primitive, minus the condvar-consumed guard.
+    pub held: Vec<String>,
+}
+
+/// A site that panics outright: `panic!`-family macros and (in the
+/// index-guard scope) slice indexing.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description for diagnostics (`` `panic!` ``, `indexing`).
+    pub what: String,
+}
+
+/// Everything the graph phase needs to know about one function body.
+#[derive(Debug, Clone, Default)]
+pub struct FnOps {
+    /// Call expressions (resolution happens in the graph phase).
+    pub calls: Vec<CallSite>,
+    /// Lock acquisitions (including param-rooted ones, flagged).
+    pub acquires: Vec<AcqSite>,
+    /// Direct blocking primitives.
+    pub blocking: Vec<BlockSite>,
+    /// Unconditional panic sites (macros; indexing when in scope).
+    pub panics: Vec<PanicSite>,
+}
+
+/// An active guard hold region during the body walk.
+struct Hold {
+    /// The `let` binding name, when bound (for `drop(g)` and condvar
+    /// exemption matching).
+    var: Option<String>,
+    /// Lock identity.
+    lock: String,
+    /// Bound: expires when depth drops below this. Temp: `None`.
+    bound_depth: Option<u32>,
+    /// Temp: expires after this code index. Bound: `usize::MAX`.
+    end_ci: usize,
+    /// Acquired through a bare-parameter receiver.
+    param_rooted: bool,
+}
+
+/// Extracts the operation summary of one function body. `index_guard`
+/// turns on indexing-site collection (the R7 source scope).
+pub fn extract_ops(toks: &[Tok<'_>], code: &[usize], item: &FnItem, index_guard: bool) -> FnOps {
+    let mut ops = FnOps::default();
+    let Some((open, close)) = item.body else {
+        return ops;
+    };
+    let mut holds: Vec<Hold> = Vec::new();
+    let mut depth: u32 = 0; // relative to the body block
+    let mut stmt_start = open + 1;
+
+    let mut ci = open + 1;
+    while ci < close {
+        // Expire temporary holds whose statement ended.
+        holds.retain(|h| h.end_ci >= ci || h.bound_depth.is_some());
+        let t = &toks[code[ci]];
+        match t.kind {
+            TokKind::Punct(b'{') => {
+                depth += 1;
+                stmt_start = ci + 1;
+            }
+            TokKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                holds.retain(|h| h.bound_depth.is_none_or(|d| d <= depth));
+                stmt_start = ci + 1;
+            }
+            TokKind::Punct(b';') => stmt_start = ci + 1,
+            TokKind::Ident if !is_keyword(t.text) => {
+                let next_open = code.get(ci + 1).is_some_and(|&i| toks[i].is_punct(b'('));
+                let next_bang = code.get(ci + 1).is_some_and(|&i| toks[i].is_punct(b'!'));
+                if next_bang {
+                    if matches!(t.text, "panic" | "todo" | "unimplemented" | "unreachable") {
+                        ops.panics.push(PanicSite {
+                            line: t.line,
+                            what: format!("`{}!`", t.text),
+                        });
+                    }
+                    // Any other macro: just keep walking through its args.
+                } else if next_open {
+                    handle_call(
+                        toks, code, item, ci, stmt_start, depth, &mut holds, &mut ops,
+                    );
+                }
+            }
+            TokKind::Punct(b'[') if index_guard => {
+                // `expr[` — indexing can panic. `#[attr]`, `vec![…]`,
+                // types and patterns are excluded by requiring the
+                // previous code token to be a value-position ident, `)`
+                // or `]`.
+                let indexes = ci > 0
+                    && match &toks[code[ci - 1]] {
+                        p if p.is_punct(b')') || p.is_punct(b']') => true,
+                        p => p.kind == TokKind::Ident && !is_keyword(p.text),
+                    };
+                if indexes {
+                    ops.panics.push(PanicSite {
+                        line: t.line,
+                        what: "indexing".into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+        ci += 1;
+    }
+    ops
+}
+
+/// Handles one `name(`-shaped call expression at code index `ci`.
+#[allow(clippy::too_many_arguments)]
+fn handle_call(
+    toks: &[Tok<'_>],
+    code: &[usize],
+    item: &FnItem,
+    ci: usize,
+    stmt_start: usize,
+    depth: u32,
+    holds: &mut Vec<Hold>,
+    ops: &mut FnOps,
+) {
+    let t = &toks[code[ci]];
+    let name = t.text;
+    // Tuple-struct / enum-variant constructors are capitalised and never
+    // name workspace functions.
+    if name.chars().next().is_some_and(char::is_uppercase) {
+        return;
+    }
+    let line = t.line;
+    let prev_dot = ci > 0 && toks[code[ci - 1]].is_punct(b'.');
+    let prev_path =
+        ci > 1 && toks[code[ci - 1]].is_punct(b':') && toks[code[ci - 2]].is_punct(b':');
+    let zero_args = code.get(ci + 2).is_some_and(|&i| toks[i].is_punct(b')'));
+    let receiver = if prev_dot {
+        receiver_path(toks, code, ci - 1)
+    } else {
+        None
+    };
+    let arg0 = arg0_path(toks, code, ci + 1);
+    let held_names = |holds: &[Hold]| -> Vec<String> {
+        let mut v: Vec<String> = holds
+            .iter()
+            .filter(|h| !h.param_rooted)
+            .map(|h| h.lock.clone())
+            .collect();
+        v.dedup();
+        v
+    };
+
+    // `drop(g)` releases a bound guard early.
+    if name == "drop" && !prev_dot && !prev_path {
+        if let Some(g) = &arg0 {
+            holds.retain(|h| h.var.as_deref() != Some(g.as_str()));
+        }
+        return;
+    }
+
+    // Condvar waits: blocking, but the guard passed in is the sanctioned
+    // hold — only *other* guards held across the wait are hazards.
+    if prev_dot && matches!(name, "wait" | "wait_timeout" | "wait_while") && !zero_args {
+        let held: Vec<String> = holds
+            .iter()
+            .filter(|h| !h.param_rooted && h.var != arg0)
+            .map(|h| h.lock.clone())
+            .collect();
+        ops.blocking.push(BlockSite {
+            line,
+            what: format!("Condvar::{name}"),
+            held,
+        });
+        return;
+    }
+
+    // Acquisitions: `.lock()`/`.read()`/`.write()` with no args, or the
+    // caller-attributed `lock(&path)` helper.
+    let method_acq = prev_dot && zero_args && ACQUIRE_METHODS.contains(&name) && receiver.is_some();
+    let helper_acq = !prev_dot && !prev_path && name == "lock" && arg0.is_some();
+    if method_acq || helper_acq {
+        let path = if method_acq {
+            receiver.clone().unwrap_or_default()
+        } else {
+            arg0.clone().unwrap_or_default()
+        };
+        let segs: Vec<&str> = path.split('.').collect();
+        let param_rooted = segs.len() == 1 && item.params.iter().any(|p| p == segs[0]);
+        let lock = lock_identity(&segs, item);
+        ops.acquires.push(AcqSite {
+            line,
+            lock: lock.clone(),
+            held: held_names(holds),
+            param_rooted,
+        });
+        let close = matching_paren(toks, code, ci + 1);
+        let (var, bound_depth, end_ci) = binding_of(toks, code, stmt_start, ci, close, depth);
+        holds.push(Hold {
+            var,
+            lock,
+            bound_depth,
+            end_ci,
+            param_rooted,
+        });
+        return;
+    }
+
+    // Direct blocking primitives.
+    let blocking = BLOCKING_CALLS.contains(&name);
+    let join_block = name == "join" && prev_dot && zero_args;
+    if blocking || join_block {
+        ops.blocking.push(BlockSite {
+            line,
+            what: name.to_string(),
+            held: held_names(holds),
+        });
+        return;
+    }
+
+    // Everything else is a call-graph candidate.
+    let panicky = prev_dot && matches!(name, "unwrap" | "expect");
+    let qualifier = if prev_path {
+        qualifier_path(toks, code, ci)
+    } else {
+        Vec::new()
+    };
+    ops.calls.push(CallSite {
+        line,
+        name: name.to_string(),
+        qualifier,
+        receiver,
+        is_method: prev_dot,
+        panicky,
+        held: held_names(holds),
+    });
+}
+
+/// Lock identity from receiver/argument path segments: the last segment,
+/// qualified by the impl type for `self.field` receivers.
+fn lock_identity(segs: &[&str], item: &FnItem) -> String {
+    let last = segs.last().copied().unwrap_or("?");
+    if segs.len() >= 2 && segs[0] == "self" {
+        if let Some(ty) = &item.self_type {
+            return format!("{ty}.{last}");
+        }
+    }
+    last.to_string()
+}
+
+/// The dotted receiver path ending at the `.` at code index `dot`, when
+/// it is a plain ident/field chain (`a.b.c`). `None` for anything else.
+fn receiver_path(toks: &[Tok<'_>], code: &[usize], dot: usize) -> Option<String> {
+    let mut segs: Vec<&str> = Vec::new();
+    let mut j = dot; // points at a `.`
+    while j >= 1 {
+        let prev = &toks[code[j - 1]];
+        if prev.kind != TokKind::Ident || is_keyword(prev.text) {
+            return None;
+        }
+        segs.push(prev.text);
+        if j >= 2 && toks[code[j - 2]].is_punct(b'.') {
+            j -= 2;
+        } else {
+            // Chain start: reject if it continues leftwards into a call
+            // or index result (`f(x).lock()`), which `)`/`]` would show.
+            if j >= 2 {
+                let before = &toks[code[j - 2]];
+                if before.is_punct(b')') || before.is_punct(b']') || before.is_punct(b'?') {
+                    return None;
+                }
+            }
+            segs.reverse();
+            return Some(segs.join("."));
+        }
+    }
+    None
+}
+
+/// First argument of the call whose `(` sits at code index `open`, when
+/// it is `&path` / `&mut path` / a bare dotted path followed by `,`/`)`.
+fn arg0_path(toks: &[Tok<'_>], code: &[usize], open: usize) -> Option<String> {
+    let mut j = open + 1;
+    while code
+        .get(j)
+        .is_some_and(|&i| toks[i].is_punct(b'&') || toks[i].is_ident("mut"))
+    {
+        j += 1;
+    }
+    let mut segs: Vec<&str> = Vec::new();
+    loop {
+        let t = code.get(j).map(|&i| &toks[i])?;
+        if t.kind != TokKind::Ident || is_keyword(t.text) {
+            return None;
+        }
+        segs.push(t.text);
+        match code.get(j + 1).map(|&i| &toks[i]) {
+            Some(n) if n.is_punct(b'.') => j += 2,
+            Some(n) if n.is_punct(b',') || n.is_punct(b')') => {
+                return Some(segs.join("."));
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Leading path segments of a `a::b::name(` call, outermost first.
+fn qualifier_path(toks: &[Tok<'_>], code: &[usize], name_ci: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = name_ci;
+    while j >= 3
+        && toks[code[j - 1]].is_punct(b':')
+        && toks[code[j - 2]].is_punct(b':')
+        && toks[code[j - 3]].kind == TokKind::Ident
+    {
+        segs.push(toks[code[j - 3]].text.to_string());
+        j -= 3;
+    }
+    segs.reverse();
+    segs
+}
+
+/// Code index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Tok<'_>], code: &[usize], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < code.len() {
+        let u = &toks[code[j]];
+        if u.is_punct(b'(') {
+            depth += 1;
+        } else if u.is_punct(b')') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Determines how the acquisition ending at code index `close` binds:
+/// `let name = <acq>;` → bound (name, depth); anything else → temporary
+/// with a computed statement-end index.
+fn binding_of(
+    toks: &[Tok<'_>],
+    code: &[usize],
+    stmt_start: usize,
+    acq_ci: usize,
+    close: usize,
+    depth: u32,
+) -> (Option<String>, Option<u32>, usize) {
+    let is = |j: usize, f: &dyn Fn(&Tok<'_>) -> bool| code.get(j).is_some_and(|&i| f(&toks[i]));
+    if is(stmt_start, &|t| t.is_ident("let")) {
+        let mut j = stmt_start + 1;
+        if is(j, &|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let name = code
+            .get(j)
+            .map(|&i| &toks[i])
+            .filter(|t| t.kind == TokKind::Ident && !is_keyword(t.text))
+            .map(|t| t.text.to_string());
+        if let Some(name) = name {
+            // Direct binding: `=` right after the pattern, only receiver
+            // path tokens between `=` and the call, `;` right after it.
+            let eq_at = j + 1;
+            let direct_rhs = (eq_at + 1..=acq_ci).all(|k| {
+                is(k, &|t| {
+                    (t.kind == TokKind::Ident && !is_keyword(t.text))
+                        || t.is_punct(b'.')
+                        || t.is_punct(b'&')
+                })
+            });
+            if is(eq_at, &|t| t.is_punct(b'='))
+                && direct_rhs
+                && is(close + 1, &|t| t.is_punct(b';'))
+            {
+                return (Some(name), Some(depth), usize::MAX);
+            }
+        }
+    }
+    (None, None, statement_end(toks, code, close))
+}
+
+/// End of the enclosing statement/construct for a temporary guard created
+/// at brace depth `depth`, scanning from just past the acquisition:
+/// the first top-level `;`, the close of a trailing construct body
+/// (`match`/`if let` arms — edition 2021 keeps scrutinee temporaries
+/// alive through them), or the end of the enclosing block.
+fn statement_end(toks: &[Tok<'_>], code: &[usize], from: usize) -> usize {
+    let mut d = 0i64;
+    let mut j = from + 1;
+    while j < code.len() {
+        let t = &toks[code[j]];
+        if t.is_punct(b';') && d == 0 {
+            return j;
+        } else if t.is_punct(b'{') {
+            d += 1;
+        } else if t.is_punct(b'}') {
+            if d == 0 {
+                return j; // enclosing block closed
+            }
+            d -= 1;
+            if d == 0 {
+                // A construct body at statement depth closed; the
+                // statement continues only through `else` chains or
+                // method/`?` continuations.
+                let cont = code.get(j + 1).is_some_and(|&i| {
+                    let n = &toks[i];
+                    n.is_ident("else") || n.is_punct(b'.') || n.is_punct(b'?')
+                });
+                if !cont {
+                    return j;
+                }
+            }
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}

@@ -1,0 +1,45 @@
+//! R6 — lock-order: any cycle in the global lock-acquisition graph is an
+//! error. Edges are added both for direct nested acquisitions and for
+//! acquisitions reached through a resolved callee, so a cycle closed
+//! across function (or crate) boundaries is still found. The diagnostic
+//! prints the full witness cycle and anchors on the first edge's
+//! acquisition site, which is where a waiver would go.
+
+use crate::callgraph::{lock_cycles, Graph};
+use crate::rules::{Diagnostic, Rule};
+
+/// Emits one diagnostic per strongly-connected lock-graph cycle.
+pub fn check(graph: &Graph) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for cycle in lock_cycles(&graph.lock_edges) {
+        let Some(first) = cycle.first() else { continue };
+        let mut path = String::new();
+        path.push('`');
+        path.push_str(&first.from);
+        path.push('`');
+        for e in &cycle {
+            path.push_str(" -> `");
+            path.push_str(&e.to);
+            path.push_str("` (");
+            path.push_str(&e.file);
+            path.push(':');
+            path.push_str(&e.line.to_string());
+            if let Some(via) = &e.via {
+                path.push_str(", via `");
+                path.push_str(via);
+                path.push('`');
+            }
+            path.push(')');
+        }
+        diags.push(Diagnostic {
+            file: first.file.clone(),
+            line: first.line,
+            rule: Rule::LockOrder,
+            message: format!(
+                "lock-order cycle: {path} — acquire these locks in one global order, \
+                 or waive with the protocol that prevents concurrent entry"
+            ),
+        });
+    }
+    diags
+}

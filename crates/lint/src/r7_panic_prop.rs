@@ -1,0 +1,43 @@
+//! R7 — panic-propagation: R2 generalised across calls. A public function
+//! in panic-path-scoped code that can *transitively* reach an unwaived
+//! panic site — `unwrap`/`expect` that resolve to nothing, a
+//! `panic!`-family macro, or (in the index-guard scope) slice indexing —
+//! is flagged at its public entry with the shortest witness call chain.
+//!
+//! Sources suppressed by a `panic-path` **or** `panic-propagation`
+//! waiver on the site vanish from the closure entirely: one documented
+//! invariant at the source covers every entry point above it. A source
+//! that sits *in* the entry itself is R2's jurisdiction and is not
+//! re-reported — except indexing, which only this rule covers.
+
+use crate::callgraph::Graph;
+use crate::rules::{Diagnostic, Rule};
+use crate::FileAnal;
+
+/// Flags every public entry point that can reach an unwaived panic.
+pub fn check(graph: &Graph, files: &[FileAnal]) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for (id, meta) in graph.table.fns.iter().enumerate() {
+        if !meta.is_entry {
+            continue;
+        }
+        let Some(w) = &graph.panic_reach[id] else {
+            continue;
+        };
+        if w.next.is_none() && w.what != "indexing" {
+            continue; // a panic token in the entry itself: R2 already fires
+        }
+        let chain = graph.chain(id as u32, &graph.panic_reach).join(" -> ");
+        diags.push(Diagnostic {
+            file: files[meta.file_idx].path.clone(),
+            line: meta.line,
+            rule: Rule::PanicPropagation,
+            message: format!(
+                "public `{}` can reach a panic: {chain}: {} at {}:{} — return a typed \
+                 error or waive at the source with the invariant that makes it unreachable",
+                meta.name, w.what, w.file, w.line
+            ),
+        });
+    }
+    diags
+}

@@ -1,0 +1,81 @@
+//! R8 — hold-across-blocking: in serve-worker code, no guard may stay
+//! held across anything that can block — direct TCP/file I/O, sleeps,
+//! `JoinHandle::join`, a `Condvar` wait (other than the one consuming
+//! that very guard), or a call whose closure reaches such a primitive or
+//! acquires another lock. A blocked holder stalls every thread queued on
+//! the same lock; under the single-flight protocol that is the difference
+//! between one slow query and a convoy.
+//!
+//! Direct nested acquisitions are *not* R8 — they are lock-graph edges
+//! and R6's cycle check owns them; R8 fires when the second acquisition
+//! (or the block) hides behind a call boundary.
+
+use crate::callgraph::Graph;
+use crate::rules::{Diagnostic, Rule};
+use crate::FileAnal;
+use std::collections::BTreeSet;
+
+/// Flags guard-held blocking in `hold_across_blocking`-scoped files.
+pub fn check(graph: &Graph, files: &[FileAnal]) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut seen: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+    for (id, meta) in graph.table.fns.iter().enumerate() {
+        let file = &files[meta.file_idx];
+        if !file.class.hold_across_blocking {
+            continue;
+        }
+        let ops = &file.fns[meta.fn_idx].ops;
+
+        for b in &ops.blocking {
+            let Some(guard) = b.held.first() else {
+                continue;
+            };
+            if !seen.insert((meta.file_idx, b.line, guard.clone())) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.path.clone(),
+                line: b.line,
+                rule: Rule::HoldAcrossBlocking,
+                message: format!(
+                    "guard `{guard}` held across blocking `{}` — drop the guard before \
+                     blocking, or waive with the protocol that bounds the hold",
+                    b.what
+                ),
+            });
+        }
+
+        for (call, target) in ops.calls.iter().zip(&graph.call_targets[id]) {
+            let (Some(guard), Some(t), false) = (call.held.first(), target, call.panicky) else {
+                continue;
+            };
+            let reason = if let Some(w) = &graph.blocking_reach[*t as usize] {
+                let chain = graph.chain(*t, &graph.blocking_reach).join(" -> ");
+                Some(format!(
+                    "can block on {} at {}:{} (path: {chain})",
+                    w.what, w.file, w.line
+                ))
+            } else {
+                graph.locks_reach[*t as usize]
+                    .iter()
+                    .next()
+                    .map(|l| format!("acquires lock `{l}`"))
+            };
+            let Some(reason) = reason else { continue };
+            if !seen.insert((meta.file_idx, call.line, guard.clone())) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.path.clone(),
+                line: call.line,
+                rule: Rule::HoldAcrossBlocking,
+                message: format!(
+                    "guard `{guard}` held across call to `{}` which {reason} — narrow the \
+                     guard scope, or waive with the protocol that bounds the hold",
+                    call.name
+                ),
+            });
+        }
+    }
+    diags
+}

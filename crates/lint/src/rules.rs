@@ -9,8 +9,8 @@
 //! waiver without a written reason — waivers are documentation, not mute
 //! buttons.
 
-use crate::lexer::{lex, Tok, TokKind};
-use crate::scopes::analyze;
+use crate::lexer::{Tok, TokKind};
+use crate::scopes::Scopes;
 
 /// Every rule the linter knows, including the waiver-protocol errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -27,6 +27,12 @@ pub enum Rule {
     NarrowingCast,
     /// R5 — ad-hoc float accumulation outside the canonical gain routine.
     FloatAccum,
+    /// R6 — cycle in the global lock-acquisition graph.
+    LockOrder,
+    /// R7 — public entry point transitively reaching a panic site.
+    PanicPropagation,
+    /// R8 — guard held across a blocking call in serve-worker code.
+    HoldAcrossBlocking,
     /// W1 — malformed waiver (unknown rule or missing reason).
     BadWaiver,
     /// W2 — waiver that suppressed nothing.
@@ -42,6 +48,9 @@ impl Rule {
             Rule::UnsafeCode => "unsafe-code",
             Rule::NarrowingCast => "narrowing-cast",
             Rule::FloatAccum => "float-accum",
+            Rule::LockOrder => "lock-order",
+            Rule::PanicPropagation => "panic-propagation",
+            Rule::HoldAcrossBlocking => "hold-across-blocking",
             Rule::BadWaiver => "bad-waiver",
             Rule::UnusedWaiver => "unused-waiver",
         }
@@ -55,6 +64,9 @@ impl Rule {
             Rule::UnsafeCode => "R3",
             Rule::NarrowingCast => "R4",
             Rule::FloatAccum => "R5",
+            Rule::LockOrder => "R6",
+            Rule::PanicPropagation => "R7",
+            Rule::HoldAcrossBlocking => "R8",
             Rule::BadWaiver => "W1",
             Rule::UnusedWaiver => "W2",
         }
@@ -68,6 +80,9 @@ impl Rule {
             Rule::UnsafeCode,
             Rule::NarrowingCast,
             Rule::FloatAccum,
+            Rule::LockOrder,
+            Rule::PanicPropagation,
+            Rule::HoldAcrossBlocking,
         ];
         all.into_iter()
             .find(|r| r.slug() == name || r.code() == name)
@@ -117,6 +132,17 @@ pub struct FileClass {
     /// R3 structural half: this file is a crate root that must carry
     /// `#![forbid(unsafe_code)]`.
     pub crate_root: bool,
+    /// The file's functions join the workspace call/lock graph (library
+    /// and shim sources; integration tests and benches stay out).
+    pub graph: bool,
+    /// Binary-crate file (`cli`/`bench`): in the graph, but its functions
+    /// resolve only from their own crate and are never R7 entry points.
+    pub bin_crate: bool,
+    /// R8: serve-worker file — guards must not be held across blocking.
+    pub hold_across_blocking: bool,
+    /// R7 indexing half: request-path file where unguarded slice indexing
+    /// counts as a panic source.
+    pub index_guard: bool,
 }
 
 impl FileClass {
@@ -128,6 +154,10 @@ impl FileClass {
             narrowing_cast: true,
             float_accum: true,
             crate_root: false,
+            graph: true,
+            bin_crate: false,
+            hold_across_blocking: true,
+            index_guard: true,
         }
     }
 }
@@ -150,24 +180,26 @@ const HASH_TYPES: [&str; 6] = [
 /// widening on every supported platform and stay allowed).
 const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
+/// An inline waiver with use tracking. Shared between the token rules and
+/// the graph rules: a `panic-path`/`panic-propagation` waiver consumed by
+/// the R7 source filter counts as used exactly like an R2 suppression.
 #[derive(Debug)]
-struct Waiver {
-    rule: Rule,
-    line: u32,
-    used: bool,
+pub(crate) struct Waiver {
+    pub(crate) rule: Rule,
+    pub(crate) line: u32,
+    pub(crate) used: bool,
 }
 
-/// Lints one file's source text under `class`; `path` is used only for
-/// diagnostics. This is the single entry point both the workspace walker
-/// and the fixture self-tests call.
-pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
-    let toks = lex(src);
-    let scopes = analyze(&toks);
+/// Collects every waiver in the file, emitting W1 diagnostics for the
+/// malformed ones. Test spans are excluded: no rule fires there, so a
+/// waiver there could never be used.
+pub(crate) fn collect_waivers(
+    path: &str,
+    toks: &[Tok<'_>],
+    scopes: &Scopes,
+) -> (Vec<Waiver>, Vec<Diagnostic>) {
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut waivers: Vec<Waiver> = Vec::new();
-
-    // Waiver collection (test spans excluded: no rule fires there, so a
-    // waiver there could never be used).
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::LineComment || scopes.is_test(i) {
             continue;
@@ -216,12 +248,20 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
             used: false,
         });
     }
+    (waivers, diags)
+}
 
-    // Indices of code tokens (comments removed) so adjacency patterns
-    // cannot be split by an interleaved comment.
-    let code: Vec<usize> = (0..toks.len())
-        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
-        .collect();
+/// Runs the token-level rules R1–R5 (plus the crate-root audit) and
+/// returns the **raw** diagnostics, before waiver application. `code` is
+/// the comment-free token index slice (adjacency patterns must not be
+/// split by an interleaved comment).
+pub(crate) fn token_rules(
+    path: &str,
+    toks: &[Tok<'_>],
+    code: &[usize],
+    scopes: &Scopes,
+    class: FileClass,
+) -> Vec<Diagnostic> {
     let tok = |ci: usize| -> Option<&Tok<'_>> { code.get(ci).map(|&i| &toks[i]) };
 
     let mut raw: Vec<Diagnostic> = Vec::new();
@@ -343,7 +383,7 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
                 && ci >= 1
                 && tok(ci - 1).is_some_and(|p| p.is_punct(b'.'))
                 && tok(ci + 1).is_some_and(|n| n.is_punct(b'('))
-                && statement_mentions_float(&toks, &code, ci, float_ident)
+                && statement_mentions_float(toks, code, ci, float_ident)
             {
                 push(
                     Rule::FloatAccum,
@@ -377,27 +417,39 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
     }
 
     // R3 structural half: crate roots must carry `#![forbid(unsafe_code)]`.
-    if class.crate_root && !has_forbid_unsafe(&toks) {
+    if class.crate_root && !has_forbid_unsafe(toks) {
         push(
             Rule::UnsafeCode,
             1,
             "crate root is missing `#![forbid(unsafe_code)]`".into(),
         );
     }
+    raw
+}
 
-    // Waiver application: a waiver covers its own line and the next one.
+/// Applies the waiver protocol: a waiver covers its own line and the next
+/// one; matched raw diagnostics mark it used, unmatched ones pass through.
+pub(crate) fn apply_waivers(
+    raw: Vec<Diagnostic>,
+    waivers: &mut [Waiver],
+    out: &mut Vec<Diagnostic>,
+) {
     for d in raw {
         let waived = waivers
             .iter_mut()
             .find(|w| w.rule == d.rule && (w.line == d.line || w.line + 1 == d.line));
         match waived {
             Some(w) => w.used = true,
-            None => diags.push(d),
+            None => out.push(d),
         }
     }
-    for w in &waivers {
+}
+
+/// Emits the W2 diagnostics for waivers nothing consumed.
+pub(crate) fn unused_waiver_diags(path: &str, waivers: &[Waiver], out: &mut Vec<Diagnostic>) {
+    for w in waivers {
         if !w.used {
-            diags.push(Diagnostic {
+            out.push(Diagnostic {
                 file: path.to_string(),
                 line: w.line,
                 rule: Rule::UnusedWaiver,
@@ -409,9 +461,6 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
             });
         }
     }
-
-    diags.sort();
-    diags
 }
 
 /// Whether the statement around code-token `ci` mentions a float type.
@@ -464,7 +513,7 @@ mod tests {
     use super::*;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        lint_source("mem.rs", src, FileClass::strict())
+        crate::lint_source("mem.rs", src, FileClass::strict())
     }
 
     fn rules_of(diags: &[Diagnostic]) -> Vec<Rule> {

@@ -1,0 +1,243 @@
+//! The workspace-wide symbol table: every parsed function, addressable by
+//! name and by `(self type, name)`, plus the **deliberately approximate**
+//! call-target resolution the graph rules build on.
+//!
+//! Resolution is an under-approximation tuned for this workspace's
+//! idioms — it must never invent an edge that creates a false diagnostic,
+//! while finding enough real edges to make R6–R8 useful:
+//!
+//! 1. `self.method(…)` resolves through the enclosing impl type.
+//! 2. `a::b::name(…)` resolves when the last qualifier segment names a
+//!    workspace crate (`mc2ls_core` → `core`), module, or impl type.
+//! 3. Unqualified method calls fall back to a workspace-unique method of
+//!    that name — unless the name is on the `std` denylist
+//!    ([`crate::lockscope::STD_METHODS`]), which keeps `.len()`/`.get()`
+//!    and friends edge-free.
+//! 4. Plain free calls prefer same-file, then same-crate, then a
+//!    workspace-unique match.
+//! 5. `unwrap`/`expect` resolve through rules 1–2 only (a shim defining
+//!    its own `fn expect` is a call, not a panic); unresolved they become
+//!    panic sources.
+//!
+//! Functions in binary crates (`cli`, `bench`) resolve only from their
+//! own crate: a library call must never alias onto a binary helper, or
+//! the binaries' sanctioned panic shortcuts would leak into library
+//! reachability.
+
+use crate::lockscope::{CallSite, STD_METHODS};
+use crate::FileAnal;
+use std::collections::BTreeMap;
+
+/// One function the table knows, with the context resolution needs.
+#[derive(Debug, Clone)]
+pub struct FnMeta {
+    /// Function name.
+    pub name: String,
+    /// Impl/trait self type, if any.
+    pub self_type: Option<String>,
+    /// Module path: crate name + file modules + inline modules.
+    pub module: Vec<String>,
+    /// Crate name (`core`, `serve`, `serde`, …).
+    pub crate_name: String,
+    /// Index of the defining file in the analysis set.
+    pub file_idx: usize,
+    /// Index of the function within that file's `fns`.
+    pub fn_idx: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `pub` without restriction.
+    pub is_public: bool,
+    /// Public function in a panic-path-scoped file: an R7 entry point.
+    pub is_entry: bool,
+    /// Defined in a binary crate (same-crate resolution only).
+    pub bin_crate: bool,
+}
+
+/// The symbol table over one analysis set (workspace or fixture).
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All functions, in (file, definition) order — ids are indices.
+    pub fns: Vec<FnMeta>,
+    by_name: BTreeMap<String, Vec<u32>>,
+    by_type_method: BTreeMap<(String, String), Vec<u32>>,
+}
+
+/// Derives `(crate name, module path)` from a workspace-relative path:
+/// `crates/core/src/algorithms/iqt.rs` → `("core", ["core", "algorithms",
+/// "iqt"])`; `mod.rs`/`lib.rs`/`main.rs` fold into their directory.
+fn module_of(path: &str) -> (String, Vec<String>) {
+    let rest = path
+        .strip_prefix("crates/")
+        .or_else(|| path.strip_prefix("shims/"));
+    let Some(rest) = rest else {
+        // Fixture / ad-hoc file: a crate of its own, named by file stem.
+        let stem = path
+            .rsplit('/')
+            .next()
+            .unwrap_or(path)
+            .trim_end_matches(".rs");
+        return (stem.to_string(), vec![stem.to_string()]);
+    };
+    let Some((krate, tail)) = rest.split_once('/') else {
+        return (rest.to_string(), vec![rest.to_string()]);
+    };
+    let mut module = vec![krate.to_string()];
+    if let Some(in_src) = tail.strip_prefix("src/") {
+        for seg in in_src.split('/') {
+            let seg = seg.trim_end_matches(".rs");
+            if !matches!(seg, "lib" | "main" | "mod") {
+                module.push(seg.to_string());
+            }
+        }
+    }
+    (krate.to_string(), module)
+}
+
+/// Strips the workspace crate prefix from a path qualifier:
+/// `mc2ls_core` → `core` (shim crates keep their names).
+fn normalize_crate_seg(seg: &str) -> &str {
+    seg.strip_prefix("mc2ls_").unwrap_or(seg)
+}
+
+impl SymbolTable {
+    /// Builds the table over all graph-scoped files' parsed functions.
+    pub(crate) fn build(files: &[FileAnal]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (file_idx, f) in files.iter().enumerate() {
+            let (crate_name, file_module) = module_of(&f.path);
+            for (fn_idx, fa) in f.fns.iter().enumerate() {
+                let item = &fa.item;
+                let mut module = file_module.clone();
+                module.extend(item.inline_mods.iter().cloned());
+                let id = table.fns.len() as u32;
+                let meta = FnMeta {
+                    name: item.name.clone(),
+                    self_type: item.self_type.clone(),
+                    module,
+                    crate_name: crate_name.clone(),
+                    file_idx,
+                    fn_idx,
+                    line: item.line,
+                    is_public: item.is_public,
+                    is_entry: f.class.panic_path && item.is_public,
+                    bin_crate: f.class.bin_crate,
+                };
+                table.by_name.entry(meta.name.clone()).or_default().push(id);
+                if let Some(ty) = &meta.self_type {
+                    table
+                        .by_type_method
+                        .entry((ty.clone(), meta.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+                table.fns.push(meta);
+            }
+        }
+        table
+    }
+
+    /// Resolves a call site from `caller` to at most one target function
+    /// id, following the module-level resolution rules.
+    pub fn resolve(&self, call: &CallSite, caller: &FnMeta) -> Option<u32> {
+        let visible = |id: &&u32| -> bool {
+            let c = &self.fns[**id as usize];
+            !c.bin_crate || c.crate_name == caller.crate_name
+        };
+
+        // Rule 1: `self.method(…)`.
+        if call.is_method && call.receiver.as_deref() == Some("self") {
+            if let Some(ty) = &caller.self_type {
+                if let Some(ids) = self.by_type_method.get(&(ty.clone(), call.name.clone())) {
+                    let same_crate = ids
+                        .iter()
+                        .find(|&&id| self.fns[id as usize].crate_name == caller.crate_name);
+                    return same_crate.or_else(|| ids.first()).copied();
+                }
+            }
+        }
+
+        // Rule 2: qualified paths.
+        if let Some(q) = call.qualifier.last() {
+            let q = normalize_crate_seg(q);
+            let (q, same_crate_only) = match q {
+                "crate" | "self" | "super" => (caller.crate_name.as_str(), true),
+                other => (other, false),
+            };
+            let ids = self.by_name.get(&call.name)?;
+            let matched: Vec<u32> = ids
+                .iter()
+                .filter(visible)
+                .filter(|&&id| {
+                    let c = &self.fns[id as usize];
+                    if same_crate_only {
+                        return c.crate_name == caller.crate_name;
+                    }
+                    c.self_type.as_deref() == Some(q)
+                        || c.crate_name == q
+                        || c.module.iter().any(|m| m == q)
+                })
+                .copied()
+                .collect();
+            return pick(&self.fns, &matched, caller);
+        }
+
+        // Rule 5 restriction: unresolved panicky names are panic sources,
+        // never fallback-resolved (`Option::unwrap` must not alias).
+        if call.panicky {
+            return None;
+        }
+
+        if call.is_method {
+            // Rule 3: workspace-unique method fallback.
+            if STD_METHODS.contains(&call.name.as_str()) {
+                return None;
+            }
+            let ids = self.by_name.get(&call.name)?;
+            let methods: Vec<u32> = ids
+                .iter()
+                .filter(visible)
+                .filter(|&&id| self.fns[id as usize].self_type.is_some())
+                .copied()
+                .collect();
+            return match methods.as_slice() {
+                [one] => Some(*one),
+                _ => None,
+            };
+        }
+
+        // Rule 4: plain free calls.
+        let ids = self.by_name.get(&call.name)?;
+        let free: Vec<u32> = ids
+            .iter()
+            .filter(visible)
+            .filter(|&&id| self.fns[id as usize].self_type.is_none())
+            .copied()
+            .collect();
+        let same_file: Vec<u32> = free
+            .iter()
+            .filter(|&&id| self.fns[id as usize].file_idx == caller.file_idx)
+            .copied()
+            .collect();
+        if let [one] = same_file.as_slice() {
+            return Some(*one);
+        }
+        pick(&self.fns, &free, caller)
+    }
+}
+
+/// Deterministic candidate selection: a unique match wins; otherwise a
+/// unique same-crate match; otherwise unresolved.
+fn pick(fns: &[FnMeta], ids: &[u32], caller: &FnMeta) -> Option<u32> {
+    if let [one] = ids {
+        return Some(*one);
+    }
+    let same_crate: Vec<u32> = ids
+        .iter()
+        .filter(|&&id| fns[id as usize].crate_name == caller.crate_name)
+        .copied()
+        .collect();
+    if let [one] = same_crate.as_slice() {
+        return Some(*one);
+    }
+    None
+}

@@ -1,0 +1,52 @@
+//! R6 fixture: a two-lock cycle between `Pair.a` and `Pair.b` — one
+//! direction acquired directly, the other closed through a callee — plus
+//! a consistently-ordered pair that must stay silent.
+
+use std::sync::{Mutex, MutexGuard};
+
+struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Pair {
+    fn ab(&self) -> u32 {
+        let ga = lock(&self.a);
+        let gb = lock(&self.b); // edge Pair.a -> Pair.b (direct)
+        *ga + *gb
+    }
+
+    fn ba(&self) -> u32 {
+        let gb = lock(&self.b);
+        let x = self.tail(); // edge Pair.b -> Pair.a (via tail)
+        *gb + x
+    }
+
+    fn tail(&self) -> u32 {
+        let ga = lock(&self.a);
+        *ga
+    }
+}
+
+struct Ordered {
+    c: Mutex<u32>,
+    d: Mutex<u32>,
+}
+
+impl Ordered {
+    fn first(&self) -> u32 {
+        let gc = lock(&self.c);
+        let gd = lock(&self.d); // edge Ordered.c -> Ordered.d
+        *gc + *gd
+    }
+
+    fn second(&self) -> u32 {
+        let gc = lock(&self.c);
+        let gd = lock(&self.d); // same order: no cycle
+        *gc - *gd
+    }
+}

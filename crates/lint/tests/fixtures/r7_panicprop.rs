@@ -1,0 +1,47 @@
+//! R7 fixture: public entries that can reach a panic transitively — a
+//! free-function chain, a method chain, and direct slice indexing — plus
+//! the shapes that must stay silent: a panic in the entry itself (R2's
+//! jurisdiction), and a source waived where the invariant lives.
+
+pub fn entry_chain(x: Option<u32>) -> u32 {
+    helper(x) // R7: reaches helper's unwrap
+}
+
+fn helper(x: Option<u32>) -> u32 {
+    x.unwrap() // R2 fires here, at the source
+}
+
+pub fn entry_indexing(xs: &[u32]) -> u32 {
+    xs[0] // R7: unguarded indexing in a public entry
+}
+
+pub fn entry_direct(x: Option<u32>) -> u32 {
+    x.unwrap() // R2 only: the source is the entry itself
+}
+
+pub fn entry_waived(kind: u8) -> u32 {
+    dispatch(kind)
+}
+
+fn dispatch(kind: u8) -> u32 {
+    match kind {
+        0 => 10,
+        1 => 20,
+        // lint:allow(panic-propagation): callers validate kind against the wire schema first
+        _ => unreachable!("validated upstream"),
+    }
+}
+
+pub struct Widget {
+    inner: Option<u32>,
+}
+
+impl Widget {
+    pub fn get(&self) -> u32 {
+        self.raw() // R7: reaches raw's unwrap through the impl
+    }
+
+    fn raw(&self) -> u32 {
+        self.inner.unwrap() // R2 fires here too
+    }
+}

@@ -1,0 +1,63 @@
+//! R8 fixture: guards held across blocking — a direct `write_all`, a call
+//! that transitively reaches `flush`, and a call that acquires another
+//! lock — plus the two sanctioned shapes that must stay silent: a
+//! `Condvar` wait consuming the held guard, and drop-before-blocking.
+
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+struct Worker {
+    q: Mutex<Vec<u8>>,
+    out: Mutex<u8>,
+    cv: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn net_send(s: &mut TcpStream) {
+    s.flush().ok();
+}
+
+impl Worker {
+    fn flush_locked(&self, s: &mut TcpStream) {
+        let g = lock(&self.q);
+        s.write_all(&g).ok(); // R8: guard held across blocking write
+    }
+
+    fn notify(&self, s: &mut TcpStream) {
+        let g = lock(&self.q);
+        self.emit(s); // R8: emit reaches flush
+        drop(g);
+    }
+
+    fn emit(&self, s: &mut TcpStream) {
+        net_send(s);
+    }
+
+    fn relock(&self) {
+        let g = lock(&self.q);
+        self.swap_out(); // R8: swap_out acquires Worker.out
+        drop(g);
+    }
+
+    fn swap_out(&self) {
+        let o = lock(&self.out);
+        drop(o);
+    }
+
+    fn wait_for_work(&self) {
+        let mut g = lock(&self.q);
+        while g.is_empty() {
+            g = self.cv.wait(g); // clean: the wait consumes the guard
+        }
+    }
+
+    fn drain(&self, s: &mut TcpStream) {
+        let g = lock(&self.q);
+        let data = g.clone();
+        drop(g);
+        s.write_all(&data).ok(); // clean: guard dropped before blocking
+    }
+}

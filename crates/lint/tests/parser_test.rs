@@ -1,0 +1,170 @@
+//! Unit tests for the item-level parser and the call-resolution
+//! fallbacks: context nesting (mods, impls, nested items), signature
+//! shapes (generics, `pub(crate)`, bodyless decls), and the symbol-table
+//! rules exercised through whole-project lints.
+
+#![forbid(unsafe_code)]
+
+use mc2ls_lint::lexer::{lex, TokKind};
+use mc2ls_lint::parser::{parse_items, FnItem};
+use mc2ls_lint::scopes::analyze;
+use mc2ls_lint::{lint_project, FileClass, ProjectFile, Rule};
+
+fn parse(src: &str) -> Vec<FnItem> {
+    let toks = lex(src);
+    let scopes = analyze(&toks);
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    parse_items(&toks, &code, &scopes)
+}
+
+#[test]
+fn impl_context_survives_across_methods() {
+    let items = parse(
+        "struct A;\n\
+         impl A {\n\
+             fn one(&self) {}\n\
+             fn two(&self) { if true { let _ = 1; } }\n\
+             fn three(&self) {}\n\
+         }\n\
+         fn free() {}\n",
+    );
+    let tys: Vec<(&str, Option<&str>)> = items
+        .iter()
+        .map(|i| (i.name.as_str(), i.self_type.as_deref()))
+        .collect();
+    assert_eq!(
+        tys,
+        vec![
+            ("one", Some("A")),
+            ("two", Some("A")),
+            ("three", Some("A")),
+            ("free", None),
+        ]
+    );
+}
+
+#[test]
+fn nested_mods_impls_and_items_keep_their_contexts() {
+    let items = parse(
+        "mod outer {\n\
+             pub mod inner {\n\
+                 struct B;\n\
+                 impl B {\n\
+                     pub fn m(&self) {\n\
+                         fn local() {}\n\
+                     }\n\
+                 }\n\
+             }\n\
+             fn tail() {}\n\
+         }\n",
+    );
+    let got: Vec<(&str, Option<&str>, &[String], bool)> = items
+        .iter()
+        .map(|i| {
+            (
+                i.name.as_str(),
+                i.self_type.as_deref(),
+                i.inline_mods.as_slice(),
+                i.is_public,
+            )
+        })
+        .collect();
+    let om = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+    assert_eq!(got[0], ("m", Some("B"), &om(&["outer", "inner"])[..], true));
+    // The item nested in `m`'s body inherits every enclosing context.
+    assert_eq!(
+        got[1],
+        ("local", Some("B"), &om(&["outer", "inner"])[..], false)
+    );
+    // `tail` sits after `inner` closed: only `outer` remains.
+    assert_eq!(got[2], ("tail", None, &om(&["outer"])[..], false));
+}
+
+#[test]
+fn generic_fns_trait_impls_and_visibility_parse() {
+    let items = parse(
+        "pub fn frob<T: Into<String>, const N: usize>(xs: [T; N], k: usize) -> Option<T> {\n\
+             None\n\
+         }\n\
+         pub(crate) fn shy(n: u32) -> u32 { n }\n\
+         impl<T> Clone for Holder<T> where T: Clone {\n\
+             fn clone(&self) -> Self { Holder }\n\
+         }\n\
+         trait Greet {\n\
+             fn hello(&self);\n\
+             fn bye(&self) {}\n\
+         }\n",
+    );
+    assert_eq!(items[0].name, "frob");
+    assert!(items[0].is_public);
+    assert_eq!(items[0].params, vec!["xs".to_string(), "k".to_string()]);
+    assert!(items[0].body.is_some());
+
+    // `pub(crate)` is not workspace-public: no R7 entry point.
+    assert_eq!(items[1].name, "shy");
+    assert!(!items[1].is_public);
+
+    // `impl A for B` resolves the self type to `B`.
+    assert_eq!(items[2].name, "clone");
+    assert_eq!(items[2].self_type.as_deref(), Some("Holder"));
+
+    // Bodyless trait decls parse without a body; defaults get one.
+    assert_eq!(items[3].name, "hello");
+    assert!(items[3].body.is_none());
+    assert_eq!(items[4].name, "bye");
+    assert!(items[4].body.is_some());
+}
+
+#[test]
+fn unique_method_fallback_resolves_but_std_names_never_do() {
+    // `fetch` is workspace-unique: the method fallback finds it even
+    // without knowing the receiver's type, so the entry is flagged.
+    let caller = ProjectFile {
+        path: "crates/app/src/lib.rs".into(),
+        src: "pub fn run(s: &Store) -> u32 {\n    s.fetch()\n}\n".into(),
+        class: FileClass::strict(),
+    };
+    let store = ProjectFile {
+        path: "crates/store/src/lib.rs".into(),
+        src: "impl Store {\n    fn fetch(&self) -> u32 {\n        self.v.unwrap()\n    }\n}\n"
+            .into(),
+        class: FileClass {
+            panic_path: true,
+            graph: true,
+            ..FileClass::default()
+        },
+    };
+    let diags = lint_project(&[caller, store]).diags;
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == Rule::PanicPropagation && d.file.contains("app")),
+        "{diags:?}"
+    );
+
+    // `get` is on the std denylist: a workspace-unique `get` with a panic
+    // inside must NOT capture arbitrary `.get()` receivers.
+    let caller = ProjectFile {
+        path: "crates/app/src/lib.rs".into(),
+        src: "pub fn run(s: &Store) -> u32 {\n    s.get()\n}\n".into(),
+        class: FileClass::strict(),
+    };
+    let store = ProjectFile {
+        path: "crates/store/src/lib.rs".into(),
+        src: "impl Store {\n    fn get(&self) -> u32 {\n        self.v.unwrap()\n    }\n}\n".into(),
+        class: FileClass {
+            panic_path: true,
+            graph: true,
+            ..FileClass::default()
+        },
+    };
+    let diags = lint_project(&[caller, store]).diags;
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.rule == Rule::PanicPropagation && d.file.contains("app")),
+        "{diags:?}"
+    );
+}

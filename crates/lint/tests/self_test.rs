@@ -9,7 +9,7 @@
 
 #![forbid(unsafe_code)]
 
-use mc2ls_lint::{lint_source, FileClass, Rule};
+use mc2ls_lint::{lint_project, lint_source, FileClass, ProjectFile, Rule};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -128,6 +128,121 @@ fn waiver_protocol_honours_uses_and_flags_abuse() {
             (Rule::PanicPath, 21),   // unknown-rule waiver does not suppress
         ]
     );
+}
+
+#[test]
+fn r6_reports_the_exact_witness_cycle() {
+    // R8 would also flag `self.tail()` under a held guard; switch it off
+    // so this test pins R6 alone.
+    let class = FileClass {
+        hold_across_blocking: false,
+        ..FileClass::strict()
+    };
+    let diags = lint_source("r6_lockorder.rs", &fixture("r6_lockorder.rs"), class);
+    assert_eq!(
+        diags.iter().map(|d| (d.rule, d.line)).collect::<Vec<_>>(),
+        vec![(Rule::LockOrder, 19)] // the Pair.a -> Pair.b acquisition
+    );
+    // The witness must spell out the full cycle: the direct edge, then
+    // the edge closed through the callee, with sites and the via hop.
+    assert_eq!(
+        diags[0].message,
+        "lock-order cycle: `Pair.a` -> `Pair.b` (r6_lockorder.rs:19) -> \
+         `Pair.a` (r6_lockorder.rs:25, via `tail`) — acquire these locks in \
+         one global order, or waive with the protocol that prevents \
+         concurrent entry"
+    );
+}
+
+#[test]
+fn r7_flags_entries_not_sources_and_honours_source_waivers() {
+    let got = hits("r7_panicprop.rs", FileClass::strict());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::PanicPropagation, 6),  // entry_chain -> helper -> unwrap
+            (Rule::PanicPath, 11),        // the unwrap itself (R2)
+            (Rule::PanicPropagation, 14), // entry_indexing: xs[0]
+            (Rule::PanicPath, 19),        // entry_direct: source in the entry is R2 only
+            (Rule::PanicPropagation, 40), // Widget::get -> raw -> unwrap
+            (Rule::PanicPath, 45),        // raw's unwrap (R2)
+        ]
+    );
+    // entry_waived -> dispatch is silent: the panic-propagation waiver at
+    // the unreachable! source suppressed it — and counted as used (no W2).
+    assert!(!got.iter().any(|&(_, l)| l == 22 || l == 31));
+}
+
+#[test]
+fn r7_witness_chain_names_the_shortest_path() {
+    let diags = lint_source(
+        "r7_panicprop.rs",
+        &fixture("r7_panicprop.rs"),
+        FileClass::strict(),
+    );
+    let chain = diags
+        .iter()
+        .find(|d| d.rule == Rule::PanicPropagation && d.line == 6)
+        .expect("entry_chain diagnostic");
+    assert!(
+        chain.message.contains("entry_chain -> helper")
+            && chain.message.contains("`.unwrap()` at r7_panicprop.rs:11"),
+        "{}",
+        chain.message
+    );
+}
+
+#[test]
+fn r8_flags_held_guards_but_not_condvar_or_dropped_ones() {
+    let got = hits("r8_holdblock.rs", FileClass::strict());
+    assert_eq!(
+        got,
+        vec![
+            (Rule::HoldAcrossBlocking, 26), // write_all under the queue guard
+            (Rule::HoldAcrossBlocking, 31), // emit() reaches flush
+            (Rule::HoldAcrossBlocking, 41), // swap_out() takes Worker.out
+        ]
+    );
+}
+
+#[test]
+fn graph_rules_cross_file_boundaries() {
+    // The panic source lives in one file, the public entry in another:
+    // only whole-project analysis can connect them.
+    let entry = ProjectFile {
+        path: "crates/app/src/lib.rs".into(),
+        src: "pub fn run(x: Option<u32>) -> u32 {\n    mc2ls_util::pick(x)\n}\n".into(),
+        class: FileClass::strict(),
+    };
+    let util = ProjectFile {
+        path: "crates/util/src/lib.rs".into(),
+        src: "pub fn pick(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n".into(),
+        class: FileClass {
+            panic_path: true,
+            graph: true,
+            ..FileClass::default()
+        },
+    };
+    let report = lint_project(&[entry, util]);
+    let got: Vec<(Rule, &str, u32)> = report
+        .diags
+        .iter()
+        .map(|d| (d.rule, d.file.as_str(), d.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            // run -> pick crosses the crate boundary; pick itself holds
+            // the source, so it stays R2-only jurisdiction.
+            (Rule::PanicPropagation, "crates/app/src/lib.rs", 1),
+            (Rule::PanicPath, "crates/util/src/lib.rs", 2),
+        ]
+    );
+    assert_eq!(report.n_files, 2);
+    assert_eq!(report.n_functions, 2);
+    // The graph dump knows both functions and the resolved edge.
+    assert!(report.graph_json.contains("\"name\":\"run\""));
+    assert!(report.graph_json.contains("\"name\":\"pick\""));
 }
 
 #[test]

@@ -296,6 +296,7 @@ impl QueryEngine {
                 self.put_scratch(scratch);
                 // The selector saw subset-positional ids; map back.
                 for id in &mut solution.selected {
+                    // lint:allow(panic-propagation): selectors emit subset-positional ids < canon.len()
                     *id = canon[*id as usize];
                 }
                 gather.shared_epoch = true;

@@ -202,6 +202,7 @@ impl LiveUpdater {
                 }
                 "delete" => {
                     let u = target(&alive)?;
+                    // lint:allow(panic-propagation): target() just range-checked u against alive.len()
                     alive[u] = false;
                 }
                 "move" => {
@@ -276,6 +277,7 @@ fn shards_of(touched: &[u32], starts: &[u32]) -> Vec<u32> {
         .map(|&u| {
             // Count the interior boundaries at or below u; the result is
             // already capped at the last shard index by slicing.
+            // lint:allow(panic-propagation): the starts.len() < 2 early return keeps the interior slice in bounds
             let i = starts[1..starts.len() - 1].partition_point(|&s| s <= u);
             // lint:allow(narrowing-cast): shard counts are operator-configured small integers
             i as u32

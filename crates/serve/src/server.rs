@@ -582,6 +582,7 @@ fn handle_update(events: &[WireEvent], shared: &Shared) -> Response {
         };
         engine.meta().shard_starts.clone()
     };
+    // lint:allow(hold-across-blocking): `live` serialises writers by design — queries never take it, and the joined compact workers belong to this batch
     let applied = lock(live).apply_batch(events, &starts);
     match applied {
         Ok((report, snapshot)) => {
