@@ -101,7 +101,7 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments [all|fig7|fig8|fig9|fig10..fig16|table1|table2|figd|quality|BENCH_parallel|BENCH_verify|BENCH_greedy|BENCH_serve|BENCH_update]... \
+        "usage: experiments [all|fig7|fig8|fig9|fig10..fig16|table1|table2|figd|quality|BENCH_parallel|BENCH_verify|BENCH_greedy|BENCH_serve|BENCH_update|BENCH_candgen]... \
          [--scale S] [--scale-c S] [--scale-n S] [--reps N] [--out DIR] [--list]"
     );
     ExitCode::FAILURE

@@ -1,6 +1,7 @@
 //! One module per paper table/figure. Each experiment takes a [`Ctx`] and
 //! returns an [`ExperimentResult`] with the same series the paper plots.
 
+mod candgen;
 mod fig07;
 mod fig08;
 mod fig09;
@@ -21,6 +22,7 @@ mod table2;
 mod update;
 mod verify;
 
+pub use candgen::candgen;
 pub use fig07::fig7;
 pub use fig08::fig8;
 pub use fig09::fig9;
@@ -68,6 +70,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("BENCH_greedy", greedy),
         ("BENCH_serve", serve),
         ("BENCH_update", update),
+        ("BENCH_candgen", candgen),
     ]
 }
 

@@ -164,6 +164,7 @@ pub fn serve(ctx: &Ctx) -> ExperimentResult {
             block_size: problem.block_size,
             selector: Selector::Auto,
             pf_exact: false,
+            model: Model::Cumulative,
         };
 
         // --- loopback serving sweep ------------------------------------

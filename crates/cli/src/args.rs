@@ -14,6 +14,7 @@ commands:
              [--candidates N] [--facilities M] [-k K] [--tau T]
              [--method baseline|kcifp|iqt|iqt-c|iqt-pino] [--threads T]
              [--block-size auto|plain|B] [--pf-exact]
+             [--model cumulative|logit] [--candidates-file FILE]
              [--lazy-greedy true|false]
              [--selector rescan|celf|decremental|auto]
              [--svg FILE] [--json]
@@ -22,8 +23,14 @@ commands:
              [--block-size auto|plain|B] [--pf-exact]
              [--lazy-greedy true|false]
   convert    --checkins FILE --out FILE [--bounds ny|ca] [--min-positions N]
+  candgen    --data FILE | --preset P [--scale S] --window W --out FILE
+             [-m M] [--min-separation D] [--threads T] [--json]
+             (MaxRS-style sweep: proposes top-m candidate sites from the
+             users' positions; solve/snapshot consume the emitted file
+             via --candidates-file)
   snapshot   save --preset P | --data FILE [--scale S] [--candidates N]
              [--facilities M] [-k K] [--tau T] [--block-size auto|plain|B]
+             [--model cumulative|logit] [--candidates-file FILE]
              [--threads T] [--shards N] [--site-seed N] --out FILE.mc2s
              load --file FILE.mc2s  (verify + print metadata)
              diff --base FILE.mc2s --target FILE.mc2s --out FILE.mc2d
@@ -35,7 +42,10 @@ commands:
   query      --addr HOST:PORT [--candidates 1,2,3] [-k K]
              [--selector rescan|celf|decremental|auto] [--tau T]
              [--block-size auto|plain|B] [--pf-exact] [--json]
+             [--model cumulative|logit]  (must match the snapshot)
              [--stats] [--reload FILE.mc2s] [--shutdown]
+             [--propose --window W [-m M] [--min-separation D]]
+             (PROPOSE: server-side sweep over the snapshot's positions)
   update     --addr HOST:PORT --checkins FILE [--bounds ny|ca]
              [--batch N] [--limit N] [--anchor-lat A] [--anchor-lon B]
              (replays a timestamped SNAP check-in stream as UPDATE batches)
@@ -82,11 +92,11 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 const COMMANDS: &[&str] = &[
-    "generate", "stats", "solve", "analyze", "convert", "snapshot", "serve", "query", "update",
-    "help",
+    "generate", "stats", "solve", "analyze", "convert", "candgen", "snapshot", "serve", "query",
+    "update", "help",
 ];
 /// Boolean flags that take no value.
-const SWITCHES: &[&str] = &["json", "stats", "shutdown", "pf-exact", "live"];
+const SWITCHES: &[&str] = &["json", "stats", "shutdown", "pf-exact", "live", "propose"];
 /// Commands taking a positional action token before their flags, with the
 /// actions each admits.
 const ACTIONS: &[(&str, &[&str])] = &[("snapshot", &["save", "load", "diff"])];

@@ -16,6 +16,7 @@ pub fn dispatch<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         "solve" => solve_cmd(parsed, out),
         "analyze" => analyze(parsed, out),
         "convert" => convert(parsed, out),
+        "candgen" => candgen_cmd(parsed, out),
         "snapshot" => snapshot_cmd(parsed, out),
         "serve" => serve_cmd(parsed, out),
         "query" => query_cmd(parsed, out),
@@ -100,6 +101,12 @@ fn parse_selector(name: &str) -> Result<Selector, ArgError> {
     })
 }
 
+/// Parses a `--model` value (shared by `solve`, `snapshot save` and
+/// `query`): the competition model `cinf` is computed under.
+fn parse_model(name: &str) -> Result<Model, ArgError> {
+    Model::parse(name).ok_or_else(|| ArgError::BadValue("model".into(), name.into()))
+}
+
 /// Parses a `--block-size` value (shared by `solve`, `analyze`, `snapshot
 /// save` and `query`): `auto` (the default, also spelled `0`) derives the
 /// size per dataset from the density probe, `plain` disables blocking and
@@ -134,8 +141,25 @@ fn problem_from_flags(parsed: &Parsed) -> Result<(Problem<Sigmoid>, String), Box
     let tau: f64 = parsed.get_or("tau", 0.7)?;
     let seed: u64 = parsed.get_or("site-seed", 42)?;
     let block_size = parse_block_size(parsed.get("block-size"))?;
+    let model = parse_model(parsed.get("model").unwrap_or("cumulative"))?;
     let name = dataset.name.clone();
-    let (candidates, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
+    let (sampled, facilities) = dataset.sample_sites_disjoint(n_c, n_f, seed);
+    // `--candidates-file` swaps the sampled candidate sites for the ones a
+    // `candgen` sweep proposed; facilities stay sampled from the dataset.
+    let candidates = match parsed.get("candidates-file") {
+        None => sampled,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            let proposal: mc2ls_candgen::Proposal = serde_json::from_str(&text)?;
+            if proposal.sites.is_empty() {
+                return Err(Box::new(ArgError::BadValue(
+                    "candidates-file".into(),
+                    format!("{path} proposes no sites"),
+                )));
+            }
+            proposal.sites.iter().map(|s| s.center).collect()
+        }
+    };
     let problem = Problem::new(
         dataset.users,
         facilities,
@@ -145,7 +169,8 @@ fn problem_from_flags(parsed: &Parsed) -> Result<(Problem<Sigmoid>, String), Box
         Sigmoid::paper_default(),
     )
     .with_block_size(block_size)
-    .with_pf_exact(parsed.switch("pf-exact"));
+    .with_pf_exact(parsed.switch("pf-exact"))
+    .with_model(model);
     Ok((problem, name))
 }
 
@@ -182,6 +207,7 @@ fn solve_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     }
 
     writeln!(out, "method:   {}", method.name())?;
+    writeln!(out, "model:    {}", problem.model)?;
     writeln!(out, "selected: {:?}", report.solution.selected)?;
     writeln!(out, "cinf(G):  {:.4}", report.solution.cinf)?;
     writeln!(
@@ -269,6 +295,80 @@ fn convert<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     Ok(())
 }
 
+/// Runs the MaxRS-style candidate sweep over a dataset's user positions
+/// and writes the proposal as JSON — the file `--candidates-file` consumes.
+fn candgen_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
+    let path = parsed.require("out")?;
+    let window: f64 = parsed.get_or("window", f64::NAN)?;
+    if !(window > 0.0 && window.is_finite()) {
+        return Err(Box::new(ArgError::BadValue(
+            "window".into(),
+            parsed.get("window").unwrap_or("(missing)").into(),
+        )));
+    }
+    let m: usize = parsed.get_or("m", 100)?;
+    if m == 0 {
+        return Err(Box::new(ArgError::BadValue("m".into(), "0".into())));
+    }
+    let threads: usize = parsed.get_or("threads", 1)?;
+    if threads == 0 {
+        return Err(Box::new(ArgError::BadValue("threads".into(), "0".into())));
+    }
+    let mut cfg = mc2ls_candgen::SweepConfig::new(window, m).with_threads(threads);
+    if let Some(sep) = parsed.get("min-separation") {
+        let sep: f64 = sep
+            .parse()
+            .map_err(|_| ArgError::BadValue("min-separation".into(), sep.into()))?;
+        if !(sep >= 0.0 && sep.is_finite()) {
+            return Err(Box::new(ArgError::BadValue(
+                "min-separation".into(),
+                sep.to_string(),
+            )));
+        }
+        cfg = cfg.with_min_separation(sep);
+    }
+
+    let dataset = obtain_dataset(parsed)?;
+    let points: Vec<Point> = dataset
+        .users
+        .iter()
+        .flat_map(|u| u.positions().iter().copied())
+        .collect();
+    let proposal = mc2ls_candgen::propose(&points, &cfg);
+    std::fs::write(path, serde_json::to_string_pretty(&proposal)?)?;
+
+    if parsed.switch("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&proposal)?)?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "swept {} positions at depth {} (cell {:.4}, {}x{} cell window)",
+        proposal.stats.n_positions,
+        proposal.stats.depth,
+        proposal.stats.cell,
+        proposal.stats.window_cells,
+        proposal.stats.window_cells
+    )?;
+    writeln!(
+        out,
+        "scored {} anchors over {} non-empty cells",
+        proposal.stats.anchors, proposal.stats.nonempty_cells
+    )?;
+    for (i, site) in proposal.sites.iter().enumerate() {
+        writeln!(
+            out,
+            "  #{:<3} ({:>9.3}, {:>9.3})  score {}",
+            i + 1,
+            site.center.x,
+            site.center.y,
+            site.score
+        )?;
+    }
+    writeln!(out, "proposed {} sites to {path}", proposal.sites.len())?;
+    Ok(())
+}
+
 fn snapshot_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     match parsed.action.as_deref() {
         Some("save") => snapshot_save(parsed, out),
@@ -297,13 +397,14 @@ fn snapshot_save<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     let meta = &snapshot.meta;
     writeln!(
         out,
-        "snapshot {}: {} users, {} candidates, {} facilities, {} shards, tau {}",
+        "snapshot {}: {} users, {} candidates, {} facilities, {} shards, tau {}, model {}",
         meta.name,
         meta.n_users,
         meta.n_candidates,
         meta.n_facilities,
         snapshot.n_shards(),
-        meta.tau
+        meta.tau,
+        meta.model
     )?;
     writeln!(
         out,
@@ -324,6 +425,7 @@ fn snapshot_load<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
     writeln!(out, "candidates:  {}", meta.n_candidates)?;
     writeln!(out, "facilities:  {}", meta.n_facilities)?;
     writeln!(out, "tau:         {}", meta.tau)?;
+    writeln!(out, "model:       {}", meta.model)?;
     writeln!(out, "block size:  {}", show_block_size(meta.block_size))?;
     writeln!(out, "default k:   {}", meta.default_k)?;
     writeln!(out, "shards:      {}", snapshot.n_shards())?;
@@ -487,6 +589,46 @@ fn query_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         return Ok(());
     }
 
+    if parsed.switch("propose") {
+        let window: f64 = parsed
+            .require("window")?
+            .parse()
+            .map_err(|_| ArgError::BadValue("window".into(), "non-numeric".into()))?;
+        let min_separation = match parsed.get("min-separation") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<f64>()
+                    .map_err(|_| ArgError::BadValue("min-separation".into(), v.into()))?,
+            ),
+        };
+        let proposal = client.propose(&mc2ls_serve::ProposeRequest {
+            window,
+            m: parsed.get_or("m", 10)?,
+            min_separation,
+        })?;
+        if parsed.switch("json") {
+            writeln!(out, "{}", serde_json::to_string_pretty(&proposal)?)?;
+            return Ok(());
+        }
+        for (i, site) in proposal.sites.iter().enumerate() {
+            writeln!(
+                out,
+                "  #{:<3} ({:>9.3}, {:>9.3})  score {}",
+                i + 1,
+                site.center.x,
+                site.center.y,
+                site.score
+            )?;
+        }
+        writeln!(
+            out,
+            "proposed {} sites from {} positions",
+            proposal.sites.len(),
+            proposal.stats.n_positions
+        )?;
+        return Ok(());
+    }
+
     // Pull the snapshot's parameters so a plain `query --addr …` just
     // works; explicit flags override (and are validated server-side).
     let meta = client.stats()?.meta;
@@ -513,6 +655,13 @@ fn query_cmd<W: Write>(parsed: &Parsed, out: &mut W) -> CmdResult {
         selector: match parsed.get("selector") {
             Some(name) => parse_selector(name)?,
             None => Selector::Auto,
+        },
+        // Default to the model the snapshot was built to serve, so a plain
+        // `query --addr …` works against any deployment; an explicit flag
+        // is validated server-side against the snapshot META.
+        model: match parsed.get("model") {
+            Some(name) => parse_model(name)?,
+            None => meta.model,
         },
     };
     let answer = client.query(&request)?;
@@ -834,6 +983,93 @@ mod tests {
     }
 
     #[test]
+    fn explicit_cumulative_model_matches_the_default() {
+        // `--model cumulative` is the default spelled out: identical lines.
+        let base = "solve --preset new-york --scale 0.05 --candidates 15 --facilities 20 -k 3";
+        let pick = |s: &str, prefix: &str| {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap()
+                .to_owned()
+        };
+        let (code, default) = call(base);
+        assert_eq!(code, 0, "{default}");
+        assert!(default.contains("model:    cumulative"), "{default}");
+        let (code, explicit) = call(&format!("{base} --model cumulative"));
+        assert_eq!(code, 0, "{explicit}");
+        for prefix in ["selected", "cinf", "covered"] {
+            assert_eq!(pick(&default, prefix), pick(&explicit, prefix));
+        }
+    }
+
+    #[test]
+    fn logit_model_solves_and_reports_itself() {
+        let (code, out) = call(
+            "solve --preset new-york --scale 0.05 --candidates 12 --facilities 15 -k 3 \
+             --model logit",
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("model:    logit"), "{out}");
+        assert!(out.contains("cinf(G)"), "{out}");
+    }
+
+    #[test]
+    fn solve_rejects_bad_model() {
+        let (code, out) = call("solve --preset new-york --scale 0.05 --model quantum");
+        assert_eq!(code, 1);
+        assert!(out.contains("bad value"));
+    }
+
+    #[test]
+    fn candgen_emits_a_file_the_solve_pipeline_consumes() {
+        let sites = tmp("candgen-sites.json");
+        let (code, out) = call(&format!(
+            "candgen --preset new-york --scale 0.05 --window 2.0 -m 12 --out {sites}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("proposed"), "{out}");
+        let proposal: mc2ls_candgen::Proposal =
+            serde_json::from_str(&std::fs::read_to_string(&sites).unwrap()).unwrap();
+        assert!(!proposal.sites.is_empty());
+        assert!(proposal.sites.len() <= 12);
+
+        // The emitted file slots straight into solve as the candidate set.
+        let (code, solved) = call(&format!(
+            "solve --preset new-york --scale 0.05 --facilities 20 -k 3 \
+             --candidates-file {sites}"
+        ));
+        assert_eq!(code, 0, "{solved}");
+        assert!(solved.contains("cinf(G)"), "{solved}");
+    }
+
+    #[test]
+    fn candgen_is_thread_count_invariant_and_rejects_bad_flags() {
+        let a = tmp("candgen-serial.json");
+        let b = tmp("candgen-threaded.json");
+        let base = "candgen --preset new-york --scale 0.05 --window 1.5 -m 6";
+        let (code, out) = call(&format!("{base} --out {a}"));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = call(&format!("{base} --threads 4 --out {b}"));
+        assert_eq!(code, 0, "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap(),
+            "sweep output must be byte-identical at any thread count"
+        );
+
+        for bad in [
+            "candgen --preset new-york --scale 0.05 --out /tmp/x.json",
+            "candgen --preset new-york --scale 0.05 --window 0 --out /tmp/x.json",
+            "candgen --preset new-york --scale 0.05 --window 2 -m 0 --out /tmp/x.json",
+            "candgen --preset new-york --scale 0.05 --window 2 --min-separation -1 --out /tmp/x.json",
+        ] {
+            let (code, out) = call(bad);
+            assert_eq!(code, 1, "{bad} => {out}");
+            assert!(out.contains("bad value"), "{bad} => {out}");
+        }
+    }
+
+    #[test]
     fn convert_roundtrip() {
         // Export a synthetic dataset as check-ins, then convert it back.
         let d = mc2ls::prelude::presets::new_york_scaled(0.02).generate();
@@ -988,6 +1224,20 @@ mod tests {
         assert_eq!(code, 0, "{stats}");
         assert!(stats.contains("queries:      2"), "{stats}");
         assert!(stats.contains("1 hits"), "{stats}");
+
+        // PROPOSE answers straight from the served snapshot's positions.
+        let (code, proposed) = call(&format!("query --addr {addr} --propose --window 2.0 -m 4"));
+        assert_eq!(code, 0, "{proposed}");
+        assert!(proposed.contains("proposed 4 sites"), "{proposed}");
+
+        // An explicit matching model is accepted; a mismatch is a typed
+        // remote rejection, never a wrong answer.
+        let (code, matching) = call(&format!("query --addr {addr} --model cumulative"));
+        assert_eq!(code, 0, "{matching}");
+        assert_eq!(pick(&direct, "selected"), pick(&matching, "selected"));
+        let (code, mismatched) = call(&format!("query --addr {addr} --model logit"));
+        assert_eq!(code, 1, "{mismatched}");
+        assert!(mismatched.contains("model"), "{mismatched}");
 
         let (code, bye) = call(&format!("query --addr {addr} --shutdown"));
         assert_eq!(code, 0, "{bye}");

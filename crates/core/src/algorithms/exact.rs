@@ -10,11 +10,135 @@
 //! `cinf(G) + Σ top-(k−|G|) remaining individual cinf`, which is valid
 //! because `cinf(G ∪ {c}) − cinf(G) ≤ cinf({c})`.
 
-use crate::{InfluenceSets, Solution};
+use crate::greedy::canonical_gain_model;
+use crate::{Bitset, InfluenceSets, Solution};
+use mc2ls_influence::CompetitionModel;
 
 /// Practical safety cap: enumeration beyond this many candidates would not
 /// terminate in reasonable time.
 pub const MAX_EXACT_CANDIDATES: usize = 30;
+
+/// `cinf(set)` under an arbitrary competition model: per-weight-class
+/// counts over the covered-user union, materialised through the shared
+/// canonical gain walk (so a singleton's value here is bit-identical to
+/// the selectors' round-1 gain for the same candidate).
+fn cinf_set_model<M: CompetitionModel>(
+    sets: &InfluenceSets,
+    set: &[u32],
+    n_classes: usize,
+    model: &M,
+) -> f64 {
+    let mut covered = Bitset::new(sets.n_users());
+    let mut counts = vec![0u32; n_classes];
+    for &c in set {
+        for &o in sets.omega(c as usize) {
+            if !covered.contains(o) {
+                covered.insert(o);
+                counts[sets.f_count[o as usize] as usize] += 1;
+            }
+        }
+    }
+    canonical_gain_model(&counts, model)
+}
+
+/// Finds the best subset of **at most** `k` candidates under an arbitrary
+/// competition model by branch-and-bound — the routing target for models
+/// whose [`is_submodular`](CompetitionModel::is_submodular) is `false`,
+/// where greedy's marginal-gain argument certifies nothing.
+///
+/// Differences from [`solve_exact`], both required once monotonicity is
+/// gone:
+///
+/// * the incumbent is updated at **every** enumeration prefix, not only at
+///   full `k`-subsets — with mixed-sign class weights a smaller set may
+///   beat every `k`-set (the empty set is the floor: value 0);
+/// * the upper bound adds the top-`(k−|G|)` **positive parts** of the
+///   singleton values: a class's contribution on the uncovered remainder
+///   never exceeds its full-count contribution when that is positive, and
+///   is otherwise at most 0, so the bound stays admissible for any
+///   fixed-per-class-weight model.
+///
+/// Ties between equal-value subsets keep the first one found in the
+/// positive-part-ordered enumeration — deterministic in the inputs.
+///
+/// # Panics
+/// Panics when `k` exceeds the candidate count or the candidate count
+/// exceeds [`MAX_EXACT_CANDIDATES`].
+pub fn solve_exact_model<M: CompetitionModel>(
+    sets: &InfluenceSets,
+    k: usize,
+    model: &M,
+) -> Solution {
+    let n = sets.n_candidates();
+    assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
+    assert!(
+        n <= MAX_EXACT_CANDIDATES,
+        "exact solver is capped at {MAX_EXACT_CANDIDATES} candidates (got {n})"
+    );
+    let n_classes = sets.n_weight_classes();
+
+    // Positive parts of the singleton values, descending, for the bound.
+    let singles: Vec<f64> = (0..n)
+        .map(|c| cinf_set_model(sets, &[c as u32], n_classes, model).max(0.0))
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| singles[b].total_cmp(&singles[a]).then(a.cmp(&b)));
+    let sorted_singles: Vec<f64> = order.iter().map(|&c| singles[c]).collect();
+    let mut prefix = vec![0.0; n + 1];
+    for i in 0..n {
+        prefix[i + 1] = prefix[i] + sorted_singles[i];
+    }
+    let top_from = |i: usize, j: usize| -> f64 {
+        let end = (i + j).min(n);
+        prefix[end] - prefix[i]
+    };
+
+    // DFS over the ordered enumeration tree; the incumbent starts at the
+    // empty set (value 0) and is challenged at every prefix.
+    let mut best_value = 0.0f64;
+    let mut best_set: Vec<u32> = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (order index, depth)
+    let mut chosen: Vec<u32> = Vec::with_capacity(k);
+    let mut values: Vec<f64> = vec![0.0]; // value at each chosen depth
+    for i in (0..n).rev() {
+        stack.push((i, 0));
+    }
+    while let Some((i, depth)) = stack.pop() {
+        chosen.truncate(depth);
+        values.truncate(depth + 1);
+        let parent_value = values[depth];
+        if parent_value + top_from(i, k - depth) <= best_value + 1e-15 {
+            continue; // admissible bound: no extension from here can win
+        }
+        chosen.push(order[i] as u32);
+        let value = cinf_set_model(sets, &chosen, n_classes, model);
+        values.push(value);
+        if value > best_value + 1e-15 {
+            best_value = value;
+            best_set = chosen.clone();
+        }
+        if depth + 1 < k {
+            for j in ((i + 1)..n).rev() {
+                stack.push((j, depth + 1));
+            }
+        }
+    }
+
+    best_set.sort_unstable();
+    let cinf = cinf_set_model(sets, &best_set, n_classes, model);
+    let mut gains = Vec::with_capacity(best_set.len());
+    let mut prev = 0.0;
+    for i in 0..best_set.len() {
+        let v = cinf_set_model(sets, &best_set[..=i], n_classes, model);
+        gains.push(v - prev);
+        prev = v;
+    }
+    Solution {
+        selected: best_set,
+        marginal_gains: gains,
+        cinf,
+    }
+}
 
 /// Finds the optimal `k`-subset by branch-and-bound.
 ///

@@ -8,7 +8,7 @@ pub mod kcifp;
 pub mod topk;
 
 use crate::{greedy, InfluenceSets, PhaseTimes, Problem, PruneStats, RunReport, SelectionStats};
-use mc2ls_influence::ProbabilityFunction;
+use mc2ls_influence::{CompetitionModel, Model, ProbabilityFunction};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -133,10 +133,42 @@ pub fn run_selector(
     k: usize,
     threads: usize,
 ) -> (crate::Solution, SelectionStats) {
+    run_selector_model(selector, sets, k, threads, &Model::Cumulative)
+}
+
+/// [`run_selector`] under an arbitrary competition model, with the
+/// **submodularity routing rule**: a model declaring
+/// [`is_submodular`](CompetitionModel::is_submodular) runs the requested
+/// greedy-family selector (all byte-identical); a non-submodular model is
+/// routed to the exact branch-and-bound oracle
+/// ([`exact::solve_exact_model`]) regardless of `selector`, because
+/// greedy's marginal-gain argument certifies nothing there. The exact
+/// route is capped at [`exact::MAX_EXACT_CANDIDATES`] candidates.
+///
+/// # Panics
+/// Panics when `k` exceeds the candidate count, `threads == 0`, or a
+/// non-submodular model is run on more than
+/// [`exact::MAX_EXACT_CANDIDATES`] candidates.
+pub fn run_selector_model<M: CompetitionModel + Sync>(
+    selector: Selector,
+    sets: &InfluenceSets,
+    k: usize,
+    threads: usize,
+    model: &M,
+) -> (crate::Solution, SelectionStats) {
+    if !model.is_submodular() {
+        let solution = exact::solve_exact_model(sets, k, model);
+        let stats = SelectionStats {
+            gain_evals: solution.selected.len() as u64,
+            covered_users: sets.covered_by(&solution.selected).count_ones() as u64,
+            ..SelectionStats::default()
+        };
+        return (solution, stats);
+    }
     match resolve_selector(selector, sets, k) {
-        Selector::Greedy => greedy::select_counted(sets, k),
-        Selector::LazyGreedy => greedy::select_lazy_counted(sets, k, threads),
-        Selector::Decremental => greedy::select_decremental_counted(sets, k, threads),
+        Selector::Greedy => greedy::select_counted_model(sets, k, model),
+        Selector::LazyGreedy => greedy::select_lazy_counted_model(sets, k, threads, model),
+        Selector::Decremental => greedy::select_decremental_counted_model(sets, k, threads, model),
         // lint:allow(panic-propagation): resolve_selector maps Auto to a concrete selector
         Selector::Auto => unreachable!("resolve_selector never returns Auto"),
     }
@@ -156,7 +188,7 @@ pub fn solve_with<PF: ProbabilityFunction>(
 ) -> RunReport {
     let (sets, stats, mut times) = influence_sets(problem, method);
     let t = Instant::now();
-    let (solution, selection) = run_selector(selector, &sets, problem.k, 1);
+    let (solution, selection) = run_selector_model(selector, &sets, problem.k, 1, &problem.model);
     times.selection = t.elapsed();
     RunReport {
         solution,
@@ -196,7 +228,8 @@ pub fn solve_threaded<PF: ProbabilityFunction>(
 ) -> RunReport {
     let (sets, stats, mut times) = influence_sets_threaded(problem, method, threads);
     let t = Instant::now();
-    let (solution, selection) = run_selector(selector, &sets, problem.k, threads);
+    let (solution, selection) =
+        run_selector_model(selector, &sets, problem.k, threads, &problem.model);
     times.selection = t.elapsed();
     RunReport {
         solution,

@@ -26,27 +26,41 @@
 //! small set of **weight classes** — one per distinct `|F_o|` value. All
 //! selectors therefore evaluate a marginal gain the same way: count the
 //! candidate's uncovered users per class, then materialise
-//! `Σ_w counts[w]/(w+1)` in ascending class order ([`canonical_gain`]'s
+//! `Σ_w counts[w]/(w+1)` in ascending class order ([`canonical_gain_model`]'s
 //! fixed summation order). Equal class counts produce bit-identical `f64`
 //! gains in every selector, which is what makes the three implementations
 //! — and any worker-thread count — byte-for-byte comparable
 //! (`tests/selector_equivalence.rs` asserts it).
+//!
+//! # Competition models
+//!
+//! The per-class weight is pluggable: every selector has a `_model`
+//! variant taking a [`CompetitionModel`], whose `class_contribution(w,
+//! n_w)` replaces the cumulative `n_w/(w+1)` term inside the same
+//! ascending-class walk. The plain entry points are thin
+//! [`Model::Cumulative`] wrappers, so the trait dispatch is on exactly one
+//! funnel and the cumulative path stays bit-identical to the pre-trait
+//! code. The selectors here require a **monotone submodular** model (CELF
+//! treats stale gains as upper bounds); non-submodular models are routed
+//! to exact branch-and-bound by `algorithms::run_selector_model`.
 
 use crate::{Bitset, InfluenceSets, InvertedIndex, SelectionStats, Solution};
+use mc2ls_influence::{CompetitionModel, Model};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Materialises a marginal gain from per-weight-class counts:
-/// `Σ_w counts[w]/(w+1)`, accumulated in ascending class order with empty
-/// classes skipped (adding `+0.0` would not change the sum, skipping just
-/// saves the divisions). Every selector funnels gains through this one
-/// function, so equal counts give bit-identical gains everywhere.
+/// Materialises a marginal gain from per-weight-class counts under `model`:
+/// `Σ_w class_contribution(w, counts[w])`, accumulated in ascending class
+/// order with empty classes skipped (a zero count contributes `+0.0` in
+/// every shipped model, skipping just saves the divisions). Every selector
+/// funnels gains through this one walk, so equal counts give bit-identical
+/// gains everywhere.
 #[inline]
-pub(crate) fn canonical_gain(counts: &[u32]) -> f64 {
+pub(crate) fn canonical_gain_model<M: CompetitionModel>(counts: &[u32], model: &M) -> f64 {
     let mut total = 0.0;
     for (w, &n) in counts.iter().enumerate() {
         if n != 0 {
-            total += n as f64 / (w as f64 + 1.0);
+            total += model.class_contribution(w, n);
         }
     }
     total
@@ -65,28 +79,40 @@ impl ClassScratch {
     }
 
     /// Counts candidate `c`'s uncovered users per weight class and
-    /// materialises the canonical gain, leaving the scratch cleared.
-    fn marginal_gain(&mut self, sets: &InfluenceSets, c: usize, covered: &Bitset) -> f64 {
+    /// materialises the canonical gain under `model`, leaving the scratch
+    /// cleared.
+    fn marginal_gain<M: CompetitionModel>(
+        &mut self,
+        sets: &InfluenceSets,
+        c: usize,
+        covered: &Bitset,
+        model: &M,
+    ) -> f64 {
         for &o in sets.omega(c) {
             if !covered.contains(o) {
                 self.counts[sets.f_count[o as usize] as usize] += 1;
             }
         }
-        let gain = canonical_gain(&self.counts);
+        let gain = canonical_gain_model(&self.counts, model);
         self.counts.iter_mut().for_each(|n| *n = 0);
         gain
     }
 }
 
-/// Candidate `c`'s full `cinf(c)` materialised canonically (the round-1
-/// marginal gain: no user is covered yet). Allocates its own class scratch,
-/// so it is safe to call from parallel workers.
-fn canonical_cinf(sets: &InfluenceSets, c: usize, n_classes: usize) -> f64 {
+/// Candidate `c`'s full `cinf(c)` materialised canonically under `model`
+/// (the round-1 marginal gain: no user is covered yet). Allocates its own
+/// class scratch, so it is safe to call from parallel workers.
+fn canonical_cinf<M: CompetitionModel>(
+    sets: &InfluenceSets,
+    c: usize,
+    n_classes: usize,
+    model: &M,
+) -> f64 {
     let mut counts = vec![0u32; n_classes];
     for &o in sets.omega(c) {
         counts[sets.f_count[o as usize] as usize] += 1;
     }
-    canonical_gain(&counts)
+    canonical_gain_model(&counts, model)
 }
 
 /// The paper's greedy: re-evaluate every remaining candidate each round.
@@ -107,6 +133,17 @@ pub fn select(sets: &InfluenceSets, k: usize) -> Solution {
 
 /// [`select`] plus its [`SelectionStats`] work counters.
 pub fn select_counted(sets: &InfluenceSets, k: usize) -> (Solution, SelectionStats) {
+    select_counted_model(sets, k, &Model::Cumulative)
+}
+
+/// [`select_counted`] under an arbitrary (monotone submodular) competition
+/// model: the same rescan loop with `model`'s per-class contributions in
+/// the canonical gain walk.
+pub fn select_counted_model<M: CompetitionModel>(
+    sets: &InfluenceSets,
+    k: usize,
+    model: &M,
+) -> (Solution, SelectionStats) {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
     let mut covered = Bitset::new(sets.n_users());
@@ -123,7 +160,7 @@ pub fn select_counted(sets: &InfluenceSets, k: usize) -> (Solution, SelectionSta
             if already {
                 continue;
             }
-            let gain = scratch.marginal_gain(sets, c, &covered);
+            let gain = scratch.marginal_gain(sets, c, &covered, model);
             stats.gain_evals += 1;
             let len = sets.omega(c).len() as u64;
             stats.users_scanned += len;
@@ -208,6 +245,19 @@ pub fn select_lazy_counted(
     k: usize,
     threads: usize,
 ) -> (Solution, SelectionStats) {
+    select_lazy_counted_model(sets, k, threads, &Model::Cumulative)
+}
+
+/// [`select_lazy_counted`] under an arbitrary competition model. CELF's
+/// pruning argument (a stale cached gain upper-bounds the fresh one) is
+/// exactly submodularity, so the model **must** be monotone submodular —
+/// the router guarantees it.
+pub fn select_lazy_counted_model<M: CompetitionModel + Sync>(
+    sets: &InfluenceSets,
+    k: usize,
+    threads: usize,
+    model: &M,
+) -> (Solution, SelectionStats) {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
     assert!(threads >= 1, "need at least one worker thread");
@@ -220,7 +270,7 @@ pub fn select_lazy_counted(
     // candidate order and the heap is built from the exact same entries a
     // serial pass would produce.
     let initial: Vec<f64> =
-        crate::parallel::map_items(n, threads, |c| canonical_cinf(sets, c, n_classes));
+        crate::parallel::map_items(n, threads, |c| canonical_cinf(sets, c, n_classes, model));
     stats.gain_evals += n as u64;
     stats.users_scanned += sets.total_influences() as u64;
     stats.heap_pushes += n as u64;
@@ -257,7 +307,7 @@ pub fn select_lazy_counted(
                 }
                 break;
             }
-            let fresh = scratch.marginal_gain(sets, top.cand as usize, &covered);
+            let fresh = scratch.marginal_gain(sets, top.cand as usize, &covered, model);
             stats.gain_evals += 1;
             let len = sets.omega(top.cand as usize).len() as u64;
             stats.users_scanned += len;
@@ -316,6 +366,19 @@ pub fn select_decremental_counted(
     k: usize,
     threads: usize,
 ) -> (Solution, SelectionStats) {
+    select_decremental_counted_model(sets, k, threads, &Model::Cumulative)
+}
+
+/// [`select_decremental_counted`] under an arbitrary (monotone submodular)
+/// competition model. The maintained state is the per-class integer count
+/// matrix — model-independent — so only the two gain materialisation sites
+/// (heap seed, refresh) change.
+pub fn select_decremental_counted_model<M: CompetitionModel>(
+    sets: &InfluenceSets,
+    k: usize,
+    threads: usize,
+    model: &M,
+) -> (Solution, SelectionStats) {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
     assert!(threads >= 1, "need at least one worker thread");
@@ -338,7 +401,8 @@ pub fn select_decremental_counted(
     })
     .concat();
 
-    let (solution, mut stats) = select_decremental_seeded(sets, &inverted, counts, n_classes, k);
+    let (solution, mut stats) =
+        select_decremental_seeded(sets, &inverted, counts, n_classes, k, model);
     stats.users_scanned += sets.total_influences() as u64;
     (solution, stats)
 }
@@ -350,14 +414,15 @@ pub fn select_decremental_counted(
 /// [`crate::update::UpdateEngine`]: after events patched `counts` in place, a
 /// followup solve seeds the heap directly from the patched matrix and never
 /// re-scans the forward CSR. Trailing all-zero columns beyond
-/// `sets.n_weight_classes()` are harmless — [`canonical_gain`] skips empty
+/// `sets.n_weight_classes()` are harmless — [`canonical_gain_model`] skips empty
 /// classes, so the gains stay bit-identical to the canonical-width matrix.
-pub(crate) fn select_decremental_seeded(
+pub(crate) fn select_decremental_seeded<M: CompetitionModel>(
     sets: &InfluenceSets,
     inverted: &InvertedIndex,
     mut counts: Vec<u32>,
     n_classes: usize,
     k: usize,
+    model: &M,
 ) -> (Solution, SelectionStats) {
     let n = sets.n_candidates();
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
@@ -371,7 +436,7 @@ pub(crate) fn select_decremental_seeded(
     let mut version = vec![0u32; n];
     let mut heap: BinaryHeap<Entry> = (0..n)
         .map(|c| Entry {
-            gain: canonical_gain(&counts[c * n_classes..(c + 1) * n_classes]),
+            gain: canonical_gain_model(&counts[c * n_classes..(c + 1) * n_classes], model),
             // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
             cand: c as u32,
             version: 0,
@@ -439,7 +504,7 @@ pub(crate) fn select_decremental_seeded(
             let c2u = c2 as usize;
             version[c2u] += 1;
             heap.push(Entry {
-                gain: canonical_gain(&counts[c2u * n_classes..(c2u + 1) * n_classes]),
+                gain: canonical_gain_model(&counts[c2u * n_classes..(c2u + 1) * n_classes], model),
                 cand: c2,
                 version: version[c2u],
             });

@@ -1,5 +1,5 @@
 use mc2ls_geo::Point;
-use mc2ls_influence::{MovingUser, ProbabilityFunction, Sigmoid};
+use mc2ls_influence::{Model, MovingUser, ProbabilityFunction, Sigmoid};
 
 /// An MC²LS instance (paper Definition 7): moving users `Ω`, existing
 /// competitor facilities `F`, candidate locations `C`, the number `k` of
@@ -36,6 +36,13 @@ pub struct Problem<PF: ProbabilityFunction = Sigmoid> {
     /// to exact `exp` whenever a decision lands inside its error band — so
     /// this only trades speed for directly-exact arithmetic.
     pub pf_exact: bool,
+    /// The competition model splitting a covered user's influence between
+    /// the entrant and the user's incumbent facilities
+    /// ([`mc2ls_influence::CompetitionModel`]). Defaults to the paper's
+    /// [`Model::Cumulative`], whose selections are bit-identical to the
+    /// pre-model code; non-submodular models route selection to the exact
+    /// branch-and-bound oracle (see `algorithms::run_selector_model`).
+    pub model: Model,
 }
 
 impl<PF: ProbabilityFunction> Problem<PF> {
@@ -82,6 +89,7 @@ impl<PF: ProbabilityFunction> Problem<PF> {
             pf,
             block_size: mc2ls_influence::BLOCK_SIZE_AUTO,
             pf_exact: false,
+            model: Model::Cumulative,
         }
     }
 
@@ -98,6 +106,14 @@ impl<PF: ProbabilityFunction> Problem<PF> {
     /// [`Problem::pf_exact`]).
     pub fn with_pf_exact(mut self, pf_exact: bool) -> Self {
         self.pf_exact = pf_exact;
+        self
+    }
+
+    /// Sets the competition model (see [`Problem::model`]). Influence
+    /// relationships (`Pr_v(o) ≥ τ` coverage) are model-independent; the
+    /// model only reweights the selection phase.
+    pub fn with_model(mut self, model: Model) -> Self {
+        self.model = model;
         self
     }
 

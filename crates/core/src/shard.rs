@@ -11,7 +11,7 @@
 //! ```
 //!
 //! Integer counts sum associatively, and the canonical gain
-//! (`greedy::canonical_gain`) is a pure function of the merged counts —
+//! (`greedy::canonical_gain_model`) is a pure function of the merged counts —
 //! so a **gather** over per-shard count vectors materialises the exact
 //! `f64` gain bits the unsharded selector computes, and the selection
 //! loop ([`gather_select`]) replays `select_decremental_counted`'s
@@ -33,9 +33,10 @@
 //!   **gather** applies the events to the merged count matrix and
 //!   refreshes gains through the shared lazy-bucket heap.
 
-use crate::greedy::{canonical_gain, Entry};
+use crate::greedy::{canonical_gain_model, Entry};
 use crate::{Bitset, InfluenceSets, SelectionStats, Solution};
 use mc2ls_geo::{ByteReader, CodecError, U32View};
+use mc2ls_influence::{CompetitionModel, Model};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -555,12 +556,44 @@ pub fn gather_select_with_scratch(
     shards: &[ShardView<'_>],
     n_candidates: usize,
     n_classes: usize,
+    counts: Vec<u32>,
+    subset: Option<&[u32]>,
+    total_influences: u64,
+    k: usize,
+    threads: usize,
+    scratch: &mut GatherScratch,
+) -> (Solution, SelectionStats, GatherStats) {
+    gather_select_with_scratch_model(
+        shards,
+        n_candidates,
+        n_classes,
+        counts,
+        subset,
+        total_influences,
+        k,
+        threads,
+        scratch,
+        &Model::Cumulative,
+    )
+}
+
+/// [`gather_select_with_scratch`] under an arbitrary (monotone submodular)
+/// competition model: the scattered decrement phase is model-independent
+/// integer arithmetic, so only the heap-seed and refresh gain
+/// materialisations change — through the same canonical walk as every
+/// unsharded selector.
+#[allow(clippy::too_many_arguments)] // mirrors select_decremental_counted + the scatter inputs
+pub fn gather_select_with_scratch_model<M: CompetitionModel>(
+    shards: &[ShardView<'_>],
+    n_candidates: usize,
+    n_classes: usize,
     mut counts: Vec<u32>,
     subset: Option<&[u32]>,
     total_influences: u64,
     k: usize,
     threads: usize,
     scratch: &mut GatherScratch,
+    model: &M,
 ) -> (Solution, SelectionStats, GatherStats) {
     let n = subset.map_or(n_candidates, <[u32]>::len);
     assert!(k <= n, "k = {k} exceeds the number of candidates ({n})");
@@ -604,7 +637,7 @@ pub fn gather_select_with_scratch(
     } = scratch;
     for c in 0..n {
         heap.push(Entry {
-            gain: canonical_gain(&counts[c * n_classes..(c + 1) * n_classes]),
+            gain: canonical_gain_model(&counts[c * n_classes..(c + 1) * n_classes], model),
             // lint:allow(narrowing-cast): c indexes the candidate array, whose length fits the u32 id space
             cand: c as u32,
             version: 0,
@@ -673,7 +706,7 @@ pub fn gather_select_with_scratch(
             let c2u = c2 as usize;
             version[c2u] += 1;
             heap.push(Entry {
-                gain: canonical_gain(&counts[c2u * n_classes..(c2u + 1) * n_classes]),
+                gain: canonical_gain_model(&counts[c2u * n_classes..(c2u + 1) * n_classes], model),
                 cand: c2,
                 version: version[c2u],
             });

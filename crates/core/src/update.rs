@@ -507,6 +507,7 @@ impl<PF: ProbabilityFunction + Clone> UpdateEngine<PF> {
             self.counts.clone(),
             self.n_classes,
             k,
+            &mc2ls_influence::Model::Cumulative,
         )
     }
 

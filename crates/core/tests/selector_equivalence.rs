@@ -7,6 +7,7 @@
 //! makes this hold exactly, not just within a tolerance.
 
 use mc2ls_core::{greedy, InfluenceSets, InvertedIndex, SelectionStats, Solution};
+use mc2ls_influence::Model;
 use proptest::prelude::*;
 
 const THREADS: [usize; 2] = [1, 4];
@@ -61,6 +62,23 @@ fn assert_all_selectors_identical(sets: &InfluenceSets, k: usize) -> Solution {
         check(
             &format!("decremental t={threads}"),
             greedy::select_decremental_threaded(sets, k, threads),
+        );
+    }
+    // Trait-dispatched cumulative model: routing the same selection through
+    // the CompetitionModel trait with an explicit `Model::Cumulative` must
+    // not move a bit relative to the default paths above.
+    check(
+        "rescan via trait",
+        greedy::select_counted_model(sets, k, &Model::Cumulative).0,
+    );
+    for threads in THREADS {
+        check(
+            &format!("celf via trait t={threads}"),
+            greedy::select_lazy_counted_model(sets, k, threads, &Model::Cumulative).0,
+        );
+        check(
+            &format!("decremental via trait t={threads}"),
+            greedy::select_decremental_counted_model(sets, k, threads, &Model::Cumulative).0,
         );
     }
     reference
@@ -149,6 +167,88 @@ proptest! {
         let sets = build_sets(f_count, lists);
         let k = sets.n_candidates();
         assert_all_selectors_identical(&sets, k);
+    }
+}
+
+/// End-to-end geometric regression for the competition-model refactor: the
+/// full pipeline (verification → influence sets → selection) under an
+/// explicit `Model::Cumulative` is byte-identical to the default dispatch,
+/// at every verification block size × thread count × selector.
+#[test]
+fn trait_dispatched_cumulative_is_byte_identical_across_block_sizes() {
+    use mc2ls_core::algorithms::{solve_threaded, Method, Selector};
+    use mc2ls_core::{IqtConfig, Problem};
+    use mc2ls_geo::Point;
+    use mc2ls_influence::{MovingUser, Sigmoid, BLOCK_SIZE_AUTO, BLOCK_SIZE_PLAIN};
+
+    let mut seed = 0x5eed_cafe_u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let mut point = {
+        let mut draw = move || (next() % 10_000) as f64 / 1000.0;
+        move || Point::new(draw(), draw())
+    };
+    let users: Vec<MovingUser> = (0..60)
+        .map(|i| MovingUser::new((0..1 + i % 4).map(|_| point()).collect()))
+        .collect();
+    let facilities: Vec<Point> = (0..8).map(|_| point()).collect();
+    let candidates: Vec<Point> = (0..12).map(|_| point()).collect();
+    let problem = Problem::new(
+        users,
+        facilities,
+        candidates,
+        4,
+        0.5,
+        Sigmoid::paper_default(),
+    );
+
+    let reference = solve_threaded(
+        &problem,
+        Method::Iqt(IqtConfig::default()),
+        Selector::Greedy,
+        1,
+    )
+    .solution;
+    assert!(!reference.selected.is_empty());
+    for block_size in [BLOCK_SIZE_PLAIN, 4, BLOCK_SIZE_AUTO] {
+        for threads in THREADS {
+            for selector in [
+                Selector::Greedy,
+                Selector::LazyGreedy,
+                Selector::Decremental,
+            ] {
+                for explicit in [false, true] {
+                    let mut p = problem.clone().with_block_size(block_size);
+                    if explicit {
+                        p = p.with_model(Model::Cumulative);
+                    }
+                    let got =
+                        solve_threaded(&p, Method::Iqt(IqtConfig::default()), selector, threads)
+                            .solution;
+                    let label = format!(
+                        "block_size={block_size} t={threads} {selector:?} explicit={explicit}"
+                    );
+                    assert_eq!(reference.selected, got.selected, "{label}: selected");
+                    let ref_bits: Vec<u64> = reference
+                        .marginal_gains
+                        .iter()
+                        .map(|g| g.to_bits())
+                        .collect();
+                    let got_bits: Vec<u64> =
+                        got.marginal_gains.iter().map(|g| g.to_bits()).collect();
+                    assert_eq!(ref_bits, got_bits, "{label}: gain bits");
+                    assert_eq!(
+                        reference.cinf.to_bits(),
+                        got.cinf.to_bits(),
+                        "{label}: cinf bits"
+                    );
+                }
+            }
+        }
     }
 }
 

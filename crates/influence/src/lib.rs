@@ -25,6 +25,12 @@
 //!   [`auto_block_size`] when configured as [`BLOCK_SIZE_AUTO`].
 //! * [`lanes`] — the bounded-error `exp` fast path ([`exp_neg`]) and its
 //!   published error constants.
+//! * [`CompetitionModel`] / [`Model`] — pluggable competition models: how
+//!   a covered user's influence splits between the entrant and the user's
+//!   incumbent facilities. The paper's cumulative `1/(|F_o|+1)` split is
+//!   the bit-identical default; a logit/RUM share rides the [`exp_neg`]
+//!   fast path. Non-submodular models are routed by `mc2ls-core` to exact
+//!   branch-and-bound selection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +38,7 @@
 mod blocks;
 mod cumulative;
 pub mod lanes;
+mod model;
 mod pf;
 mod radius;
 mod user;
@@ -47,6 +54,7 @@ pub use cumulative::{
     EvalCounter,
 };
 pub use lanes::{exp_neg, pow_n, EXP_NEG_EPS, FAST_PF_EPS, LANE};
+pub use model::{CompetitionModel, Model, LOGIT_GAMMA};
 pub use pf::{Exponential, Linear, ProbabilityFunction, Sigmoid, Step};
 pub use radius::{eta, eta_count, min_max_radius, non_influence_radius};
 pub use user::{MovingUser, UserId};

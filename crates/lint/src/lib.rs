@@ -59,7 +59,7 @@ use std::path::{Path, PathBuf};
 /// Crates whose library code produces results (solutions, stats, influence
 /// sets) — the R1 scope. `serve` is included: cache keys, snapshot
 /// sections and stats reports must not depend on hash-iteration order.
-const RESULT_CRATES: [&str; 5] = ["core", "index", "influence", "geo", "serve"];
+const RESULT_CRATES: [&str; 6] = ["core", "index", "influence", "geo", "serve", "candgen"];
 
 /// Crates exempt from R2: binaries and the bench harness may shortcut.
 const PANIC_EXEMPT_CRATES: [&str; 2] = ["cli", "bench"];
@@ -68,7 +68,7 @@ const PANIC_EXEMPT_CRATES: [&str; 2] = ["cli", "bench"];
 /// shard views, the update engine's slot/buffer arithmetic, the live
 /// batch's shard routing, and the delta splice's frame indices),
 /// workspace-relative with `/` separators.
-const NARROWING_SCOPE: [&str; 13] = [
+const NARROWING_SCOPE: [&str; 15] = [
     "crates/core/src/influence_sets.rs",
     "crates/core/src/inverted.rs",
     "crates/core/src/bitset.rs",
@@ -82,6 +82,8 @@ const NARROWING_SCOPE: [&str; 13] = [
     "crates/influence/src/lanes.rs",
     "crates/serve/src/delta.rs",
     "crates/serve/src/live.rs",
+    "crates/candgen/src/sweep.rs",
+    "crates/influence/src/model.rs",
 ];
 
 /// Serve request-path files where R7 treats unguarded slice indexing as a
@@ -98,7 +100,7 @@ const INDEX_GUARD_SCOPE: [&str; 6] = [
 
 /// Files containing parallel-join, gain-materialisation, or lane-kernel
 /// float accumulation code for R5.
-const FLOAT_SCOPE: [&str; 9] = [
+const FLOAT_SCOPE: [&str; 11] = [
     "crates/core/src/greedy.rs",
     "crates/core/src/parallel.rs",
     "crates/core/src/inverted.rs",
@@ -108,6 +110,8 @@ const FLOAT_SCOPE: [&str; 9] = [
     "crates/core/src/shard.rs",
     "crates/core/src/update.rs",
     "crates/influence/src/lanes.rs",
+    "crates/candgen/src/sweep.rs",
+    "crates/influence/src/model.rs",
 ];
 
 /// Classifies a workspace-relative path (always `/`-separated) into the
@@ -507,6 +511,17 @@ mod tests {
         assert!(lanes.narrowing_cast && lanes.float_accum);
         let hilbert = classify("crates/geo/src/hilbert.rs").expect("in scope");
         assert!(hilbert.narrowing_cast && !hilbert.float_accum);
+
+        // The candidate sweep produces result data (R1) and carries both
+        // hot-path rule sets: grid/anchor arithmetic narrows, and its
+        // density scores feed deterministic ranking. The competition-model
+        // module defines the per-class gain weights themselves.
+        let sweep = classify("crates/candgen/src/sweep.rs").expect("in scope");
+        assert!(sweep.nondet_iteration && sweep.panic_path);
+        assert!(sweep.narrowing_cast && sweep.float_accum);
+        let model = classify("crates/influence/src/model.rs").expect("in scope");
+        assert!(model.nondet_iteration && model.panic_path);
+        assert!(model.narrowing_cast && model.float_accum);
 
         let data_root = classify("crates/data/src/lib.rs").expect("in scope");
         assert!(data_root.crate_root && data_root.panic_path);

@@ -68,7 +68,7 @@ pub mod prelude {
     pub use mc2ls_index::{IQuadTree, RTree};
     pub use mc2ls_influence::{
         auto_block_size, cumulative_probability, influences, influences_blocked,
-        resolve_block_size, BlockOrdering, BlockScratch, MovingUser, PositionBlocks,
+        resolve_block_size, BlockOrdering, BlockScratch, Model, MovingUser, PositionBlocks,
         ProbabilityFunction, Sigmoid, BLOCK_SIZE_AUTO, BLOCK_SIZE_PLAIN, DEFAULT_BLOCK_SIZE,
     };
 }

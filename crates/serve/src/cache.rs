@@ -2,7 +2,8 @@
 //!
 //! Keys are byte strings derived from the *canonical* form of a query
 //! (sorted-deduped candidate subset, τ bits, `k`, block size, selector
-//! tag, exact-PF flag), so two requests that mean the same query always collide regardless
+//! tag, exact-PF flag, competition-model tag), so two requests that mean
+//! the same query always collide regardless
 //! of candidate order or duplicates. The block size passed to
 //! [`key_bytes`] must be the *canonical* one — the server resolves the
 //! `auto` sentinel to the snapshot's resolved block size via
@@ -16,6 +17,7 @@
 use crate::protocol::QueryAnswer;
 use mc2ls_core::algorithms::Selector;
 use mc2ls_geo::ByteWriter;
+use mc2ls_influence::Model;
 use std::collections::BTreeMap;
 
 /// Returns `cands` sorted ascending with duplicates removed — the
@@ -42,6 +44,7 @@ fn selector_tag(s: Selector) -> u8 {
 /// Builds the canonical key bytes for a query. `subset` must already be
 /// canonical (see [`canonical_subset`]); `None` means the full candidate
 /// set.
+#[allow(clippy::too_many_arguments)]
 pub fn key_bytes(
     subset: Option<&[u32]>,
     k: usize,
@@ -49,6 +52,7 @@ pub fn key_bytes(
     block_size: usize,
     selector: Selector,
     pf_exact: bool,
+    model: Model,
 ) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(32 + 4 * subset.map_or(0, <[u32]>::len));
     w.put_u64(tau.to_bits());
@@ -56,6 +60,7 @@ pub fn key_bytes(
     w.put_len(block_size);
     w.put_u8(selector_tag(selector));
     w.put_u8(u8::from(pf_exact));
+    w.put_u8(model.tag());
     match subset {
         None => w.put_u8(0),
         Some(ids) => {
@@ -200,6 +205,7 @@ mod tests {
 
     #[test]
     fn canonicalisation_makes_equivalent_queries_collide() {
+        let cm = Model::Cumulative;
         let a = key_bytes(
             Some(&canonical_subset(&[3, 1, 2, 1])),
             2,
@@ -207,6 +213,7 @@ mod tests {
             8,
             Selector::Auto,
             false,
+            cm,
         );
         let b = key_bytes(
             Some(&canonical_subset(&[2, 3, 1])),
@@ -215,20 +222,25 @@ mod tests {
             8,
             Selector::Auto,
             false,
+            cm,
         );
         assert_eq!(a, b);
         // Any parameter change separates the keys.
         let s = Some(&[1u32, 2, 3][..]);
-        assert_ne!(a, key_bytes(s, 3, 0.7, 8, Selector::Auto, false));
-        assert_ne!(a, key_bytes(s, 2, 0.71, 8, Selector::Auto, false));
-        assert_ne!(a, key_bytes(s, 2, 0.7, 9, Selector::Auto, false));
-        assert_ne!(a, key_bytes(s, 2, 0.7, 8, Selector::Greedy, false));
-        assert_ne!(a, key_bytes(s, 2, 0.7, 8, Selector::Auto, true));
-        assert_ne!(a, key_bytes(None, 2, 0.7, 8, Selector::Auto, false));
+        assert_ne!(a, key_bytes(s, 3, 0.7, 8, Selector::Auto, false, cm));
+        assert_ne!(a, key_bytes(s, 2, 0.71, 8, Selector::Auto, false, cm));
+        assert_ne!(a, key_bytes(s, 2, 0.7, 9, Selector::Auto, false, cm));
+        assert_ne!(a, key_bytes(s, 2, 0.7, 8, Selector::Greedy, false, cm));
+        assert_ne!(a, key_bytes(s, 2, 0.7, 8, Selector::Auto, true, cm));
+        assert_ne!(
+            a,
+            key_bytes(s, 2, 0.7, 8, Selector::Auto, false, Model::Logit)
+        );
+        assert_ne!(a, key_bytes(None, 2, 0.7, 8, Selector::Auto, false, cm));
         // An empty subset is not the same key as "full set".
         assert_ne!(
-            key_bytes(Some(&[]), 2, 0.7, 8, Selector::Auto, false),
-            key_bytes(None, 2, 0.7, 8, Selector::Auto, false)
+            key_bytes(Some(&[]), 2, 0.7, 8, Selector::Auto, false, cm),
+            key_bytes(None, 2, 0.7, 8, Selector::Auto, false, cm)
         );
     }
 

@@ -3,8 +3,8 @@
 
 use crate::error::ServeError;
 use crate::protocol::{
-    recv_message, send_message, QueryAnswer, QueryRequest, Request, Response, StatsReport,
-    UpdateReport, WireEvent,
+    recv_message, send_message, ProposeRequest, QueryAnswer, QueryRequest, Request, Response,
+    StatsReport, UpdateReport, WireEvent,
 };
 use std::net::TcpStream;
 use std::time::Duration;
@@ -96,6 +96,22 @@ impl Client {
             events: events.to_vec(),
         })? {
             Response::Updated(report) => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to propose candidate sites from the loaded
+    /// snapshot's position data (the MaxRS-style sweep).
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Remote`] when the server rejects
+    /// the sweep parameters or its position sections fail to decode.
+    pub fn propose(
+        &mut self,
+        request: &ProposeRequest,
+    ) -> Result<mc2ls_candgen::Proposal, ServeError> {
+        match self.round_trip(&Request::Propose(request.clone()))? {
+            Response::Proposed(proposal) => Ok(proposal),
             other => Err(unexpected(other)),
         }
     }

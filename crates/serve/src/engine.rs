@@ -19,12 +19,14 @@
 //! coalescing on top).
 
 use crate::cache::canonical_subset;
-use crate::protocol::{QueryAnswer, QueryRequest};
+use crate::error::SnapshotError;
+use crate::protocol::{ProposeRequest, QueryAnswer, QueryRequest};
 use crate::snapshot::{Snapshot, SnapshotMeta};
 use crate::view::LoadedSnapshot;
-use mc2ls_core::shard::{gather_select_with_scratch, materialise_counts, subset_counts};
+use mc2ls_candgen::{propose_from_blocks, Proposal, SweepConfig};
+use mc2ls_core::shard::{gather_select_with_scratch_model, materialise_counts, subset_counts};
 use mc2ls_core::{GatherScratch, GatherStats, PruneStats};
-use mc2ls_influence::BLOCK_SIZE_AUTO;
+use mc2ls_influence::{Model, BLOCK_SIZE_AUTO};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A query rejected before selection ran.
@@ -63,6 +65,16 @@ pub enum QueryError {
     },
     /// The candidate subset is empty after canonicalisation.
     EmptySubset,
+    /// Requested competition model differs from the one the snapshot was
+    /// built to serve. The influence sets themselves are model-independent,
+    /// but the build recorded its intent — answering under another model
+    /// would silently change what `cinf` means for this deployment.
+    ModelMismatch {
+        /// Model in the request.
+        requested: Model,
+        /// Model recorded in the snapshot META.
+        snapshot: Model,
+    },
 }
 
 impl QueryError {
@@ -74,6 +86,7 @@ impl QueryError {
             QueryError::BadBudget { .. } => "bad-budget",
             QueryError::UnknownCandidate { .. } => "unknown-candidate",
             QueryError::EmptySubset => "empty-subset",
+            QueryError::ModelMismatch { .. } => "model-mismatch",
         }
     }
 }
@@ -102,11 +115,68 @@ impl std::fmt::Display for QueryError {
                 write!(f, "candidate {id} outside 0..{n_candidates}")
             }
             QueryError::EmptySubset => write!(f, "candidate subset is empty"),
+            QueryError::ModelMismatch {
+                requested,
+                snapshot,
+            } => write!(
+                f,
+                "query model {requested} does not match snapshot model {snapshot}"
+            ),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+/// A PROPOSE request rejected before the sweep ran, or whose position
+/// sections failed to decode.
+#[derive(Debug)]
+pub enum ProposeError {
+    /// The sweep window is zero, negative, or non-finite.
+    BadWindow {
+        /// Window in the request.
+        window: f64,
+    },
+    /// The requested site count is zero.
+    BadCount,
+    /// The min-separation override is negative or non-finite.
+    BadSeparation {
+        /// Separation in the request.
+        min_separation: f64,
+    },
+    /// The snapshot's PBLK sections failed their lazy decode.
+    Snapshot(SnapshotError),
+}
+
+impl ProposeError {
+    /// Stable machine-readable kind for the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProposeError::BadWindow { .. } => "bad-window",
+            ProposeError::BadCount => "bad-count",
+            ProposeError::BadSeparation { .. } => "bad-separation",
+            ProposeError::Snapshot(_) => "snapshot",
+        }
+    }
+}
+
+impl std::fmt::Display for ProposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProposeError::BadWindow { window } => {
+                write!(f, "sweep window {window} must be positive and finite")
+            }
+            ProposeError::BadCount => write!(f, "site count m must be at least 1"),
+            ProposeError::BadSeparation { min_separation } => write!(
+                f,
+                "min separation {min_separation} must be finite and non-negative"
+            ),
+            ProposeError::Snapshot(e) => write!(f, "position sections failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProposeError {}
 
 /// A zero-copy loaded snapshot plus the scatter worker count and the
 /// epoch-shared count matrix.
@@ -146,7 +216,7 @@ impl QueryEngine {
     ///
     /// # Errors
     /// Every validation error [`LoadedSnapshot::from_bytes`] produces.
-    pub fn from_bytes(bytes: Vec<u8>, threads: usize) -> Result<Self, crate::error::SnapshotError> {
+    pub fn from_bytes(bytes: Vec<u8>, threads: usize) -> Result<Self, SnapshotError> {
         Ok(QueryEngine {
             loaded: LoadedSnapshot::from_bytes(bytes)?,
             threads: threads.max(1),
@@ -233,6 +303,12 @@ impl QueryEngine {
                 snapshot: meta.block_size,
             });
         }
+        if req.model != meta.model {
+            return Err(QueryError::ModelMismatch {
+                requested: req.model,
+                snapshot: meta.model,
+            });
+        }
 
         let n_candidates = meta.n_candidates;
         let n_classes = self.loaded.n_classes();
@@ -242,7 +318,7 @@ impl QueryEngine {
                 check_budget(req.k, n_candidates)?;
                 let counts = self.epoch_counts().as_ref().clone();
                 let mut scratch = self.take_scratch();
-                let (solution, selection, mut gather) = gather_select_with_scratch(
+                let (solution, selection, mut gather) = gather_select_with_scratch_model(
                     &views,
                     n_candidates,
                     n_classes,
@@ -252,6 +328,7 @@ impl QueryEngine {
                     req.k,
                     self.threads,
                     &mut scratch,
+                    &meta.model,
                 );
                 self.put_scratch(scratch);
                 gather.shared_epoch = true;
@@ -282,7 +359,7 @@ impl QueryEngine {
                     })
                     .sum();
                 let mut scratch = self.take_scratch();
-                let (mut solution, selection, mut gather) = gather_select_with_scratch(
+                let (mut solution, selection, mut gather) = gather_select_with_scratch_model(
                     &views,
                     n_candidates,
                     n_classes,
@@ -292,6 +369,7 @@ impl QueryEngine {
                     req.k,
                     self.threads,
                     &mut scratch,
+                    &meta.model,
                 );
                 self.put_scratch(scratch);
                 // The selector saw subset-positional ids; map back.
@@ -303,6 +381,42 @@ impl QueryEngine {
                 Ok(answer_of(solution, selection, gather))
             }
         }
+    }
+}
+
+impl QueryEngine {
+    /// Validates `req` and runs the MaxRS-style candidate sweep over the
+    /// snapshot's position blocks (decoded lazily on the first PROPOSE,
+    /// cached afterwards). Pure read: proposing never touches the query
+    /// plane, the result cache, or the epoch counts.
+    ///
+    /// # Errors
+    /// A typed [`ProposeError`] on out-of-range sweep parameters or a PBLK
+    /// decode failure. Never panics on malformed requests — every
+    /// precondition of [`SweepConfig`] is checked here first.
+    pub fn propose(&self, req: &ProposeRequest) -> Result<Proposal, ProposeError> {
+        if !(req.window > 0.0 && req.window.is_finite()) {
+            return Err(ProposeError::BadWindow { window: req.window });
+        }
+        if req.m == 0 {
+            return Err(ProposeError::BadCount);
+        }
+        if let Some(sep) = req.min_separation {
+            if !(sep >= 0.0 && sep.is_finite()) {
+                return Err(ProposeError::BadSeparation {
+                    min_separation: sep,
+                });
+            }
+        }
+        let blocks = self
+            .loaded
+            .position_blocks()
+            .map_err(ProposeError::Snapshot)?;
+        let mut cfg = SweepConfig::new(req.window, req.m).with_threads(self.threads);
+        if let Some(sep) = req.min_separation {
+            cfg = cfg.with_min_separation(sep);
+        }
+        Ok(propose_from_blocks(blocks, &cfg))
     }
 }
 
@@ -373,6 +487,7 @@ mod tests {
             block_size: problem.block_size,
             selector: Selector::Auto,
             pf_exact: false,
+            model: Model::Cumulative,
         }
     }
 
@@ -526,5 +641,115 @@ mod tests {
             engine.answer(&query(&problem, Some(vec![0, 10]), 1)),
             Err(QueryError::UnknownCandidate { id: 10, .. })
         ));
+
+        let mut q = query(&problem, None, 3);
+        q.model = Model::Logit;
+        assert!(matches!(
+            engine.answer(&q),
+            Err(QueryError::ModelMismatch {
+                requested: Model::Logit,
+                snapshot: Model::Cumulative,
+            })
+        ));
+    }
+
+    #[test]
+    fn propose_matches_a_direct_sweep_over_the_raw_positions() {
+        let problem = random_problem(43, 70, 12);
+        let points: Vec<Point> = problem
+            .users
+            .iter()
+            .flat_map(|u| u.positions().iter().copied())
+            .collect();
+        let direct =
+            mc2ls_candgen::propose(&points, &SweepConfig::new(3.0, 5).with_min_separation(1.0));
+        let req = ProposeRequest {
+            window: 3.0,
+            m: 5,
+            min_separation: Some(1.0),
+        };
+        // The snapshot reorders positions (Morton within users, users into
+        // shards), but the sweep aggregates into grid cells first — so the
+        // proposal is identical at any shard/thread count.
+        for (threads, n_shards) in [(1usize, 1usize), (3, 2)] {
+            let engine = engine_for(&problem, threads, n_shards);
+            let served = engine.propose(&req).expect("propose");
+            assert_eq!(served.stats, direct.stats, "shards={n_shards}");
+            assert_eq!(served.sites.len(), direct.sites.len());
+            for (a, b) in served.sites.iter().zip(&direct.sites) {
+                assert_eq!(a.center.x.to_bits(), b.center.x.to_bits());
+                assert_eq!(a.center.y.to_bits(), b.center.y.to_bits());
+                assert_eq!(a.score, b.score);
+                assert_eq!(a.anchor, b.anchor);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_propose_requests_are_typed_errors() {
+        let problem = random_problem(47, 20, 6);
+        let engine = engine_for(&problem, 1, 1);
+        let req = |window: f64, m: usize, sep: Option<f64>| ProposeRequest {
+            window,
+            m,
+            min_separation: sep,
+        };
+        assert!(matches!(
+            engine.propose(&req(0.0, 3, None)),
+            Err(ProposeError::BadWindow { .. })
+        ));
+        assert!(matches!(
+            engine.propose(&req(f64::INFINITY, 3, None)),
+            Err(ProposeError::BadWindow { .. })
+        ));
+        assert!(matches!(
+            engine.propose(&req(1.0, 0, None)),
+            Err(ProposeError::BadCount)
+        ));
+        assert!(matches!(
+            engine.propose(&req(1.0, 3, Some(-1.0))),
+            Err(ProposeError::BadSeparation { .. })
+        ));
+        assert!(matches!(
+            engine.propose(&req(1.0, 3, Some(f64::NAN))),
+            Err(ProposeError::BadSeparation { .. })
+        ));
+        assert!(engine.propose(&req(1.0, 3, None)).is_ok());
+    }
+
+    #[test]
+    fn logit_snapshots_serve_logit_answers_and_reject_cumulative() {
+        let problem = random_problem(61, 50, 14).with_model(Model::Logit);
+        let direct = solve_threaded(
+            &problem,
+            Method::Iqt(IqtConfig::iqt(2.0)),
+            Selector::Auto,
+            1,
+        );
+        for (threads, n_shards) in [(1usize, 1usize), (2, 3)] {
+            let engine = engine_for(&problem, threads, n_shards);
+            assert_eq!(engine.meta().model, Model::Logit);
+
+            // The model a pre-model client defaults to is rejected…
+            assert!(matches!(
+                engine.answer(&query(&problem, None, problem.k)),
+                Err(QueryError::ModelMismatch {
+                    requested: Model::Cumulative,
+                    snapshot: Model::Logit,
+                })
+            ));
+
+            // …and the matching model is served bit-identically to the
+            // direct logit solve at any shard/thread count.
+            let mut q = query(&problem, None, problem.k);
+            q.model = Model::Logit;
+            let ans = engine.answer(&q).expect("logit answer");
+            assert_eq!(ans.solution.selected, direct.solution.selected);
+            assert_eq!(
+                ans.solution.cinf.to_bits(),
+                direct.solution.cinf.to_bits(),
+                "threads={threads} shards={n_shards}"
+            );
+        }
     }
 }

@@ -49,12 +49,13 @@ pub mod view;
 
 pub use cache::ResultCache;
 pub use client::Client;
-pub use engine::{QueryEngine, QueryError};
+pub use engine::{ProposeError, QueryEngine, QueryError};
 pub use error::{ServeError, SnapshotError};
 pub use live::{LiveUpdater, UpdateBatchError};
 pub use metrics::Metrics;
 pub use protocol::{
-    QueryAnswer, QueryRequest, Request, Response, StatsReport, UpdateReport, WireEvent,
+    ProposeRequest, QueryAnswer, QueryRequest, Request, Response, StatsReport, UpdateReport,
+    WireEvent,
 };
 pub use server::{Server, ServerConfig};
 pub use snapshot::{ShardArtifacts, Snapshot, SnapshotMeta};

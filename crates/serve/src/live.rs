@@ -101,6 +101,7 @@ impl LiveUpdater {
             default_k: problem.k,
             shard_starts: Vec::new(), // assemble() fills these in
             resolved_block_size: 1,
+            model: problem.model,
         };
         let snapshot = Snapshot::assemble(
             meta.clone(),

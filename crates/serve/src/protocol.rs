@@ -16,6 +16,7 @@ use crate::error::ServeError;
 use crate::snapshot::SnapshotMeta;
 use mc2ls_core::algorithms::Selector;
 use mc2ls_core::{GatherStats, PruneStats, SelectionStats, Solution};
+use mc2ls_influence::Model;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
@@ -44,8 +45,30 @@ pub enum Request {
         /// Events in application order.
         events: Vec<WireEvent>,
     },
+    /// Propose candidate sites from the loaded snapshot's position data
+    /// (the MaxRS-style sweep). Answered with [`Response::Proposed`].
+    Propose(ProposeRequest),
     /// Stop accepting connections, drain in-flight work and exit.
     Shutdown,
+}
+
+/// Parameters of one candidate-generation request.
+///
+/// The server runs the [`mc2ls_candgen`] sweep over the loaded snapshot's
+/// SoA position blocks — no model, τ or block-size coupling: proposing
+/// sites only reads positions, so any client may PROPOSE against any
+/// snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProposeRequest {
+    /// Side of the square sweep window, in the dataset's coordinate units.
+    /// Must be strictly positive and finite.
+    pub window: f64,
+    /// Number of candidate sites to emit (`≥ 1`); fewer may come back when
+    /// the min-separation rule exhausts the window anchors first.
+    pub m: usize,
+    /// Minimum Euclidean distance between two emitted sites. `None` takes
+    /// the sweep default of half a window; `Some(0.0)` disables dedup.
+    pub min_separation: Option<f64>,
 }
 
 /// One user-mobility event on the wire.
@@ -95,6 +118,13 @@ pub struct QueryRequest {
     /// parity/debug field: it separates cache keys and is echoed back,
     /// but never changes an answer.
     pub pf_exact: bool,
+    /// Competition model the client expects the answer under. Must match
+    /// the model recorded in the snapshot META (the server rejects
+    /// mismatches with a typed `model-mismatch` error). Defaults to
+    /// cumulative, so pre-model clients keep working against cumulative
+    /// snapshots unchanged.
+    #[serde(default)]
+    pub model: Model,
 }
 
 /// A solved query as returned to the client.
@@ -198,6 +228,9 @@ pub enum Response {
     Stats(StatsReport),
     /// Answer to [`Request::Update`].
     Updated(UpdateReport),
+    /// Answer to [`Request::Propose`]: the ranked sites plus sweep shape
+    /// counters, straight from the candidate-generation crate.
+    Proposed(mc2ls_candgen::Proposal),
     /// Success acknowledgement for verbs without a payload.
     Done {
         /// Human-readable description of what happened.
@@ -303,6 +336,7 @@ mod tests {
             block_size: 8,
             selector: Selector::Auto,
             pf_exact: true,
+            model: Model::Logit,
         });
         match round_trip(&req) {
             Request::Query(q) => {
@@ -316,6 +350,18 @@ mod tests {
         }
         assert!(matches!(round_trip(&Request::Ping), Request::Ping));
         assert!(matches!(round_trip(&Request::Shutdown), Request::Shutdown));
+        match round_trip(&Request::Propose(ProposeRequest {
+            window: 2.5,
+            m: 12,
+            min_separation: Some(0.75),
+        })) {
+            Request::Propose(p) => {
+                assert_eq!(p.window.to_bits(), 2.5f64.to_bits());
+                assert_eq!(p.m, 12);
+                assert_eq!(p.min_separation.map(f64::to_bits), Some(0.75f64.to_bits()));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
         match round_trip(&Request::Reload {
             path: "/tmp/x.mc2s".into(),
         }) {

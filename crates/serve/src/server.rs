@@ -37,8 +37,8 @@ use crate::error::ServeError;
 use crate::live::LiveUpdater;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    recv_message, send_message, QueryAnswer, QueryRequest, Request, Response, StatsReport,
-    WireEvent,
+    recv_message, send_message, ProposeRequest, QueryAnswer, QueryRequest, Request, Response,
+    StatsReport, WireEvent,
 };
 use crate::{delta, SnapshotError};
 use std::collections::{BTreeMap, VecDeque};
@@ -397,6 +397,7 @@ fn dispatch(request: Request, shared: &Shared) -> (Response, bool) {
         Request::Stats => (Response::Stats(stats_report(shared)), false),
         Request::Reload { path } => (handle_reload(&path, shared), false),
         Request::Update { events } => (handle_update(&events, shared), false),
+        Request::Propose(req) => (handle_propose(&req, shared), false),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::Release);
             shared.queue_cv.notify_all();
@@ -432,6 +433,7 @@ fn handle_query(query: &QueryRequest, shared: &Shared) -> Response {
         engine.canonical_block_size(query.block_size),
         query.selector,
         query.pf_exact,
+        query.model,
     );
     let key_hash = cache::fnv1a64(&key);
 
@@ -485,6 +487,27 @@ fn handle_query(query: &QueryRequest, shared: &Shared) -> Response {
             Metrics::bump(&shared.metrics.errors);
             Response::Error {
                 kind: format!("query:{}", e.kind()),
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+fn handle_propose(req: &ProposeRequest, shared: &Shared) -> Response {
+    // Snapshot reads share the query plane's reload discipline: clone the
+    // Arc so a concurrent reload never blocks behind a running sweep.
+    let engine = match shared.engine.read() {
+        Ok(guard) => Arc::clone(&guard),
+        Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+    };
+    // No caching or coalescing: the sweep is a bounded read over the
+    // already-decoded position blocks, far cheaper than a selection.
+    match engine.propose(req) {
+        Ok(proposal) => Response::Proposed(proposal),
+        Err(e) => {
+            Metrics::bump(&shared.metrics.errors);
+            Response::Error {
+                kind: format!("propose:{}", e.kind()),
                 message: e.to_string(),
             }
         }

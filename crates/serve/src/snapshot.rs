@@ -47,7 +47,7 @@ use mc2ls_core::{InfluenceSets, InvertedIndex, Problem, PruneStats};
 use mc2ls_geo::codec::crc32;
 use mc2ls_geo::{ByteReader, ByteWriter, CodecError};
 use mc2ls_index::IQuadTree;
-use mc2ls_influence::{auto_block_size, resolve_block_size, PositionBlocks, Sigmoid};
+use mc2ls_influence::{auto_block_size, resolve_block_size, Model, PositionBlocks, Sigmoid};
 use std::ops::Range;
 
 /// File magic: "MC2S".
@@ -215,6 +215,12 @@ pub struct SnapshotMeta {
     /// sentinel resolved to at build time. Queries asking for `auto`
     /// canonicalise to this value.
     pub resolved_block_size: usize,
+    /// The competition model the snapshot was built to serve. Appended to
+    /// the META wire format after every older field: snapshots written
+    /// before the field existed decode as [`Model::Cumulative`] (the only
+    /// model that existed then), and queries requesting a different model
+    /// are rejected with a typed error rather than silently reweighted.
+    pub model: Model,
 }
 
 impl SnapshotMeta {
@@ -231,6 +237,7 @@ impl SnapshotMeta {
         w.put_len(self.default_k);
         w.put_u32_slice(&self.shard_starts);
         w.put_len(self.resolved_block_size);
+        w.put_u32(self.model.id());
         w.into_bytes()
     }
 
@@ -247,6 +254,14 @@ impl SnapshotMeta {
         let default_k = read_usize(&mut r, "SnapshotMeta.default_k")?;
         let shard_starts = r.get_u32_vec("SnapshotMeta.shard_starts")?;
         let resolved_block_size = read_usize(&mut r, "SnapshotMeta.resolved_block_size")?;
+        // The model id trails every pre-model field: absent (older v2
+        // writer) means the only model that writer knew, cumulative.
+        let model = if r.remaining() > 0 {
+            Model::from_id(r.get_u32()?)
+                .ok_or(CodecError::Invalid("unknown competition model id"))?
+        } else {
+            Model::Cumulative
+        };
         r.expect_end()?;
         if !(tau > 0.0 && tau < 1.0) {
             return Err(CodecError::Invalid("tau must lie in (0, 1)"));
@@ -284,6 +299,7 @@ impl SnapshotMeta {
             default_k,
             shard_starts,
             resolved_block_size,
+            model,
         })
     }
 
@@ -402,6 +418,7 @@ impl Snapshot {
             default_k: problem.k,
             shard_starts: starts,
             resolved_block_size: resolved,
+            model: problem.model,
         };
         (Snapshot { meta, shards, tree }, stats)
     }
@@ -707,6 +724,64 @@ mod tests {
             Err(SnapshotError::SectionOrder {
                 expected: "META",
                 ..
+            })
+        ));
+    }
+
+    /// Re-frames the META section of an encoded container with `payload`,
+    /// fixing up the length and CRC so only the META content differs.
+    fn splice_meta(bytes: &[u8], payload: &[u8]) -> Vec<u8> {
+        let frames = walk_frames(bytes).expect("well-formed input");
+        let meta = &frames[0];
+        let mut out = bytes[..meta.frame.start].to_vec();
+        let mut w = ByteWriter::with_capacity(FRAME_HEADER_LEN + payload.len());
+        w.put_bytes(b"META");
+        w.put_u64(payload.len() as u64);
+        w.put_u32(crc32(payload));
+        w.put_bytes(payload);
+        out.extend_from_slice(&w.into_bytes());
+        out.extend_from_slice(&bytes[meta.frame.end..]);
+        out
+    }
+
+    #[test]
+    fn pre_model_meta_decodes_as_cumulative() {
+        // A v2 writer that predates the model field stops right after
+        // resolved_block_size: dropping the trailing 4-byte model id
+        // reproduces its output exactly.
+        let problem = tiny_problem().with_model(Model::Logit);
+        let (snap, _) = Snapshot::build("tiny", &problem, 2.0, 1);
+        assert_eq!(snap.meta.model, Model::Logit);
+        let bytes = snap.to_bytes();
+        let frames = walk_frames(&bytes).expect("frames");
+        let meta_payload = &bytes[frames[0].payload.clone()];
+        let old = splice_meta(&bytes, &meta_payload[..meta_payload.len() - 4]);
+        let back = Snapshot::from_bytes(&old).expect("pre-model META decodes");
+        assert_eq!(
+            back.meta.model,
+            Model::Cumulative,
+            "absent model id defaults to the only pre-model model"
+        );
+        // Everything else survives untouched.
+        assert_eq!(back.meta.name, snap.meta.name);
+        assert_eq!(back.meta.shard_starts, snap.meta.shard_starts);
+        assert_eq!(back.shards, snap.shards);
+    }
+
+    #[test]
+    fn unknown_model_id_is_a_typed_error() {
+        let (snap, _) = Snapshot::build("tiny", &tiny_problem(), 2.0, 1);
+        let bytes = snap.to_bytes();
+        let frames = walk_frames(&bytes).expect("frames");
+        let mut meta_payload = bytes[frames[0].payload.clone()].to_vec();
+        let at = meta_payload.len() - 4;
+        meta_payload[at..].copy_from_slice(&99u32.to_le_bytes());
+        let bad = splice_meta(&bytes, &meta_payload);
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::Codec {
+                section: "META",
+                source: CodecError::Invalid("unknown competition model id"),
             })
         ));
     }

@@ -23,7 +23,10 @@
 use crate::error::SnapshotError;
 use crate::snapshot::{check_layout, SnapshotMeta};
 use mc2ls_core::shard::{parse_shard_view, trusted_shard_view, ShardView};
+use mc2ls_geo::CodecError;
+use mc2ls_influence::PositionBlocks;
 use std::ops::Range;
+use std::sync::OnceLock;
 
 /// A validated `.mc2s` container held as raw bytes, exposing zero-copy
 /// shard views instead of decoded artifacts.
@@ -33,6 +36,13 @@ pub struct LoadedSnapshot {
     meta: SnapshotMeta,
     /// Per shard: (ISET payload range, IINV payload range).
     shard_ranges: Vec<(Range<usize>, Range<usize>)>,
+    /// Per shard: PBLK payload range — CRC-verified at load, decoded
+    /// lazily only when the PROPOSE verb first needs positions.
+    pblk_ranges: Vec<Range<usize>>,
+    /// Lazily decoded per-shard position blocks. Queries never touch
+    /// this; a decode failure is cached so every PROPOSE sees the same
+    /// typed error instead of retrying a corrupt section.
+    blocks: OnceLock<Result<Vec<PositionBlocks>, CodecError>>,
     n_classes: usize,
     total_influences: u64,
 }
@@ -65,11 +75,13 @@ impl LoadedSnapshot {
         let n_candidates = u32::try_from(meta.n_candidates)
             .map_err(|_| SnapshotError::Inconsistent("candidate count exceeds the u32 id space"))?;
         let mut shard_ranges = Vec::with_capacity(meta.n_shards());
+        let mut pblk_ranges = Vec::with_capacity(meta.n_shards());
         let mut n_classes = 1usize;
         let mut total_influences = 0u64;
         for s in 0..meta.n_shards() {
             let iset = frames[1 + 3 * s].payload.clone();
             let iinv = frames[2 + 3 * s].payload.clone();
+            pblk_ranges.push(frames[3 + 3 * s].payload.clone());
             let view = parse_shard_view(
                 meta.shard_starts[s],
                 &bytes[iset.clone()],
@@ -92,6 +104,8 @@ impl LoadedSnapshot {
             bytes,
             meta,
             shard_ranges,
+            pblk_ranges,
+            blocks: OnceLock::new(),
             n_classes,
             total_influences,
         })
@@ -153,6 +167,31 @@ impl LoadedSnapshot {
             })
             .collect()
     }
+
+    /// The per-shard SoA position blocks, decoded from the PBLK sections
+    /// on first use and cached for the snapshot's lifetime. Query serving
+    /// never calls this — only the PROPOSE verb pays the decode, and only
+    /// once per loaded snapshot.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Codec`] when a PBLK payload fails to decode (its
+    /// CRC was already verified at load, so this means a codec-level
+    /// malformation); the failure is cached and repeated verbatim.
+    pub fn position_blocks(&self) -> Result<&[PositionBlocks], SnapshotError> {
+        let decoded = self.blocks.get_or_init(|| {
+            self.pblk_ranges
+                .iter()
+                .map(|range| PositionBlocks::from_bytes(&self.bytes[range.clone()]))
+                .collect()
+        });
+        match decoded {
+            Ok(blocks) => Ok(blocks.as_slice()),
+            Err(source) => Err(SnapshotError::Codec {
+                section: "PBLK",
+                source: source.clone(),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +243,11 @@ mod tests {
                     let got: Vec<u32> = view.fwd.row(c).collect();
                     assert_eq!(got, shard.sets.omega(c));
                 }
+            }
+            let blocks = loaded.position_blocks().expect("PBLK decode");
+            assert_eq!(blocks.len(), snap.n_shards());
+            for (got, shard) in blocks.iter().zip(&snap.shards) {
+                assert_eq!(got, &shard.blocks, "lazy PBLK decode vs full decode");
             }
         }
     }

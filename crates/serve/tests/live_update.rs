@@ -6,7 +6,7 @@
 use mc2ls_core::algorithms::{solve_threaded, IqtConfig, Method, Selector};
 use mc2ls_core::Problem;
 use mc2ls_geo::Point;
-use mc2ls_influence::{MovingUser, Sigmoid};
+use mc2ls_influence::{Model, MovingUser, Sigmoid};
 use mc2ls_serve::{
     Client, LiveUpdater, QueryEngine, QueryRequest, ServeError, Server, ServerConfig, Snapshot,
     WireEvent,
@@ -59,6 +59,7 @@ fn query_for(problem: &Problem<Sigmoid>, k: usize) -> QueryRequest {
         block_size: problem.block_size,
         selector: Selector::Auto,
         pf_exact: false,
+        model: Model::Cumulative,
     }
 }
 

@@ -6,7 +6,7 @@
 use mc2ls_core::algorithms::{solve_threaded, IqtConfig, Method, Selector};
 use mc2ls_core::{Problem, PruneStats, Solution};
 use mc2ls_geo::Point;
-use mc2ls_influence::{MovingUser, Sigmoid};
+use mc2ls_influence::{Model, MovingUser, Sigmoid};
 use mc2ls_serve::{Client, QueryEngine, QueryRequest, ServeError, Server, ServerConfig, Snapshot};
 use rand::prelude::*;
 use std::time::Duration;
@@ -50,6 +50,7 @@ fn query_for(problem: &Problem<Sigmoid>, candidates: Option<Vec<u32>>, k: usize)
         block_size: problem.block_size,
         selector: Selector::Auto,
         pf_exact: false,
+        model: Model::Cumulative,
     }
 }
 
@@ -323,6 +324,62 @@ fn mismatched_query_parameters_are_typed_errors() {
 
     // The connection survives error responses.
     client.ping().expect("still alive");
+    server.shutdown();
+}
+
+/// PROPOSE answers from the loaded snapshot's position blocks: the served
+/// proposal is bit-identical to a direct sweep over the instance's raw
+/// positions, and bad sweep parameters come back as typed errors.
+#[test]
+fn propose_serves_the_candidate_sweep_from_the_snapshot() {
+    let problem = random_problem(82, 60, 12);
+    let server = start_server(&problem, ServerConfig::default());
+    let mut client = connect(&server);
+
+    let points: Vec<Point> = problem
+        .users
+        .iter()
+        .flat_map(|u| u.positions().iter().copied())
+        .collect();
+    let direct = mc2ls_candgen::propose(&points, &mc2ls_candgen::SweepConfig::new(2.0, 4));
+
+    let served = client
+        .propose(&mc2ls_serve::ProposeRequest {
+            window: 2.0,
+            m: 4,
+            min_separation: None,
+        })
+        .expect("propose");
+    assert_eq!(served.stats, direct.stats);
+    assert_eq!(served.sites.len(), direct.sites.len());
+    for (a, b) in served.sites.iter().zip(&direct.sites) {
+        assert_eq!(a.center.x.to_bits(), b.center.x.to_bits());
+        assert_eq!(a.center.y.to_bits(), b.center.y.to_bits());
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.anchor, b.anchor);
+    }
+
+    match client.propose(&mc2ls_serve::ProposeRequest {
+        window: -1.0,
+        m: 4,
+        min_separation: None,
+    }) {
+        Err(ServeError::Remote { kind, .. }) => assert_eq!(kind, "propose:bad-window"),
+        other => panic!("expected bad-window rejection, got {other:?}"),
+    }
+    match client.propose(&mc2ls_serve::ProposeRequest {
+        window: 2.0,
+        m: 0,
+        min_separation: None,
+    }) {
+        Err(ServeError::Remote { kind, .. }) => assert_eq!(kind, "propose:bad-count"),
+        other => panic!("expected bad-count rejection, got {other:?}"),
+    }
+
+    // The connection survives error responses and still answers queries.
+    client
+        .query(&query_for(&problem, None, 2))
+        .expect("query after propose");
     server.shutdown();
 }
 

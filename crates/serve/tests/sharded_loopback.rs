@@ -8,7 +8,7 @@
 use mc2ls_core::algorithms::{solve_threaded, IqtConfig, Method, Selector};
 use mc2ls_core::{Problem, PruneStats, Solution};
 use mc2ls_geo::Point;
-use mc2ls_influence::{MovingUser, Sigmoid};
+use mc2ls_influence::{Model, MovingUser, Sigmoid};
 use mc2ls_serve::{delta, Client, QueryEngine, QueryRequest, Server, ServerConfig, Snapshot};
 use rand::prelude::*;
 use std::time::Duration;
@@ -49,6 +49,7 @@ fn query_for(problem: &Problem<Sigmoid>, candidates: Option<Vec<u32>>, k: usize)
         block_size: problem.block_size,
         selector: Selector::Auto,
         pf_exact: false,
+        model: Model::Cumulative,
     }
 }
 
